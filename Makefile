@@ -1,0 +1,35 @@
+# Convenience targets; everything is plain `go` underneath (stdlib only).
+
+GO ?= go
+
+.PHONY: all build test vet bench experiments fuzz cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Regenerate every table/figure of the paper (also: go test -bench=Table2 .)
+experiments:
+	$(GO) run ./cmd/experiments -all
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+cover:
+	$(GO) test -cover ./...
+
+# Short fuzz session over the three netlist parsers.
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/blif/
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/verilog/
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/benchfmt/
+
+clean:
+	rm -rf internal/*/testdata/fuzz

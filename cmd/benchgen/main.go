@@ -1,0 +1,81 @@
+// Command benchgen materialises the synthetic benchmark suite as netlist
+// files, so the other tools (and external flows) can consume them:
+//
+//	benchgen -dir out/              write all 14 circuits as Verilog
+//	benchgen -dir out/ -format blif write BLIF instead
+//	benchgen -name c432             write one circuit to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bench"
+	"repro/internal/benchfmt"
+	"repro/internal/blif"
+	"repro/internal/verilog"
+)
+
+func main() {
+	dir := flag.String("dir", "", "output directory (one file per circuit)")
+	name := flag.String("name", "", "single circuit to write to stdout")
+	format := flag.String("format", "verilog", "verilog or blif")
+	flag.Parse()
+
+	if *name != "" {
+		spec, err := bench.ByName(*name)
+		fail(err)
+		fail(write(os.Stdout, spec, *format))
+		return
+	}
+	if *dir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	fail(os.MkdirAll(*dir, 0o755))
+	ext := ".v"
+	switch *format {
+	case "blif":
+		ext = ".blif"
+	case "bench":
+		ext = ".bench"
+	}
+	for _, spec := range bench.Suite() {
+		path := filepath.Join(*dir, spec.Name+ext)
+		f, err := os.Create(path)
+		fail(err)
+		err = write(f, spec, *format)
+		cerr := f.Close()
+		fail(err)
+		fail(cerr)
+		fmt.Printf("wrote %s (%s)\n", path, spec.Description)
+	}
+}
+
+func write(w io.Writer, spec bench.Spec, format string) error {
+	c := spec.Build()
+	switch format {
+	case "verilog":
+		return verilog.Write(w, c)
+	case "blif":
+		n, err := blif.FromCircuit(c)
+		if err != nil {
+			return err
+		}
+		return blif.Write(w, n)
+	case "bench":
+		return benchfmt.Write(w, c)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}

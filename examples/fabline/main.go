@@ -1,0 +1,196 @@
+// Production-line scenario combining the paper's §I two-step flow with its
+// §III-E watermark+fingerprint protection and §V error-correcting-code
+// proposal:
+//
+//  1. The designer analyses the IP, plans a keyed watermark, and fabricates
+//     ONE master die containing every fingerprint connection behind a fuse.
+//  2. For each buyer, the fab programs a die: the watermark links stay
+//     intact on every die; the buyer's ID — protected by a repetition code
+//     — selects which remaining links survive.
+//  3. A die leaks; an adversary strips some visible modifications; the
+//     designer still verifies authorship (watermark) and decodes the buyer
+//     ID through the error-correcting code.
+//
+// Run with: go run ./examples/fabline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	lib := odcfp.DefaultLibrary()
+	ip, err := odcfp.Benchmark("c880")
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := odcfp.Analyze(ip, lib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("IP %q: %d gates, %d fingerprint locations\n", ip.Name, ip.NumGates(), a.NumLocations())
+
+	// --- step 1: watermark plan + master die ---------------------------
+	// CanonicalOnly: a fuse master offers exactly one link per location,
+	// so the watermark must restrict itself to canonical modifications.
+	wmParams := odcfp.WatermarkParams{Key: []byte("vendor-master-key"), Slots: 8, CanonicalOnly: true}
+	wm, err := odcfp.PlanWatermark(a, wmParams)
+	if err != nil {
+		log.Fatal(err)
+	}
+	master, err := odcfp.NewFuseMaster(a, lib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, _ := odcfp.Measure(a.Circuit, lib)
+	fmt.Printf("master die: %d programmable links, area %+.2f%% over the bare design\n",
+		master.NumFuses(), 100*(master.MasterArea()-base.Area)/base.Area)
+	fmt.Printf("watermark: %d keyed slots (%.1f bits of authorship evidence)\n",
+		len(wm.Slots), wm.Bits)
+
+	// Locations carrying watermark slots must keep their links on every
+	// die; the rest carry the coded buyer ID.
+	wmLoc := map[int]bool{}
+	for _, s := range wm.Slots {
+		wmLoc[s.Loc] = true
+	}
+	free := wm.FreeLocations(a)
+	code, err := odcfp.NewRepetition(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	payloadBits := code.PayloadBits(len(free))
+	fmt.Printf("buyer-ID channel: %d free locations → %d payload bits under %s\n\n",
+		len(free), payloadBits, code.Name())
+
+	// --- step 2: program dies for three buyers --------------------------
+	buyers := map[string]uint16{"nova-semi": 0x2A7, "quarklabs": 0x09C, "vectorics": 0x31F}
+	dies := map[string]*odcfp.Circuit{}
+	for name, id := range buyers {
+		payload := make([]bool, 10)
+		for i := range payload {
+			payload[i] = id>>uint(i)&1 == 1
+		}
+		// Encode payload over the free locations.
+		coded, err := code.Encode(payload, len(free))
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Die programming: watermark links + coded links intact.
+		bits := make([]bool, master.NumFuses())
+		for li := range bits {
+			if wmLoc[li] && wm.Assignment[li][0] == 0 {
+				bits[li] = true // watermark uses this location's canonical mod
+			}
+		}
+		for i, b := range coded {
+			bits[free[i]] = b
+		}
+		die, err := master.NewDie()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := die.Program(bits); err != nil {
+			log.Fatal(err)
+		}
+		nl, err := die.Netlist()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := odcfp.Equivalent(a.Circuit, nl); err != nil {
+			log.Fatalf("die for %s not equivalent: %v", name, err)
+		}
+		m, err := die.Metrics()
+		if err != nil {
+			log.Fatal(err)
+		}
+		dies[name] = nl
+		fmt.Printf("  programmed die for %-10s (ID 0x%03X): delay %+5.2f%% vs bare design\n",
+			name, id, 100*(m.Delay-base.Delay)/base.Delay)
+	}
+
+	// --- step 3: a die leaks; adversary strips two modifications --------
+	leak := dies["quarklabs"].Clone()
+	stripped := stripSomeMods(a, leak, 2)
+	fmt.Printf("\na leaked die surfaces with %d modifications stripped by the adversary\n", stripped)
+
+	ev, err := odcfp.VerifyWatermark(a, wmParams, leak)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("authorship: watermark matches %d/%d keyed slots (%.1f bits of evidence)\n",
+		ev.Matched, ev.Total, ev.MatchedBits)
+
+	// Decode the buyer ID through the repetition code, reading only the
+	// free locations.
+	trits, err := observeFree(a, leak, free)
+	if err != nil {
+		log.Fatal(err)
+	}
+	payload, err := code.Decode(trits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var got uint16
+	for i := 0; i < 10; i++ {
+		if payload[i] {
+			got |= 1 << uint(i)
+		}
+	}
+	fmt.Printf("decoded buyer ID: 0x%03X", got)
+	for name, id := range buyers {
+		if id == got {
+			fmt.Printf(" → %s identified despite the tampering\n", name)
+		}
+	}
+}
+
+// stripSomeMods undoes up to n canonical modifications present in the copy
+// (the adversary's visible-wire removal).
+func stripSomeMods(a *odcfp.Analysis, cp *odcfp.Circuit, n int) int {
+	stripped := 0
+	for li := 0; li < len(a.Locations) && stripped < n; li++ {
+		loc := &a.Locations[li]
+		tgt := &loc.Targets[0]
+		gname := a.Circuit.Nodes[tgt.Gate].Name
+		gid, ok := cp.Lookup(gname)
+		if !ok {
+			continue
+		}
+		orig := &a.Circuit.Nodes[tgt.Gate]
+		if len(cp.Nodes[gid].Fanin) <= len(orig.Fanin) {
+			continue // unmodified here
+		}
+		// Remove the extra pin.
+		origSet := map[string]bool{}
+		for _, f := range orig.Fanin {
+			origSet[a.Circuit.Nodes[f].Name] = true
+		}
+		for _, f := range cp.Nodes[gid].Fanin {
+			if !origSet[cp.Nodes[f].Name] {
+				if err := cp.RemoveFanin(gid, f); err == nil {
+					stripped++
+				}
+				break
+			}
+		}
+	}
+	return stripped
+}
+
+// observeFree reads the channel symbols of the free (non-watermark)
+// locations.
+func observeFree(a *odcfp.Analysis, cp *odcfp.Circuit, free []int) ([]odcfp.Trit, error) {
+	all, err := odcfp.ObserveTrits(a, cp)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]odcfp.Trit, len(free))
+	for i, li := range free {
+		out[i] = all[li]
+	}
+	return out, nil
+}

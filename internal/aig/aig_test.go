@@ -1,0 +1,264 @@
+package aig
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/logic"
+	"repro/internal/sim"
+)
+
+func TestIdentities(t *testing.T) {
+	g := New("id")
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	if g.And(a, False) != False || g.And(False, b) != False {
+		t.Error("x∧0 ≠ 0")
+	}
+	if g.And(a, True) != a || g.And(True, b) != b {
+		t.Error("x∧1 ≠ x")
+	}
+	if g.And(a, a) != a {
+		t.Error("x∧x ≠ x")
+	}
+	if g.And(a, a.Not()) != False {
+		t.Error("x∧x' ≠ 0")
+	}
+	if g.NumAnds() != 0 {
+		t.Errorf("identities created %d AND nodes", g.NumAnds())
+	}
+	// Structural hashing: same operands, one node; order-insensitive.
+	x := g.And(a, b)
+	y := g.And(b, a)
+	if x != y {
+		t.Error("strash missed commuted AND")
+	}
+	if g.NumAnds() != 1 {
+		t.Errorf("NumAnds = %d, want 1", g.NumAnds())
+	}
+	if True.Not() != False || False.Not() != True {
+		t.Error("constant complement")
+	}
+}
+
+func TestXorTruth(t *testing.T) {
+	g := New("x")
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	g.AddPO("y", g.Xor(a, b))
+	c, err := g.ToCircuit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{false, true, true, false}
+	for m := 0; m < 4; m++ {
+		out, err := sim.EvalOne(c, []bool{m&1 == 1, m&2 == 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != want[m] {
+			t.Errorf("xor(%d) = %v", m, out[0])
+		}
+	}
+}
+
+// randomMapped builds a random mapped circuit for round-trip properties.
+func randomMapped(rng *rand.Rand, nPI, nGates int) *circuit.Circuit {
+	c := circuit.New("r")
+	ids := make([]circuit.NodeID, 0, nPI+nGates)
+	for i := 0; i < nPI; i++ {
+		id, _ := c.AddPI("p" + string(rune('a'+i)))
+		ids = append(ids, id)
+	}
+	kinds := []logic.Kind{logic.And, logic.Or, logic.Nand, logic.Nor, logic.Xor, logic.Xnor, logic.Inv, logic.Buf}
+	for g := 0; g < nGates; g++ {
+		k := kinds[rng.Intn(len(kinds))]
+		n := k.MinFanin()
+		if (k == logic.And || k == logic.Or || k == logic.Nand || k == logic.Nor) && rng.Intn(3) == 0 {
+			n += rng.Intn(2)
+		}
+		fanin := make([]circuit.NodeID, 0, n)
+		seen := map[circuit.NodeID]bool{}
+		for len(fanin) < n {
+			f := ids[rng.Intn(len(ids))]
+			if seen[f] {
+				continue
+			}
+			seen[f] = true
+			fanin = append(fanin, f)
+		}
+		id, err := c.AddGate(c.FreshName("g"), k, fanin...)
+		if err != nil {
+			panic(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := c.AddPO("out", ids[len(ids)-1]); err != nil {
+		panic(err)
+	}
+	if err := c.AddPO("out2", ids[len(ids)/2]); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// TestRoundTripEquivalence: Circuit → AIG → Circuit preserves function.
+func TestRoundTripEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomMapped(rng, 4+rng.Intn(3), 8+rng.Intn(20))
+		g, err := FromCircuit(c)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		back, err := g.ToCircuit()
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		eq, mm, err := sim.EquivalentExhaustive(c, back)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if !eq {
+			t.Logf("seed %d: round trip differs: %v", seed, mm)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBalancePreservesFunctionAndDepth: balance keeps functions and never
+// increases AIG depth.
+func TestBalancePreservesFunctionAndDepth(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomMapped(rng, 4+rng.Intn(3), 8+rng.Intn(20))
+		g, err := FromCircuit(c)
+		if err != nil {
+			return false
+		}
+		bal := g.Balance()
+		if bal.Levels() > g.Levels() {
+			t.Logf("seed %d: balance deepened %d → %d", seed, g.Levels(), bal.Levels())
+			return false
+		}
+		c1, err := g.ToCircuit()
+		if err != nil {
+			return false
+		}
+		c2, err := bal.ToCircuit()
+		if err != nil {
+			return false
+		}
+		eq, mm, err := sim.EquivalentExhaustive(c1, c2)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if !eq {
+			t.Logf("seed %d: balance changed function: %v", seed, mm)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBalanceFlattensChain(t *testing.T) {
+	// A linear AND chain over 8 inputs has depth 7; balanced: 3.
+	g := New("chain")
+	acc := g.AddPI("p0")
+	for i := 1; i < 8; i++ {
+		acc = g.And(acc, g.AddPI("p"+string(rune('0'+i))))
+	}
+	g.AddPO("y", acc)
+	if g.Levels() != 7 {
+		t.Fatalf("chain depth %d, want 7", g.Levels())
+	}
+	bal := g.Balance()
+	if bal.Levels() != 3 {
+		t.Errorf("balanced depth %d, want 3", bal.Levels())
+	}
+	c1, _ := g.ToCircuit()
+	c2, _ := bal.ToCircuit()
+	eq, _, err := sim.EquivalentExhaustive(c1, c2)
+	if err != nil || !eq {
+		t.Fatal("balance broke the chain function")
+	}
+}
+
+func TestStrashSharing(t *testing.T) {
+	// Two structurally identical cones must share all nodes.
+	g := New("s")
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	cpi := g.AddPI("c")
+	x1 := g.And(g.And(a, b), cpi)
+	x2 := g.And(g.And(b, a), cpi)
+	if x1 != x2 {
+		t.Error("identical cones not shared")
+	}
+	if g.NumAnds() != 2 {
+		t.Errorf("NumAnds = %d, want 2", g.NumAnds())
+	}
+}
+
+func TestFromCircuitBench(t *testing.T) {
+	// A real benchmark survives the round trip (random-sim check: too many
+	// PIs for exhaustive).
+	spec, err := bench.ByName("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := spec.Build()
+	g, err := FromCircuit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := g.ToCircuit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, mm, err := sim.EquivalentRandom(c, back, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatalf("c432 AIG round trip differs: %v", mm)
+	}
+	if g.NumAnds() == 0 || g.Levels() == 0 {
+		t.Error("degenerate AIG")
+	}
+	t.Logf("c432: %d gates → %d AIG ands, depth %d → %d (balanced %d)",
+		c.NumGates(), g.NumAnds(), c.Stats().Depth, g.Levels(), g.Balance().Levels())
+}
+
+func TestConstantPO(t *testing.T) {
+	g := New("k")
+	a := g.AddPI("a")
+	g.AddPO("zero", g.And(a, a.Not()))
+	g.AddPO("one", True)
+	g.AddPO("pass", a)
+	c, err := g.ToCircuit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sim.EvalOne(c, []bool{true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != false || out[1] != true || out[2] != true {
+		t.Errorf("constant POs = %v", out)
+	}
+}

@@ -1,0 +1,297 @@
+// Package attack models the adversary of the paper's security analysis
+// (§III-E) and the designer-side tracing that defeats it.
+//
+// Single-copy attacker: owns one fingerprinted instance and no reference;
+// package tests show re-running the location analysis on a fingerprinted
+// copy yields a self-consistent location set that does not reveal which
+// sites carry bits.
+//
+// Collusion attacker: owns k differently fingerprinted instances, diffs
+// their layouts gate by gate, and rewires every differing site to a common
+// configuration, hoping to erase the fingerprints. Collude implements this
+// attack; Tracer implements the designer's response — any buyer whose
+// fingerprint matches the forged copy on all *untouched* slots is
+// implicated, and because colluders agree (by construction) on every slot
+// they did not detect, all of them always remain implicated ("as long as
+// the collusion attacker does not remove all the fingerprint information,
+// all the copies that are involved in the collusion can be traced").
+package attack
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/logic"
+)
+
+// CollusionResult reports a collusion attack's outcome.
+type CollusionResult struct {
+	// Forged is the attacker's merged instance.
+	Forged *circuit.Circuit
+	// DetectedGates are names of gates that differed across the copies —
+	// the fingerprint sites the attacker found.
+	DetectedGates []string
+	// SurvivingSlots counts modification slots the attacker did not detect.
+	SurvivingSlots int
+}
+
+// gateSignature canonically describes one gate for structural diffing:
+// kind plus sorted fanin descriptors. An inverter fanin is described as
+// "!<its input>", which makes signatures independent of the (per-copy)
+// names of fingerprint helper inverters — an attacker comparing layouts
+// sees through a single inverter as easily as we do.
+func gateSignature(c *circuit.Circuit, id circuit.NodeID) string {
+	nd := &c.Nodes[id]
+	if nd.IsPI {
+		return "PI"
+	}
+	names := make([]string, 0, len(nd.Fanin))
+	for _, f := range nd.Fanin {
+		fn := &c.Nodes[f]
+		if !fn.IsPI && fn.Kind == logic.Inv {
+			names = append(names, "!"+c.Nodes[fn.Fanin[0]].Name)
+		} else {
+			names = append(names, fn.Name)
+		}
+	}
+	sort.Strings(names)
+	sig := nd.Kind.String()
+	for _, n := range names {
+		sig += "," + n
+	}
+	return sig
+}
+
+// Collude merges k fingerprinted copies: every gate (by name) whose
+// signature differs across copies is replaced in the forged instance by its
+// configuration with the fewest input pins — the attacker's best guess at
+// the unfingerprinted form, since the paper's modifications only ever add
+// pins. Copies must share the full name space of copy 0 (they are instances
+// of the same layout, per the attack model).
+func Collude(copies []*circuit.Circuit) (*CollusionResult, error) {
+	if len(copies) < 2 {
+		return nil, fmt.Errorf("attack: collusion needs at least 2 copies, got %d", len(copies))
+	}
+	base := copies[0]
+	res := &CollusionResult{}
+	detected := map[string]bool{}
+	foreign := 0
+	for i := range base.Nodes {
+		name := base.Nodes[i].Name
+		sig0 := gateSignature(base, circuit.NodeID(i))
+		for _, other := range copies[1:] {
+			id, ok := other.Lookup(name)
+			if !ok {
+				// Gates present in only some copies are the helper
+				// inverters of fingerprint modifications; their consumers'
+				// signatures already reveal the difference, so they need
+				// no separate record. A copy missing a large share of the
+				// layout is not an instance of the same design at all.
+				foreign++
+				break
+			}
+			if gateSignature(other, id) != sig0 {
+				detected[name] = true
+				break
+			}
+		}
+	}
+	if foreign > len(base.Nodes)/2 {
+		return nil, fmt.Errorf("attack: copies share under half of the layout; not instances of one design")
+	}
+	// Build the forged instance: start from the copy with the fewest pins
+	// per detected gate.
+	forged := base.Clone()
+	for name := range detected {
+		bestCopy := base
+		bestID := base.MustLookup(name)
+		bestPins := len(base.Nodes[bestID].Fanin)
+		for _, other := range copies[1:] {
+			id := other.MustLookup(name)
+			if n := len(other.Nodes[id].Fanin); n < bestPins {
+				bestCopy, bestID, bestPins = other, id, n
+			}
+		}
+		if err := transplantGate(forged, bestCopy, name, bestID); err != nil {
+			return nil, err
+		}
+		res.DetectedGates = append(res.DetectedGates, name)
+	}
+	sort.Strings(res.DetectedGates)
+	swept, _ := forged.Sweep()
+	if err := swept.Validate(); err != nil {
+		return nil, fmt.Errorf("attack: forged netlist invalid: %w", err)
+	}
+	res.Forged = swept
+	return res, nil
+}
+
+// transplantGate rewrites gate `name` in dst to match its form in src
+// (kind and fanin, resolved by signal name). Helper inverters present in
+// src but not in dst are recreated.
+func transplantGate(dst, src *circuit.Circuit, name string, srcID circuit.NodeID) error {
+	dstID := dst.MustLookup(name)
+	srcGate := &src.Nodes[srcID]
+	// Detach all current pins of the target... circuit has no pin-clearing
+	// primitive, so rebuild via a staged approach: first compute desired
+	// fanin as dst node IDs.
+	want := make([]circuit.NodeID, 0, len(srcGate.Fanin))
+	for _, f := range srcGate.Fanin {
+		fn := &src.Nodes[f]
+		id, ok := dst.Lookup(fn.Name)
+		if !ok {
+			// Helper inverter private to src: recreate over its source.
+			if !fn.IsPI && len(fn.Fanin) == 1 {
+				inner, ok2 := dst.Lookup(src.Nodes[fn.Fanin[0]].Name)
+				if !ok2 {
+					return fmt.Errorf("attack: cannot resolve signal %q while forging %q", fn.Name, name)
+				}
+				nid, err := dst.AddGate(dst.FreshName(fn.Name), fn.Kind, inner)
+				if err != nil {
+					return err
+				}
+				id = nid
+			} else {
+				return fmt.Errorf("attack: cannot resolve signal %q while forging %q", fn.Name, name)
+			}
+		}
+		want = append(want, id)
+	}
+	return dst.RewireGate(dstID, srcGate.Kind, want)
+}
+
+// Tracer is the IP designer's registry of issued fingerprints.
+type Tracer struct {
+	Analysis *core.Analysis
+	buyers   []Buyer
+}
+
+// Buyer associates a name with the assignment embedded in their instance.
+type Buyer struct {
+	Name       string
+	Assignment core.Assignment
+}
+
+// NewTracer creates a tracer over the analysed original design.
+func NewTracer(a *core.Analysis) *Tracer { return &Tracer{Analysis: a} }
+
+// Register records a buyer's fingerprint.
+func (t *Tracer) Register(name string, asg core.Assignment) {
+	t.buyers = append(t.buyers, Buyer{Name: name, Assignment: asg})
+}
+
+// Buyers returns the registered buyers.
+func (t *Tracer) Buyers() []Buyer { return t.buyers }
+
+// Score is one buyer's agreement with a suspect instance, split into the
+// evidence classes that matter under the marking assumption.
+type Score struct {
+	Name string
+	// AgreePresent/TotalPresent count only the slots where the suspect
+	// carries a surviving modification. A collusion attacker can strip or
+	// rewrite modifications only at sites where the coalition's copies
+	// differ — a surviving modification is therefore one the whole
+	// coalition shares, so every colluder scores 1.0 here while an
+	// innocent buyer matches each slot only by chance. A reset slot is
+	// deliberately uninformative: the attacker's "remove the wire"
+	// masquerades as a legitimate 0-bit.
+	AgreePresent, TotalPresent int
+	// AgreeAll/TotalAll count every untampered slot (modified or not);
+	// this is the exact-match evidence used for unattacked copies.
+	AgreeAll, TotalAll int
+}
+
+// Fraction is the marking-assumption score AgreePresent/TotalPresent
+// (1.0 when no modification survived — an empty suspect implicates nobody
+// and everybody; callers should check TotalPresent).
+func (s Score) Fraction() float64 {
+	if s.TotalPresent == 0 {
+		return 1
+	}
+	return float64(s.AgreePresent) / float64(s.TotalPresent)
+}
+
+// FractionAll is AgreeAll/TotalAll, the agreement over every untampered slot.
+func (s Score) FractionAll() float64 {
+	if s.TotalAll == 0 {
+		return 1
+	}
+	return float64(s.AgreeAll) / float64(s.TotalAll)
+}
+
+// TraceScores extracts whatever fingerprint survives in the suspect and
+// scores every registered buyer. Tampered slots are excluded entirely.
+func (t *Tracer) TraceScores(suspect *circuit.Circuit) ([]Score, error) {
+	got, _, err := core.ExtractTolerant(t.Analysis, suspect)
+	if err != nil {
+		return nil, err
+	}
+	scores := make([]Score, 0, len(t.buyers))
+	for _, b := range t.buyers {
+		s := Score{Name: b.Name}
+		for i := range got {
+			for j := range got[i] {
+				obs := got[i][j]
+				if obs == core.Tampered {
+					continue
+				}
+				s.TotalAll++
+				match := obs == b.Assignment[i][j]
+				if match {
+					s.AgreeAll++
+				}
+				if obs >= 0 {
+					s.TotalPresent++
+					if match {
+						s.AgreePresent++
+					}
+				}
+			}
+		}
+		scores = append(scores, s)
+	}
+	sort.SliceStable(scores, func(i, j int) bool {
+		if scores[i].Fraction() != scores[j].Fraction() {
+			return scores[i].Fraction() > scores[j].Fraction()
+		}
+		return scores[i].FractionAll() > scores[j].FractionAll()
+	})
+	return scores, nil
+}
+
+// Accuse returns the buyers whose marking-assumption score is at least
+// `threshold` (e.g. 0.95). Colluders sit at exactly 1.0 — the coalition
+// cannot touch the modifications its members share — while innocent buyers
+// match each surviving modification only by chance.
+func (t *Tracer) Accuse(suspect *circuit.Circuit, threshold float64) ([]string, error) {
+	scores, err := t.TraceScores(suspect)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, s := range scores {
+		if s.TotalPresent > 0 && s.Fraction() >= threshold {
+			names = append(names, s.Name)
+		}
+	}
+	return names, nil
+}
+
+// TraceExact returns buyers perfectly consistent with the suspect on every
+// untampered slot. For an unattacked (single-buyer piracy) copy this
+// pinpoints the source exactly.
+func (t *Tracer) TraceExact(suspect *circuit.Circuit) ([]string, error) {
+	scores, err := t.TraceScores(suspect)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, s := range scores {
+		if s.AgreeAll == s.TotalAll {
+			names = append(names, s.Name)
+		}
+	}
+	return names, nil
+}

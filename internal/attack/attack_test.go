@@ -1,0 +1,271 @@
+package attack
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/sim"
+)
+
+// testDesign builds a random mapped circuit with a healthy number of
+// fingerprint locations and returns its analysis.
+func testDesign(t testing.TB, seed int64, nGates int) *core.Analysis {
+	rng := rand.New(rand.NewSource(seed))
+	c := circuit.New("ip")
+	ids := make([]circuit.NodeID, 0, nGates+8)
+	for i := 0; i < 8; i++ {
+		id, _ := c.AddPI("pi" + string(rune('a'+i)))
+		ids = append(ids, id)
+	}
+	kinds := []logic.Kind{logic.And, logic.Or, logic.Nand, logic.Nor, logic.Inv}
+	for g := 0; g < nGates; g++ {
+		k := kinds[rng.Intn(len(kinds))]
+		n := k.MinFanin()
+		fanin := make([]circuit.NodeID, 0, n)
+		seen := map[circuit.NodeID]bool{}
+		for len(fanin) < n {
+			idx := len(ids) - 1 - rng.Intn(minInt(len(ids), 6))
+			f := ids[idx]
+			if seen[f] {
+				idx = rng.Intn(len(ids))
+				f = ids[idx]
+				if seen[f] {
+					continue
+				}
+			}
+			seen[f] = true
+			fanin = append(fanin, f)
+		}
+		id, err := c.AddGate(c.FreshName("g"), k, fanin...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := c.AddPO("o1", ids[len(ids)-1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddPO("o2", ids[len(ids)-4]); err != nil {
+		t.Fatal(err)
+	}
+	sw, _ := c.Sweep()
+	a, err := core.Analyze(sw, core.DefaultOptions(cell.Default()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// issueCopies creates n buyers with random binary fingerprints, registers
+// them, and returns their instances.
+func issueCopies(t testing.TB, a *core.Analysis, tr *Tracer, n int, seed int64) []*circuit.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*circuit.Circuit, n)
+	for i := 0; i < n; i++ {
+		bits := make([]bool, a.BitCapacity())
+		for j := range bits {
+			bits[j] = rng.Intn(2) == 1
+		}
+		asg, err := a.AssignmentFromBits(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp, err := core.Embed(a, asg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := "buyer" + string(rune('A'+i))
+		tr.Register(name, asg)
+		out[i] = cp
+	}
+	return out
+}
+
+func TestSingleCopyPiracyTracedExactly(t *testing.T) {
+	a := testDesign(t, 1, 120)
+	if a.BitCapacity() < 8 {
+		t.Skip("too few locations")
+	}
+	tr := NewTracer(a)
+	copies := issueCopies(t, a, tr, 6, 99)
+	// A pirate clones buyer C's instance verbatim.
+	pirated := copies[2].Clone()
+	names, err := tr.TraceExact(pirated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "buyerC" {
+		t.Fatalf("TraceExact = %v, want [buyerC]", names)
+	}
+}
+
+func TestCollusionDetectsDifferingSites(t *testing.T) {
+	a := testDesign(t, 2, 120)
+	if a.BitCapacity() < 10 {
+		t.Skip("too few locations")
+	}
+	tr := NewTracer(a)
+	copies := issueCopies(t, a, tr, 4, 7)
+	res, err := Collude(copies[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DetectedGates) == 0 {
+		t.Fatal("random distinct fingerprints should differ somewhere")
+	}
+	// The forged instance must still compute the original function
+	// (attackers wanting a working chip only apply function-preserving
+	// merges).
+	eq, mm, err := sim.EquivalentExhaustive(a.Circuit, res.Forged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatalf("forged instance broke the function: %v", mm)
+	}
+}
+
+func TestCollusionTracing(t *testing.T) {
+	a := testDesign(t, 3, 200)
+	if a.BitCapacity() < 20 {
+		t.Skip("need ≥20 locations for reliable score separation")
+	}
+	tr := NewTracer(a)
+	copies := issueCopies(t, a, tr, 8, 13)
+	colluders := copies[:3]
+	res, err := Collude(colluders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := tr.TraceScores(res.Forged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 8 {
+		t.Fatalf("scores for %d buyers", len(scores))
+	}
+	byName := map[string]Score{}
+	for _, s := range scores {
+		byName[s.Name] = s
+	}
+	// Marking assumption: every colluder matches every surviving
+	// modification exactly (the coalition cannot detect sites where it is
+	// unanimous), so colluder scores are exactly 1.0.
+	for _, n := range []string{"buyerA", "buyerB", "buyerC"} {
+		s := byName[n]
+		if s.TotalPresent == 0 {
+			t.Fatalf("%s: no surviving modifications to score against", n)
+		}
+		if s.Fraction() != 1.0 {
+			t.Errorf("colluder %s score %.3f, want exactly 1.0 (%d/%d)", n, s.Fraction(), s.AgreePresent, s.TotalPresent)
+		}
+	}
+	// Innocent buyers with random fingerprints miss some surviving
+	// modification with overwhelming probability at ≥20 locations.
+	bestInnocent := 0.0
+	for _, n := range []string{"buyerD", "buyerE", "buyerF", "buyerG", "buyerH"} {
+		if f := byName[n].Fraction(); f > bestInnocent {
+			bestInnocent = f
+		}
+	}
+	if bestInnocent >= 1.0 {
+		t.Errorf("an innocent buyer scored 1.0; separation failed")
+	}
+	// Accusation at a threshold of 1.0 implicates exactly the colluders.
+	accused, err := tr.Accuse(res.Forged, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"buyerA": true, "buyerB": true, "buyerC": true}
+	if len(accused) != 3 {
+		t.Fatalf("accused = %v", accused)
+	}
+	for _, n := range accused {
+		if !want[n] {
+			t.Errorf("innocent %s accused", n)
+		}
+	}
+}
+
+func TestColludeNeedsTwo(t *testing.T) {
+	a := testDesign(t, 4, 60)
+	tr := NewTracer(a)
+	copies := issueCopies(t, a, tr, 1, 5)
+	if _, err := Collude(copies); err == nil {
+		t.Error("single-copy collusion accepted")
+	}
+}
+
+func TestColludeMismatchedLayouts(t *testing.T) {
+	a := testDesign(t, 5, 60)
+	tr := NewTracer(a)
+	copies := issueCopies(t, a, tr, 2, 5)
+	other := circuit.New("other")
+	p, _ := other.AddPI("zz")
+	g, _ := other.AddGate("g", logic.Inv, p)
+	if err := other.AddPO("o", g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Collude([]*circuit.Circuit{copies[0], other}); err == nil {
+		t.Error("foreign layout accepted")
+	}
+}
+
+// TestSingleCopyStealth: the paper's §III-E claim — a single fingerprinted
+// copy looks self-consistent; re-running location analysis on it does not
+// expose which sites carry fingerprint bits. We verify that the location
+// analysis of a fingerprinted instance differs from the original's (the
+// embedded trigger wire destroys/changes the original location), so an
+// attacker without the reference design cannot simply recompute locations
+// and strip them.
+func TestSingleCopyStealth(t *testing.T) {
+	a := testDesign(t, 6, 150)
+	if a.BitCapacity() < 10 {
+		t.Skip("too few locations")
+	}
+	bits := make([]bool, a.BitCapacity())
+	for i := range bits {
+		bits[i] = true
+	}
+	asg, err := a.AssignmentFromBits(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := core.Embed(a, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := core.Analyze(cp, core.DefaultOptions(cell.Default()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The attacker sees a location set; count how many of the original
+	// modified target gates are even offered as targets in the copy's own
+	// analysis with the same canonical variant. Full overlap would mean the
+	// fingerprint sites are trivially re-identifiable.
+	modified := map[string]bool{}
+	for i := range a.Locations {
+		modified[a.Circuit.Nodes[a.Locations[i].Targets[0].Gate].Name] = true
+	}
+	recovered := 0
+	for i := range a2.Locations {
+		name := cp.Nodes[a2.Locations[i].Targets[0].Gate].Name
+		if modified[name] {
+			recovered++
+		}
+	}
+	if recovered == len(modified) {
+		t.Errorf("all %d fingerprinted gates re-identified as canonical targets; stealth property violated", recovered)
+	}
+}

@@ -1,0 +1,278 @@
+// Package bench generates the benchmark suite of the paper's evaluation
+// (Table II): synthetic, structurally faithful stand-ins for the MCNC and
+// ISCAS'85 circuits, built from scratch because the original netlists are
+// not distributable here. Every generator is deterministic and produces a
+// swept, validated netlist mapped onto the default cell library's gate
+// vocabulary (fanin ≤ 4, XOR/XNOR only 2-input).
+//
+// See DESIGN.md §2 for the substitution argument: fingerprint capacity and
+// overheads depend on gate-kind mix, fanout distribution and depth, which
+// these generators reproduce class-by-class (arithmetic arrays, ECC
+// xor/and logic, ALUs, two-level PLA logic, DES-style S-box logic and
+// random mapped control logic), not on the exact Boolean functions.
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+	"repro/internal/techmap"
+)
+
+// builder wraps a circuit with panic-on-error helpers; generators are
+// static, so construction errors are programming bugs.
+type builder struct {
+	c *circuit.Circuit
+	n int
+}
+
+func newBuilder(name string) *builder { return &builder{c: circuit.New(name)} }
+
+func (b *builder) pi(name string) circuit.NodeID {
+	id, err := b.c.AddPI(name)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+func (b *builder) gate(kind logic.Kind, fanin ...circuit.NodeID) circuit.NodeID {
+	b.n++
+	id, err := b.c.AddGate(fmt.Sprintf("n%d", b.n), kind, fanin...)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+func (b *builder) named(name string, kind logic.Kind, fanin ...circuit.NodeID) circuit.NodeID {
+	id, err := b.c.AddGate(name, kind, fanin...)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+func (b *builder) po(name string, driver circuit.NodeID) {
+	if err := b.c.AddPO(name, driver); err != nil {
+		panic(err)
+	}
+}
+
+// reduce builds a fanin-bounded tree of kind over ins.
+func (b *builder) reduce(kind logic.Kind, ins ...circuit.NodeID) circuit.NodeID {
+	if len(ins) == 1 {
+		return ins[0]
+	}
+	if kind == logic.Xor || kind == logic.Xnor {
+		// XOR cells are 2-input; chain in a balanced tree.
+		level := ins
+		for len(level) > 1 {
+			var next []circuit.NodeID
+			for i := 0; i+1 < len(level); i += 2 {
+				next = append(next, b.gate(logic.Xor, level[i], level[i+1]))
+			}
+			if len(level)%2 == 1 {
+				next = append(next, level[len(level)-1])
+			}
+			level = next
+		}
+		if kind == logic.Xnor {
+			return b.gate(logic.Inv, level[0])
+		}
+		return level[0]
+	}
+	b.n++
+	id, err := techmap.Reduce(b.c, fmt.Sprintf("n%d", b.n), kind, ins...)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+func (b *builder) finish() *circuit.Circuit {
+	swept, _ := b.c.Sweep()
+	if err := swept.Validate(); err != nil {
+		panic(fmt.Sprintf("bench %s: %v", b.c.Name, err))
+	}
+	return swept
+}
+
+// halfAdder returns (sum, carry).
+func (b *builder) halfAdder(x, y circuit.NodeID) (circuit.NodeID, circuit.NodeID) {
+	return b.gate(logic.Xor, x, y), b.gate(logic.And, x, y)
+}
+
+// fullAdder returns (sum, carry).
+func (b *builder) fullAdder(x, y, cin circuit.NodeID) (circuit.NodeID, circuit.NodeID) {
+	t := b.gate(logic.Xor, x, y)
+	sum := b.gate(logic.Xor, t, cin)
+	c1 := b.gate(logic.And, x, y)
+	c2 := b.gate(logic.And, t, cin)
+	return sum, b.gate(logic.Or, c1, c2)
+}
+
+// RippleAdder builds an n-bit ripple-carry adder (2n+1 PIs, n+1 POs). Used
+// by the examples and as a small, well-understood test workload.
+func RippleAdder(n int) *circuit.Circuit {
+	b := newBuilder(fmt.Sprintf("adder%d", n))
+	as := make([]circuit.NodeID, n)
+	bs := make([]circuit.NodeID, n)
+	for i := 0; i < n; i++ {
+		as[i] = b.pi(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		bs[i] = b.pi(fmt.Sprintf("b%d", i))
+	}
+	carry := b.pi("cin")
+	for i := 0; i < n; i++ {
+		var sum circuit.NodeID
+		sum, carry = b.fullAdder(as[i], bs[i], carry)
+		b.po(fmt.Sprintf("s%d", i), sum)
+	}
+	b.po("cout", carry)
+	return b.finish()
+}
+
+// Multiplier builds an n×n array multiplier — the structural stand-in for
+// ISCAS'85 c6288 (a 16×16 array multiplier) at n = 16. 2n PIs, 2n POs.
+func Multiplier(n int) *circuit.Circuit {
+	b := newBuilder(fmt.Sprintf("mult%d", n))
+	as := make([]circuit.NodeID, n)
+	bs := make([]circuit.NodeID, n)
+	for i := 0; i < n; i++ {
+		as[i] = b.pi(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		bs[i] = b.pi(fmt.Sprintf("b%d", i))
+	}
+	// Partial products.
+	pp := make([][]circuit.NodeID, n)
+	for i := range pp {
+		pp[i] = make([]circuit.NodeID, n)
+		for j := range pp[i] {
+			pp[i][j] = b.gate(logic.And, as[j], bs[i])
+		}
+	}
+	// Row-by-row carry-save reduction.
+	// acc holds the running sum bits for positions i..i+n-1 after row i.
+	acc := append([]circuit.NodeID(nil), pp[0]...)
+	outs := make([]circuit.NodeID, 0, 2*n)
+	outs = append(outs, acc[0])
+	rest := acc[1:]
+	for i := 1; i < n; i++ {
+		row := pp[i]
+		next := make([]circuit.NodeID, 0, n)
+		carry := circuit.None
+		for j := 0; j < n; j++ {
+			a := circuit.None
+			if j < len(rest) {
+				a = rest[j]
+			}
+			switch {
+			case a == circuit.None && carry == circuit.None:
+				next = append(next, row[j])
+			case carry == circuit.None:
+				s, co := b.halfAdder(a, row[j])
+				next = append(next, s)
+				carry = co
+			case a == circuit.None:
+				s, co := b.halfAdder(carry, row[j])
+				next = append(next, s)
+				carry = co
+			default:
+				s, co := b.fullAdder(a, row[j], carry)
+				next = append(next, s)
+				carry = co
+			}
+		}
+		if carry != circuit.None {
+			next = append(next, carry)
+		}
+		outs = append(outs, next[0])
+		rest = next[1:]
+	}
+	outs = append(outs, rest...)
+	for i, o := range outs {
+		b.po(fmt.Sprintf("p%d", i), o)
+	}
+	return b.finish()
+}
+
+// ALUOptions sizes the ALU generator.
+type ALUOptions struct {
+	Width     int // datapath bits
+	Banks     int // independent function banks (adds gates and PIs)
+	WithShift bool
+	WithZero  bool // zero/overflow flag outputs
+}
+
+// ALU builds a multi-function ALU slice: add/sub, AND, OR, XOR selected by
+// two control bits per bank, optional shifter and flags. Stand-in for
+// c880 (Width 8, 2 banks), c3540 (Width 8, 4 banks + shift + flags) and
+// dalu (Width 9, 4 banks).
+func ALU(name string, o ALUOptions) *circuit.Circuit {
+	b := newBuilder(name)
+	for bank := 0; bank < o.Banks; bank++ {
+		p := fmt.Sprintf("k%d_", bank)
+		as := make([]circuit.NodeID, o.Width)
+		bs := make([]circuit.NodeID, o.Width)
+		for i := 0; i < o.Width; i++ {
+			as[i] = b.pi(fmt.Sprintf("%sa%d", p, i))
+		}
+		for i := 0; i < o.Width; i++ {
+			bs[i] = b.pi(fmt.Sprintf("%sb%d", p, i))
+		}
+		cin := b.pi(p + "cin")
+		s0 := b.pi(p + "s0")
+		s1 := b.pi(p + "s1")
+		sub := b.pi(p + "sub")
+		n0 := b.gate(logic.Inv, s0)
+		n1 := b.gate(logic.Inv, s1)
+		selAdd := b.gate(logic.And, n1, n0)
+		selAnd := b.gate(logic.And, n1, s0)
+		selOr := b.gate(logic.And, s1, n0)
+		selXor := b.gate(logic.And, s1, s0)
+
+		carry := cin
+		var sums []circuit.NodeID
+		for i := 0; i < o.Width; i++ {
+			// b XOR sub implements subtraction.
+			bx := b.gate(logic.Xor, bs[i], sub)
+			var sum circuit.NodeID
+			sum, carry = b.fullAdder(as[i], bx, carry)
+			sums = append(sums, sum)
+			andv := b.gate(logic.And, as[i], bs[i])
+			orv := b.gate(logic.Or, as[i], bs[i])
+			xorv := b.gate(logic.Xor, as[i], bs[i])
+			m0 := b.gate(logic.And, selAdd, sum)
+			m1 := b.gate(logic.And, selAnd, andv)
+			m2 := b.gate(logic.And, selOr, orv)
+			m3 := b.gate(logic.And, selXor, xorv)
+			out := b.gate(logic.Or, m0, m1, m2, m3)
+			if o.WithShift {
+				// One-position left shift mux on a dedicated control.
+				var below circuit.NodeID
+				if i == 0 {
+					below = cin
+				} else {
+					below = as[i-1]
+				}
+				sh := b.pi(fmt.Sprintf("%ssh%d", p, i))
+				keep := b.gate(logic.Inv, sh)
+				o1 := b.gate(logic.And, keep, out)
+				o2 := b.gate(logic.And, sh, below)
+				out = b.gate(logic.Or, o1, o2)
+			}
+			b.po(fmt.Sprintf("%sy%d", p, i), out)
+		}
+		b.po(p+"cout", carry)
+		if o.WithZero {
+			nz := b.reduce(logic.Or, sums...)
+			b.po(p+"zero", b.gate(logic.Inv, nz))
+			b.po(p+"ovf", b.gate(logic.Xor, carry, sums[o.Width-1]))
+		}
+	}
+	return b.finish()
+}

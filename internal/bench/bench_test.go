@@ -1,0 +1,277 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/circuit"
+	"repro/internal/sim"
+)
+
+func TestRippleAdderCorrect(t *testing.T) {
+	c := RippleAdder(4)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Exhaustive check against integer addition.
+	for a := 0; a < 16; a++ {
+		for bb := 0; bb < 16; bb++ {
+			for cin := 0; cin < 2; cin++ {
+				in := make([]bool, 9)
+				for i := 0; i < 4; i++ {
+					in[i] = a>>uint(i)&1 == 1
+					in[4+i] = bb>>uint(i)&1 == 1
+				}
+				in[8] = cin == 1
+				out, err := sim.EvalOne(c, in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := a + bb + cin
+				got := 0
+				for i := 0; i < 5; i++ {
+					if out[i] {
+						got |= 1 << uint(i)
+					}
+				}
+				if got != want {
+					t.Fatalf("%d+%d+%d = %d, circuit says %d", a, bb, cin, want, got)
+				}
+			}
+		}
+	}
+}
+
+func TestMultiplierCorrect(t *testing.T) {
+	c := Multiplier(4)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 16; a++ {
+		for bb := 0; bb < 16; bb++ {
+			in := make([]bool, 8)
+			for i := 0; i < 4; i++ {
+				in[i] = a>>uint(i)&1 == 1
+				in[4+i] = bb>>uint(i)&1 == 1
+			}
+			out, err := sim.EvalOne(c, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := 0
+			for i := range out {
+				if out[i] {
+					got |= 1 << uint(i)
+				}
+			}
+			if got != a*bb {
+				t.Fatalf("%d×%d = %d, circuit says %d", a, bb, a*bb, got)
+			}
+		}
+	}
+}
+
+func TestECCCorrectsSingleBitErrors(t *testing.T) {
+	// With check bits computed per the same Hamming rule, flipping any
+	// single data bit must be corrected at the outputs.
+	o := ECCOptions{DataBits: 8, CheckBits: 4}
+	c := ECC("ecc8", o)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	data := []bool{true, false, true, true, false, false, true, false}
+	// Compute the check bits the circuit expects (parity of Hamming groups).
+	checks := make([]bool, o.CheckBits)
+	for j := range checks {
+		p := false
+		for i, d := range data {
+			if (i+1)>>uint(j)&1 == 1 && d {
+				p = !p
+			}
+		}
+		checks[j] = p
+	}
+	run := func(d []bool) []bool {
+		in := append(append([]bool{}, d...), checks...)
+		out, err := sim.EvalOne(c, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	clean := run(data)
+	for i := range data {
+		if clean[i] != data[i] {
+			t.Fatalf("clean word corrupted at bit %d", i)
+		}
+	}
+	for flip := range data {
+		corrupted := append([]bool{}, data...)
+		corrupted[flip] = !corrupted[flip]
+		out := run(corrupted)
+		for i := range data {
+			if out[i] != data[i] {
+				t.Fatalf("error at bit %d not corrected (output bit %d wrong)", flip, i)
+			}
+		}
+	}
+}
+
+func TestExpandXorsEquivalent(t *testing.T) {
+	c := ECC("ecc9", ECCOptions{DataBits: 8, CheckBits: 4})
+	e := ExpandXors(c)
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	eq, mm, err := sim.EquivalentExhaustive(c, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatalf("ExpandXors changed function: %v", mm)
+	}
+	if e.NumGates() <= c.NumGates() {
+		t.Error("expansion should add gates")
+	}
+	// No XOR gates remain.
+	st := e.Stats()
+	for kind, n := range st.ByKind {
+		if (kind.String() == "XOR" || kind.String() == "XNOR") && n > 0 {
+			t.Errorf("%d %v gates remain after expansion", n, kind)
+		}
+	}
+}
+
+func TestSuiteBuildsValidMappableCircuits(t *testing.T) {
+	lib := cell.Default()
+	seen := map[string]bool{}
+	for _, spec := range Suite() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			if seen[spec.Name] {
+				t.Fatalf("duplicate suite name %s", spec.Name)
+			}
+			seen[spec.Name] = true
+			c := spec.Build()
+			if err := c.Validate(); err != nil {
+				t.Fatalf("invalid: %v", err)
+			}
+			if ok, bad := cell.Mappable(lib, c); !ok {
+				t.Fatalf("gate %q not mappable", bad)
+			}
+			st := c.Stats()
+			if st.Gates < 50 {
+				t.Errorf("only %d gates; too small to be a useful stand-in", st.Gates)
+			}
+			if st.PIs == 0 || st.POs == 0 {
+				t.Error("missing PIs or POs")
+			}
+			if st.Depth < 3 {
+				t.Errorf("depth %d implausibly shallow", st.Depth)
+			}
+			t.Logf("%s: %d PI, %d PO, %d gates, depth %d", spec.Name, st.PIs, st.POs, st.Gates, st.Depth)
+		})
+	}
+}
+
+func TestSuiteDeterministic(t *testing.T) {
+	for _, spec := range Suite() {
+		a := spec.Build()
+		b := spec.Build()
+		if a.String() != b.String() {
+			t.Errorf("%s: two builds differ", spec.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("des")
+	if err != nil || s.Name != "des" {
+		t.Fatalf("ByName(des): %v", err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+	if len(Names()) != 14 {
+		t.Errorf("suite has %d names, want 14", len(Names()))
+	}
+}
+
+func TestDESAvalanche(t *testing.T) {
+	// Sanity: flipping one input bit of the DES round changes some output
+	// (the S-boxes are not degenerate).
+	c := DES("des_t", 1, 42)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	in := make([]bool, len(c.PIs))
+	for i := range in {
+		in[i] = i%3 == 0
+	}
+	base, err := sim.EvalOne(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in[40] = !in[40] // a right-half bit
+	flipped, err := sim.EvalOne(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range base {
+		if base[i] != flipped[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("flipping an input changed nothing; S-box logic degenerate")
+	}
+}
+
+func TestPriorityControllerGrantsHighest(t *testing.T) {
+	c := PriorityController("pc", 3, 4, 4)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Only channel 1 requests: "any" must be 1. All-zero: any = 0.
+	in := make([]bool, 12)
+	out, err := sim.EvalOne(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyIdx := -1
+	for i, po := range c.POs {
+		if po.Name == "any" {
+			anyIdx = i
+		}
+	}
+	if anyIdx < 0 {
+		t.Fatal("no 'any' output")
+	}
+	if out[anyIdx] {
+		t.Error("any=1 with no requests")
+	}
+	in[5] = true // channel 1, line 1
+	out, err = sim.EvalOne(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out[anyIdx] {
+		t.Error("any=0 with a request")
+	}
+}
+
+func TestRandomLogicShape(t *testing.T) {
+	c := RandomLogic("rl", 20, 10, 200, 5)
+	st := c.Stats()
+	if st.PIs != 20 || st.POs != 10 {
+		t.Errorf("interface %d/%d, want 20/10", st.PIs, st.POs)
+	}
+	if st.Gates < 100 {
+		t.Errorf("gates = %d (sweeping removed too much)", st.Gates)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var _ circuit.Stats = st
+}

@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/blif"
+	"repro/internal/cell"
+	"repro/internal/circuit"
+	"repro/internal/logic"
+	"repro/internal/techmap"
+)
+
+// PriorityController builds an interrupt/priority controller in the style
+// of ISCAS'85 c432: `channels` request buses of `width` lines each are
+// arbitrated by strict priority; outputs are the per-channel grants, the
+// bitwise bus of the winning channel and service flags. channels×width PIs.
+func PriorityController(name string, channels, width, outBus int) *circuit.Circuit {
+	b := newBuilder(name)
+	lines := make([][]circuit.NodeID, channels)
+	for ch := 0; ch < channels; ch++ {
+		lines[ch] = make([]circuit.NodeID, width)
+		for i := 0; i < width; i++ {
+			lines[ch][i] = b.pi(fmt.Sprintf("ch%d_l%d", ch, i))
+		}
+	}
+	// Channel request = OR of its lines; priority chain grants the first
+	// requesting channel.
+	reqs := make([]circuit.NodeID, channels)
+	for ch := 0; ch < channels; ch++ {
+		reqs[ch] = b.reduce(logic.Or, lines[ch]...)
+	}
+	grants := make([]circuit.NodeID, channels)
+	var blocked circuit.NodeID = circuit.None
+	for ch := 0; ch < channels; ch++ {
+		if ch == 0 {
+			grants[ch] = reqs[ch]
+			blocked = reqs[ch]
+		} else {
+			nb := b.gate(logic.Inv, blocked)
+			grants[ch] = b.gate(logic.And, reqs[ch], nb)
+			blocked = b.gate(logic.Or, blocked, reqs[ch])
+		}
+	}
+	// Winning bus: OR over channels of (grant AND line), with odd parity of
+	// the granted lines folded in for reconvergence (c432 is notoriously
+	// reconvergent).
+	for i := 0; i < outBus; i++ {
+		terms := make([]circuit.NodeID, channels)
+		for ch := 0; ch < channels; ch++ {
+			terms[ch] = b.gate(logic.And, grants[ch], lines[ch][i%width])
+		}
+		bus := b.reduce(logic.Or, terms...)
+		par := b.reduce(logic.Xor, terms...)
+		b.po(fmt.Sprintf("out%d", i), b.gate(logic.Xor, bus, par))
+	}
+	b.po("any", blocked)
+	return b.finish()
+}
+
+// PLAOptions sizes the random two-level generator, the stand-in for the
+// MCNC PLA-style benchmarks (k2, t481, vda, i8).
+type PLAOptions struct {
+	Inputs   int
+	Outputs  int
+	Products int
+	// MinLits/MaxLits bound the literals per product term.
+	MinLits, MaxLits int
+	// ProductsPerOut bounds how many products each output ORs together.
+	ProductsPerOut int
+	Seed           int64
+}
+
+// PLA generates a random multi-output SOP netlist and maps it through
+// internal/techmap — the same BLIF→mapped-netlist path the paper's flow
+// uses, exercising shared product terms and mixed NAND/NOR structure.
+func PLA(name string, o PLAOptions) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(o.Seed))
+	n := &blif.Netlist{Model: name}
+	for i := 0; i < o.Inputs; i++ {
+		n.Inputs = append(n.Inputs, fmt.Sprintf("x%d", i))
+	}
+	// Shared product plane: each product is a .names node ANDing literals.
+	productNames := make([]string, o.Products)
+	for p := 0; p < o.Products; p++ {
+		nl := o.MinLits + rng.Intn(o.MaxLits-o.MinLits+1)
+		if nl > o.Inputs {
+			nl = o.Inputs
+		}
+		perm := rng.Perm(o.Inputs)[:nl]
+		row := make([]byte, o.Inputs)
+		for i := range row {
+			row[i] = '-'
+		}
+		var ins []string
+		var bits []byte
+		for _, idx := range perm {
+			if rng.Intn(2) == 1 {
+				bits = append(bits, '1')
+			} else {
+				bits = append(bits, '0')
+			}
+			ins = append(ins, fmt.Sprintf("x%d", idx))
+		}
+		pname := fmt.Sprintf("p%d", p)
+		productNames[p] = pname
+		n.Nodes = append(n.Nodes, blif.Node{
+			Name:   pname,
+			Inputs: ins,
+			Covers: []blif.Cover{{Inputs: string(bits), Output: '1'}},
+		})
+	}
+	// OR plane: each output ORs a random subset of products.
+	for q := 0; q < o.Outputs; q++ {
+		k := 2 + rng.Intn(o.ProductsPerOut)
+		if k > o.Products {
+			k = o.Products
+		}
+		perm := rng.Perm(o.Products)[:k]
+		ins := make([]string, k)
+		covers := make([]blif.Cover, k)
+		for i, idx := range perm {
+			ins[i] = productNames[idx]
+			row := make([]byte, k)
+			for j := range row {
+				row[j] = '-'
+			}
+			row[i] = '1'
+			covers[i] = blif.Cover{Inputs: string(row), Output: '1'}
+		}
+		n.Nodes = append(n.Nodes, blif.Node{Name: fmt.Sprintf("y%d", q), Inputs: ins, Covers: covers})
+		n.Outputs = append(n.Outputs, fmt.Sprintf("y%d", q))
+	}
+	c, err := techmap.Map(n, techmap.DefaultOptions(cell.Default()))
+	if err != nil {
+		panic(fmt.Sprintf("bench PLA %s: %v", name, err))
+	}
+	return c
+}
+
+// RandomLogic generates a random mapped DAG with a realistic gate-kind mix
+// and locality-biased wiring — the stand-in for the MCNC "i10" style
+// random/control logic benchmarks.
+func RandomLogic(name string, nPI, nPO, nGates int, seed int64) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	b := newBuilder(name)
+	ids := make([]circuit.NodeID, 0, nPI+nGates)
+	for i := 0; i < nPI; i++ {
+		ids = append(ids, b.pi(fmt.Sprintf("x%d", i)))
+	}
+	// Mapped-netlist-like kind mix: NAND/NOR-heavy with inverters and some
+	// AND/OR/XOR.
+	kinds := []logic.Kind{
+		logic.Nand, logic.Nand, logic.Nand, logic.Nor, logic.Nor,
+		logic.And, logic.Or, logic.Inv, logic.Inv, logic.Xor,
+	}
+	for g := 0; g < nGates; g++ {
+		k := kinds[rng.Intn(len(kinds))]
+		fan := k.MinFanin()
+		if !k.FixedFanin() && k != logic.Xor && rng.Intn(4) == 0 {
+			fan += rng.Intn(3)
+			if fan > 4 {
+				fan = 4
+			}
+		}
+		fanin := make([]circuit.NodeID, 0, fan)
+		seen := map[circuit.NodeID]bool{}
+		for len(fanin) < fan {
+			// Locality bias: mostly recent signals, occasionally anything.
+			var f circuit.NodeID
+			if rng.Intn(4) > 0 {
+				win := 40
+				if win > len(ids) {
+					win = len(ids)
+				}
+				f = ids[len(ids)-1-rng.Intn(win)]
+			} else {
+				f = ids[rng.Intn(len(ids))]
+			}
+			if seen[f] {
+				continue
+			}
+			seen[f] = true
+			fanin = append(fanin, f)
+		}
+		ids = append(ids, b.gate(k, fanin...))
+	}
+	// POs: prefer sinks (fanout-free signals), then random gates.
+	poCount := 0
+	for i := len(ids) - 1; i >= nPI && poCount < nPO; i-- {
+		if b.c.FanoutCount(ids[i]) == 0 {
+			b.po(fmt.Sprintf("y%d", poCount), ids[i])
+			poCount++
+		}
+	}
+	for poCount < nPO {
+		g := ids[nPI+rng.Intn(nGates)]
+		if b.c.IsPODriver(g) {
+			continue
+		}
+		b.po(fmt.Sprintf("y%d", poCount), g)
+		poCount++
+	}
+	return b.finish()
+}

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// DES builds a Feistel round network in the structure of the MCNC "des"
+// benchmark: expansion, key mixing, eight 6→4 S-boxes realised as two-level
+// SOP logic, permutation and Feistel XOR. The S-box tables are deterministic
+// pseudo-random substitutions (the published DES tables are not required —
+// the fingerprinting statistics depend on the SOP structure, which is
+// identical; see DESIGN.md §2).
+//
+// rounds Feistel rounds are chained; each round adds 48 key PIs. PIs:
+// 64 + 48·rounds; POs: 64.
+func DES(name string, rounds int, seed int64) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	b := newBuilder(name)
+	l := make([]circuit.NodeID, 32)
+	r := make([]circuit.NodeID, 32)
+	for i := 0; i < 32; i++ {
+		l[i] = b.pi(fmt.Sprintf("l%d", i))
+	}
+	for i := 0; i < 32; i++ {
+		r[i] = b.pi(fmt.Sprintf("r%d", i))
+	}
+	for round := 0; round < rounds; round++ {
+		k := make([]circuit.NodeID, 48)
+		for i := range k {
+			k[i] = b.pi(fmt.Sprintf("k%d_%d", round, i))
+		}
+		f := b.feistel(r, k, rng)
+		newR := make([]circuit.NodeID, 32)
+		for i := 0; i < 32; i++ {
+			newR[i] = b.gate(logic.Xor, l[i], f[i])
+		}
+		l, r = r, newR
+	}
+	for i := 0; i < 32; i++ {
+		b.po(fmt.Sprintf("ol%d", i), l[i])
+	}
+	for i := 0; i < 32; i++ {
+		b.po(fmt.Sprintf("or%d", i), r[i])
+	}
+	return b.finish()
+}
+
+// feistel computes the DES f-function over the 32-bit half and 48-bit key.
+func (b *builder) feistel(r, k []circuit.NodeID, rng *rand.Rand) []circuit.NodeID {
+	// Expansion E: block i reads bits 4i−1 … 4i+4 (mod 32) — the real E
+	// pattern (adjacent-block overlap).
+	var x [48]circuit.NodeID
+	for blk := 0; blk < 8; blk++ {
+		for j := 0; j < 6; j++ {
+			src := (4*blk - 1 + j + 32) % 32
+			x[6*blk+j] = b.gate(logic.Xor, r[src], k[6*blk+j])
+		}
+	}
+	// S-boxes: 6 → 4 random substitution, two-level SOP.
+	out := make([]circuit.NodeID, 32)
+	for blk := 0; blk < 8; blk++ {
+		in := x[6*blk : 6*blk+6]
+		sbox := b.sbox(in, rng)
+		copy(out[4*blk:], sbox)
+	}
+	// Permutation P: fixed pseudo-random shuffle of the 32 S-box outputs.
+	perm := rng.Perm(32)
+	p := make([]circuit.NodeID, 32)
+	for i, src := range perm {
+		p[i] = out[src]
+	}
+	return p
+}
+
+// sbox lowers a random 6→4 substitution table to AND-OR logic with shared
+// input inverters.
+func (b *builder) sbox(in []circuit.NodeID, rng *rand.Rand) []circuit.NodeID {
+	table := make([]uint8, 64)
+	for i := range table {
+		table[i] = uint8(rng.Intn(16))
+	}
+	inv := make([]circuit.NodeID, 6)
+	for i, s := range in {
+		inv[i] = b.gate(logic.Inv, s)
+	}
+	outs := make([]circuit.NodeID, 4)
+	for bit := 0; bit < 4; bit++ {
+		var minterms []circuit.NodeID
+		for m := 0; m < 64; m++ {
+			if table[m]>>uint(bit)&1 == 0 {
+				continue
+			}
+			lits := make([]circuit.NodeID, 6)
+			for j := 0; j < 6; j++ {
+				if m>>uint(j)&1 == 1 {
+					lits[j] = in[j]
+				} else {
+					lits[j] = inv[j]
+				}
+			}
+			minterms = append(minterms, b.reduce(logic.And, lits...))
+		}
+		switch len(minterms) {
+		case 0:
+			outs[bit] = b.gate(logic.Const0)
+		default:
+			outs[bit] = b.reduce(logic.Or, minterms...)
+		}
+	}
+	return outs
+}

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// ECCOptions sizes the error-correcting-circuit generator, the stand-in for
+// the ISCAS'85 ECAT family (c499/c1355/c1908): XOR syndrome trees followed
+// by AND-decoded single-bit correction.
+type ECCOptions struct {
+	DataBits  int
+	CheckBits int
+	// ExpandXor rewrites every 2-input XOR into the classic 4-NAND
+	// realisation — the actual difference between c499 and c1355.
+	ExpandXor bool
+	// TwoStage adds a second syndrome layer (c1908 flavour).
+	TwoStage bool
+}
+
+// ECC builds a single-error-correcting decoder: check bits are recomputed
+// from the data by XOR parity trees, compared to the received check bits,
+// and the resulting syndrome is AND-decoded to flip the offending data bit.
+// DataBits+CheckBits PIs, DataBits POs.
+func ECC(name string, o ECCOptions) *circuit.Circuit {
+	b := newBuilder(name)
+	data := make([]circuit.NodeID, o.DataBits)
+	for i := range data {
+		data[i] = b.pi(fmt.Sprintf("d%d", i))
+	}
+	checks := make([]circuit.NodeID, o.CheckBits)
+	for i := range checks {
+		checks[i] = b.pi(fmt.Sprintf("c%d", i))
+	}
+	// Syndrome j = received check j XOR parity of the data bits whose
+	// (index+1) has bit j set — the Hamming position rule.
+	syndrome := make([]circuit.NodeID, o.CheckBits)
+	for j := 0; j < o.CheckBits; j++ {
+		var group []circuit.NodeID
+		for i, d := range data {
+			if (i+1)>>uint(j)&1 == 1 {
+				group = append(group, d)
+			}
+		}
+		group = append(group, checks[j])
+		syndrome[j] = b.reduce(logic.Xor, group...)
+	}
+	if o.TwoStage {
+		// Second stage: fold the syndrome through a chain of majority-ish
+		// gates to deepen the circuit (c1908 has ~40 levels).
+		for j := 0; j < o.CheckBits; j++ {
+			k := (j + 1) % o.CheckBits
+			m := (j + 2) % o.CheckBits
+			and1 := b.gate(logic.And, syndrome[j], syndrome[k])
+			or1 := b.gate(logic.Or, and1, syndrome[m])
+			syndrome[j] = b.gate(logic.Xor, or1, syndrome[j])
+		}
+	}
+	// Shared inverted syndromes.
+	nSyn := make([]circuit.NodeID, o.CheckBits)
+	for j := range syndrome {
+		nSyn[j] = b.gate(logic.Inv, syndrome[j])
+	}
+	// Correct data bit i when the syndrome equals i+1.
+	for i, d := range data {
+		lits := make([]circuit.NodeID, o.CheckBits)
+		for j := 0; j < o.CheckBits; j++ {
+			if (i+1)>>uint(j)&1 == 1 {
+				lits[j] = syndrome[j]
+			} else {
+				lits[j] = nSyn[j]
+			}
+		}
+		flip := b.reduce(logic.And, lits...)
+		b.po(fmt.Sprintf("q%d", i), b.gate(logic.Xor, d, flip))
+	}
+	c := b.finish()
+	if o.ExpandXor {
+		c = ExpandXors(c)
+	}
+	return c
+}
+
+// ExpandXors rewrites every 2-input XOR/XNOR gate into NAND2 gates
+// (XOR(a,b) = NAND(NAND(a,n), NAND(b,n)) with n = NAND(a,b); XNOR appends an
+// inverter). This reproduces the c499 → c1355 relationship: identical
+// function, NAND-expanded structure, ~3× the gate count in XOR-rich logic.
+func ExpandXors(c *circuit.Circuit) *circuit.Circuit {
+	out := circuit.New(c.Name)
+	remap := make([]circuit.NodeID, len(c.Nodes))
+	add := func(name string, kind logic.Kind, fanin ...circuit.NodeID) circuit.NodeID {
+		id, err := out.AddGate(name, kind, fanin...)
+		if err != nil {
+			panic(err)
+		}
+		return id
+	}
+	for _, id := range c.MustTopoOrder() {
+		nd := &c.Nodes[id]
+		if nd.IsPI {
+			nid, err := out.AddPI(nd.Name)
+			if err != nil {
+				panic(err)
+			}
+			remap[id] = nid
+			continue
+		}
+		if (nd.Kind == logic.Xor || nd.Kind == logic.Xnor) && len(nd.Fanin) == 2 {
+			a := remap[nd.Fanin[0]]
+			bb := remap[nd.Fanin[1]]
+			n1 := add(out.FreshName(nd.Name+"_x1"), logic.Nand, a, bb)
+			n2 := add(out.FreshName(nd.Name+"_x2"), logic.Nand, a, n1)
+			n3 := add(out.FreshName(nd.Name+"_x3"), logic.Nand, bb, n1)
+			if nd.Kind == logic.Xor {
+				remap[id] = add(nd.Name, logic.Nand, n2, n3)
+			} else {
+				n4 := add(out.FreshName(nd.Name+"_x4"), logic.Nand, n2, n3)
+				remap[id] = add(nd.Name, logic.Inv, n4)
+			}
+			continue
+		}
+		fanin := make([]circuit.NodeID, len(nd.Fanin))
+		for i, f := range nd.Fanin {
+			fanin[i] = remap[f]
+		}
+		remap[id] = add(nd.Name, nd.Kind, fanin...)
+	}
+	for _, po := range c.POs {
+		if err := out.AddPO(po.Name, remap[po.Driver]); err != nil {
+			panic(err)
+		}
+	}
+	swept, _ := out.Sweep()
+	if err := swept.Validate(); err != nil {
+		panic(err)
+	}
+	return swept
+}

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// Spec names one benchmark of the paper's Table II and its generator.
+type Spec struct {
+	// Name is the paper's circuit name (c432, des, …). The generated
+	// stand-in carries the same name with an "s" suffix in its Circuit.Name
+	// to make the substitution visible in artefacts.
+	Name        string
+	Description string
+	Build       func() *circuit.Circuit
+}
+
+// Suite returns the 14 benchmark circuits of Table II, in the paper's row
+// order. Generators are deterministic: two calls build identical netlists.
+func Suite() []Spec {
+	return []Spec{
+		{
+			Name:        "c432",
+			Description: "27-channel interrupt controller (priority arbitration)",
+			Build: func() *circuit.Circuit {
+				c := PriorityController("c432s", 4, 9, 9)
+				return c
+			},
+		},
+		{
+			Name:        "c499",
+			Description: "32-bit single-error-correcting ECAT",
+			Build: func() *circuit.Circuit {
+				return ECC("c499s", ECCOptions{DataBits: 32, CheckBits: 9})
+			},
+		},
+		{
+			Name:        "c880",
+			Description: "8-bit ALU (two banks)",
+			Build: func() *circuit.Circuit {
+				return ALU("c880s", ALUOptions{Width: 10, Banks: 2, WithZero: true})
+			},
+		},
+		{
+			Name:        "c1355",
+			Description: "32-bit SEC ECAT, XORs expanded to NAND structure",
+			Build: func() *circuit.Circuit {
+				return ECC("c1355s", ECCOptions{DataBits: 32, CheckBits: 9, ExpandXor: true})
+			},
+		},
+		{
+			Name:        "c1908",
+			Description: "16-bit SEC/DED ECAT, two-stage syndrome",
+			Build: func() *circuit.Circuit {
+				return ECC("c1908s", ECCOptions{DataBits: 25, CheckBits: 8, TwoStage: true})
+			},
+		},
+		{
+			Name:        "c3540",
+			Description: "8-bit ALU with shifter and flags",
+			Build: func() *circuit.Circuit {
+				return ALU("c3540s", ALUOptions{Width: 10, Banks: 4, WithShift: true, WithZero: true})
+			},
+		},
+		{
+			Name:        "c6288",
+			Description: "16×16 array multiplier, XORs expanded to NAND structure",
+			Build: func() *circuit.Circuit {
+				return ExpandXors(Multiplier(16))
+			},
+		},
+		{
+			Name:        "des",
+			Description: "DES round function (S-box SOP logic)",
+			Build: func() *circuit.Circuit {
+				return DES("dess", 1, 0xDE5)
+			},
+		},
+		{
+			Name:        "k2",
+			Description: "two-level PLA logic, 45 in / 45 out",
+			Build: func() *circuit.Circuit {
+				return PLA("k2s", PLAOptions{Inputs: 45, Outputs: 45, Products: 700, MinLits: 4, MaxLits: 8, ProductsPerOut: 24, Seed: 2})
+			},
+		},
+		{
+			Name:        "t481",
+			Description: "single-output 16-input function, wide OR plane",
+			Build: func() *circuit.Circuit {
+				return PLA("t481s", PLAOptions{Inputs: 16, Outputs: 1, Products: 430, MinLits: 5, MaxLits: 9, ProductsPerOut: 400, Seed: 3})
+			},
+		},
+		{
+			Name:        "i10",
+			Description: "random mapped control logic, 257 in / 224 out",
+			Build: func() *circuit.Circuit {
+				return RandomLogic("i10s", 257, 224, 1600, 10)
+			},
+		},
+		{
+			Name:        "i8",
+			Description: "two-level logic, 133 in / 81 out",
+			Build: func() *circuit.Circuit {
+				return PLA("i8s", PLAOptions{Inputs: 133, Outputs: 81, Products: 250, MinLits: 6, MaxLits: 12, ProductsPerOut: 8, Seed: 8})
+			},
+		},
+		{
+			Name:        "dalu",
+			Description: "dedicated ALU, four banks",
+			Build: func() *circuit.Circuit {
+				return ALU("dalus", ALUOptions{Width: 12, Banks: 4, WithZero: true})
+			},
+		},
+		{
+			Name:        "vda",
+			Description: "PLA-style decoder, 17 in / 39 out",
+			Build: func() *circuit.Circuit {
+				return PLA("vdas", PLAOptions{Inputs: 17, Outputs: 39, Products: 300, MinLits: 4, MaxLits: 8, ProductsPerOut: 14, Seed: 4})
+			},
+		},
+	}
+}
+
+// ByName returns the suite entry with the given paper name.
+func ByName(name string) (Spec, error) {
+	for _, s := range Suite() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("bench: no benchmark named %q", name)
+}
+
+// Names returns the suite's circuit names in order.
+func Names() []string {
+	specs := Suite()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package benchfmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// FuzzParse: the .bench reader must never panic; accepted circuits must
+// validate and round-trip.
+func FuzzParse(f *testing.F) {
+	f.Add(sample)
+	f.Add("INPUT(a)\nOUTPUT(q)\nq = NOT(a)\n")
+	f.Add("INPUT(a)\nINPUT(b)\nOUTPUT(q)\nq = XNOR(a, b)\n")
+	f.Add("# name\nINPUT(a)\nOUTPUT(a)\n")
+	f.Add("INPUT(a)\nOUTPUT(q)\nq = VDD()\n")
+	f.Add("q = DFF(a)\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("accepted circuit invalid: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, c); err != nil {
+			return
+		}
+		back, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("own output rejected: %v\n%s", err, buf.String())
+		}
+		if len(c.PIs) <= 16 && len(c.PIs) == len(back.PIs) {
+			eq, mm, err := sim.EquivalentExhaustive(c, back)
+			if err == nil && !eq {
+				t.Fatalf("round trip changed function: %v", mm)
+			}
+		}
+	})
+}

@@ -1,0 +1,104 @@
+package blif
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// FromCircuit converts a mapped gate-level circuit back into a BLIF netlist:
+// every gate becomes a single-phase .names cover (AND/NAND/OR/NOR/XOR/XNOR/
+// BUF/INV/constants). Primary outputs whose name differs from their driver
+// gain a buffer node so the BLIF output names match the circuit's.
+func FromCircuit(c *circuit.Circuit) (*Netlist, error) {
+	n := &Netlist{Model: c.Name}
+	if n.Model == "" {
+		n.Model = "top"
+	}
+	for _, pi := range c.PIs {
+		n.Inputs = append(n.Inputs, c.Nodes[pi].Name)
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range order {
+		nd := &c.Nodes[id]
+		if nd.IsPI {
+			continue
+		}
+		node, err := gateToNames(c, nd)
+		if err != nil {
+			return nil, err
+		}
+		n.Nodes = append(n.Nodes, node)
+	}
+	for _, po := range c.POs {
+		drv := c.Nodes[po.Driver].Name
+		if po.Name == drv {
+			n.Outputs = append(n.Outputs, po.Name)
+			continue
+		}
+		if _, clash := c.Lookup(po.Name); clash {
+			return nil, fmt.Errorf("blif: PO %q collides with an unrelated node", po.Name)
+		}
+		n.Nodes = append(n.Nodes, Node{
+			Name:   po.Name,
+			Inputs: []string{drv},
+			Covers: []Cover{{Inputs: "1", Output: '1'}},
+		})
+		n.Outputs = append(n.Outputs, po.Name)
+	}
+	return n, nil
+}
+
+func gateToNames(c *circuit.Circuit, nd *circuit.Node) (Node, error) {
+	ins := make([]string, len(nd.Fanin))
+	for i, f := range nd.Fanin {
+		ins[i] = c.Nodes[f].Name
+	}
+	node := Node{Name: nd.Name, Inputs: ins}
+	k := len(ins)
+	switch nd.Kind {
+	case logic.Const0:
+		// No covers: constant 0.
+	case logic.Const1:
+		node.Covers = []Cover{{Inputs: "", Output: '1'}}
+	case logic.Buf:
+		node.Covers = []Cover{{Inputs: "1", Output: '1'}}
+	case logic.Inv:
+		node.Covers = []Cover{{Inputs: "0", Output: '1'}}
+	case logic.And:
+		node.Covers = []Cover{{Inputs: strings.Repeat("1", k), Output: '1'}}
+	case logic.Nand:
+		node.Covers = []Cover{{Inputs: strings.Repeat("1", k), Output: '0'}}
+	case logic.Or:
+		node.Covers = []Cover{{Inputs: strings.Repeat("0", k), Output: '0'}}
+	case logic.Nor:
+		node.Covers = []Cover{{Inputs: strings.Repeat("0", k), Output: '1'}}
+	case logic.Xor, logic.Xnor:
+		// Enumerate parity minterms (k is 2 in the default library; the
+		// general form is kept for safety and stays single-phase).
+		wantOdd := nd.Kind == logic.Xor
+		for m := 0; m < 1<<uint(k); m++ {
+			ones := 0
+			row := make([]byte, k)
+			for i := 0; i < k; i++ {
+				if m>>uint(i)&1 == 1 {
+					row[i] = '1'
+					ones++
+				} else {
+					row[i] = '0'
+				}
+			}
+			if (ones%2 == 1) == wantOdd {
+				node.Covers = append(node.Covers, Cover{Inputs: string(row), Output: '1'})
+			}
+		}
+	default:
+		return Node{}, fmt.Errorf("blif: cannot export gate %q of kind %v", nd.Name, nd.Kind)
+	}
+	return node, nil
+}

@@ -1,0 +1,158 @@
+package blif
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+func TestFromCircuitRoundTrip(t *testing.T) {
+	c := circuit.New("rt")
+	a, _ := c.AddPI("a")
+	b, _ := c.AddPI("b")
+	d, _ := c.AddPI("d")
+	one, _ := c.AddGate("one", logic.Const1)
+	zero, _ := c.AddGate("zero", logic.Const0)
+	g1, _ := c.AddGate("g1", logic.Nand, a, b, d)
+	g2, _ := c.AddGate("g2", logic.Xor, g1, a)
+	g3, _ := c.AddGate("g3", logic.Xnor, g2, b)
+	g4, _ := c.AddGate("g4", logic.Nor, g3, one)
+	g5, _ := c.AddGate("g5", logic.Or, g4, zero, g1)
+	inv, _ := c.AddGate("invx", logic.Inv, g5)
+	bufg, _ := c.AddGate("bufx", logic.Buf, inv)
+	if err := c.AddPO("bufx", bufg); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddPO("alias_out", g2); err != nil {
+		t.Fatal(err)
+	}
+	n, err := FromCircuit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, buf.String())
+	}
+	if len(back.Inputs) != 3 || len(back.Outputs) != 2 {
+		t.Fatalf("interface changed: %v %v", back.Inputs, back.Outputs)
+	}
+	// Semantics: compare cover evaluation against direct circuit
+	// simulation on all 8 input patterns.
+	for m := 0; m < 8; m++ {
+		in := map[string]bool{"a": m&1 == 1, "b": m&2 == 2, "d": m&4 == 4}
+		want := evalCircuit(t, c, []bool{in["a"], in["b"], in["d"]})
+		got := evalNetlist(back, in)
+		for i, po := range []string{"bufx", "alias_out"} {
+			if got[po] != want[i] {
+				t.Fatalf("pattern %d: PO %s = %v, want %v", m, po, got[po], want[i])
+			}
+		}
+	}
+}
+
+// evalCircuit evaluates the circuit directly (no sim import to avoid a
+// dependency cycle in tests; three inputs only).
+func evalCircuit(t *testing.T, c *circuit.Circuit, in []bool) []bool {
+	t.Helper()
+	vals := make([]bool, len(c.Nodes))
+	for i, pi := range c.PIs {
+		vals[pi] = in[i]
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range order {
+		nd := &c.Nodes[id]
+		if nd.IsPI {
+			continue
+		}
+		args := make([]bool, len(nd.Fanin))
+		for j, f := range nd.Fanin {
+			args[j] = vals[f]
+		}
+		vals[id] = nd.Kind.Eval(args)
+	}
+	out := make([]bool, len(c.POs))
+	for i, po := range c.POs {
+		out[i] = vals[po.Driver]
+	}
+	return out
+}
+
+// evalNetlist evaluates a parsed BLIF (single-phase covers).
+func evalNetlist(n *Netlist, in map[string]bool) map[string]bool {
+	vals := map[string]bool{}
+	for k, v := range in {
+		vals[k] = v
+	}
+	remaining := make([]*Node, len(n.Nodes))
+	for i := range n.Nodes {
+		remaining[i] = &n.Nodes[i]
+	}
+	for len(remaining) > 0 {
+		var deferred []*Node
+		for _, nd := range remaining {
+			ready := true
+			for _, s := range nd.Inputs {
+				if _, ok := vals[s]; !ok {
+					ready = false
+				}
+			}
+			if !ready {
+				deferred = append(deferred, nd)
+				continue
+			}
+			if v, ok := nd.IsConst(); ok {
+				vals[nd.Name] = v
+				continue
+			}
+			phase1 := nd.Covers[0].Output == '1'
+			hit := false
+			for _, cv := range nd.Covers {
+				match := true
+				for i, ch := range []byte(cv.Inputs) {
+					v := vals[nd.Inputs[i]]
+					if ch == '1' && !v || ch == '0' && v {
+						match = false
+						break
+					}
+				}
+				if match {
+					hit = true
+					break
+				}
+			}
+			vals[nd.Name] = hit == phase1
+		}
+		if len(deferred) == len(remaining) {
+			panic("cyclic netlist")
+		}
+		remaining = deferred
+	}
+	out := map[string]bool{}
+	for _, o := range n.Outputs {
+		out[o] = vals[o]
+	}
+	return out
+}
+
+func TestFromCircuitPOCollision(t *testing.T) {
+	c := circuit.New("bad")
+	a, _ := c.AddPI("a")
+	g1, _ := c.AddGate("g1", logic.Inv, a)
+	g2, _ := c.AddGate("g2", logic.Inv, g1)
+	if err := c.AddPO("g1", g2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromCircuit(c); err == nil {
+		t.Error("PO/node collision accepted")
+	}
+}

@@ -1,0 +1,39 @@
+package blif
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse exercises the BLIF reader on arbitrary input: it must never
+// panic, and anything it accepts must survive a write/re-parse round trip
+// with the same shape.
+func FuzzParse(f *testing.F) {
+	f.Add(sample)
+	f.Add(".model m\n.inputs a\n.outputs q\n.names a q\n1 1\n.end\n")
+	f.Add(".model m\n.inputs a b\n.outputs q\n.names a b q\n11 1\n00 1\n.end\n")
+	f.Add(".model m\n.inputs a\n.outputs q\n.names q\n1\n.end\n")
+	f.Add(".model x\n.inputs a \\\nb\n.outputs q\n.names a b q\n-1 0\n.end")
+	f.Add("# nothing but comments\n")
+	f.Add(".latch a b\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, n); err != nil {
+			t.Fatalf("accepted netlist failed to serialise: %v", err)
+		}
+		n2, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("own output rejected: %v\n%s", err, buf.String())
+		}
+		if len(n2.Inputs) != len(n.Inputs) || len(n2.Outputs) != len(n.Outputs) || len(n2.Nodes) != len(n.Nodes) {
+			t.Fatalf("round trip changed shape: %d/%d/%d vs %d/%d/%d",
+				len(n.Inputs), len(n.Outputs), len(n.Nodes),
+				len(n2.Inputs), len(n2.Outputs), len(n2.Nodes))
+		}
+	})
+}

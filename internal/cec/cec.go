@@ -1,0 +1,305 @@
+// Package cec implements combinational equivalence checking: it encodes two
+// circuits over the same primary-input/primary-output interface into CNF via
+// Tseitin transformation, builds a miter (XOR of each output pair, ORed and
+// asserted), and decides equivalence with the CDCL solver in internal/sat.
+// A bit-parallel random-simulation pre-pass catches inequivalent pairs
+// cheaply before SAT runs.
+//
+// This is the proof engine behind the paper's Requirement 1 ("correct
+// functionality"): every fingerprinted copy is checked equivalent to the
+// original design.
+package cec
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+	"repro/internal/sat"
+	"repro/internal/sim"
+)
+
+// Options tunes the checker.
+type Options struct {
+	// SimWords is the number of 64-pattern random-simulation words used as
+	// a refutation pre-pass (0 disables the pre-pass).
+	SimWords int
+	// Seed drives the random pre-pass.
+	Seed int64
+	// MaxConflicts bounds the SAT search; ≤0 means unlimited.
+	MaxConflicts int64
+}
+
+// DefaultOptions: 16 words (1024 patterns) of simulation, unlimited SAT.
+func DefaultOptions() Options { return Options{SimWords: 16, Seed: 1} }
+
+// Verdict reports the outcome of an equivalence check.
+type Verdict struct {
+	Equivalent bool
+	// Proved is true when the verdict is backed by a SAT proof or a SAT
+	// counterexample, false when only simulation evidence exists (cannot
+	// happen with the default flow, which always finishes with SAT).
+	Proved bool
+	// Counterexample, when not nil, assigns each PI (in PI order) a value
+	// demonstrating inequivalence.
+	Counterexample []bool
+	// PO is the name of a differing output for the counterexample.
+	PO string
+}
+
+// tseitin encodes circuit c into solver s, mapping every node to a solver
+// variable. piVars supplies pre-allocated variables for the PIs (shared
+// between the two sides of a miter); it is keyed by PI name.
+func tseitin(s *sat.Solver, c *circuit.Circuit, piVars map[string]int) ([]int, error) {
+	nodeVar := make([]int, len(c.Nodes))
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range order {
+		nd := &c.Nodes[id]
+		if nd.IsPI {
+			v, ok := piVars[nd.Name]
+			if !ok {
+				return nil, fmt.Errorf("cec: no shared variable for PI %q", nd.Name)
+			}
+			nodeVar[id] = v
+			continue
+		}
+		out := s.NewVar()
+		nodeVar[id] = out
+		in := make([]int, len(nd.Fanin))
+		for i, f := range nd.Fanin {
+			in[i] = nodeVar[f]
+		}
+		if err := encodeGate(s, nd.Kind, out, in); err != nil {
+			return nil, fmt.Errorf("cec: node %q: %w", nd.Name, err)
+		}
+	}
+	return nodeVar, nil
+}
+
+// encodeGate adds the Tseitin clauses for out = kind(in...).
+func encodeGate(s *sat.Solver, kind logic.Kind, out int, in []int) error {
+	switch kind {
+	case logic.Const0:
+		return s.AddClause(-out)
+	case logic.Const1:
+		return s.AddClause(out)
+	case logic.Buf:
+		if err := s.AddClause(-in[0], out); err != nil {
+			return err
+		}
+		return s.AddClause(in[0], -out)
+	case logic.Inv:
+		if err := s.AddClause(in[0], out); err != nil {
+			return err
+		}
+		return s.AddClause(-in[0], -out)
+	case logic.And, logic.Nand:
+		y := out
+		if kind == logic.Nand {
+			// Encode an AND into a fresh variable, then out = ¬y.
+			y = s.NewVar()
+			if err := s.AddClause(y, out); err != nil {
+				return err
+			}
+			if err := s.AddClause(-y, -out); err != nil {
+				return err
+			}
+		}
+		// y → each input; all inputs → y.
+		long := make([]int, 0, len(in)+1)
+		for _, x := range in {
+			if err := s.AddClause(-y, x); err != nil {
+				return err
+			}
+			long = append(long, -x)
+		}
+		long = append(long, y)
+		return s.AddClause(long...)
+	case logic.Or, logic.Nor:
+		y := out
+		if kind == logic.Nor {
+			y = s.NewVar()
+			if err := s.AddClause(y, out); err != nil {
+				return err
+			}
+			if err := s.AddClause(-y, -out); err != nil {
+				return err
+			}
+		}
+		long := make([]int, 0, len(in)+1)
+		for _, x := range in {
+			if err := s.AddClause(y, -x); err != nil {
+				return err
+			}
+			long = append(long, x)
+		}
+		long = append(long, -y)
+		return s.AddClause(long...)
+	case logic.Xor, logic.Xnor:
+		// Chain binary XORs: t1 = in0 ⊕ in1, t2 = t1 ⊕ in2, ...
+		acc := in[0]
+		for i := 1; i < len(in); i++ {
+			var t int
+			last := i == len(in)-1
+			if last && kind == logic.Xor {
+				t = out
+			} else {
+				t = s.NewVar()
+			}
+			if err := encodeXor2(s, t, acc, in[i]); err != nil {
+				return err
+			}
+			acc = t
+		}
+		if kind == logic.Xnor {
+			// out = ¬acc.
+			if err := s.AddClause(acc, out); err != nil {
+				return err
+			}
+			return s.AddClause(-acc, -out)
+		}
+		if len(in) == 1 {
+			// Degenerate single-input XOR: out = in0 (cannot occur for
+			// validated circuits; kept for safety).
+			if err := s.AddClause(-in[0], out); err != nil {
+				return err
+			}
+			return s.AddClause(in[0], -out)
+		}
+		return nil
+	}
+	return fmt.Errorf("unsupported kind %v", kind)
+}
+
+// encodeXor2 encodes t = a ⊕ b.
+func encodeXor2(s *sat.Solver, t, a, b int) error {
+	for _, cl := range [][]int{
+		{-t, a, b},
+		{-t, -a, -b},
+		{t, -a, b},
+		{t, a, -b},
+	} {
+		if err := s.AddClause(cl...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// interfaceCheck verifies the two circuits share PI/PO name sequences.
+func interfaceCheck(a, b *circuit.Circuit) error {
+	if len(a.PIs) != len(b.PIs) || len(a.POs) != len(b.POs) {
+		return fmt.Errorf("cec: interface shape differs (%d/%d PIs, %d/%d POs)",
+			len(a.PIs), len(b.PIs), len(a.POs), len(b.POs))
+	}
+	for i := range a.PIs {
+		if a.Nodes[a.PIs[i]].Name != b.Nodes[b.PIs[i]].Name {
+			return fmt.Errorf("cec: PI %d named %q vs %q", i, a.Nodes[a.PIs[i]].Name, b.Nodes[b.PIs[i]].Name)
+		}
+	}
+	for i := range a.POs {
+		if a.POs[i].Name != b.POs[i].Name {
+			return fmt.Errorf("cec: PO %d named %q vs %q", i, a.POs[i].Name, b.POs[i].Name)
+		}
+	}
+	return nil
+}
+
+// Check decides whether circuits a and b (same PI/PO interface) compute the
+// same function on every output.
+func Check(a, b *circuit.Circuit, opts Options) (Verdict, error) {
+	if err := interfaceCheck(a, b); err != nil {
+		return Verdict{}, err
+	}
+	// Simulation pre-pass: a mismatch is a proved counterexample.
+	if opts.SimWords > 0 {
+		vec := sim.Random(len(a.PIs), opts.SimWords, opts.Seed)
+		mm, err := sim.Compare(a, b, vec)
+		if err != nil {
+			return Verdict{}, err
+		}
+		if mm != nil {
+			w, lane := mm.Pattern/64, uint(mm.Pattern%64)
+			cex := make([]bool, len(a.PIs))
+			for i := range cex {
+				cex[i] = vec.Words[i][w]>>lane&1 == 1
+			}
+			return Verdict{Equivalent: false, Proved: true, Counterexample: cex, PO: mm.PO}, nil
+		}
+	}
+
+	s := sat.New()
+	s.MaxConflicts = opts.MaxConflicts
+	piVars := make(map[string]int, len(a.PIs))
+	for _, pi := range a.PIs {
+		piVars[a.Nodes[pi].Name] = s.NewVar()
+	}
+	va, err := tseitin(s, a, piVars)
+	if err != nil {
+		return Verdict{}, err
+	}
+	vb, err := tseitin(s, b, piVars)
+	if err != nil {
+		return Verdict{}, err
+	}
+	// Miter: or over outputs of (outA ⊕ outB) must be satisfiable for
+	// inequivalence.
+	diff := make([]int, 0, len(a.POs))
+	for i := range a.POs {
+		x := s.NewVar()
+		if err := encodeXor2(s, x, va[a.POs[i].Driver], vb[b.POs[i].Driver]); err != nil {
+			return Verdict{}, err
+		}
+		diff = append(diff, x)
+	}
+	if err := s.AddClause(diff...); err != nil {
+		return Verdict{}, err
+	}
+	switch s.Solve() {
+	case sat.Unsat:
+		return Verdict{Equivalent: true, Proved: true}, nil
+	case sat.Sat:
+		cex := make([]bool, len(a.PIs))
+		for i, pi := range a.PIs {
+			cex[i] = s.Value(piVars[a.Nodes[pi].Name])
+		}
+		po := findDifferingPO(a, b, cex)
+		return Verdict{Equivalent: false, Proved: true, Counterexample: cex, PO: po}, nil
+	default:
+		return Verdict{}, fmt.Errorf("cec: SAT budget exhausted (%d conflicts)", opts.MaxConflicts)
+	}
+}
+
+// findDifferingPO replays a counterexample to name a differing output.
+func findDifferingPO(a, b *circuit.Circuit, cex []bool) string {
+	oa, err := sim.EvalOne(a, cex)
+	if err != nil {
+		return ""
+	}
+	ob, err := sim.EvalOne(b, cex)
+	if err != nil {
+		return ""
+	}
+	for i := range oa {
+		if oa[i] != ob[i] {
+			return a.POs[i].Name
+		}
+	}
+	return ""
+}
+
+// MustEquivalent is a test/assertion helper: it returns nil when a ≡ b and a
+// descriptive error (including a counterexample) otherwise.
+func MustEquivalent(a, b *circuit.Circuit) error {
+	v, err := Check(a, b, DefaultOptions())
+	if err != nil {
+		return err
+	}
+	if !v.Equivalent {
+		return fmt.Errorf("cec: %s and %s differ on PO %q for input %v", a.Name, b.Name, v.PO, v.Counterexample)
+	}
+	return nil
+}

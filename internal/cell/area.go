@@ -1,0 +1,82 @@
+package cell
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// Area returns the total cell area of the circuit under library l, and an
+// error if any gate has no matching cell. Primary inputs contribute nothing.
+func Area(l *Library, c *circuit.Circuit) (float64, error) {
+	total := 0.0
+	for i := range c.Nodes {
+		nd := &c.Nodes[i]
+		if nd.IsPI {
+			continue
+		}
+		cl, err := l.Lookup(nd.Kind, len(nd.Fanin))
+		if err != nil {
+			return 0, fmt.Errorf("area of %s: node %q: %w", c.Name, nd.Name, err)
+		}
+		total += cl.Area
+	}
+	return total, nil
+}
+
+// Mappable reports whether every gate in the circuit has a cell in l,
+// returning the first offending node name otherwise.
+func Mappable(l *Library, c *circuit.Circuit) (bool, string) {
+	for i := range c.Nodes {
+		nd := &c.Nodes[i]
+		if nd.IsPI {
+			continue
+		}
+		if !l.Has(nd.Kind, len(nd.Fanin)) {
+			return false, nd.Name
+		}
+	}
+	return true, ""
+}
+
+// Loads computes, for every node, the capacitive load it drives under l:
+// the sum of its fanout pins' input capacitance, the wire estimate per
+// branch, and pad load for primary outputs. Indexed by NodeID.
+func Loads(l *Library, c *circuit.Circuit) ([]float64, error) {
+	loads := make([]float64, len(c.Nodes))
+	pinCap := make([]float64, len(c.Nodes)) // input cap of each gate's pins
+	for i := range c.Nodes {
+		nd := &c.Nodes[i]
+		if nd.IsPI {
+			continue
+		}
+		cl, err := l.Lookup(nd.Kind, len(nd.Fanin))
+		if err != nil {
+			return nil, fmt.Errorf("loads of %s: node %q: %w", c.Name, nd.Name, err)
+		}
+		pinCap[i] = cl.InputCap
+	}
+	nPO := make([]int, len(c.Nodes))
+	for _, po := range c.POs {
+		nPO[po.Driver]++
+	}
+	for i := range c.Nodes {
+		sum := 0.0
+		fo := c.Nodes[i].Fanout()
+		for _, s := range fo {
+			sum += pinCap[s]
+		}
+		loads[i] = l.NodeLoad(sum, len(fo), nPO[i])
+	}
+	return loads, nil
+}
+
+// GateDelay returns the pin-to-pin delay of gate g driving load cload.
+func GateDelay(l *Library, kind logic.Kind, fanin int, cload float64) (float64, error) {
+	cl, err := l.Lookup(kind, fanin)
+	if err != nil {
+		return 0, err
+	}
+	return cl.Intrinsic + cl.Drive*cload, nil
+}

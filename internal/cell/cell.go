@@ -1,0 +1,187 @@
+// Package cell models a standard-cell library: for every (gate kind, fanin)
+// pair it records area, timing and power parameters. The default library is
+// an MCNC-genlib-flavoured set of cells whose area units (λ², like SIS's
+// lib2.genlib) put mapped benchmark areas in the same magnitude range as the
+// paper's Table II (hundreds of thousands of λ² for kilo-gate circuits).
+//
+// Delay follows the classic linear model used by academic mappers:
+//
+//	pin-to-pin delay = Intrinsic + Drive × Cload
+//	Cload            = Σ (input capacitance of fanout pins) + WireCap × fanouts (+ POLoad per PO)
+//
+// Power is split into dynamic switching power, proportional to Cload and the
+// node's switching activity (see internal/power), and per-cell leakage.
+package cell
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logic"
+)
+
+// Cell describes one library cell.
+type Cell struct {
+	Name      string     // e.g. "NAND3"
+	Kind      logic.Kind // logical function
+	Fanin     int        // number of input pins
+	Area      float64    // λ²
+	Intrinsic float64    // ns, zero-load pin-to-pin delay
+	Drive     float64    // ns per unit load (output resistance)
+	InputCap  float64    // unit load presented by each input pin
+	Leakage   float64    // static power, library power units
+}
+
+// Library is an immutable collection of cells indexed by (kind, fanin).
+type Library struct {
+	Name    string
+	WireCap float64 // extra load per fanout branch (wire estimate)
+	POLoad  float64 // load presented by a primary output pad
+	// VddSqFreq folds 0.5·Vdd²·f·scale into one dynamic-power constant so
+	// P_dyn(node) = VddSqFreq · Cload(node) · activity(node).
+	VddSqFreq float64
+
+	cells    map[key]Cell
+	maxFanin map[logic.Kind]int
+}
+
+type key struct {
+	kind  logic.Kind
+	fanin int
+}
+
+// NewLibrary builds a library from a cell list. Duplicate (kind, fanin)
+// entries are rejected.
+func NewLibrary(name string, wireCap, poLoad, vddSqFreq float64, cells []Cell) (*Library, error) {
+	l := &Library{
+		Name:      name,
+		WireCap:   wireCap,
+		POLoad:    poLoad,
+		VddSqFreq: vddSqFreq,
+		cells:     make(map[key]Cell, len(cells)),
+		maxFanin:  make(map[logic.Kind]int),
+	}
+	for _, c := range cells {
+		if !c.Kind.Valid() {
+			return nil, fmt.Errorf("cell %q: invalid kind", c.Name)
+		}
+		if c.Fanin < c.Kind.MinFanin() {
+			return nil, fmt.Errorf("cell %q: fanin %d below minimum %d for %v", c.Name, c.Fanin, c.Kind.MinFanin(), c.Kind)
+		}
+		if c.Kind.FixedFanin() && c.Fanin != c.Kind.MinFanin() {
+			return nil, fmt.Errorf("cell %q: kind %v has fixed fanin %d", c.Name, c.Kind, c.Kind.MinFanin())
+		}
+		k := key{c.Kind, c.Fanin}
+		if _, dup := l.cells[k]; dup {
+			return nil, fmt.Errorf("duplicate cell for %v/%d", c.Kind, c.Fanin)
+		}
+		l.cells[k] = c
+		if c.Fanin > l.maxFanin[c.Kind] {
+			l.maxFanin[c.Kind] = c.Fanin
+		}
+	}
+	return l, nil
+}
+
+// Lookup returns the cell implementing kind with the given fanin.
+func (l *Library) Lookup(kind logic.Kind, fanin int) (Cell, error) {
+	if c, ok := l.cells[key{kind, fanin}]; ok {
+		return c, nil
+	}
+	return Cell{}, fmt.Errorf("library %s: no cell for %v with %d inputs", l.Name, kind, fanin)
+}
+
+// Has reports whether a cell exists for kind/fanin.
+func (l *Library) Has(kind logic.Kind, fanin int) bool {
+	_, ok := l.cells[key{kind, fanin}]
+	return ok
+}
+
+// MaxFanin returns the widest cell available for kind (0 if none).
+func (l *Library) MaxFanin(kind logic.Kind) int { return l.maxFanin[kind] }
+
+// MaxFaninAny returns the widest cell in the library across the variadic
+// kinds (all multi-input kinds when none given).
+func (l *Library) MaxFaninAny(kinds ...logic.Kind) int {
+	if len(kinds) == 0 {
+		kinds = []logic.Kind{logic.And, logic.Nand, logic.Or, logic.Nor, logic.Xor, logic.Xnor}
+	}
+	m := 0
+	for _, k := range kinds {
+		if f := l.maxFanin[k]; f > m {
+			m = f
+		}
+	}
+	return m
+}
+
+// Cells returns all cells sorted by name, for documentation and tests.
+func (l *Library) Cells() []Cell {
+	out := make([]Cell, 0, len(l.cells))
+	for _, c := range l.cells {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Default returns the library used throughout the reproduction. Areas follow
+// the MCNC genlib convention (INV = 928 λ², NAND2/NOR2 = 1392 λ², one grid of
+// 464 λ² per extra transistor pair); delays grow with series stacks; NAND/NOR
+// are faster and smaller than AND/OR (which cost an internal inverter).
+//
+// The library deliberately extends one pin wider (5-input AND/OR/NAND/NOR)
+// than the tech mapper targets (4): that headroom is the "flexibility
+// designed into the IC" the paper's two-step flow requires — a mapped
+// width-4 gate can always absorb one post-silicon fingerprint literal.
+func Default() *Library {
+	grid := 464.0
+	mk := func(name string, kind logic.Kind, fanin int, area, intr, drive, leak float64) Cell {
+		return Cell{Name: name, Kind: kind, Fanin: fanin, Area: area,
+			Intrinsic: intr, Drive: drive, InputCap: 1.0, Leakage: leak}
+	}
+	cells := []Cell{
+		mk("INV", logic.Inv, 1, 2*grid, 0.15, 0.037, 0.8),
+		mk("BUF", logic.Buf, 1, 4*grid, 0.30, 0.030, 1.0),
+
+		mk("NAND2", logic.Nand, 2, 3*grid, 0.20, 0.042, 1.0),
+		mk("NAND3", logic.Nand, 3, 4*grid, 0.26, 0.047, 1.3),
+		mk("NAND4", logic.Nand, 4, 5*grid, 0.32, 0.052, 1.6),
+		mk("NAND5", logic.Nand, 5, 6*grid, 0.38, 0.057, 1.9),
+
+		mk("NOR2", logic.Nor, 2, 3*grid, 0.22, 0.045, 1.0),
+		mk("NOR3", logic.Nor, 3, 4*grid, 0.30, 0.052, 1.3),
+		mk("NOR4", logic.Nor, 4, 5*grid, 0.38, 0.059, 1.6),
+		mk("NOR5", logic.Nor, 5, 6*grid, 0.46, 0.066, 1.9),
+
+		mk("AND2", logic.And, 2, 4*grid, 0.28, 0.039, 1.2),
+		mk("AND3", logic.And, 3, 5*grid, 0.34, 0.044, 1.5),
+		mk("AND4", logic.And, 4, 6*grid, 0.40, 0.049, 1.8),
+		mk("AND5", logic.And, 5, 7*grid, 0.46, 0.054, 2.1),
+
+		mk("OR2", logic.Or, 2, 4*grid, 0.31, 0.042, 1.2),
+		mk("OR3", logic.Or, 3, 5*grid, 0.39, 0.049, 1.5),
+		mk("OR4", logic.Or, 4, 6*grid, 0.47, 0.056, 1.8),
+		mk("OR5", logic.Or, 5, 7*grid, 0.55, 0.063, 2.1),
+
+		mk("XOR2", logic.Xor, 2, 6*grid, 0.40, 0.055, 1.9),
+		mk("XNOR2", logic.Xnor, 2, 6*grid, 0.40, 0.055, 1.9),
+
+		// Tie cells: no timing arc, tiny area.
+		mk("TIE0", logic.Const0, 0, grid, 0, 0, 0.1),
+		mk("TIE1", logic.Const1, 0, grid, 0, 0, 0.1),
+	}
+	l, err := NewLibrary("repro-mcnc", 0.25, 2.0, 2.5, cells)
+	if err != nil {
+		panic(err) // static table; cannot fail
+	}
+	return l
+}
+
+// NodeLoad computes the capacitive load seen by a node that drives the given
+// fanout pins (expressed as the input capacitance sum) plus nPO primary
+// output pads and the wire estimate. Fanout pin caps are passed pre-summed so
+// callers iterate the netlist once.
+func (l *Library) NodeLoad(sumPinCap float64, branches, nPO int) float64 {
+	return sumPinCap + l.WireCap*float64(branches+nPO) + l.POLoad*float64(nPO)
+}

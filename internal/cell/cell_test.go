@@ -1,0 +1,209 @@
+package cell
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+func TestDefaultLibraryComplete(t *testing.T) {
+	l := Default()
+	// Every kind/fanin the mapper or fingerprinter can produce must exist.
+	want := []struct {
+		kind  logic.Kind
+		fanin int
+	}{
+		{logic.Inv, 1}, {logic.Buf, 1},
+		{logic.And, 2}, {logic.And, 3}, {logic.And, 4}, {logic.And, 5},
+		{logic.Or, 2}, {logic.Or, 3}, {logic.Or, 4}, {logic.Or, 5},
+		{logic.Nand, 2}, {logic.Nand, 3}, {logic.Nand, 4}, {logic.Nand, 5},
+		{logic.Nor, 2}, {logic.Nor, 3}, {logic.Nor, 4}, {logic.Nor, 5},
+		{logic.Xor, 2}, {logic.Xnor, 2},
+		{logic.Const0, 0}, {logic.Const1, 0},
+	}
+	for _, w := range want {
+		if !l.Has(w.kind, w.fanin) {
+			t.Errorf("default library missing %v/%d", w.kind, w.fanin)
+		}
+		c, err := l.Lookup(w.kind, w.fanin)
+		if err != nil {
+			t.Fatalf("Lookup(%v,%d): %v", w.kind, w.fanin, err)
+		}
+		if c.Area <= 0 {
+			t.Errorf("%s: non-positive area", c.Name)
+		}
+		if w.kind != logic.Const0 && w.kind != logic.Const1 {
+			if c.Intrinsic <= 0 || c.Drive <= 0 || c.InputCap <= 0 {
+				t.Errorf("%s: non-positive timing params %+v", c.Name, c)
+			}
+		}
+	}
+	if _, err := l.Lookup(logic.And, 9); err == nil {
+		t.Error("Lookup of missing width succeeded")
+	}
+	if l.MaxFanin(logic.Nand) != 5 {
+		t.Errorf("MaxFanin(NAND) = %d, want 5", l.MaxFanin(logic.Nand))
+	}
+	if l.MaxFaninAny() != 5 {
+		t.Errorf("MaxFaninAny = %d, want 5", l.MaxFaninAny())
+	}
+	if l.MaxFaninAny(logic.Xor) != 2 {
+		t.Errorf("MaxFaninAny(XOR) = %d, want 2", l.MaxFaninAny(logic.Xor))
+	}
+}
+
+func TestLibraryOrderings(t *testing.T) {
+	l := Default()
+	// Wider cells of a kind must not be smaller or faster at zero load.
+	for _, kind := range []logic.Kind{logic.And, logic.Or, logic.Nand, logic.Nor} {
+		prev, _ := l.Lookup(kind, 2)
+		for f := 3; f <= l.MaxFanin(kind); f++ {
+			cur, err := l.Lookup(kind, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cur.Area <= prev.Area {
+				t.Errorf("%v/%d area %g not > %v/%d area %g", kind, f, cur.Area, kind, f-1, prev.Area)
+			}
+			if cur.Intrinsic <= prev.Intrinsic {
+				t.Errorf("%v/%d intrinsic not monotone", kind, f)
+			}
+			prev = cur
+		}
+	}
+	// NAND2 must beat AND2 on area and delay (AND hides an inverter).
+	nand2, _ := l.Lookup(logic.Nand, 2)
+	and2, _ := l.Lookup(logic.And, 2)
+	if nand2.Area >= and2.Area || nand2.Intrinsic >= and2.Intrinsic {
+		t.Error("NAND2 should be cheaper and faster than AND2")
+	}
+}
+
+func TestNewLibraryErrors(t *testing.T) {
+	mk := func(kind logic.Kind, fanin int) []Cell {
+		return []Cell{{Name: "C", Kind: kind, Fanin: fanin, Area: 1, Intrinsic: 1, Drive: 1, InputCap: 1}}
+	}
+	if _, err := NewLibrary("bad", 0, 0, 1, mk(logic.Kind(99), 2)); err == nil {
+		t.Error("invalid kind accepted")
+	}
+	if _, err := NewLibrary("bad", 0, 0, 1, mk(logic.And, 1)); err == nil {
+		t.Error("under-min fanin accepted")
+	}
+	if _, err := NewLibrary("bad", 0, 0, 1, mk(logic.Inv, 2)); err == nil {
+		t.Error("fixed-fanin violation accepted")
+	}
+	dup := append(mk(logic.And, 2), mk(logic.And, 2)...)
+	if _, err := NewLibrary("bad", 0, 0, 1, dup); err == nil {
+		t.Error("duplicate cell accepted")
+	}
+}
+
+func buildSmall(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	c := circuit.New("small")
+	a, _ := c.AddPI("a")
+	b, _ := c.AddPI("b")
+	g1, _ := c.AddGate("g1", logic.Nand, a, b)
+	g2, _ := c.AddGate("g2", logic.Inv, g1)
+	if err := c.AddPO("o", g2); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestArea(t *testing.T) {
+	l := Default()
+	c := buildSmall(t)
+	got, err := Area(l, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nand2, _ := l.Lookup(logic.Nand, 2)
+	inv, _ := l.Lookup(logic.Inv, 1)
+	want := nand2.Area + inv.Area
+	if got != want {
+		t.Errorf("Area = %g, want %g", got, want)
+	}
+	ok, _ := Mappable(l, c)
+	if !ok {
+		t.Error("small circuit should be mappable")
+	}
+	// Unmappable: 6-input AND.
+	c5 := circuit.New("wide")
+	var pins []circuit.NodeID
+	for _, n := range []string{"a", "b", "c", "d", "e", "f"} {
+		id, _ := c5.AddPI(n)
+		pins = append(pins, id)
+	}
+	w, _ := c5.AddGate("w", logic.And, pins...)
+	if err := c5.AddPO("o", w); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Area(l, c5); err == nil {
+		t.Error("Area of unmappable circuit succeeded")
+	}
+	if ok, name := Mappable(l, c5); ok || name != "w" {
+		t.Errorf("Mappable = %v/%q, want false/w", ok, name)
+	}
+}
+
+func TestLoads(t *testing.T) {
+	l := Default()
+	c := buildSmall(t)
+	loads, err := Loads(l, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, _ := l.Lookup(logic.Inv, 1)
+	nand2, _ := l.Lookup(logic.Nand, 2)
+	// g1 drives the INV pin plus one wire branch.
+	g1 := c.MustLookup("g1")
+	want := inv.InputCap + l.WireCap
+	if got := loads[g1]; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("load(g1) = %g, want %g", got, want)
+	}
+	// g2 drives only the PO: pad load + one wire branch.
+	g2 := c.MustLookup("g2")
+	want = l.POLoad + l.WireCap
+	if got := loads[g2]; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("load(g2) = %g, want %g", got, want)
+	}
+	// a drives one NAND pin.
+	a := c.MustLookup("a")
+	want = nand2.InputCap + l.WireCap
+	if got := loads[a]; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("load(a) = %g, want %g", got, want)
+	}
+}
+
+func TestGateDelay(t *testing.T) {
+	l := Default()
+	d0, err := GateDelay(l, logic.Nand, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d5, err := GateDelay(l, logic.Nand, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d5 <= d0 {
+		t.Error("delay must grow with load")
+	}
+	if _, err := GateDelay(l, logic.And, 8, 0); err == nil {
+		t.Error("GateDelay of missing cell succeeded")
+	}
+}
+
+func TestCellsSorted(t *testing.T) {
+	l := Default()
+	cells := l.Cells()
+	if len(cells) < 15 {
+		t.Fatalf("Cells() = %d entries", len(cells))
+	}
+	for i := 1; i < len(cells); i++ {
+		if cells[i-1].Name >= cells[i].Name {
+			t.Errorf("Cells not sorted: %q >= %q", cells[i-1].Name, cells[i].Name)
+		}
+	}
+}

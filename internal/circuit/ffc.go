@@ -1,0 +1,59 @@
+package circuit
+
+// FFC computes the maximum fanout-free cone (MFFC) rooted at node root: the
+// largest set of gates containing root such that every node in the set other
+// than root fans out only to nodes inside the set (and drives no primary
+// output). Signals produced inside the cone are therefore invisible outside
+// it except through root itself — which is exactly why Definition 1,
+// criterion 2 of the paper demands that a fingerprint modification stay
+// inside the FFC of the primary gate's fanin: when root is unobservable
+// (its consumer's ODC is triggered), *everything* in the cone is
+// unobservable, so any change to a cone gate is functionally invisible.
+//
+// Primary inputs are never part of a cone. The result is returned as a set
+// of node IDs in reverse-topological discovery order (root first).
+func (c *Circuit) FFC(root NodeID) []NodeID {
+	if c.Nodes[root].IsPI {
+		return nil
+	}
+	in := make(map[NodeID]bool, 8)
+	in[root] = true
+	cone := []NodeID{root}
+	// Grow the cone breadth-first from the root: a candidate fanin node
+	// joins when it is a gate, drives no PO, and all of its fanout is
+	// already inside the cone. Growing monotonically is sound because
+	// membership only ever adds consumers to the "inside" set.
+	queue := []NodeID{root}
+	for len(queue) > 0 {
+		g := queue[0]
+		queue = queue[1:]
+		for _, f := range c.Nodes[g].Fanin {
+			if in[f] || c.Nodes[f].IsPI || c.IsPODriver(f) {
+				continue
+			}
+			all := true
+			for _, s := range c.Nodes[f].fanout {
+				if !in[s] {
+					all = false
+					break
+				}
+			}
+			if all {
+				in[f] = true
+				cone = append(cone, f)
+				queue = append(queue, f)
+			}
+		}
+	}
+	return cone
+}
+
+// InFFC reports whether node n lies in the maximum fanout-free cone of root.
+func (c *Circuit) InFFC(root, n NodeID) bool {
+	for _, m := range c.FFC(root) {
+		if m == n {
+			return true
+		}
+	}
+	return false
+}

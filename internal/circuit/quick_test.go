@@ -1,0 +1,291 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logic"
+)
+
+// randCircuit builds a random valid circuit, possibly with dead logic.
+func randCircuit(rng *rand.Rand) *Circuit {
+	c := New("q")
+	nPI := 3 + rng.Intn(4)
+	ids := make([]NodeID, 0, 40)
+	for i := 0; i < nPI; i++ {
+		id, _ := c.AddPI("p" + string(rune('a'+i)))
+		ids = append(ids, id)
+	}
+	kinds := []logic.Kind{logic.And, logic.Or, logic.Nand, logic.Nor, logic.Xor, logic.Xnor, logic.Inv, logic.Buf, logic.Const0, logic.Const1}
+	nGates := 5 + rng.Intn(25)
+	for g := 0; g < nGates; g++ {
+		k := kinds[rng.Intn(len(kinds))]
+		n := k.MinFanin()
+		if !k.FixedFanin() && rng.Intn(3) == 0 {
+			n++
+		}
+		fanin := make([]NodeID, 0, n)
+		seen := map[NodeID]bool{}
+		for len(fanin) < n {
+			f := ids[rng.Intn(len(ids))]
+			if seen[f] {
+				if len(ids) < n+1 {
+					break
+				}
+				continue
+			}
+			seen[f] = true
+			fanin = append(fanin, f)
+		}
+		if len(fanin) < n {
+			continue
+		}
+		id, err := c.AddGate(c.FreshName("g"), k, fanin...)
+		if err != nil {
+			panic(err)
+		}
+		ids = append(ids, id)
+	}
+	// A couple of POs; leave some logic dead on purpose.
+	c.AddPO("o1", ids[len(ids)-1])
+	if rng.Intn(2) == 0 && len(ids) > nPI+2 {
+		c.AddPO("o2", ids[nPI+rng.Intn(len(ids)-nPI)])
+	}
+	return c
+}
+
+// evalAll computes every node's value for one input assignment.
+func evalAll(c *Circuit, in map[string]bool) map[string]bool {
+	vals := make([]bool, len(c.Nodes))
+	for _, pi := range c.PIs {
+		vals[pi] = in[c.Nodes[pi].Name]
+	}
+	for _, id := range c.MustTopoOrder() {
+		nd := &c.Nodes[id]
+		if nd.IsPI {
+			continue
+		}
+		args := make([]bool, len(nd.Fanin))
+		for j, f := range nd.Fanin {
+			args[j] = vals[f]
+		}
+		vals[id] = nd.Kind.Eval(args)
+	}
+	out := map[string]bool{}
+	for _, po := range c.POs {
+		out[po.Name] = vals[po.Driver]
+	}
+	return out
+}
+
+// TestQuickSweepPreservesFunction: sweeping never changes any PO value.
+func TestQuickSweepPreservesFunction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randCircuit(rng)
+		if err := c.Validate(); err != nil {
+			t.Logf("seed %d: invalid random circuit: %v", seed, err)
+			return false
+		}
+		sw, removed := c.Sweep()
+		if err := sw.Validate(); err != nil {
+			t.Logf("seed %d: swept invalid: %v", seed, err)
+			return false
+		}
+		if removed < 0 || sw.NumGates() > c.NumGates() {
+			return false
+		}
+		// Idempotence.
+		sw2, removed2 := sw.Sweep()
+		if removed2 != 0 || sw2.NumGates() != sw.NumGates() {
+			t.Logf("seed %d: sweep not idempotent", seed)
+			return false
+		}
+		for trial := 0; trial < 16; trial++ {
+			in := map[string]bool{}
+			for _, pi := range c.PIs {
+				in[c.Nodes[pi].Name] = rng.Intn(2) == 1
+			}
+			a := evalAll(c, in)
+			b := evalAll(sw, in)
+			for name, v := range a {
+				if b[name] != v {
+					t.Logf("seed %d: sweep changed PO %q", seed, name)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCloneFaithful: clones are structurally identical and isolated.
+func TestQuickCloneFaithful(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randCircuit(rng)
+		cl := c.Clone()
+		if c.String() != cl.String() {
+			return false
+		}
+		if err := cl.Validate(); err != nil {
+			return false
+		}
+		// Mutate the clone heavily; the original must be untouched.
+		before := c.String()
+		for i := range cl.Nodes {
+			nd := &cl.Nodes[i]
+			if !nd.IsPI && nd.Kind.HasControllingValue() {
+				cl.SetKind(NodeID(i), nd.Kind.Complement())
+			}
+		}
+		return c.String() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFFCSoundness: every non-root member of every MFFC fans out only
+// inside the cone, and the cone is maximal (no further gate qualifies).
+func TestQuickFFCSoundness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randCircuit(rng)
+		for i := range c.Nodes {
+			if c.Nodes[i].IsPI {
+				continue
+			}
+			cone := c.FFC(NodeID(i))
+			in := map[NodeID]bool{}
+			for _, n := range cone {
+				in[n] = true
+			}
+			if !in[NodeID(i)] {
+				t.Logf("seed %d: root missing from own cone", seed)
+				return false
+			}
+			for _, n := range cone {
+				if n == NodeID(i) {
+					continue
+				}
+				if c.IsPODriver(n) {
+					t.Logf("seed %d: PO driver inside cone", seed)
+					return false
+				}
+				for _, s := range c.Nodes[n].Fanout() {
+					if !in[s] {
+						t.Logf("seed %d: cone member escapes", seed)
+						return false
+					}
+				}
+			}
+			// Maximality: any gate feeding the cone whose entire fanout
+			// lies inside the cone must itself be in the cone.
+			for _, n := range cone {
+				for _, fan := range c.Nodes[n].Fanin {
+					fn := &c.Nodes[fan]
+					if in[fan] || fn.IsPI || c.IsPODriver(fan) {
+						continue
+					}
+					all := len(fn.Fanout()) > 0
+					for _, s := range fn.Fanout() {
+						if !in[s] {
+							all = false
+							break
+						}
+					}
+					if all {
+						t.Logf("seed %d: cone of %q not maximal (%q qualifies)", seed, c.Nodes[i].Name, fn.Name)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLevelsConsistent: levels computed by Levels agree with a direct
+// recursive definition, and topological order respects levels.
+func TestQuickLevelsConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randCircuit(rng)
+		levels := c.Levels()
+		for i := range c.Nodes {
+			nd := &c.Nodes[i]
+			if nd.IsPI || len(nd.Fanin) == 0 {
+				if levels[i] != 0 {
+					return false
+				}
+				continue
+			}
+			max := 0
+			for _, fan := range nd.Fanin {
+				if levels[fan] > max {
+					max = levels[fan]
+				}
+			}
+			if levels[i] != max+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRewireGate: rewiring to the same configuration is a no-op
+// structurally; rewiring to a different one keeps validity.
+func TestQuickRewireGate(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randCircuit(rng)
+		for i := range c.Nodes {
+			nd := &c.Nodes[i]
+			if nd.IsPI || len(nd.Fanin) != 2 || !nd.Kind.HasControllingValue() {
+				continue
+			}
+			before := c.String()
+			// Same-config rewire.
+			if err := c.RewireGate(NodeID(i), nd.Kind, append([]NodeID(nil), nd.Fanin...)); err != nil {
+				return false
+			}
+			if c.String() != before {
+				return false
+			}
+			// Collapse to BUF of pin 0, then restore.
+			origKind := nd.Kind
+			origFanin := append([]NodeID(nil), nd.Fanin...)
+			if err := c.RewireGate(NodeID(i), logic.Buf, origFanin[:1]); err != nil {
+				return false
+			}
+			if err := c.Validate(); err != nil {
+				t.Logf("seed %d: invalid after collapse: %v", seed, err)
+				return false
+			}
+			if err := c.RewireGate(NodeID(i), origKind, origFanin); err != nil {
+				return false
+			}
+			if c.String() != before {
+				t.Logf("seed %d: restore changed structure", seed)
+				return false
+			}
+			break
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,148 @@
+package circuit
+
+import "fmt"
+
+// Validate checks structural well-formedness: unique non-empty names, legal
+// kinds and arities, in-range fanin references, fanout bookkeeping consistent
+// with fanin lists, no PI with fanin, at least one PI and one PO, and
+// acyclicity. It returns the first problem found.
+func (c *Circuit) Validate() error {
+	if len(c.PIs) == 0 {
+		return fmt.Errorf("circuit %s: no primary inputs", c.Name)
+	}
+	if len(c.POs) == 0 {
+		return fmt.Errorf("circuit %s: no primary outputs", c.Name)
+	}
+	names := make(map[string]NodeID, len(c.Nodes))
+	for i := range c.Nodes {
+		nd := &c.Nodes[i]
+		if nd.Name == "" {
+			return fmt.Errorf("circuit %s: node %d has empty name", c.Name, i)
+		}
+		if prev, dup := names[nd.Name]; dup {
+			return fmt.Errorf("circuit %s: nodes %d and %d share name %q", c.Name, prev, i, nd.Name)
+		}
+		names[nd.Name] = NodeID(i)
+		if got, ok := c.byName[nd.Name]; !ok || got != NodeID(i) {
+			return fmt.Errorf("circuit %s: name index stale for %q", c.Name, nd.Name)
+		}
+		if nd.IsPI {
+			if len(nd.Fanin) != 0 {
+				return fmt.Errorf("circuit %s: PI %q has fanin", c.Name, nd.Name)
+			}
+			continue
+		}
+		if !nd.Kind.Valid() {
+			return fmt.Errorf("circuit %s: gate %q has invalid kind %d", c.Name, nd.Name, uint8(nd.Kind))
+		}
+		if err := checkArity(nd.Kind, len(nd.Fanin)); err != nil {
+			return fmt.Errorf("circuit %s: gate %q: %w", c.Name, nd.Name, err)
+		}
+		seen := make(map[NodeID]bool, len(nd.Fanin))
+		for _, f := range nd.Fanin {
+			if f < 0 || int(f) >= len(c.Nodes) {
+				return fmt.Errorf("circuit %s: gate %q: fanin %d out of range", c.Name, nd.Name, f)
+			}
+			if seen[f] {
+				return fmt.Errorf("circuit %s: gate %q: duplicate fanin %q", c.Name, nd.Name, c.Nodes[f].Name)
+			}
+			seen[f] = true
+		}
+	}
+	// PI list consistency.
+	for _, pi := range c.PIs {
+		if pi < 0 || int(pi) >= len(c.Nodes) || !c.Nodes[pi].IsPI {
+			return fmt.Errorf("circuit %s: PI list entry %d is not a PI node", c.Name, pi)
+		}
+	}
+	// PO validity.
+	poNames := make(map[string]bool, len(c.POs))
+	for _, po := range c.POs {
+		if po.Name == "" {
+			return fmt.Errorf("circuit %s: PO with empty name", c.Name)
+		}
+		if poNames[po.Name] {
+			return fmt.Errorf("circuit %s: duplicate PO name %q", c.Name, po.Name)
+		}
+		poNames[po.Name] = true
+		if po.Driver < 0 || int(po.Driver) >= len(c.Nodes) {
+			return fmt.Errorf("circuit %s: PO %q driver out of range", c.Name, po.Name)
+		}
+	}
+	// Fanout lists must mirror fanin lists exactly (as multisets).
+	type edge struct{ src, sink NodeID }
+	faninEdges := make(map[edge]int)
+	for i := range c.Nodes {
+		for _, f := range c.Nodes[i].Fanin {
+			faninEdges[edge{f, NodeID(i)}]++
+		}
+	}
+	fanoutEdges := make(map[edge]int)
+	for i := range c.Nodes {
+		for _, s := range c.Nodes[i].fanout {
+			fanoutEdges[edge{NodeID(i), s}]++
+		}
+	}
+	if len(faninEdges) != len(fanoutEdges) {
+		return fmt.Errorf("circuit %s: fanout bookkeeping inconsistent (%d fanin edges, %d fanout edges)", c.Name, len(faninEdges), len(fanoutEdges))
+	}
+	for e, n := range faninEdges {
+		if fanoutEdges[e] != n {
+			return fmt.Errorf("circuit %s: edge %q->%q count mismatch (fanin %d, fanout %d)",
+				c.Name, c.Nodes[e.src].Name, c.Nodes[e.sink].Name, n, fanoutEdges[e])
+		}
+	}
+	if _, err := c.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Sweep removes gates that cannot reach any primary output, compacting node
+// IDs. It returns a new circuit (the receiver is unchanged) and the number of
+// removed gates. PIs are always kept, even if unused, so that two circuits
+// over the same interface stay comparable.
+func (c *Circuit) Sweep() (*Circuit, int) {
+	keep := c.Reachable()
+	for _, pi := range c.PIs {
+		keep[pi] = true
+	}
+	out := New(c.Name)
+	remap := make([]NodeID, len(c.Nodes))
+	for i := range remap {
+		remap[i] = None
+	}
+	removed := 0
+	for _, id := range c.MustTopoOrder() {
+		if !keep[id] {
+			if !c.Nodes[id].IsPI {
+				removed++
+			}
+			continue
+		}
+		nd := &c.Nodes[id]
+		if nd.IsPI {
+			nid, err := out.AddPI(nd.Name)
+			if err != nil {
+				panic(err) // unreachable: names were unique in c
+			}
+			remap[id] = nid
+			continue
+		}
+		fanin := make([]NodeID, len(nd.Fanin))
+		for j, f := range nd.Fanin {
+			fanin[j] = remap[f]
+		}
+		nid, err := out.AddGate(nd.Name, nd.Kind, fanin...)
+		if err != nil {
+			panic(err)
+		}
+		remap[id] = nid
+	}
+	for _, po := range c.POs {
+		if err := out.AddPO(po.Name, remap[po.Driver]); err != nil {
+			panic(err)
+		}
+	}
+	return out, removed
+}

@@ -1,0 +1,285 @@
+// Package constrain implements the paper's overhead-management heuristics
+// (§III-D, §IV-B): the *reactive* method, which starts from a fully
+// fingerprinted design and removes modifications one at a time until a delay
+// budget is met (with random kicks when greedy removal stalls, exactly as
+// §IV-B describes), and the *proactive* method, which inserts modifications
+// only while the budget holds, using slack ordering. Table III and Fig. 7
+// are produced by running Reactive at 10 %/5 %/1 % delay budgets.
+package constrain
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/sta"
+)
+
+// Options configures a constraint run.
+type Options struct {
+	// Library prices the netlist; required.
+	Library *cell.Library
+	// DelayBudget is the allowed fractional delay overhead (0.10 = +10 %).
+	DelayBudget float64
+	// Seed drives the random kicks of the reactive method.
+	Seed int64
+}
+
+// Result reports a constrained fingerprinting outcome.
+type Result struct {
+	// Assignment holds the surviving modifications.
+	Assignment core.Assignment
+	// Kept and Removed count modifications relative to the starting set.
+	Kept, Removed int
+	// FingerprintReduction is Removed / (Kept+Removed) — Table III column 1.
+	FingerprintReduction float64
+	// Base, Final are the metrics of the unfingerprinted design and of the
+	// constrained fingerprinted design.
+	Base, Final core.Metrics
+	// Overhead is Final vs Base — Table III columns 2–4.
+	Overhead core.Overhead
+	// Rounds counts greedy iterations; STACalls counts timing evaluations
+	// (reported so the heuristics' costs can be compared).
+	Rounds, STACalls int
+}
+
+const slackEps = 1e-9
+
+// Reactive prunes a fully (or partially) fingerprinted design down to the
+// delay budget. It returns the surviving assignment and its metrics.
+//
+// Each round evaluates, for every *candidate* modification — one whose
+// target gate or literal sources touch the critical path; removing any
+// other modification provably cannot reduce the delay — the delay after
+// removal, and permanently removes the best one. If no candidate improves
+// the delay, a random candidate is removed instead (the paper: "random
+// fingerprint locations were removed until a better delay could be achieved
+// again"). The loop stops as soon as the budget is met; it always
+// terminates because every round removes one modification.
+func Reactive(a *core.Analysis, start core.Assignment, opts Options) (*Result, error) {
+	if opts.Library == nil {
+		return nil, fmt.Errorf("constrain: Options.Library is required")
+	}
+	base, err := core.Measure(a.Circuit, opts.Library)
+	if err != nil {
+		return nil, err
+	}
+	budget := base.Delay * (1 + opts.DelayBudget)
+	w, err := core.NewWorking(a, start)
+	if err != nil {
+		return nil, err
+	}
+	// Incremental timing carries the per-candidate trials; the full
+	// analysis below runs once per round to refresh slacks for candidate
+	// filtering.
+	inc, err := sta.NewIncremental(w.C, opts.Library)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	res := &Result{}
+	startCount := start.CountActive()
+
+	// toggle flips modification m and updates incremental timing.
+	toggle := func(m int, enable bool) error {
+		var err error
+		if enable {
+			err = w.Enable(m)
+		} else {
+			err = w.Disable(m)
+		}
+		if err != nil {
+			return err
+		}
+		return inc.Update(w.ModAffected(m)...)
+	}
+
+	for {
+		tm, err := sta.Analyze(w.C, opts.Library)
+		if err != nil {
+			return nil, err
+		}
+		res.STACalls++
+		if tm.Delay <= budget+slackEps || w.ActiveCount() == 0 {
+			break
+		}
+		res.Rounds++
+		cands := candidates(a, w, tm)
+		if len(cands) == 0 {
+			// Should not happen while delay > budget (some mod must touch
+			// the critical path, otherwise delay would equal the base
+			// delay ≤ budget); fall back to any active mod for safety.
+			for i := range w.Mods {
+				if w.Active(i) {
+					cands = append(cands, i)
+				}
+			}
+		}
+		// Trial-remove every candidate, tracking the best delay.
+		best, bestDelay := -1, math.Inf(1)
+		for _, m := range cands {
+			if err := toggle(m, false); err != nil {
+				return nil, err
+			}
+			d := inc.Delay()
+			res.STACalls++
+			if d < bestDelay {
+				best, bestDelay = m, d
+			}
+			if err := toggle(m, true); err != nil {
+				return nil, err
+			}
+		}
+		if best < 0 || bestDelay >= tm.Delay-slackEps {
+			// Greedy stall: random kick.
+			best = cands[rng.Intn(len(cands))]
+		}
+		if err := toggle(best, false); err != nil {
+			return nil, err
+		}
+	}
+	return summarize(a, w, opts.Library, base, startCount, res)
+}
+
+// candidates returns the active modifications whose removal could shorten
+// the critical path: those touching a zero-slack node.
+func candidates(a *core.Analysis, w *core.Working, tm *sta.Timing) []int {
+	var out []int
+	for i := range w.Mods {
+		if !w.Active(i) {
+			continue
+		}
+		if modTouchesCritical(a, w, i, tm) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// modTouchesCritical reports whether modification m involves a node with
+// (near-)zero slack in timing tm: the modified target gate itself, the
+// literal source signals it loads, or its helper inverters.
+func modTouchesCritical(a *core.Analysis, w *core.Working, m int, tm *sta.Timing) bool {
+	mod := &w.Mods[m]
+	loc := &a.Locations[mod.Loc]
+	tgt := &loc.Targets[mod.Target]
+	variant := &tgt.Variants[mod.Variant]
+	if tm.Slack[tgt.Gate] <= slackEps {
+		return true
+	}
+	for _, l := range variant.Lits {
+		if tm.Slack[l.Node] <= slackEps {
+			return true
+		}
+	}
+	for _, p := range w.ModPins(m) {
+		if tm.Slack[p] <= slackEps {
+			return true
+		}
+	}
+	return false
+}
+
+// Proactive builds a constrained fingerprint bottom-up (§III-D): candidate
+// modifications are ordered by the slack of their target gate (largest
+// first, i.e. farthest from the critical path) and enabled one at a time;
+// a modification that pushes the delay past the budget is rolled back. This
+// scales better than Reactive — one timing check per candidate — at the
+// cost of a possibly smaller surviving fingerprint.
+func Proactive(a *core.Analysis, opts Options) (*Result, error) {
+	if opts.Library == nil {
+		return nil, fmt.Errorf("constrain: Options.Library is required")
+	}
+	base, err := core.Measure(a.Circuit, opts.Library)
+	if err != nil {
+		return nil, err
+	}
+	budget := base.Delay * (1 + opts.DelayBudget)
+
+	// Start from everything applied, then order by baseline slack.
+	full := core.FullAssignment(a)
+	w, err := core.NewWorking(a, full)
+	if err != nil {
+		return nil, err
+	}
+	for i := range w.Mods {
+		if err := w.Disable(i); err != nil {
+			return nil, err
+		}
+	}
+	tm, err := sta.Analyze(w.C, opts.Library)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{STACalls: 1}
+	order := make([]int, len(w.Mods))
+	for i := range order {
+		order[i] = i
+	}
+	slackOf := func(m int) float64 {
+		mod := &w.Mods[m]
+		return tm.Slack[a.Locations[mod.Loc].Targets[mod.Target].Gate]
+	}
+	sortBySlackDesc(order, slackOf)
+
+	for _, m := range order {
+		if err := w.Enable(m); err != nil {
+			return nil, err
+		}
+		d, err := sta.Delay(w.C, opts.Library)
+		if err != nil {
+			return nil, err
+		}
+		res.STACalls++
+		res.Rounds++
+		if d > budget+slackEps {
+			if err := w.Disable(m); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return summarize(a, w, opts.Library, base, len(w.Mods), res)
+}
+
+func sortBySlackDesc(order []int, slackOf func(int) float64) {
+	// Insertion sort keeps this dependency-free and stable; candidate
+	// counts are in the hundreds.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && slackOf(order[j]) > slackOf(order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+}
+
+func summarize(a *core.Analysis, w *core.Working, lib *cell.Library, base core.Metrics, startCount int, res *Result) (*Result, error) {
+	snap, err := w.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	final, err := core.Measure(snap, lib)
+	if err != nil {
+		return nil, err
+	}
+	res.Assignment = w.Assignment()
+	res.Kept = w.ActiveCount()
+	res.Removed = startCount - res.Kept
+	if startCount > 0 {
+		res.FingerprintReduction = float64(res.Removed) / float64(startCount)
+	}
+	res.Base = base
+	res.Final = final
+	res.Overhead = core.OverheadOf(base, final)
+	return res, nil
+}
+
+// Verify re-checks that the constrained result still meets the budget
+// (invariant #7 of DESIGN.md): Final.Delay ≤ (1+budget)·Base.Delay.
+func (r *Result) Verify(budget float64) error {
+	limit := r.Base.Delay * (1 + budget)
+	if r.Final.Delay > limit+slackEps {
+		return fmt.Errorf("constrain: final delay %.4f exceeds budget %.4f", r.Final.Delay, limit)
+	}
+	return nil
+}

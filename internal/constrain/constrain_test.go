@@ -1,0 +1,266 @@
+package constrain
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/sim"
+	"repro/internal/sta"
+)
+
+// buildTestCircuit makes a random mapped circuit with plenty of fingerprint
+// locations.
+func buildTestCircuit(t testing.TB, seed int64, nGates int) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := circuit.New("t")
+	ids := make([]circuit.NodeID, 0, nGates+8)
+	for i := 0; i < 8; i++ {
+		id, _ := c.AddPI("pi" + string(rune('a'+i)))
+		ids = append(ids, id)
+	}
+	kinds := []logic.Kind{logic.And, logic.Or, logic.Nand, logic.Nor, logic.Inv, logic.Xor}
+	for g := 0; g < nGates; g++ {
+		k := kinds[rng.Intn(len(kinds))]
+		n := k.MinFanin()
+		fanin := make([]circuit.NodeID, 0, n)
+		seen := map[circuit.NodeID]bool{}
+		for len(fanin) < n {
+			idx := len(ids) - 1 - rng.Intn(minInt(len(ids), 6))
+			f := ids[idx]
+			if seen[f] {
+				idx = rng.Intn(len(ids))
+				f = ids[idx]
+				if seen[f] {
+					continue
+				}
+			}
+			seen[f] = true
+			fanin = append(fanin, f)
+		}
+		id, err := c.AddGate(c.FreshName("g"), k, fanin...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := c.AddPO("o1", ids[len(ids)-1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddPO("o2", ids[len(ids)-3]); err != nil {
+		t.Fatal(err)
+	}
+	sw, _ := c.Sweep()
+	return sw
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func analyzed(t testing.TB, c *circuit.Circuit) *core.Analysis {
+	a, err := core.Analyze(c, core.DefaultOptions(cell.Default()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestReactiveMeetsBudget(t *testing.T) {
+	lib := cell.Default()
+	for _, budget := range []float64{0.10, 0.05, 0.01} {
+		c := buildTestCircuit(t, 7, 120)
+		a := analyzed(t, c)
+		if a.NumLocations() < 3 {
+			t.Skip("too few locations in sample")
+		}
+		r, err := Reactive(a, core.FullAssignment(a), Options{Library: lib, DelayBudget: budget, Seed: 1})
+		if err != nil {
+			t.Fatalf("budget %.2f: %v", budget, err)
+		}
+		if err := r.Verify(budget); err != nil {
+			t.Errorf("budget %.2f: %v", budget, err)
+		}
+		if r.Kept+r.Removed != a.NumLocations() {
+			t.Errorf("budget %.2f: kept %d + removed %d != %d locations", budget, r.Kept, r.Removed, a.NumLocations())
+		}
+		if r.FingerprintReduction < 0 || r.FingerprintReduction > 1 {
+			t.Errorf("reduction %.2f out of range", r.FingerprintReduction)
+		}
+		// The surviving fingerprint must still be functionally invisible.
+		fp, err := core.Embed(a, r.Assignment)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq, mm, err := sim.EquivalentExhaustive(a.Circuit, fp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Fatalf("budget %.2f: constrained fingerprint changed function: %v", budget, mm)
+		}
+	}
+}
+
+func TestTighterBudgetKeepsFewer(t *testing.T) {
+	lib := cell.Default()
+	c := buildTestCircuit(t, 11, 150)
+	a := analyzed(t, c)
+	if a.NumLocations() < 5 {
+		t.Skip("too few locations")
+	}
+	kept := map[float64]int{}
+	for _, budget := range []float64{1.0, 0.10, 0.01} {
+		r, err := Reactive(a, core.FullAssignment(a), Options{Library: lib, DelayBudget: budget, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		kept[budget] = r.Kept
+	}
+	// A huge budget keeps everything.
+	if kept[1.0] != a.NumLocations() {
+		t.Errorf("100%% budget removed modifications: kept %d of %d", kept[1.0], a.NumLocations())
+	}
+	if kept[0.01] > kept[0.10] {
+		t.Errorf("1%% budget kept more than 10%%: %d vs %d", kept[0.01], kept[0.10])
+	}
+}
+
+func TestReactiveZeroBudget(t *testing.T) {
+	// Budget 0: result must not exceed the base delay at all. The loop may
+	// remove everything; that is a legal outcome.
+	lib := cell.Default()
+	c := buildTestCircuit(t, 13, 100)
+	a := analyzed(t, c)
+	r, err := Reactive(a, core.FullAssignment(a), Options{Library: lib, DelayBudget: 0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Verify(0); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProactiveMeetsBudget(t *testing.T) {
+	lib := cell.Default()
+	for _, budget := range []float64{0.10, 0.01} {
+		c := buildTestCircuit(t, 17, 120)
+		a := analyzed(t, c)
+		if a.NumLocations() < 3 {
+			t.Skip("too few locations")
+		}
+		r, err := Proactive(a, Options{Library: lib, DelayBudget: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Verify(budget); err != nil {
+			t.Errorf("budget %.2f: %v", budget, err)
+		}
+		fp, err := core.Embed(a, r.Assignment)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq, _, err := sim.EquivalentExhaustive(a.Circuit, fp)
+		if err != nil || !eq {
+			t.Fatalf("proactive fingerprint changed function")
+		}
+		// Proactive costs one STA per candidate (+1 baseline).
+		if r.STACalls != a.NumLocations()+1 {
+			t.Errorf("proactive STA calls = %d, want %d", r.STACalls, a.NumLocations()+1)
+		}
+	}
+}
+
+func TestProactiveKeepsSomethingUnderLooseBudget(t *testing.T) {
+	lib := cell.Default()
+	c := buildTestCircuit(t, 19, 150)
+	a := analyzed(t, c)
+	if a.NumLocations() < 5 {
+		t.Skip("too few locations")
+	}
+	r, err := Proactive(a, Options{Library: lib, DelayBudget: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kept != a.NumLocations() {
+		t.Errorf("100%% budget: proactive kept %d of %d", r.Kept, a.NumLocations())
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	c := buildTestCircuit(t, 23, 40)
+	a := analyzed(t, c)
+	if _, err := Reactive(a, core.FullAssignment(a), Options{}); err == nil {
+		t.Error("Reactive without library accepted")
+	}
+	if _, err := Proactive(a, Options{}); err == nil {
+		t.Error("Proactive without library accepted")
+	}
+}
+
+// TestIncrementalAgreesWithFullSTA guards the ModAffected contract: if a
+// fingerprint toggle touched any node not reported to the incremental
+// engine, its delay would silently drift from a full analysis. Toggle every
+// modification on and off in random order and compare after each step.
+func TestIncrementalAgreesWithFullSTA(t *testing.T) {
+	lib := cell.Default()
+	c := buildTestCircuit(t, 37, 140)
+	a := analyzed(t, c)
+	if a.NumLocations() < 5 {
+		t.Skip("too few locations")
+	}
+	w, err := core.NewWorking(a, core.FullAssignment(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := sta.NewIncremental(w.C, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for step := 0; step < 3*len(w.Mods); step++ {
+		m := rng.Intn(len(w.Mods))
+		if w.Active(m) {
+			if err := w.Disable(m); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := w.Enable(m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := inc.Update(w.ModAffected(m)...); err != nil {
+			t.Fatal(err)
+		}
+		full, err := sta.Delay(w.C, lib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := inc.Delay() - full; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("step %d (mod %d): incremental %.9f vs full %.9f", step, m, inc.Delay(), full)
+		}
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	lib := cell.Default()
+	c := buildTestCircuit(t, 29, 120)
+	a := analyzed(t, c)
+	r1, err := Reactive(a, core.FullAssignment(a), Options{Library: lib, DelayBudget: 0.02, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Reactive(a, core.FullAssignment(a), Options{Library: lib, DelayBudget: 0.02, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Kept != r2.Kept || r1.Final.Delay != r2.Final.Delay {
+		t.Error("same seed produced different results")
+	}
+}

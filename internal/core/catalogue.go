@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// This file materialises the modification lookup table the paper references
+// but never prints ("An example of this exists for the library we used, in
+// Table II, later in this section" — the printed Table II holds results
+// instead; see DESIGN.md §6). Catalogue enumerates, for every (primary
+// gate, target gate) kind pair, the legal modification with the trigger
+// literal polarity derived in mods.go, both as structured rows and as a
+// rendered table (surfaced by `odcfp catalogue`). A consistency test
+// verifies every row against the live analyzer on a synthesised micro
+// circuit.
+
+// CatalogueRow is one entry of the reconstructed lookup table.
+type CatalogueRow struct {
+	// Primary is the fingerprint location's primary gate kind (gate 2).
+	Primary logic.Kind
+	// Target is the FFC gate being modified (gate 1).
+	Target logic.Kind
+	// TriggerValue is the primary's controlling value: the trigger X
+	// activates the ODC when it carries this value.
+	TriggerValue bool
+	// LiteralNeg is true when the trigger literal is added complemented.
+	LiteralNeg bool
+	// NewKind is the target's kind after modification.
+	NewKind logic.Kind
+	// Change is the human-readable description.
+	Change string
+}
+
+// Catalogue returns the full reconstructed table: 4 primary kinds ×
+// (4 literal-append targets + 2 single-input targets with 2 conversion
+// forms each) = 32 rows.
+func Catalogue() []CatalogueRow {
+	primaries := []logic.Kind{logic.And, logic.Nand, logic.Or, logic.Nor}
+	appendTargets := []logic.Kind{logic.And, logic.Nand, logic.Or, logic.Nor}
+	var rows []CatalogueRow
+	for _, p := range primaries {
+		cv, _ := p.ControllingValue()
+		nonTrigger := !cv
+		for _, tgt := range appendTargets {
+			id, _ := tgt.IdentityValue()
+			neg := litNeg(nonTrigger, id)
+			rows = append(rows, CatalogueRow{
+				Primary:      p,
+				Target:       tgt,
+				TriggerValue: cv,
+				LiteralNeg:   neg,
+				NewKind:      tgt,
+				Change:       fmt.Sprintf("append %s as an extra input", lit(neg)),
+			})
+		}
+		// Single-input conversions: (kind needing literal=1 at ¬cv,
+		// kind needing literal=0 at ¬cv).
+		for _, tgt := range []logic.Kind{logic.Inv, logic.Buf} {
+			var forms []logic.Kind
+			if tgt == logic.Inv {
+				forms = []logic.Kind{logic.Nand, logic.Nor}
+			} else {
+				forms = []logic.Kind{logic.And, logic.Or}
+			}
+			for _, nk := range forms {
+				id, _ := nk.IdentityValue()
+				neg := litNeg(nonTrigger, id)
+				rows = append(rows, CatalogueRow{
+					Primary:      p,
+					Target:       tgt,
+					TriggerValue: cv,
+					LiteralNeg:   neg,
+					NewKind:      nk,
+					Change:       fmt.Sprintf("convert %v(a) to %v(a, %s)", tgt, nk, lit(neg)),
+				})
+			}
+		}
+	}
+	return rows
+}
+
+func lit(neg bool) string {
+	if neg {
+		return "X'"
+	}
+	return "X"
+}
+
+// CatalogueString renders the table for documentation and the CLI.
+func CatalogueString() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-7s | %-8s | %-28s\n", "primary", "trigger", "target", "modification")
+	b.WriteString(strings.Repeat("-", 60) + "\n")
+	var last logic.Kind = logic.NumKinds
+	for _, r := range Catalogue() {
+		if r.Primary != last && last != logic.NumKinds {
+			b.WriteString(strings.Repeat("-", 60) + "\n")
+		}
+		last = r.Primary
+		tv := "X=0"
+		if r.TriggerValue {
+			tv = "X=1"
+		}
+		fmt.Fprintf(&b, "%-8v %-7s | %-8v | %-28s\n", r.Primary, tv, r.Target, r.Change)
+	}
+	return b.String()
+}

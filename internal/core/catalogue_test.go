@@ -1,0 +1,166 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/circuit"
+	"repro/internal/logic"
+	"repro/internal/sim"
+)
+
+func TestCatalogueShape(t *testing.T) {
+	rows := Catalogue()
+	if len(rows) != 32 {
+		t.Fatalf("catalogue has %d rows, want 32 (4 primaries × 8 target forms)", len(rows))
+	}
+	// Spot-check hand-derived entries.
+	find := func(p, tgt, nk logic.Kind) *CatalogueRow {
+		for i := range rows {
+			if rows[i].Primary == p && rows[i].Target == tgt && rows[i].NewKind == nk {
+				return &rows[i]
+			}
+		}
+		t.Fatalf("no row for primary %v target %v newkind %v", p, tgt, nk)
+		return nil
+	}
+	// AND primary (cv = 0, non-trigger X = 1):
+	//   AND target (identity 1) → literal X (positive): the paper's Fig. 1.
+	if r := find(logic.And, logic.And, logic.And); r.LiteralNeg || r.TriggerValue {
+		t.Errorf("AND/AND row wrong: %+v", r)
+	}
+	//   OR target (identity 0) → literal X'.
+	if r := find(logic.And, logic.Or, logic.Or); !r.LiteralNeg {
+		t.Errorf("AND/OR row wrong: %+v", r)
+	}
+	// OR primary (cv = 1, non-trigger X = 0):
+	//   AND target → X'.
+	if r := find(logic.Or, logic.And, logic.And); !r.LiteralNeg || !r.TriggerValue {
+		t.Errorf("OR/AND row wrong: %+v", r)
+	}
+	//   NOR target → X.
+	if r := find(logic.Or, logic.Nor, logic.Nor); r.LiteralNeg {
+		t.Errorf("OR/NOR row wrong: %+v", r)
+	}
+	// INV conversions under AND primary: NAND gets X, NOR gets X'.
+	if r := find(logic.And, logic.Inv, logic.Nand); r.LiteralNeg {
+		t.Errorf("AND/INV→NAND row wrong: %+v", r)
+	}
+	if r := find(logic.And, logic.Inv, logic.Nor); !r.LiteralNeg {
+		t.Errorf("AND/INV→NOR row wrong: %+v", r)
+	}
+	s := CatalogueString()
+	for _, frag := range []string{"primary", "append X", "convert INV(a)", "NAND"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("CatalogueString missing %q", frag)
+		}
+	}
+}
+
+// TestCatalogueMatchesAnalyzer synthesises, for every catalogue row, a
+// micro-circuit with that exact (primary, target) pair, runs the live
+// analyzer and checks the produced variant agrees with the table — then
+// embeds it and proves equivalence exhaustively. The catalogue and the
+// analyzer can therefore never drift apart.
+func TestCatalogueMatchesAnalyzer(t *testing.T) {
+	lib := cell.Default()
+	for _, row := range Catalogue() {
+		row := row
+		name := row.Primary.String() + "/" + row.Target.String() + "->" + row.NewKind.String()
+		t.Run(name, func(t *testing.T) {
+			c := buildPair(t, row.Primary, row.Target)
+			a, err := Analyze(c, Options{Library: lib, AllowConvert: true, AllowReroute: false})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a.Locations) != 1 {
+				t.Fatalf("%d locations, want 1", len(a.Locations))
+			}
+			loc := a.Locations[0]
+			if c.Nodes[loc.Primary].Kind != row.Primary {
+				t.Fatalf("primary kind %v", c.Nodes[loc.Primary].Kind)
+			}
+			if loc.TriggerValue != row.TriggerValue {
+				t.Errorf("trigger value %v, catalogue says %v", loc.TriggerValue, row.TriggerValue)
+			}
+			// Find the target gate named "t".
+			var tgt *Target
+			var tIdx int
+			for j := range loc.Targets {
+				if c.Nodes[loc.Targets[j].Gate].Name == "t" {
+					tgt = &loc.Targets[j]
+					tIdx = j
+				}
+			}
+			if tgt == nil {
+				t.Fatal("target gate not offered")
+			}
+			// Find the variant with the row's NewKind.
+			vIdx := -1
+			for v := range tgt.Variants {
+				if tgt.Variants[v].NewGateKind == row.NewKind {
+					vIdx = v
+				}
+			}
+			if vIdx < 0 {
+				t.Fatalf("no variant with kind %v (have %+v)", row.NewKind, tgt.Variants)
+			}
+			variant := tgt.Variants[vIdx]
+			if len(variant.Lits) != 1 || variant.Lits[0].Neg != row.LiteralNeg {
+				t.Errorf("literal polarity: got neg=%v, catalogue neg=%v", variant.Lits[0].Neg, row.LiteralNeg)
+			}
+			if variant.Lits[0].Node != loc.Trigger {
+				t.Error("literal is not the trigger")
+			}
+			// Embed and prove.
+			asg := EmptyAssignment(a)
+			asg[0][tIdx] = vIdx
+			fp, err := Embed(a, asg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eq, mm, err := sim.EquivalentExhaustive(c, fp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !eq {
+				t.Fatalf("catalogue row changed function: %v", mm)
+			}
+		})
+	}
+}
+
+// buildPair constructs: primary gate "p" of kind pk reading target cone
+// root "t" (the only fanout-free fanin) and a PI trigger "x".
+// For multi-input targets, t reads PIs a, b; for single-input targets,
+// t reads a deeper gate "u" = AND(a, b) so the cone is non-trivial.
+func buildPair(t *testing.T, pk, tk logic.Kind) *circuit.Circuit {
+	t.Helper()
+	c := circuit.New("pair")
+	a, _ := c.AddPI("a")
+	b, _ := c.AddPI("b")
+	x, _ := c.AddPI("x")
+	var tgt circuit.NodeID
+	var err error
+	if tk.SingleInput() {
+		u, err2 := c.AddGate("u", logic.And, a, b)
+		if err2 != nil {
+			t.Fatal(err2)
+		}
+		tgt, err = c.AddGate("t", tk, u)
+	} else {
+		tgt, err = c.AddGate("t", tk, a, b)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.AddGate("p", pk, tgt, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddPO("o", p); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"repro/internal/cell"
+	"repro/internal/circuit"
+	"repro/internal/power"
+	"repro/internal/sta"
+)
+
+// Metrics are the design-quality figures the paper reports per circuit
+// (Table II columns 2–5): gate count, cell area, critical-path delay and
+// total power.
+type Metrics struct {
+	Gates int
+	Area  float64
+	Delay float64
+	Power float64
+}
+
+// Measure computes the metrics of c under library lib.
+func Measure(c *circuit.Circuit, lib *cell.Library) (Metrics, error) {
+	area, err := cell.Area(lib, c)
+	if err != nil {
+		return Metrics{}, err
+	}
+	delay, err := sta.Delay(c, lib)
+	if err != nil {
+		return Metrics{}, err
+	}
+	pw, err := power.Total(c, lib)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return Metrics{Gates: c.NumGates(), Area: area, Delay: delay, Power: pw}, nil
+}
+
+// Overhead expresses the relative cost of a fingerprinted instance against
+// its base design (Table II columns 8–10); each field is fractional
+// (0.1 = +10 %).
+type Overhead struct {
+	Area  float64
+	Delay float64
+	Power float64
+}
+
+// OverheadOf computes (modified − base) / base per metric. Zero base metrics
+// yield zero overhead rather than dividing by zero.
+func OverheadOf(base, modified Metrics) Overhead {
+	frac := func(b, m float64) float64 {
+		if b == 0 {
+			return 0
+		}
+		return (m - b) / b
+	}
+	return Overhead{
+		Area:  frac(base.Area, modified.Area),
+		Delay: frac(base.Delay, modified.Delay),
+		Power: frac(base.Power, modified.Power),
+	}
+}

@@ -1,0 +1,361 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§V) on the synthetic benchmark suite:
+//
+//	Table II — per-circuit metrics, fingerprint capacity and overheads of
+//	           full fingerprinting (RunTable2);
+//	Table III — average overheads after the reactive delay-constrained
+//	           heuristic at 10 %/5 %/1 % budgets (RunTable3);
+//	Fig. 7  — per-circuit fingerprint sizes before and after constraints
+//	           (RunFig7).
+//
+// The paper's published numbers ship alongside (paperdata.go) so every
+// report prints measured-vs-paper, which EXPERIMENTS.md records.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/cell"
+	"repro/internal/constrain"
+	"repro/internal/core"
+)
+
+// Table2Row is one measured row of Table II plus its paper counterpart.
+type Table2Row struct {
+	Name       string
+	Gates      int
+	Area       float64
+	Delay      float64
+	Power      float64
+	Locations  int
+	Log2Combos float64
+	AreaOvh    float64
+	DelayOvh   float64
+	PowerOvh   float64
+	Paper      PaperRow
+}
+
+// RunTable2 fingerprints every named benchmark fully (the paper's
+// "maximum fingerprint size" configuration) and reports Table II. A nil
+// names slice runs the entire suite in paper order.
+func RunTable2(names []string, lib *cell.Library) ([]Table2Row, error) {
+	if names == nil {
+		names = bench.Names()
+	}
+	rows := make([]Table2Row, 0, len(names))
+	for _, name := range names {
+		spec, err := bench.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		c := spec.Build()
+		res, err := core.Fingerprint(c, lib, nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		cap := res.Analysis.Capacity()
+		rows = append(rows, Table2Row{
+			Name:       name,
+			Gates:      res.Base.Gates,
+			Area:       res.Base.Area,
+			Delay:      res.Base.Delay,
+			Power:      res.Base.Power,
+			Locations:  cap.Locations,
+			Log2Combos: cap.Log2Combos,
+			AreaOvh:    res.Overhead.Area,
+			DelayOvh:   res.Overhead.Delay,
+			PowerOvh:   res.Overhead.Power,
+			Paper:      PaperTable2[name],
+		})
+	}
+	return rows, nil
+}
+
+// Averages of the overhead columns (the paper's "Avg Change" row).
+func AverageOverheads(rows []Table2Row) (area, delay, power float64) {
+	n := 0
+	for _, r := range rows {
+		area += r.AreaOvh
+		delay += r.DelayOvh
+		power += r.PowerOvh
+		n++
+	}
+	if n == 0 {
+		return 0, 0, 0
+	}
+	return area / float64(n), delay / float64(n), power / float64(n)
+}
+
+// FormatTable2 renders measured-vs-paper rows as an aligned text table.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s | %6s %9s %7s %9s | %5s %8s | %7s %7s %7s | paper: %5s %8s %7s %7s %7s\n",
+		"name", "gates", "area", "delay", "power", "locs", "log2",
+		"area%", "delay%", "power%", "locs", "log2", "area%", "delay%", "power%")
+	b.WriteString(strings.Repeat("-", 140) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6s | %6d %9.0f %7.3f %9.1f | %5d %8.2f | %7.2f %7.2f %7.2f | paper: %5d %8.2f %7.2f %7.2f %7s\n",
+			r.Name, r.Gates, r.Area, r.Delay, r.Power, r.Locations, r.Log2Combos,
+			100*r.AreaOvh, 100*r.DelayOvh, 100*r.PowerOvh,
+			r.Paper.Locations, r.Paper.Log2Combos,
+			100*r.Paper.AreaOvh, 100*r.Paper.DelayOvh, pct(r.Paper.PowerOvh))
+	}
+	a, d, p := AverageOverheads(rows)
+	fmt.Fprintf(&b, "%-6s | %6s %9s %7s %9s | %5s %8s | %7.2f %7.2f %7.2f | paper: %5s %8s %7.2f %7.2f %7.2f\n",
+		"AVG", "", "", "", "", "", "", 100*a, 100*d, 100*p, "", "",
+		100*PaperTable2Avg.AreaOvh, 100*PaperTable2Avg.DelayOvh, 100*PaperTable2Avg.PowerOvh)
+	return b.String()
+}
+
+func pct(f float64) string {
+	if math.IsNaN(f) {
+		return "N/A"
+	}
+	return fmt.Sprintf("%.2f", 100*f)
+}
+
+// Table3Row is one measured row of Table III (averages across circuits at
+// one delay budget) plus the paper's row.
+type Table3Row struct {
+	Budget    float64
+	Reduction float64
+	AreaOvh   float64
+	DelayOvh  float64
+	PowerOvh  float64
+	Paper     PaperTable3Row
+	// PerCircuit carries the per-benchmark results behind the averages
+	// (used by Fig. 7).
+	PerCircuit map[string]*constrain.Result
+}
+
+// RunTable3 applies the reactive delay-constrained heuristic at each budget
+// across the named benchmarks and averages the results (the paper's Table
+// III). A nil names slice runs the whole suite; nil budgets means the
+// paper's 10 %/5 %/1 %.
+func RunTable3(names []string, budgets []float64, lib *cell.Library, seed int64) ([]Table3Row, error) {
+	if names == nil {
+		names = bench.Names()
+	}
+	if budgets == nil {
+		budgets = []float64{0.10, 0.05, 0.01}
+	}
+	// Analyse each circuit once; reuse across budgets.
+	type prep struct {
+		name string
+		a    *core.Analysis
+	}
+	preps := make([]prep, 0, len(names))
+	for _, name := range names {
+		spec, err := bench.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		c := spec.Build()
+		a, err := core.Analyze(c, core.DefaultOptions(lib))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		preps = append(preps, prep{name, a})
+	}
+	rows := make([]Table3Row, 0, len(budgets))
+	for _, budget := range budgets {
+		row := Table3Row{Budget: budget, PerCircuit: make(map[string]*constrain.Result, len(preps))}
+		for _, p := range preps {
+			res, err := constrain.Reactive(p.a, core.FullAssignment(p.a),
+				constrain.Options{Library: lib, DelayBudget: budget, Seed: seed})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s@%g: %w", p.name, budget, err)
+			}
+			row.PerCircuit[p.name] = res
+			row.Reduction += res.FingerprintReduction
+			row.AreaOvh += res.Overhead.Area
+			row.DelayOvh += res.Overhead.Delay
+			row.PowerOvh += res.Overhead.Power
+		}
+		n := float64(len(preps))
+		row.Reduction /= n
+		row.AreaOvh /= n
+		row.DelayOvh /= n
+		row.PowerOvh /= n
+		for _, pr := range PaperTable3 {
+			if pr.Budget == budget {
+				row.Paper = pr
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable3 renders the Table III comparison.
+func FormatTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s | %9s %7s %7s %7s | paper: %9s %7s %7s %7s\n",
+		"delay constraint", "fp-red%", "area%", "delay%", "power%", "fp-red%", "area%", "delay%", "power%")
+	b.WriteString(strings.Repeat("-", 104) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s | %9.2f %7.2f %7.2f %7.2f | paper: %9.2f %7.2f %7.2f %7.2f\n",
+			fmt.Sprintf("%.0f%% budget", 100*r.Budget),
+			100*r.Reduction, 100*r.AreaOvh, 100*r.DelayOvh, 100*r.PowerOvh,
+			100*r.Paper.Reduction, 100*r.Paper.AreaOvh, 100*r.Paper.DelayOvh, 100*r.Paper.PowerOvh)
+	}
+	return b.String()
+}
+
+// Fig7Series holds the Fig. 7 data: per circuit, the fingerprint size in
+// bits (log₂ of the surviving combination space) unconstrained and at each
+// delay budget.
+type Fig7Series struct {
+	Budgets []float64
+	// Bits[name][0] is unconstrained; Bits[name][1+i] is at Budgets[i].
+	Bits  map[string][]float64
+	Order []string
+}
+
+// RunFig7 computes the Fig. 7 fingerprint-size comparison from a Table III
+// run (reusing its per-circuit results to avoid re-running the heuristic).
+func RunFig7(names []string, table3 []Table3Row, lib *cell.Library) (*Fig7Series, error) {
+	if names == nil {
+		names = bench.Names()
+	}
+	fig := &Fig7Series{Bits: make(map[string][]float64), Order: names}
+	for _, r := range table3 {
+		fig.Budgets = append(fig.Budgets, r.Budget)
+	}
+	for _, name := range names {
+		spec, err := bench.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		c := spec.Build()
+		a, err := core.Analyze(c, core.DefaultOptions(lib))
+		if err != nil {
+			return nil, err
+		}
+		series := []float64{a.Capacity().Log2Combos}
+		for _, r := range table3 {
+			res, ok := r.PerCircuit[name]
+			if !ok {
+				return nil, fmt.Errorf("experiments: Fig7: no Table III result for %s@%g", name, r.Budget)
+			}
+			series = append(series, survivingBits(a, res.Assignment))
+		}
+		fig.Bits[name] = series
+	}
+	return fig, nil
+}
+
+// survivingBits computes the capacity (log₂ combinations) of the locations
+// whose modification survived the constraint run: the designer can fill
+// exactly those locations with fingerprint data afterwards.
+func survivingBits(a *core.Analysis, asg core.Assignment) float64 {
+	bits := 0.0
+	for i := range asg {
+		kept := false
+		for _, v := range asg[i] {
+			if v >= 0 {
+				kept = true
+			}
+		}
+		if !kept {
+			continue
+		}
+		for j := range a.Locations[i].Targets {
+			bits += math.Log2(float64(1 + len(a.Locations[i].Targets[j].Variants)))
+		}
+	}
+	return bits
+}
+
+// FormatFig7 renders the Fig. 7 series as a text table (one row per
+// circuit, one column per constraint level).
+func FormatFig7(f *Fig7Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s | %12s", "name", "unconstrained")
+	for _, bud := range f.Budgets {
+		fmt.Fprintf(&b, " %9s", fmt.Sprintf("%.0f%%", 100*bud))
+	}
+	b.WriteString("   (fingerprint bits)\n")
+	b.WriteString(strings.Repeat("-", 24+10*len(f.Budgets)) + "\n")
+	for _, name := range f.Order {
+		series := f.Bits[name]
+		fmt.Fprintf(&b, "%-6s | %12.1f", name, series[0])
+		for _, v := range series[1:] {
+			fmt.Fprintf(&b, " %9.1f", v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// SortedNames returns the keys of a Bits map in suite order then
+// alphabetical for any extras (test helper).
+func (f *Fig7Series) SortedNames() []string {
+	names := append([]string(nil), f.Order...)
+	sort.Strings(names)
+	return names
+}
+
+// E7Row compares the reactive and proactive heuristics on one circuit (the
+// extension experiment; §III-D describes the proactive method but the
+// paper never evaluates it).
+type E7Row struct {
+	Name                 string
+	ReactKept, ProKept   int
+	ReactSTA, ProSTA     int
+	ReactDelay, ProDelay float64 // fractional overheads
+}
+
+// RunE7 runs both heuristics at the given budget over the named circuits.
+func RunE7(names []string, budget float64, lib *cell.Library, seed int64) ([]E7Row, error) {
+	if names == nil {
+		names = bench.Names()
+	}
+	rows := make([]E7Row, 0, len(names))
+	for _, name := range names {
+		spec, err := bench.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		c := spec.Build()
+		a, err := core.Analyze(c, core.DefaultOptions(lib))
+		if err != nil {
+			return nil, err
+		}
+		opts := constrain.Options{Library: lib, DelayBudget: budget, Seed: seed}
+		rea, err := constrain.Reactive(a, core.FullAssignment(a), opts)
+		if err != nil {
+			return nil, err
+		}
+		pro, err := constrain.Proactive(a, opts)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, E7Row{
+			Name:      name,
+			ReactKept: rea.Kept, ProKept: pro.Kept,
+			ReactSTA: rea.STACalls, ProSTA: pro.STACalls,
+			ReactDelay: rea.Overhead.Delay, ProDelay: pro.Overhead.Delay,
+		})
+	}
+	return rows, nil
+}
+
+// FormatE7 renders the heuristic comparison.
+func FormatE7(rows []E7Row, budget float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "proactive vs reactive at %.0f%% delay budget\n", 100*budget)
+	fmt.Fprintf(&b, "%-6s | %9s %9s | %9s %9s | %11s %11s\n",
+		"name", "kept(rea)", "kept(pro)", "STA(rea)", "STA(pro)", "delay%(rea)", "delay%(pro)")
+	b.WriteString(strings.Repeat("-", 88) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6s | %9d %9d | %9d %9d | %11.2f %11.2f\n",
+			r.Name, r.ReactKept, r.ProKept, r.ReactSTA, r.ProSTA,
+			100*r.ReactDelay, 100*r.ProDelay)
+	}
+	return b.String()
+}

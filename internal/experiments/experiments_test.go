@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cell"
+)
+
+// The package tests run the harness on a small subset to stay fast; the
+// full suite runs in cmd/experiments and the root benchmarks.
+var subset = []string{"c432", "c499", "vda"}
+
+func TestRunTable2Subset(t *testing.T) {
+	lib := cell.Default()
+	rows, err := RunTable2(subset, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(subset) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Gates <= 0 || r.Area <= 0 || r.Delay <= 0 || r.Power <= 0 {
+			t.Errorf("%s: non-positive base metrics: %+v", r.Name, r)
+		}
+		if r.Locations <= 0 {
+			t.Errorf("%s: no fingerprint locations", r.Name)
+		}
+		// Shape: capacity exceeds the one-bit-per-location floor (the
+		// paper: "the number of possible combinations ... is far larger
+		// than 2^n").
+		if r.Log2Combos < float64(r.Locations) {
+			t.Errorf("%s: log2 combos %.1f below location count %d", r.Name, r.Log2Combos, r.Locations)
+		}
+		// Overheads positive and within sane bounds.
+		if r.AreaOvh <= 0 || r.AreaOvh > 0.8 {
+			t.Errorf("%s: area overhead %.3f out of range", r.Name, r.AreaOvh)
+		}
+		if r.DelayOvh < 0 || r.DelayOvh > 3 {
+			t.Errorf("%s: delay overhead %.3f out of range", r.Name, r.DelayOvh)
+		}
+		if r.PowerOvh <= 0 || r.PowerOvh > 0.8 {
+			t.Errorf("%s: power overhead %.3f out of range", r.Name, r.PowerOvh)
+		}
+		if r.Paper.Gates == 0 {
+			t.Errorf("%s: no paper reference row", r.Name)
+		}
+	}
+	out := FormatTable2(rows)
+	for _, frag := range []string{"c432", "vda", "AVG", "paper"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("FormatTable2 missing %q", frag)
+		}
+	}
+}
+
+func TestRunTable3AndFig7Subset(t *testing.T) {
+	lib := cell.Default()
+	budgets := []float64{0.10, 0.01}
+	rows, err := RunTable3(subset, budgets, lib, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i, r := range rows {
+		if r.DelayOvh > r.Budget+1e-6 {
+			t.Errorf("budget %.2f: average delay overhead %.4f exceeds budget", r.Budget, r.DelayOvh)
+		}
+		if r.Reduction < 0 || r.Reduction > 1 {
+			t.Errorf("reduction %.3f out of range", r.Reduction)
+		}
+		for name, res := range r.PerCircuit {
+			if err := res.Verify(r.Budget); err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+		}
+		if i == 0 && r.Paper.Budget != 0.10 {
+			t.Error("paper row not matched for 10% budget")
+		}
+	}
+	// Tighter budget removes at least as much on average.
+	if rows[1].Reduction < rows[0].Reduction-1e-9 {
+		t.Errorf("1%% budget reduced less (%.3f) than 10%% (%.3f)", rows[1].Reduction, rows[0].Reduction)
+	}
+	fig, err := RunFig7(subset, rows, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range subset {
+		series := fig.Bits[name]
+		if len(series) != 3 {
+			t.Fatalf("%s: series length %d", name, len(series))
+		}
+		// Constrained sizes never exceed the unconstrained size.
+		for i := 1; i < len(series); i++ {
+			if series[i] > series[0]+1e-9 {
+				t.Errorf("%s: constrained bits %.1f exceed unconstrained %.1f", name, series[i], series[0])
+			}
+			if series[i] < 0 {
+				t.Errorf("%s: negative bits", name)
+			}
+		}
+		// Monotone in the budget: tighter budget → fewer bits.
+		if series[2] > series[1]+1e-9 {
+			t.Errorf("%s: 1%% bits %.1f exceed 10%% bits %.1f", name, series[2], series[1])
+		}
+	}
+	out := FormatFig7(fig)
+	if !strings.Contains(out, "unconstrained") || !strings.Contains(out, "c432") {
+		t.Error("FormatFig7 output malformed")
+	}
+	out3 := FormatTable3(rows)
+	if !strings.Contains(out3, "10% budget") || !strings.Contains(out3, "paper") {
+		t.Error("FormatTable3 output malformed")
+	}
+}
+
+func TestPaperDataComplete(t *testing.T) {
+	for _, name := range []string{"c432", "c499", "c880", "c1355", "c1908", "c3540", "c6288", "des", "k2", "t481", "i10", "i8", "dalu", "vda"} {
+		row, ok := PaperTable2[name]
+		if !ok {
+			t.Errorf("no paper row for %s", name)
+			continue
+		}
+		if row.Gates <= 0 || row.Locations <= 0 || row.Log2Combos <= 0 {
+			t.Errorf("%s: implausible paper row %+v", name, row)
+		}
+		if name == "c6288" {
+			if !math.IsNaN(row.PowerOvh) || !math.IsNaN(row.Power) {
+				t.Error("c6288 power must be N/A")
+			}
+		} else if math.IsNaN(row.PowerOvh) {
+			t.Errorf("%s: unexpected NaN", name)
+		}
+	}
+	if len(PaperTable3) != 3 {
+		t.Error("paper Table III must have 3 rows")
+	}
+	// The log2 column exceeds the location count everywhere in the paper;
+	// our capacity test mirrors that shape.
+	for name, row := range PaperTable2 {
+		if row.Log2Combos < float64(row.Locations) {
+			t.Errorf("%s: paper log2 %.2f < locations %d (transcription error?)", name, row.Log2Combos, row.Locations)
+		}
+	}
+}
+
+func TestRunE7Subset(t *testing.T) {
+	lib := cell.Default()
+	rows, err := RunE7([]string{"c432", "vda"}, 0.10, lib, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.ReactDelay > 0.10+1e-6 || r.ProDelay > 0.10+1e-6 {
+			t.Errorf("%s: heuristic exceeded budget (rea %.4f, pro %.4f)", r.Name, r.ReactDelay, r.ProDelay)
+		}
+		if r.ReactKept < 0 || r.ProKept < 0 || r.ProSTA <= 0 {
+			t.Errorf("%s: implausible row %+v", r.Name, r)
+		}
+	}
+	out := FormatE7(rows, 0.10)
+	if !strings.Contains(out, "c432") || !strings.Contains(out, "kept(pro)") {
+		t.Error("FormatE7 malformed")
+	}
+}
+
+func TestRunE14Robustness(t *testing.T) {
+	lib := cell.Default()
+	points, err := RunE14("c880", 6, 8, []int{0, 3}, lib, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("%d points", len(points))
+	}
+	// With nothing stripped, tracing is always exact.
+	if points[0].Top1 != 1.0 {
+		t.Errorf("untampered top-1 = %.2f, want 1.0", points[0].Top1)
+	}
+	// Light tampering must not collapse accuracy.
+	if points[1].Top1 < 0.75 {
+		t.Errorf("top-1 after stripping 3 of ~40 modifications = %.2f", points[1].Top1)
+	}
+	out := FormatE14("c880", points)
+	if !strings.Contains(out, "stripped") || !strings.Contains(out, "c880") {
+		t.Error("FormatE14 malformed")
+	}
+	// Tiny circuits are rejected.
+	if _, err := RunE14("c432", 3, 2, []int{0}, lib, 1); err == nil {
+		t.Log("c432 accepted (has ≥8 locations); fine")
+	}
+	if _, err := RunE14("nope", 3, 2, []int{0}, lib, 1); err == nil {
+		t.Error("unknown circuit accepted")
+	}
+}
+
+func TestAverageOverheadsEmpty(t *testing.T) {
+	a, d, p := AverageOverheads(nil)
+	if a != 0 || d != 0 || p != 0 {
+		t.Error("empty average not zero")
+	}
+}

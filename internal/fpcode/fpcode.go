@@ -1,0 +1,232 @@
+// Package fpcode adds redundancy to fingerprints, implementing the paper's
+// §V proposal: "we can either eliminate some of the locations ... or
+// include additional functionality to our fingerprints, such as error
+// correcting codes or redundancy, so that even if an adversary tampers with
+// the circuit, we can figure out what they have done and what the original
+// fingerprint was."
+//
+// A fingerprint channel symbol is a Trit: a location is observed as
+// Zero (unmodified), One (modified) or Erased (the gate matches no
+// catalogued form — overt tampering). Two codes are provided:
+//
+//   - Repetition(r): each payload bit is embedded in r locations,
+//     interleaved across the circuit; decoding is by majority vote with
+//     erasures abstaining. Corrects ⌈r/2⌉−1 flips (or r−1 erasures) per bit.
+//   - Hamming74: the classic [7,4] Hamming code, correcting one flip per
+//     7-location block (erasures are treated as zeros before correction).
+package fpcode
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+)
+
+// Trit is a fingerprint channel symbol.
+type Trit int8
+
+const (
+	// Zero: the location is unmodified.
+	Zero Trit = iota
+	// One: the location carries its canonical modification.
+	One
+	// Erased: the location's gate matches neither form (tampered).
+	Erased
+)
+
+// Code maps payload bits to location bits and back.
+type Code interface {
+	// Name identifies the code in reports.
+	Name() string
+	// PayloadBits returns how many payload bits fit into n location bits.
+	PayloadBits(n int) int
+	// Encode expands payload into exactly n location bits. len(payload)
+	// must be ≤ PayloadBits(n).
+	Encode(payload []bool, n int) ([]bool, error)
+	// Decode recovers the payload from n observed channel symbols.
+	Decode(observed []Trit) ([]bool, error)
+}
+
+// --- repetition code ------------------------------------------------------
+
+// Repetition is an r-fold repetition code with interleaving: replica j of
+// payload bit i sits at location i + j·stride, so physically clustered
+// tampering hits replicas of different bits.
+type Repetition struct{ R int }
+
+// NewRepetition returns an r-fold repetition code (r ≥ 1; even r tolerate
+// one fewer flip than r+1).
+func NewRepetition(r int) (Repetition, error) {
+	if r < 1 {
+		return Repetition{}, fmt.Errorf("fpcode: repetition factor %d < 1", r)
+	}
+	return Repetition{R: r}, nil
+}
+
+func (c Repetition) Name() string { return fmt.Sprintf("repetition-%d", c.R) }
+
+func (c Repetition) PayloadBits(n int) int { return n / c.R }
+
+func (c Repetition) Encode(payload []bool, n int) ([]bool, error) {
+	k := c.PayloadBits(n)
+	if len(payload) > k {
+		return nil, fmt.Errorf("fpcode: %d payload bits exceed capacity %d (n=%d, r=%d)", len(payload), k, n, c.R)
+	}
+	out := make([]bool, n)
+	for j := 0; j < c.R; j++ {
+		for i := 0; i < k; i++ {
+			bit := i < len(payload) && payload[i]
+			out[j*k+i] = bit
+		}
+	}
+	return out, nil
+}
+
+func (c Repetition) Decode(observed []Trit) ([]bool, error) {
+	k := c.PayloadBits(len(observed))
+	out := make([]bool, k)
+	for i := 0; i < k; i++ {
+		ones, zeros := 0, 0
+		for j := 0; j < c.R; j++ {
+			switch observed[j*k+i] {
+			case One:
+				ones++
+			case Zero:
+				zeros++
+			}
+		}
+		if ones == zeros {
+			if ones == 0 {
+				return nil, fmt.Errorf("fpcode: payload bit %d fully erased", i)
+			}
+			return nil, fmt.Errorf("fpcode: payload bit %d ambiguous (%d vs %d votes)", i, ones, zeros)
+		}
+		out[i] = ones > zeros
+	}
+	return out, nil
+}
+
+// --- Hamming [7,4] --------------------------------------------------------
+
+// Hamming74 is the [7,4] Hamming code over consecutive 7-location blocks.
+// Block layout: positions 1..7 (1-indexed) with parity at 1, 2, 4 and data
+// at 3, 5, 6, 7 — the textbook arrangement where the syndrome equals the
+// error position.
+type Hamming74 struct{}
+
+func (Hamming74) Name() string { return "hamming-7-4" }
+
+func (Hamming74) PayloadBits(n int) int { return (n / 7) * 4 }
+
+func (Hamming74) Encode(payload []bool, n int) ([]bool, error) {
+	k := (n / 7) * 4
+	if len(payload) > k {
+		return nil, fmt.Errorf("fpcode: %d payload bits exceed capacity %d (n=%d)", len(payload), k, n)
+	}
+	out := make([]bool, n)
+	bit := func(i int) bool { return i < len(payload) && payload[i] }
+	for blk := 0; blk*7+7 <= n; blk++ {
+		d := [4]bool{bit(blk*4 + 0), bit(blk*4 + 1), bit(blk*4 + 2), bit(blk*4 + 3)}
+		var w [8]bool // 1-indexed
+		w[3], w[5], w[6], w[7] = d[0], d[1], d[2], d[3]
+		w[1] = w[3] != w[5] != w[7]
+		w[2] = w[3] != w[6] != w[7]
+		w[4] = w[5] != w[6] != w[7]
+		for p := 1; p <= 7; p++ {
+			out[blk*7+p-1] = w[p]
+		}
+	}
+	return out, nil
+}
+
+func (Hamming74) Decode(observed []Trit) ([]bool, error) {
+	n := len(observed)
+	k := (n / 7) * 4
+	out := make([]bool, k)
+	for blk := 0; blk*7+7 <= n; blk++ {
+		var w [8]bool
+		erased := 0
+		for p := 1; p <= 7; p++ {
+			switch observed[blk*7+p-1] {
+			case One:
+				w[p] = true
+			case Erased:
+				erased++ // treated as 0; counts toward the error budget
+			}
+		}
+		s := 0
+		if w[1] != w[3] != w[5] != w[7] {
+			s |= 1
+		}
+		if w[2] != w[3] != w[6] != w[7] {
+			s |= 2
+		}
+		if w[4] != w[5] != w[6] != w[7] {
+			s |= 4
+		}
+		if s != 0 {
+			w[s] = !w[s]
+		}
+		if erased > 1 {
+			return nil, fmt.Errorf("fpcode: block %d has %d erasures; beyond single-error correction", blk, erased)
+		}
+		out[blk*4+0] = w[3]
+		out[blk*4+1] = w[5]
+		out[blk*4+2] = w[6]
+		out[blk*4+3] = w[7]
+	}
+	return out, nil
+}
+
+// --- circuit integration --------------------------------------------------
+
+// EmbedPayload encodes payload with the code over the circuit's fingerprint
+// locations and returns the assignment to embed.
+func EmbedPayload(a *core.Analysis, code Code, payload []bool) (core.Assignment, error) {
+	n := a.BitCapacity()
+	bits, err := code.Encode(payload, n)
+	if err != nil {
+		return nil, err
+	}
+	return a.AssignmentFromBits(bits)
+}
+
+// ObserveTrits extracts the per-location channel symbols from a (possibly
+// tampered) copy: canonical modification present → One, unmodified → Zero,
+// anything else (unknown variant, unexpected structure, missing gate) →
+// Erased. Non-canonical catalogued variants also read as Erased, since a
+// coded binary fingerprint never legitimately uses them.
+func ObserveTrits(a *core.Analysis, copy *circuit.Circuit) ([]Trit, error) {
+	asg, _, err := core.ExtractTolerant(a, copy)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Trit, len(asg))
+	for i := range asg {
+		out[i] = Zero
+		for j, v := range asg[i] {
+			switch {
+			case v == core.Tampered:
+				out[i] = Erased
+			case j == 0 && v == 0:
+				if out[i] != Erased {
+					out[i] = One
+				}
+			case v >= 0:
+				// A modification outside the binary scheme.
+				out[i] = Erased
+			}
+		}
+	}
+	return out, nil
+}
+
+// ExtractPayload observes the copy and decodes the payload.
+func ExtractPayload(a *core.Analysis, code Code, copy *circuit.Circuit) ([]bool, error) {
+	trits, err := ObserveTrits(a, copy)
+	if err != nil {
+		return nil, err
+	}
+	return code.Decode(trits)
+}

@@ -1,0 +1,341 @@
+package fpcode
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bench"
+	"repro/internal/cell"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/logic"
+)
+
+func TestRepetitionRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 1 + rng.Intn(5)
+		code, err := NewRepetition(r)
+		if err != nil {
+			return false
+		}
+		n := r*(1+rng.Intn(20)) + rng.Intn(r) // arbitrary location count
+		k := code.PayloadBits(n)
+		payload := make([]bool, k)
+		for i := range payload {
+			payload[i] = rng.Intn(2) == 1
+		}
+		bits, err := code.Encode(payload, n)
+		if err != nil || len(bits) != n {
+			return false
+		}
+		obs := make([]Trit, n)
+		for i, b := range bits {
+			if b {
+				obs[i] = One
+			}
+		}
+		got, err := code.Decode(obs)
+		if err != nil {
+			return false
+		}
+		for i := range payload {
+			if got[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRepetitionCorrectsFlipsAndErasures(t *testing.T) {
+	code, err := NewRepetition(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 25 // 5 payload bits
+	payload := []bool{true, false, true, true, false}
+	bits, err := code.Encode(payload, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := make([]Trit, n)
+	for i, b := range bits {
+		if b {
+			obs[i] = One
+		}
+	}
+	// Flip 2 of the 5 replicas of bit 0 (positions 0, k, 2k, ... with k=5).
+	obs[0] = Zero
+	obs[5] = Zero
+	// Erase 2 replicas of bit 3.
+	obs[3] = Erased
+	obs[8] = Erased
+	got, err := code.Decode(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range payload {
+		if got[i] != payload[i] {
+			t.Errorf("bit %d corrupted", i)
+		}
+	}
+	// 3 flips of bit 0's replicas defeat majority: the decode must return
+	// the wrong value (silently) — that is the code's correction bound.
+	obs[10] = Zero
+	got, err = code.Decode(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] == payload[0] {
+		t.Error("3 of 5 flips should defeat the majority")
+	}
+	// Full erasure of one bit errors out loudly.
+	for j := 0; j < 5; j++ {
+		obs[j*5+2] = Erased
+	}
+	if _, err := code.Decode(obs); err == nil {
+		t.Error("fully erased bit decoded silently")
+	}
+}
+
+func TestRepetitionValidation(t *testing.T) {
+	if _, err := NewRepetition(0); err == nil {
+		t.Error("r=0 accepted")
+	}
+	code, _ := NewRepetition(3)
+	if _, err := code.Encode(make([]bool, 10), 12); err == nil {
+		t.Error("oversized payload accepted")
+	}
+}
+
+func TestHammingRoundTripAndSingleError(t *testing.T) {
+	code := Hamming74{}
+	n := 28 // 4 blocks → 16 payload bits
+	if code.PayloadBits(n) != 16 {
+		t.Fatalf("PayloadBits(28) = %d", code.PayloadBits(n))
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		payload := make([]bool, 16)
+		for i := range payload {
+			payload[i] = rng.Intn(2) == 1
+		}
+		bits, err := code.Encode(payload, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obs := make([]Trit, n)
+		for i, b := range bits {
+			if b {
+				obs[i] = One
+			}
+		}
+		// One random flip per block must always be corrected.
+		for blk := 0; blk < 4; blk++ {
+			p := blk*7 + rng.Intn(7)
+			if obs[p] == One {
+				obs[p] = Zero
+			} else {
+				obs[p] = One
+			}
+		}
+		got, err := code.Decode(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range payload {
+			if got[i] != payload[i] {
+				t.Fatalf("trial %d: bit %d corrupted after single-error correction", trial, i)
+			}
+		}
+	}
+}
+
+func TestHammingErasureBudget(t *testing.T) {
+	code := Hamming74{}
+	payload := []bool{true, false, true, true}
+	bits, err := code.Encode(payload, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := make([]Trit, 7)
+	for i, b := range bits {
+		if b {
+			obs[i] = One
+		}
+	}
+	obs[2] = Erased
+	obs[5] = Erased
+	if _, err := code.Decode(obs); err == nil {
+		t.Error("two erasures in one block decoded silently")
+	}
+}
+
+// TestPayloadThroughCircuit is the end-to-end scenario from §V: embed a
+// coded buyer ID, let an adversary strip some modifications, and recover
+// the ID anyway.
+func TestPayloadThroughCircuit(t *testing.T) {
+	lib := cell.Default()
+	spec, err := bench.ByName("c880")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := spec.Build()
+	a, err := core.Analyze(c, core.DefaultOptions(lib))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := a.BitCapacity()
+	code, err := NewRepetition(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := code.PayloadBits(n)
+	if k < 8 {
+		t.Skipf("only %d payload bits available", k)
+	}
+	payload := make([]bool, k)
+	rng := rand.New(rand.NewSource(42))
+	for i := range payload {
+		payload[i] = rng.Intn(2) == 1
+	}
+	asg, err := EmbedPayload(a, code, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := core.Embed(a, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clean extraction.
+	got, err := ExtractPayload(a, code, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range payload {
+		if got[i] != payload[i] {
+			t.Fatalf("clean copy: bit %d corrupted", i)
+		}
+	}
+	// Adversary strips up to 2 modifications per payload bit's replica set
+	// — under the 5-fold majority this is always recoverable. Strip the
+	// first two replicas (locations i and k+i) of every payload bit that
+	// was embedded as 1.
+	tampered := cp.Clone()
+	stripped := 0
+	for i := 0; i < k && stripped < 2*k; i++ {
+		if !payload[i] {
+			continue
+		}
+		for _, li := range []int{i, k + i} {
+			loc := &a.Locations[li]
+			tgt := &loc.Targets[0]
+			// Undo the canonical modification in the tampered copy.
+			gname := a.Circuit.Nodes[tgt.Gate].Name
+			gid := tampered.MustLookup(gname)
+			v := &tgt.Variants[0]
+			if err := undoVariant(tampered, a, gid, v); err != nil {
+				t.Fatalf("strip loc %d: %v", li, err)
+			}
+			stripped++
+		}
+	}
+	if stripped == 0 {
+		t.Skip("no set bits to strip")
+	}
+	got, err = ExtractPayload(a, code, tampered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range payload {
+		if got[i] != payload[i] {
+			t.Fatalf("after stripping %d modifications: bit %d corrupted", stripped, i)
+		}
+	}
+}
+
+// undoVariant reverts a canonical modification on the tampered copy.
+func undoVariant(c *circuit.Circuit, a *core.Analysis, g circuit.NodeID, v *core.Variant) error {
+	// Identify the pin carrying the literal: the fanin not present in the
+	// original gate.
+	orig := &a.Circuit.Nodes[a.Circuit.MustLookup(c.Nodes[g].Name)]
+	origSet := map[string]bool{}
+	for _, f := range orig.Fanin {
+		origSet[a.Circuit.Nodes[f].Name] = true
+	}
+	var extras []circuit.NodeID
+	for _, f := range c.Nodes[g].Fanin {
+		if !origSet[c.Nodes[f].Name] {
+			extras = append(extras, f)
+		}
+	}
+	switch v.Kind {
+	case core.ConvertSingle:
+		return c.UnconvertGate(g, orig.Kind, extras[0])
+	default:
+		for _, e := range extras {
+			if err := c.RemoveFanin(g, e); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+func TestObserveTritsErasure(t *testing.T) {
+	lib := cell.Default()
+	c := circuit.New("t")
+	a1, _ := c.AddPI("a")
+	b1, _ := c.AddPI("b")
+	x1, _ := c.AddPI("x")
+	g, _ := c.AddGate("g", logic.Or, a1, b1)
+	p, _ := c.AddGate("p", logic.And, g, x1)
+	if err := c.AddPO("o", p); err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(c, core.DefaultOptions(lib))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BitCapacity() != 1 {
+		t.Fatalf("capacity %d", a.BitCapacity())
+	}
+	// Unmodified copy → Zero.
+	trits, err := ObserveTrits(a, c.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trits[0] != Zero {
+		t.Errorf("clean copy read as %v", trits[0])
+	}
+	// Modified copy → One.
+	asg, _ := a.AssignmentFromBits([]bool{true})
+	cp, err := core.Embed(a, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trits, err = ObserveTrits(a, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trits[0] != One {
+		t.Errorf("modified copy read as %v", trits[0])
+	}
+	// Tampered (kind swapped) → Erased.
+	bad := cp.Clone()
+	if err := bad.SetKind(bad.MustLookup("g"), logic.And); err != nil {
+		t.Fatal(err)
+	}
+	trits, err = ObserveTrits(a, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trits[0] != Erased {
+		t.Errorf("tampered copy read as %v", trits[0])
+	}
+}

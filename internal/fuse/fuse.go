@@ -1,0 +1,165 @@
+// Package fuse models the paper's two-step production flow (§I) and its
+// proposed realisation (§VI): "using fuses as the connections for the added
+// lines so we can decide which ones are active."
+//
+// A Master is the single fabricated design: it contains *every* fingerprint
+// connection, each in series with a programmable link. Because each
+// connection is individually function-neutral (that is the whole point of
+// the ODC construction), the master die is functionally identical to the
+// original design no matter how many links are intact — so one mask set
+// serves every buyer, and "introducing flexibility in circuits reduces the
+// redesign for fingerprints by moving fingerprint application to the last
+// stages of the VLSI design cycle."
+//
+// A Die is one programmed instance: blowing a link disconnects that
+// location's added literal, restoring the unmodified gate behaviour at the
+// site. The metrics model reflects silicon reality: a die's *area* (and
+// leakage) is the master's — blown links do not reclaim cells — while its
+// delay and dynamic power follow the electrically connected netlist.
+package fuse
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/sta"
+)
+
+// Master is the fabricated superset design with one link per fingerprint
+// location (the canonical modification of each location, matching the
+// binary fingerprinting scheme).
+type Master struct {
+	Analysis *core.Analysis
+	lib      *cell.Library
+
+	masterArea    float64
+	masterLeakage float64
+}
+
+// NewMaster plans the master die for an analysed design.
+func NewMaster(a *core.Analysis, lib *cell.Library) (*Master, error) {
+	m := &Master{Analysis: a, lib: lib}
+	// Master metrics: every link intact.
+	full, err := core.Embed(a, core.FullAssignment(a))
+	if err != nil {
+		return nil, err
+	}
+	area, err := cell.Area(lib, full)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := power.Estimate(full, lib)
+	if err != nil {
+		return nil, err
+	}
+	m.masterArea = area
+	m.masterLeakage = rep.Leakage
+	return m, nil
+}
+
+// NumFuses returns the number of programmable links (= fingerprint
+// locations).
+func (m *Master) NumFuses() int { return m.Analysis.BitCapacity() }
+
+// MasterArea returns the fabricated area, paid by every die.
+func (m *Master) MasterArea() float64 { return m.masterArea }
+
+// MasterNetlist returns the fabricated superset netlist (all links intact).
+func (m *Master) MasterNetlist() (*circuit.Circuit, error) {
+	return core.Embed(m.Analysis, core.FullAssignment(m.Analysis))
+}
+
+// Die is one IC being programmed: links start intact and are blown
+// irreversibly.
+type Die struct {
+	master *Master
+	w      *core.Working
+	blown  []bool
+}
+
+// NewDie starts programming a fresh die (all links intact).
+func (m *Master) NewDie() (*Die, error) {
+	w, err := core.NewWorking(m.Analysis, core.FullAssignment(m.Analysis))
+	if err != nil {
+		return nil, err
+	}
+	return &Die{master: m, w: w, blown: make([]bool, m.NumFuses())}, nil
+}
+
+// Blow disconnects the link of fingerprint location loc. Blowing is
+// idempotent but irreversible (there is no "unblow", as on silicon).
+func (d *Die) Blow(loc int) error {
+	if loc < 0 || loc >= len(d.blown) {
+		return fmt.Errorf("fuse: link %d out of range (%d links)", loc, len(d.blown))
+	}
+	if d.blown[loc] {
+		return nil
+	}
+	// Working mods are created in location order by FullAssignment, one
+	// per location.
+	if err := d.w.Disable(loc); err != nil {
+		return err
+	}
+	d.blown[loc] = true
+	return nil
+}
+
+// Program blows links so the die carries exactly the given binary
+// fingerprint (bit i set = link i left intact). The bit slice may be
+// shorter than NumFuses; remaining links are blown.
+func (d *Die) Program(bits []bool) error {
+	if len(bits) > len(d.blown) {
+		return fmt.Errorf("fuse: %d bits exceed %d links", len(bits), len(d.blown))
+	}
+	for i := 0; i < len(d.blown); i++ {
+		keep := i < len(bits) && bits[i]
+		if !keep {
+			if err := d.Blow(i); err != nil {
+				return err
+			}
+		} else if d.blown[i] {
+			return fmt.Errorf("fuse: bit %d requires an intact link but it is already blown", i)
+		}
+	}
+	return nil
+}
+
+// Bits returns the die's current fingerprint (intact links).
+func (d *Die) Bits() []bool {
+	bits := make([]bool, len(d.blown))
+	for i, b := range d.blown {
+		bits[i] = !b
+	}
+	return bits
+}
+
+// Netlist returns the electrically connected netlist of the die as
+// programmed so far.
+func (d *Die) Netlist() (*circuit.Circuit, error) { return d.w.Snapshot() }
+
+// Metrics returns the die's silicon metrics: master area and leakage (the
+// cells exist whether or not their links are intact), with delay and
+// dynamic power from the connected netlist.
+func (d *Die) Metrics() (core.Metrics, error) {
+	snap, err := d.w.Snapshot()
+	if err != nil {
+		return core.Metrics{}, err
+	}
+	delay, err := sta.Delay(snap, d.master.lib)
+	if err != nil {
+		return core.Metrics{}, err
+	}
+	rep, err := power.Estimate(snap, d.master.lib)
+	if err != nil {
+		return core.Metrics{}, err
+	}
+	return core.Metrics{
+		Gates: snap.NumGates(),
+		Area:  d.master.masterArea,
+		Delay: delay,
+		Power: rep.Dynamic + d.master.masterLeakage,
+	}, nil
+}

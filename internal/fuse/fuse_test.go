@@ -1,0 +1,225 @@
+package fuse
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cec"
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func setup(t testing.TB, name string) (*core.Analysis, *Master) {
+	t.Helper()
+	lib := cell.Default()
+	spec, err := bench.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := spec.Build()
+	a, err := core.Analyze(c, core.DefaultOptions(lib))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMaster(a, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, m
+}
+
+func TestMasterFunctionalBeforeProgramming(t *testing.T) {
+	a, m := setup(t, "c432")
+	master, err := m.MasterNetlist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One mask set, functionally identical to the original design.
+	v, err := cec.Check(a.Circuit, master, cec.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equivalent {
+		t.Fatal("master die differs from the original design")
+	}
+	if m.NumFuses() != a.BitCapacity() {
+		t.Errorf("fuses %d != locations %d", m.NumFuses(), a.BitCapacity())
+	}
+}
+
+func TestProgramMatchesEmbed(t *testing.T) {
+	a, m := setup(t, "c880")
+	rng := rand.New(rand.NewSource(9))
+	bits := make([]bool, m.NumFuses())
+	for i := range bits {
+		bits[i] = rng.Intn(2) == 1
+	}
+	die, err := m.NewDie()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := die.Program(bits); err != nil {
+		t.Fatal(err)
+	}
+	got := die.Bits()
+	for i := range bits {
+		if got[i] != bits[i] {
+			t.Fatalf("bit %d mismatch after programming", i)
+		}
+	}
+	nl, err := die.Netlist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The programmed die equals a direct embed of the same bits.
+	asg, err := a.AssignmentFromBits(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Embed(a, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, mm, err := sim.EquivalentRandom(nl, want, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatalf("programmed die differs from direct embed: %v", mm)
+	}
+	if nl.NumGates() != want.NumGates() {
+		t.Errorf("gate counts differ: %d vs %d", nl.NumGates(), want.NumGates())
+	}
+	// Extraction recovers the programmed fingerprint.
+	ex, err := core.Extract(a, nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := a.BitsFromAssignment(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bits {
+		if back[i] != bits[i] {
+			t.Fatalf("extracted bit %d mismatch", i)
+		}
+	}
+}
+
+func TestBlowSemantics(t *testing.T) {
+	_, m := setup(t, "c432")
+	die, err := m.NewDie()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := die.Blow(0); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent.
+	if err := die.Blow(0); err != nil {
+		t.Fatal(err)
+	}
+	if die.Bits()[0] {
+		t.Error("blown link still reads intact")
+	}
+	// Out of range.
+	if err := die.Blow(m.NumFuses()); err == nil {
+		t.Error("out-of-range blow accepted")
+	}
+	// Irreversible: programming a 1 into a blown link fails.
+	bits := make([]bool, m.NumFuses())
+	bits[0] = true
+	if err := die.Program(bits); err == nil {
+		t.Error("programming an intact bit over a blown link succeeded")
+	}
+	// Oversized bit string.
+	die2, _ := m.NewDie()
+	if err := die2.Program(make([]bool, m.NumFuses()+1)); err == nil {
+		t.Error("oversized program accepted")
+	}
+}
+
+func TestFuseMetricsModel(t *testing.T) {
+	lib := cell.Default()
+	a, m := setup(t, "c880")
+	base, err := core.Measure(a.Circuit, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fully programmed-off die: everything blown.
+	die, err := m.NewDie()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := die.Program(nil); err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := die.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Area stays at the master's (silicon cannot be reclaimed)...
+	if metrics.Area != m.MasterArea() {
+		t.Errorf("die area %g != master area %g", metrics.Area, m.MasterArea())
+	}
+	if m.MasterArea() <= base.Area {
+		t.Error("master area should exceed the plain design's")
+	}
+	// ...while delay recovers to (near) the unfingerprinted value.
+	if metrics.Delay > base.Delay*1.0001 {
+		t.Errorf("fully blown die delay %g exceeds base %g", metrics.Delay, base.Delay)
+	}
+	// An all-intact die is at least as slow as a blown one.
+	die2, err := m.NewDie()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := die2.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Delay < metrics.Delay-1e-9 {
+		t.Errorf("all-intact die faster (%g) than fully blown (%g)", m2.Delay, metrics.Delay)
+	}
+}
+
+func TestDistinctDiesFromOneMaster(t *testing.T) {
+	a, m := setup(t, "c432")
+	if m.NumFuses() < 3 {
+		t.Skip("too few fuses")
+	}
+	mkDie := func(pattern []bool) *core.Assignment {
+		die, err := m.NewDie()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := die.Program(pattern); err != nil {
+			t.Fatal(err)
+		}
+		nl, err := die.Netlist()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// All dies remain functionally the original design.
+		v, err := cec.Check(a.Circuit, nl, cec.DefaultOptions())
+		if err != nil || !v.Equivalent {
+			t.Fatalf("programmed die not equivalent: %+v %v", v, err)
+		}
+		ex, err := core.Extract(a, nl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &ex
+	}
+	p1 := make([]bool, m.NumFuses())
+	p1[0] = true
+	p2 := make([]bool, m.NumFuses())
+	p2[1] = true
+	e1 := *mkDie(p1)
+	e2 := *mkDie(p2)
+	if e1[0][0] == e2[0][0] && e1[1][0] == e2[1][0] {
+		t.Error("two differently programmed dies extracted identically")
+	}
+}

@@ -1,0 +1,302 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		Const0: "CONST0", Const1: "CONST1", Buf: "BUF", Inv: "INV",
+		And: "AND", Nand: "NAND", Or: "OR", Nor: "NOR", Xor: "XOR", Xnor: "XNOR",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(200).String(); got != "Kind(200)" {
+		t.Errorf("invalid kind String = %q", got)
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, k := range AllKinds() {
+		got, err := ParseKind(k.String())
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Errorf("ParseKind(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if _, err := ParseKind("BOGUS"); err == nil {
+		t.Error("ParseKind(BOGUS) succeeded, want error")
+	}
+}
+
+func TestMinFanin(t *testing.T) {
+	cases := map[Kind]int{
+		Const0: 0, Const1: 0, Buf: 1, Inv: 1,
+		And: 2, Nand: 2, Or: 2, Nor: 2, Xor: 2, Xnor: 2,
+	}
+	for k, want := range cases {
+		if got := k.MinFanin(); got != want {
+			t.Errorf("%v.MinFanin() = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestFixedFanin(t *testing.T) {
+	for _, k := range AllKinds() {
+		want := k.MinFanin() < 2
+		if got := k.FixedFanin(); got != want {
+			t.Errorf("%v.FixedFanin() = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestBaseComplement(t *testing.T) {
+	for _, k := range AllKinds() {
+		if k.Complement().Complement() != k {
+			t.Errorf("%v: Complement is not an involution", k)
+		}
+		if k.Base().Inverting() {
+			t.Errorf("%v.Base() = %v is still inverting", k, k.Base())
+		}
+		if k.Inverting() {
+			if k.Base() != k.Complement() {
+				t.Errorf("%v: Base %v != Complement %v for inverting kind", k, k.Base(), k.Complement())
+			}
+		} else if k.Base() != k {
+			t.Errorf("%v.Base() = %v, want identity for non-inverting kind", k, k.Base())
+		}
+	}
+}
+
+func TestControllingValue(t *testing.T) {
+	// A controlling value must force the output no matter the other inputs.
+	for _, k := range []Kind{And, Nand, Or, Nor} {
+		cv, ok := k.ControllingValue()
+		if !ok {
+			t.Fatalf("%v: expected controlling value", k)
+		}
+		forced := k.Eval([]bool{cv, false})
+		for _, other := range []bool{false, true} {
+			for pin := 0; pin < 3; pin++ {
+				in := []bool{other, other, other}
+				in[pin] = cv
+				if got := k.Eval(in); got != forced {
+					t.Errorf("%v: controlling value %v at pin %d did not force output", k, cv, pin)
+				}
+			}
+		}
+	}
+	for _, k := range []Kind{Const0, Const1, Buf, Inv, Xor, Xnor} {
+		if _, ok := k.ControllingValue(); ok {
+			t.Errorf("%v: unexpected controlling value", k)
+		}
+		if k.HasControllingValue() {
+			t.Errorf("%v: HasControllingValue true", k)
+		}
+	}
+}
+
+func TestIdentityValue(t *testing.T) {
+	// Appending an input pinned at the identity value must not change the
+	// gate function over the original inputs.
+	rng := rand.New(rand.NewSource(1))
+	for _, k := range []Kind{And, Nand, Or, Nor, Xor, Xnor} {
+		id, ok := k.IdentityValue()
+		if !ok {
+			t.Fatalf("%v: expected identity value", k)
+		}
+		for trial := 0; trial < 64; trial++ {
+			n := 2 + rng.Intn(3)
+			in := make([]bool, n)
+			for i := range in {
+				in[i] = rng.Intn(2) == 1
+			}
+			want := k.Eval(in)
+			got := k.Eval(append(append([]bool{}, in...), id))
+			if got != want {
+				t.Errorf("%v: appending identity %v changed output (in=%v)", k, id, in)
+			}
+		}
+	}
+	for _, k := range []Kind{Const0, Const1, Buf, Inv} {
+		if _, ok := k.IdentityValue(); ok {
+			t.Errorf("%v: unexpected identity value", k)
+		}
+	}
+}
+
+func TestODCCapableAndTargets(t *testing.T) {
+	wantODC := map[Kind]bool{And: true, Nand: true, Or: true, Nor: true}
+	for _, k := range AllKinds() {
+		if got := k.ODCCapable(); got != wantODC[k] {
+			t.Errorf("%v.ODCCapable() = %v, want %v", k, got, wantODC[k])
+		}
+	}
+	for _, k := range []Kind{And, Nand, Or, Nor, Buf, Inv} {
+		if !k.FingerprintTarget(false) {
+			t.Errorf("%v: should be a fingerprint target", k)
+		}
+	}
+	for _, k := range []Kind{Xor, Xnor} {
+		if k.FingerprintTarget(false) {
+			t.Errorf("%v: must not be a target with allowXor=false", k)
+		}
+		if !k.FingerprintTarget(true) {
+			t.Errorf("%v: should be a target with allowXor=true", k)
+		}
+	}
+	for _, k := range []Kind{Const0, Const1} {
+		if k.FingerprintTarget(true) {
+			t.Errorf("%v: constants can never be targets", k)
+		}
+	}
+	if Buf.SingleInput() != true || Inv.SingleInput() != true || And.SingleInput() {
+		t.Error("SingleInput misclassified")
+	}
+}
+
+func TestEvalTruthTables(t *testing.T) {
+	type tc struct {
+		k    Kind
+		in   []bool
+		want bool
+	}
+	cases := []tc{
+		{Const0, nil, false},
+		{Const1, nil, true},
+		{Buf, []bool{true}, true},
+		{Buf, []bool{false}, false},
+		{Inv, []bool{true}, false},
+		{Inv, []bool{false}, true},
+		{And, []bool{true, true}, true},
+		{And, []bool{true, false}, false},
+		{Nand, []bool{true, true}, false},
+		{Nand, []bool{false, true}, true},
+		{Or, []bool{false, false}, false},
+		{Or, []bool{false, true}, true},
+		{Nor, []bool{false, false}, true},
+		{Nor, []bool{true, false}, false},
+		{Xor, []bool{true, true}, false},
+		{Xor, []bool{true, false}, true},
+		{Xor, []bool{true, true, true}, true},
+		{Xnor, []bool{true, false}, false},
+		{Xnor, []bool{true, true, true}, false},
+		{And, []bool{true, true, true, true}, true},
+		{Or, []bool{false, false, false, true}, true},
+	}
+	for _, c := range cases {
+		if got := c.k.Eval(c.in); got != c.want {
+			t.Errorf("%v.Eval(%v) = %v, want %v", c.k, c.in, got, c.want)
+		}
+	}
+}
+
+// TestEvalWordMatchesEval is a property test: every lane of EvalWord must
+// agree with the scalar Eval.
+func TestEvalWordMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		for _, k := range AllKinds() {
+			n := k.MinFanin()
+			if !k.FixedFanin() {
+				n += r.Intn(3)
+			}
+			words := make([]uint64, n)
+			for i := range words {
+				words[i] = r.Uint64()
+			}
+			got := k.EvalWord(words)
+			for lane := 0; lane < 64; lane++ {
+				in := make([]bool, n)
+				for i := range in {
+					in[i] = words[i]>>uint(lane)&1 == 1
+				}
+				want := k.Eval(in)
+				if (got>>uint(lane)&1 == 1) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProb1MatchesEnumeration checks the probabilistic model against exact
+// enumeration with uniform inputs (p = 0.5 each), where P[Y=1] equals the
+// fraction of minterms with output 1.
+func TestProb1MatchesEnumeration(t *testing.T) {
+	for _, k := range []Kind{Buf, Inv, And, Nand, Or, Nor, Xor, Xnor} {
+		for n := k.MinFanin(); n <= 4; n++ {
+			if k.FixedFanin() && n > k.MinFanin() {
+				break
+			}
+			ones := 0
+			total := 1 << uint(n)
+			for m := 0; m < total; m++ {
+				in := make([]bool, n)
+				for i := range in {
+					in[i] = m>>uint(i)&1 == 1
+				}
+				if k.Eval(in) {
+					ones++
+				}
+			}
+			want := float64(ones) / float64(total)
+			p := make([]float64, n)
+			for i := range p {
+				p[i] = 0.5
+			}
+			got := k.Prob1(p)
+			if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+				t.Errorf("%v/%d: Prob1 = %g, enumeration = %g", k, n, got, want)
+			}
+		}
+	}
+}
+
+// TestProb1BiasedXor checks the parity product formula on biased inputs.
+func TestProb1BiasedXor(t *testing.T) {
+	p := []float64{0.3, 0.9}
+	// P[odd] = p0(1-p1) + p1(1-p0) = 0.3*0.1 + 0.9*0.7 = 0.66
+	if got := Xor.Prob1(p); got < 0.66-1e-12 || got > 0.66+1e-12 {
+		t.Errorf("Xor.Prob1 = %g, want 0.66", got)
+	}
+	if got := Xnor.Prob1(p); got < 0.34-1e-12 || got > 0.34+1e-12 {
+		t.Errorf("Xnor.Prob1 = %g, want 0.34", got)
+	}
+}
+
+func TestConstEval(t *testing.T) {
+	if Const0.EvalWord(nil) != 0 {
+		t.Error("Const0 word")
+	}
+	if Const1.EvalWord(nil) != ^uint64(0) {
+		t.Error("Const1 word")
+	}
+	if Const0.Prob1(nil) != 0 || Const1.Prob1(nil) != 1 {
+		t.Error("const Prob1")
+	}
+}
+
+func TestValid(t *testing.T) {
+	for _, k := range AllKinds() {
+		if !k.Valid() {
+			t.Errorf("%v not Valid", k)
+		}
+	}
+	if Kind(NumKinds).Valid() {
+		t.Error("NumKinds should be invalid")
+	}
+}

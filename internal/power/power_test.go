@@ -1,0 +1,149 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+func small(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	c := circuit.New("p")
+	a, _ := c.AddPI("a")
+	b, _ := c.AddPI("b")
+	g1, _ := c.AddGate("g1", logic.And, a, b)
+	g2, _ := c.AddGate("g2", logic.Or, g1, b)
+	g3, _ := c.AddGate("g3", logic.Xor, g1, g2)
+	if err := c.AddPO("o", g3); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestProbabilities(t *testing.T) {
+	c := small(t)
+	p, err := Probabilities(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := c.MustLookup("g1")
+	g2 := c.MustLookup("g2")
+	if math.Abs(p[g1]-0.25) > 1e-12 {
+		t.Errorf("P[g1] = %g, want 0.25", p[g1])
+	}
+	// g2 = OR(g1, b): model treats inputs as independent (they are not —
+	// g1 depends on b — but the model's value is 1-(1-.25)(1-.5)=0.625).
+	if math.Abs(p[g2]-0.625) > 1e-12 {
+		t.Errorf("P[g2] = %g, want 0.625", p[g2])
+	}
+	for _, pi := range c.PIs {
+		if p[pi] != 0.5 {
+			t.Error("PI probability must be 0.5")
+		}
+	}
+}
+
+func TestEstimateComponents(t *testing.T) {
+	lib := cell.Default()
+	c := small(t)
+	r, err := Estimate(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dynamic <= 0 || r.Leakage <= 0 {
+		t.Fatalf("non-positive components: %+v", r)
+	}
+	if math.Abs(r.Total-r.Dynamic-r.Leakage) > 1e-9 {
+		t.Error("Total != Dynamic + Leakage")
+	}
+	sum := 0.0
+	for _, d := range r.PerNode {
+		sum += d
+	}
+	if math.Abs(sum-r.Dynamic) > 1e-9 {
+		t.Error("PerNode does not sum to Dynamic")
+	}
+	for i := range r.Activity {
+		want := 2 * r.Prob1[i] * (1 - r.Prob1[i])
+		if math.Abs(r.Activity[i]-want) > 1e-12 {
+			t.Error("activity formula violated")
+		}
+	}
+	tot, err := Total(c, lib)
+	if err != nil || math.Abs(tot-r.Total) > 1e-9 {
+		t.Error("Total wrapper disagrees")
+	}
+}
+
+// TestMoreGatesMorePower: appending logic increases total power.
+func TestMoreGatesMorePower(t *testing.T) {
+	lib := cell.Default()
+	c := small(t)
+	p0, err := Total(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := c.AddGate("extra", logic.Inv, c.MustLookup("g3"))
+	if err := c.AddPO("o2", g); err != nil {
+		t.Fatal(err)
+	}
+	p1, err := Total(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 <= p0 {
+		t.Errorf("power did not grow: %g → %g", p0, p1)
+	}
+}
+
+// TestConstantsHaveNoActivity: constant nodes never switch.
+func TestConstantsHaveNoActivity(t *testing.T) {
+	lib := cell.Default()
+	c := circuit.New("k")
+	a, _ := c.AddPI("a")
+	one, _ := c.AddGate("one", logic.Const1)
+	g, _ := c.AddGate("g", logic.And, a, one)
+	if err := c.AddPO("o", g); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Estimate(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Activity[one] != 0 || r.PerNode[one] != 0 {
+		t.Error("constant node has switching activity")
+	}
+}
+
+// TestModelVsMeasured: on a tree circuit (no reconvergence) the
+// probabilistic activity should match toggle-count measurements closely.
+func TestModelVsMeasured(t *testing.T) {
+	c := circuit.New("tree")
+	a, _ := c.AddPI("a")
+	b, _ := c.AddPI("b")
+	d, _ := c.AddPI("d")
+	e, _ := c.AddPI("e")
+	g1, _ := c.AddGate("g1", logic.And, a, b)
+	g2, _ := c.AddGate("g2", logic.Or, d, e)
+	g3, _ := c.AddGate("g3", logic.Nand, g1, g2)
+	if err := c.AddPO("o", g3); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Probabilities(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas, err := MeasuredActivity(c, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []circuit.NodeID{g1, g2, g3} {
+		model := 2 * p[id] * (1 - p[id])
+		if math.Abs(model-meas[id]) > 0.05 {
+			t.Errorf("node %q: model activity %g, measured %g", c.Nodes[id].Name, model, meas[id])
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package registry persists the IP vendor's issued-fingerprint records —
+// the bookkeeping §III-E presumes ("the designer can compare the
+// fingerprinted IP with the design ... to obtain the fingerprint" and then
+// look up which buyer it was issued to). A Registry maps buyer names to
+// fingerprint values (mixed-radix integers over the design's modification
+// slots) and serialises to JSON, keyed by a digest of the design so a
+// registry cannot accidentally be used with the wrong netlist.
+package registry
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/big"
+	"sort"
+
+	"repro/internal/attack"
+	"repro/internal/circuit"
+	"repro/internal/core"
+)
+
+// Registry records issued fingerprints for one design.
+type Registry struct {
+	// Design is the circuit name (informational).
+	Design string `json:"design"`
+	// Digest fingerprints the analysed netlist structure; Load rejects a
+	// registry whose digest does not match the analysis it is used with.
+	Digest string `json:"digest"`
+	// Issued maps buyer name → decimal fingerprint value.
+	Issued map[string]string `json:"issued"`
+}
+
+// DesignDigest hashes the structural identity of the analysed design: the
+// canonical node list plus the location/target/variant shape. Any change to
+// the netlist or the analysis options changes the digest.
+func DesignDigest(a *core.Analysis) string {
+	h := sha256.New()
+	io.WriteString(h, a.Circuit.String())
+	for i := range a.Locations {
+		loc := &a.Locations[i]
+		fmt.Fprintf(h, "L%d:%d:%d:%d;", loc.Primary, loc.FFCRoot, loc.Trigger, len(loc.Targets))
+		for j := range loc.Targets {
+			fmt.Fprintf(h, "T%d:%d;", loc.Targets[j].Gate, len(loc.Targets[j].Variants))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// New creates an empty registry bound to the analysed design.
+func New(a *core.Analysis) *Registry {
+	return &Registry{
+		Design: a.Circuit.Name,
+		Digest: DesignDigest(a),
+		Issued: map[string]string{},
+	}
+}
+
+// Issue assigns the buyer a fresh fingerprint value derived
+// deterministically from the buyer name (keyed hash reduced modulo the
+// design's combination count), embeds it, and records it. Issuing the same
+// buyer twice returns the same instance; two buyers colliding on a value is
+// rejected (retry with a different name — astronomically unlikely beyond
+// toy designs).
+func (r *Registry) Issue(a *core.Analysis, buyer string) (*circuit.Circuit, *big.Int, error) {
+	if err := r.check(a); err != nil {
+		return nil, nil, err
+	}
+	if buyer == "" {
+		return nil, nil, fmt.Errorf("registry: empty buyer name")
+	}
+	combos := a.Combinations()
+	if combos.Sign() <= 0 || combos.Cmp(big.NewInt(1)) == 0 {
+		return nil, nil, fmt.Errorf("registry: design has no fingerprint capacity")
+	}
+	var value *big.Int
+	if prev, ok := r.Issued[buyer]; ok {
+		v, ok2 := new(big.Int).SetString(prev, 10)
+		if !ok2 {
+			return nil, nil, fmt.Errorf("registry: corrupt record for %q", buyer)
+		}
+		value = v
+	} else {
+		sum := sha256.Sum256([]byte("odcfp-issue:" + r.Digest + ":" + buyer))
+		value = new(big.Int).SetBytes(sum[:])
+		value.Mod(value, combos)
+		// Collision check against existing records.
+		dec := value.String()
+		for other, v := range r.Issued {
+			if v == dec {
+				return nil, nil, fmt.Errorf("registry: fingerprint collision between %q and %q", buyer, other)
+			}
+		}
+		r.Issued[buyer] = dec
+	}
+	asg, err := a.AssignmentFromInt(value)
+	if err != nil {
+		return nil, nil, err
+	}
+	cp, err := core.Embed(a, asg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cp, value, nil
+}
+
+// Buyers returns the registered buyer names, sorted.
+func (r *Registry) Buyers() []string {
+	out := make([]string, 0, len(r.Issued))
+	for b := range r.Issued {
+		out = append(out, b)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TraceExact extracts the fingerprint of an untampered suspect copy and
+// returns the buyer it was issued to.
+func (r *Registry) TraceExact(a *core.Analysis, suspect *circuit.Circuit) (string, error) {
+	if err := r.check(a); err != nil {
+		return "", err
+	}
+	asg, err := core.Extract(a, suspect)
+	if err != nil {
+		return "", err
+	}
+	v, err := a.IntFromAssignment(asg)
+	if err != nil {
+		return "", err
+	}
+	dec := v.String()
+	for buyer, val := range r.Issued {
+		if val == dec {
+			return buyer, nil
+		}
+	}
+	return "", fmt.Errorf("registry: fingerprint %s matches no issued copy", dec)
+}
+
+// TraceScores scores every registered buyer against a possibly tampered
+// suspect using the marking-assumption tracer of internal/attack.
+func (r *Registry) TraceScores(a *core.Analysis, suspect *circuit.Circuit) ([]attack.Score, error) {
+	if err := r.check(a); err != nil {
+		return nil, err
+	}
+	tr := attack.NewTracer(a)
+	for _, buyer := range r.Buyers() {
+		v, ok := new(big.Int).SetString(r.Issued[buyer], 10)
+		if !ok {
+			return nil, fmt.Errorf("registry: corrupt record for %q", buyer)
+		}
+		asg, err := a.AssignmentFromInt(v)
+		if err != nil {
+			return nil, err
+		}
+		tr.Register(buyer, asg)
+	}
+	return tr.TraceScores(suspect)
+}
+
+func (r *Registry) check(a *core.Analysis) error {
+	if got := DesignDigest(a); got != r.Digest {
+		return fmt.Errorf("registry: design digest mismatch (registry %s, analysis %s)", r.Digest, got)
+	}
+	return nil
+}
+
+// Save writes the registry as JSON.
+func (r *Registry) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Load reads a registry and validates it against the analysis.
+func Load(rd io.Reader, a *core.Analysis) (*Registry, error) {
+	var r Registry
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("registry: %w", err)
+	}
+	if r.Issued == nil {
+		r.Issued = map[string]string{}
+	}
+	if err := r.check(a); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

@@ -1,0 +1,177 @@
+package registry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cell"
+	"repro/internal/circuit"
+	"repro/internal/core"
+)
+
+func analyzed(t testing.TB, name string) *core.Analysis {
+	t.Helper()
+	spec, err := bench.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(spec.Build(), core.DefaultOptions(cell.Default()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestIssueAndTraceExact(t *testing.T) {
+	a := analyzed(t, "c880")
+	r := New(a)
+	copies := map[string]*circuit.Circuit{}
+	for _, buyer := range []string{"alpha", "beta", "gamma"} {
+		cp, v, err := r.Issue(a, buyer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Sign() < 0 {
+			t.Fatal("negative fingerprint")
+		}
+		copies[buyer] = cp
+	}
+	if got := r.Buyers(); len(got) != 3 || got[0] != "alpha" {
+		t.Fatalf("Buyers = %v", got)
+	}
+	// Trace each verbatim copy back (heredity: trace works on a clone).
+	for buyer, cp := range copies {
+		got, err := r.TraceExact(a, cp.Clone())
+		if err != nil {
+			t.Fatalf("%s: %v", buyer, err)
+		}
+		if got != buyer {
+			t.Errorf("traced %q, want %q", got, buyer)
+		}
+	}
+	// Re-issuing is idempotent: same fingerprint, traces to same buyer.
+	cp2, _, err := r.Issue(a, "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.TraceExact(a, cp2)
+	if err != nil || got != "alpha" {
+		t.Fatalf("re-issue trace: %v %v", got, err)
+	}
+	// An unregistered fingerprint is reported as such.
+	if _, err := r.TraceExact(a, a.Circuit.Clone()); err == nil {
+		t.Error("clean copy traced to a buyer")
+	}
+	// Empty buyer name rejected.
+	if _, _, err := r.Issue(a, ""); err == nil {
+		t.Error("empty buyer accepted")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	a := analyzed(t, "c432")
+	r := New(a)
+	cp, _, err := r.Issue(a, "zeta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "zeta") || !strings.Contains(buf.String(), "digest") {
+		t.Errorf("serialised registry malformed:\n%s", buf.String())
+	}
+	r2, err := Load(bytes.NewReader(buf.Bytes()), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r2.TraceExact(a, cp)
+	if err != nil || got != "zeta" {
+		t.Fatalf("loaded registry trace: %v %v", got, err)
+	}
+}
+
+func TestDigestMismatchRejected(t *testing.T) {
+	a1 := analyzed(t, "c432")
+	a2 := analyzed(t, "c880")
+	r := New(a1)
+	if _, _, err := r.Issue(a2, "x"); err == nil {
+		t.Error("issue against wrong design accepted")
+	}
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bytes.NewReader(buf.Bytes()), a2); err == nil {
+		t.Error("load against wrong design accepted")
+	}
+	if _, err := r.TraceExact(a2, a2.Circuit); err == nil {
+		t.Error("trace against wrong design accepted")
+	}
+	// Corrupt JSON rejected.
+	if _, err := Load(strings.NewReader("{nope"), a1); err == nil {
+		t.Error("corrupt JSON accepted")
+	}
+}
+
+func TestTraceScoresAfterCollusion(t *testing.T) {
+	a := analyzed(t, "c880")
+	r := New(a)
+	var copies []*circuit.Circuit
+	buyers := []string{"p1", "p2", "p3", "p4", "p5"}
+	for _, b := range buyers {
+		cp, _, err := r.Issue(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copies = append(copies, cp)
+	}
+	// p1 and p2 collude by averaging their netlists through the attack
+	// package (exercised indirectly via TraceScores on a forged copy built
+	// from p1's instance with p2-differing sites reset). Here we simply
+	// score p1's verbatim copy: p1 must rank first with fraction 1.0.
+	scores, err := r.TraceScores(a, copies[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 5 {
+		t.Fatalf("%d scores", len(scores))
+	}
+	if scores[0].Name != "p1" || scores[0].Fraction() != 1.0 {
+		t.Errorf("top score %q %.3f, want p1 at 1.0", scores[0].Name, scores[0].Fraction())
+	}
+	for _, s := range scores[1:] {
+		if s.Name != "p1" && s.Fraction() == 1.0 && s.TotalPresent > 0 {
+			t.Errorf("innocent %q also scores 1.0", s.Name)
+		}
+	}
+}
+
+func TestDigestSensitivity(t *testing.T) {
+	a := analyzed(t, "c432")
+	d1 := DesignDigest(a)
+	// A different analysis option set (fewer targets) changes the digest.
+	spec, err := bench.ByName("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions(cell.Default())
+	opts.MaxTargetsPerLocation = 1
+	a2, err := core.Analyze(spec.Build(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := DesignDigest(a2)
+	if a.TotalTargets() != a2.TotalTargets() {
+		if d1 == d2 {
+			t.Error("digest ignored analysis shape change")
+		}
+	}
+	// Deterministic.
+	if DesignDigest(a) != d1 {
+		t.Error("digest not deterministic")
+	}
+}

@@ -1,0 +1,269 @@
+// Package sim provides 64-way bit-parallel logic simulation of circuits,
+// with exhaustive enumeration for small input counts and seeded random
+// vectors otherwise. It backs functional-equivalence checks (together with
+// the SAT-based checker in internal/cec), toggle-based power estimation and
+// the ODC soundness tests.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/circuit"
+)
+
+// Vectors holds stimulus for a circuit: Words[i] is the bit-parallel value
+// stream of primary input i (in circuit PI order); each uint64 carries 64
+// test patterns. All PIs must have the same number of words.
+type Vectors struct {
+	Words [][]uint64
+}
+
+// NumWords returns the number of 64-pattern words per input.
+func (v *Vectors) NumWords() int {
+	if len(v.Words) == 0 {
+		return 0
+	}
+	return len(v.Words[0])
+}
+
+// Random generates nWords random 64-pattern words for a circuit with nPI
+// inputs, deterministically from seed.
+func Random(nPI, nWords int, seed int64) *Vectors {
+	rng := rand.New(rand.NewSource(seed))
+	v := &Vectors{Words: make([][]uint64, nPI)}
+	for i := range v.Words {
+		w := make([]uint64, nWords)
+		for j := range w {
+			w[j] = rng.Uint64()
+		}
+		v.Words[i] = w
+	}
+	return v
+}
+
+// MaxExhaustivePIs bounds exhaustive enumeration: 2^22 patterns = 65536
+// words per input, comfortably in memory and time for unit tests.
+const MaxExhaustivePIs = 22
+
+// Exhaustive generates all 2^nPI input patterns (padded up to a multiple of
+// 64 by repeating pattern 0, which is harmless for equivalence checking).
+// It returns an error when nPI exceeds MaxExhaustivePIs.
+func Exhaustive(nPI int) (*Vectors, error) {
+	if nPI > MaxExhaustivePIs {
+		return nil, fmt.Errorf("sim: %d PIs exceeds exhaustive limit %d", nPI, MaxExhaustivePIs)
+	}
+	patterns := 1 << uint(nPI)
+	nWords := (patterns + 63) / 64
+	v := &Vectors{Words: make([][]uint64, nPI)}
+	for i := 0; i < nPI; i++ {
+		w := make([]uint64, nWords)
+		for p := 0; p < nWords*64; p++ {
+			// Pattern index modulo the true pattern count, so padding
+			// repeats pattern range instead of injecting new ones.
+			idx := p % patterns
+			if idx>>uint(i)&1 == 1 {
+				w[p/64] |= 1 << uint(p%64)
+			}
+		}
+		v.Words[i] = w
+	}
+	return v, nil
+}
+
+// Result holds per-node simulation values: Node[id][w] is the w-th 64-pattern
+// word of node id.
+type Result struct {
+	Node [][]uint64
+}
+
+// Run simulates the circuit on the given vectors and returns values for all
+// nodes. It fails if the vector shape does not match the PI count or the
+// circuit has a cycle.
+func Run(c *circuit.Circuit, v *Vectors) (*Result, error) {
+	if len(v.Words) != len(c.PIs) {
+		return nil, fmt.Errorf("sim: %d input streams for %d PIs", len(v.Words), len(c.PIs))
+	}
+	nWords := v.NumWords()
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Node: make([][]uint64, len(c.Nodes))}
+	for i, pi := range c.PIs {
+		if len(v.Words[i]) != nWords {
+			return nil, fmt.Errorf("sim: ragged vector lengths")
+		}
+		res.Node[pi] = v.Words[i]
+	}
+	in := make([]uint64, 0, 8)
+	for _, id := range order {
+		nd := &c.Nodes[id]
+		if nd.IsPI {
+			continue
+		}
+		out := make([]uint64, nWords)
+		for w := 0; w < nWords; w++ {
+			in = in[:0]
+			for _, f := range nd.Fanin {
+				in = append(in, res.Node[f][w])
+			}
+			out[w] = nd.Kind.EvalWord(in)
+		}
+		res.Node[id] = out
+	}
+	return res, nil
+}
+
+// Outputs returns the PO value streams in PO order.
+func (r *Result) Outputs(c *circuit.Circuit) [][]uint64 {
+	out := make([][]uint64, len(c.POs))
+	for i, po := range c.POs {
+		out[i] = r.Node[po.Driver]
+	}
+	return out
+}
+
+// EvalOne evaluates the circuit on a single scalar input assignment, keyed by
+// PI order, returning PO values in PO order. Convenience for tests and small
+// examples.
+func EvalOne(c *circuit.Circuit, inputs []bool) ([]bool, error) {
+	if len(inputs) != len(c.PIs) {
+		return nil, fmt.Errorf("sim: %d inputs for %d PIs", len(inputs), len(c.PIs))
+	}
+	v := &Vectors{Words: make([][]uint64, len(inputs))}
+	for i, b := range inputs {
+		w := uint64(0)
+		if b {
+			w = 1
+		}
+		v.Words[i] = []uint64{w}
+	}
+	res, err := Run(c, v)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(c.POs))
+	for i, po := range c.POs {
+		out[i] = res.Node[po.Driver][0]&1 == 1
+	}
+	return out, nil
+}
+
+// Mismatch describes the first difference found between two circuits.
+type Mismatch struct {
+	PO      string // primary output name
+	Pattern int    // global pattern index (word*64 + lane)
+}
+
+func (m *Mismatch) String() string {
+	return fmt.Sprintf("PO %q differs at pattern %d", m.PO, m.Pattern)
+}
+
+// matchedInterface checks that the two circuits have identical PI and PO
+// name sequences, the precondition for pattern-by-pattern comparison.
+func matchedInterface(a, b *circuit.Circuit) error {
+	if len(a.PIs) != len(b.PIs) {
+		return fmt.Errorf("sim: PI counts differ (%d vs %d)", len(a.PIs), len(b.PIs))
+	}
+	for i := range a.PIs {
+		if a.Nodes[a.PIs[i]].Name != b.Nodes[b.PIs[i]].Name {
+			return fmt.Errorf("sim: PI %d name mismatch (%q vs %q)", i, a.Nodes[a.PIs[i]].Name, b.Nodes[b.PIs[i]].Name)
+		}
+	}
+	if len(a.POs) != len(b.POs) {
+		return fmt.Errorf("sim: PO counts differ (%d vs %d)", len(a.POs), len(b.POs))
+	}
+	for i := range a.POs {
+		if a.POs[i].Name != b.POs[i].Name {
+			return fmt.Errorf("sim: PO %d name mismatch (%q vs %q)", i, a.POs[i].Name, b.POs[i].Name)
+		}
+	}
+	return nil
+}
+
+// Compare simulates both circuits on the same vectors and returns the first
+// mismatching PO/pattern, or nil if all sampled patterns agree.
+func Compare(a, b *circuit.Circuit, v *Vectors) (*Mismatch, error) {
+	if err := matchedInterface(a, b); err != nil {
+		return nil, err
+	}
+	ra, err := Run(a, v)
+	if err != nil {
+		return nil, err
+	}
+	rb, err := Run(b, v)
+	if err != nil {
+		return nil, err
+	}
+	for i, po := range a.POs {
+		wa := ra.Node[po.Driver]
+		wb := rb.Node[b.POs[i].Driver]
+		for w := range wa {
+			if diff := wa[w] ^ wb[w]; diff != 0 {
+				lane := 0
+				for diff&1 == 0 {
+					diff >>= 1
+					lane++
+				}
+				return &Mismatch{PO: po.Name, Pattern: w*64 + lane}, nil
+			}
+		}
+	}
+	return nil, nil
+}
+
+// EquivalentExhaustive proves or refutes equivalence of two circuits with at
+// most MaxExhaustivePIs inputs by enumerating every pattern.
+func EquivalentExhaustive(a, b *circuit.Circuit) (bool, *Mismatch, error) {
+	vec, err := Exhaustive(len(a.PIs))
+	if err != nil {
+		return false, nil, err
+	}
+	m, err := Compare(a, b, vec)
+	if err != nil {
+		return false, nil, err
+	}
+	return m == nil, m, nil
+}
+
+// EquivalentRandom samples nWords×64 random patterns; a nil mismatch is
+// evidence (not proof) of equivalence. Use internal/cec for proof.
+func EquivalentRandom(a, b *circuit.Circuit, nWords int, seed int64) (bool, *Mismatch, error) {
+	vec := Random(len(a.PIs), nWords, seed)
+	m, err := Compare(a, b, vec)
+	if err != nil {
+		return false, nil, err
+	}
+	return m == nil, m, nil
+}
+
+// ToggleCounts simulates the circuit and returns, per node, the number of
+// value changes between consecutive patterns — a crude measured switching
+// activity used to cross-check the probabilistic power model.
+func ToggleCounts(c *circuit.Circuit, v *Vectors) ([]int, error) {
+	res, err := Run(c, v)
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]int, len(c.Nodes))
+	for id := range res.Node {
+		words := res.Node[id]
+		if words == nil {
+			continue
+		}
+		var last uint64 // value of previous pattern bit
+		first := true
+		for _, w := range words {
+			for lane := 0; lane < 64; lane++ {
+				bit := w >> uint(lane) & 1
+				if !first && bit != last {
+					counts[id]++
+				}
+				last = bit
+				first = false
+			}
+		}
+	}
+	return counts, nil
+}

@@ -1,0 +1,204 @@
+package sta
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/circuit"
+)
+
+// Incremental maintains arrival times and the circuit delay under local
+// netlist edits, recomputing only the affected cone instead of the whole
+// design. It exists for the reactive constraint heuristic (§IV-B), whose
+// inner loop toggles one fingerprint modification at a time and only needs
+// the resulting delay: toggling touches a handful of nodes, so the
+// incremental update is ~depth-of-fanout work instead of O(n).
+//
+// Contract: after any batch of netlist edits, call Update with every node
+// whose kind, fanin list or fanout set changed (for a fingerprint toggle:
+// the target gate, the literal source signals, the helper inverters and the
+// parking constant). Arrival times then converge to exactly what a fresh
+// Analyze would compute (property-tested).
+type Incremental struct {
+	c   *circuit.Circuit
+	lib *cell.Library
+
+	pinCap  []float64 // input capacitance per gate (0 for PIs)
+	loads   []float64
+	gd      []float64 // gate delay under current load
+	arrival []float64
+	nPO     []int
+
+	inQueue []bool
+	queue   []circuit.NodeID
+}
+
+// NewIncremental builds the initial timing state (one full pass).
+func NewIncremental(c *circuit.Circuit, lib *cell.Library) (*Incremental, error) {
+	in := &Incremental{
+		c:       c,
+		lib:     lib,
+		pinCap:  make([]float64, len(c.Nodes)),
+		loads:   make([]float64, len(c.Nodes)),
+		gd:      make([]float64, len(c.Nodes)),
+		arrival: make([]float64, len(c.Nodes)),
+		nPO:     make([]int, len(c.Nodes)),
+		inQueue: make([]bool, len(c.Nodes)),
+	}
+	for _, po := range c.POs {
+		in.nPO[po.Driver]++
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for i := range c.Nodes {
+		if err := in.refreshPinCap(circuit.NodeID(i)); err != nil {
+			return nil, err
+		}
+	}
+	for i := range c.Nodes {
+		in.refreshLoad(circuit.NodeID(i))
+	}
+	for _, id := range order {
+		if err := in.refreshGateDelay(id); err != nil {
+			return nil, err
+		}
+		in.recomputeArrival(id)
+	}
+	return in, nil
+}
+
+func (in *Incremental) grow() {
+	for len(in.pinCap) < len(in.c.Nodes) {
+		in.pinCap = append(in.pinCap, 0)
+		in.loads = append(in.loads, 0)
+		in.gd = append(in.gd, 0)
+		in.arrival = append(in.arrival, 0)
+		in.nPO = append(in.nPO, 0)
+		in.inQueue = append(in.inQueue, false)
+	}
+}
+
+func (in *Incremental) refreshPinCap(id circuit.NodeID) error {
+	nd := &in.c.Nodes[id]
+	if nd.IsPI {
+		in.pinCap[id] = 0
+		return nil
+	}
+	cl, err := in.lib.Lookup(nd.Kind, len(nd.Fanin))
+	if err != nil {
+		return fmt.Errorf("sta: incremental: node %q: %w", nd.Name, err)
+	}
+	in.pinCap[id] = cl.InputCap
+	return nil
+}
+
+func (in *Incremental) refreshLoad(id circuit.NodeID) {
+	fo := in.c.Nodes[id].Fanout()
+	sum := 0.0
+	for _, s := range fo {
+		sum += in.pinCap[s]
+	}
+	in.loads[id] = in.lib.NodeLoad(sum, len(fo), in.nPO[id])
+}
+
+func (in *Incremental) refreshGateDelay(id circuit.NodeID) error {
+	nd := &in.c.Nodes[id]
+	if nd.IsPI {
+		in.gd[id] = 0
+		return nil
+	}
+	d, err := cell.GateDelay(in.lib, nd.Kind, len(nd.Fanin), in.loads[id])
+	if err != nil {
+		return fmt.Errorf("sta: incremental: node %q: %w", nd.Name, err)
+	}
+	in.gd[id] = d
+	return nil
+}
+
+// recomputeArrival returns true when the node's arrival changed.
+func (in *Incremental) recomputeArrival(id circuit.NodeID) bool {
+	nd := &in.c.Nodes[id]
+	a := 0.0
+	if !nd.IsPI {
+		for _, f := range nd.Fanin {
+			if in.arrival[f] > a {
+				a = in.arrival[f]
+			}
+		}
+		a += in.gd[id]
+	}
+	const eps = 1e-12
+	if diff := a - in.arrival[id]; diff > eps || diff < -eps {
+		in.arrival[id] = a
+		return true
+	}
+	return false
+}
+
+// Update incorporates a batch of local edits. `affected` must contain every
+// node whose kind, fanin list or fanout set changed since the previous
+// Update (duplicates are fine; new nodes appended to the circuit since
+// construction are picked up automatically and should also be listed).
+func (in *Incremental) Update(affected ...circuit.NodeID) error {
+	in.grow()
+	// Nodes whose load may have changed: the affected nodes themselves
+	// (fanout edits) plus sources feeding an affected gate (its pin cap or
+	// pin count changed).
+	dirty := make(map[circuit.NodeID]bool, 4*len(affected))
+	for _, a := range affected {
+		if err := in.refreshPinCap(a); err != nil {
+			return err
+		}
+	}
+	for _, a := range affected {
+		dirty[a] = true
+		for _, f := range in.c.Nodes[a].Fanin {
+			dirty[f] = true
+		}
+	}
+	for id := range dirty {
+		in.refreshLoad(id)
+		if err := in.refreshGateDelay(id); err != nil {
+			return err
+		}
+	}
+	// Propagate arrivals to a fixpoint (terminates: the DAG is acyclic, so
+	// each node settles after its transitive fanin settles).
+	for id := range dirty {
+		in.push(id)
+	}
+	for len(in.queue) > 0 {
+		id := in.queue[0]
+		in.queue = in.queue[1:]
+		in.inQueue[id] = false
+		if in.recomputeArrival(id) {
+			for _, s := range in.c.Nodes[id].Fanout() {
+				in.push(s)
+			}
+		}
+	}
+	return nil
+}
+
+func (in *Incremental) push(id circuit.NodeID) {
+	if !in.inQueue[id] {
+		in.inQueue[id] = true
+		in.queue = append(in.queue, id)
+	}
+}
+
+// Delay returns the current circuit delay (max arrival over PO drivers).
+func (in *Incremental) Delay() float64 {
+	d := 0.0
+	for _, po := range in.c.POs {
+		if a := in.arrival[po.Driver]; a > d {
+			d = a
+		}
+	}
+	return d
+}
+
+// Arrival returns the current arrival time of a node.
+func (in *Incremental) Arrival(id circuit.NodeID) float64 { return in.arrival[id] }

@@ -1,0 +1,195 @@
+package sta
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cell"
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+func TestIncrementalMatchesFullInitially(t *testing.T) {
+	lib := cell.Default()
+	rng := rand.New(rand.NewSource(2))
+	c := randomCircuit(rng, 5, 40)
+	inc, err := NewIncremental(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := Analyze(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(inc.Delay()-tm.Delay) > 1e-9 {
+		t.Fatalf("initial delay %g vs full %g", inc.Delay(), tm.Delay)
+	}
+	for i := range c.Nodes {
+		if math.Abs(inc.Arrival(circuit.NodeID(i))-tm.Arrival[i]) > 1e-9 {
+			t.Fatalf("arrival mismatch at %q", c.Nodes[i].Name)
+		}
+	}
+}
+
+// TestIncrementalUnderEdits is the central property: after a random
+// sequence of AddFanin/RemoveFanin/ConvertGate/ReplaceFanin edits with the
+// affected nodes reported, the incremental state equals a full re-analysis.
+func TestIncrementalUnderEdits(t *testing.T) {
+	lib := cell.Default()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCircuit(rng, 5, 30)
+		inc, err := NewIncremental(c, lib)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for step := 0; step < 12; step++ {
+			// Pick a growable gate and a source that keeps the circuit
+			// acyclic and within library widths.
+			var g, src circuit.NodeID = circuit.None, circuit.None
+			levels := c.Levels()
+			for try := 0; try < 40; try++ {
+				gi := circuit.NodeID(rng.Intn(len(c.Nodes)))
+				nd := &c.Nodes[gi]
+				if nd.IsPI || nd.Kind.FixedFanin() || !lib.Has(nd.Kind, len(nd.Fanin)+1) {
+					continue
+				}
+				si := circuit.NodeID(rng.Intn(len(c.Nodes)))
+				if si == gi || levels[si] >= levels[gi] {
+					continue // keep acyclicity trivially (level order)
+				}
+				dup := false
+				for _, f := range nd.Fanin {
+					if f == si {
+						dup = true
+					}
+				}
+				if dup {
+					continue
+				}
+				g, src = gi, si
+				break
+			}
+			if g == circuit.None {
+				break
+			}
+			if err := c.AddFanin(g, src); err != nil {
+				t.Logf("seed %d: AddFanin: %v", seed, err)
+				return false
+			}
+			if err := inc.Update(g, src); err != nil {
+				t.Logf("seed %d: Update: %v", seed, err)
+				return false
+			}
+			if !agree(t, inc, c, lib) {
+				t.Logf("seed %d step %d: add diverged", seed, step)
+				return false
+			}
+			// Sometimes undo immediately.
+			if rng.Intn(2) == 0 {
+				if err := c.RemoveFanin(g, src); err != nil {
+					t.Logf("seed %d: RemoveFanin: %v", seed, err)
+					return false
+				}
+				if err := inc.Update(g, src); err != nil {
+					return false
+				}
+				if !agree(t, inc, c, lib) {
+					t.Logf("seed %d step %d: remove diverged", seed, step)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func agree(t *testing.T, inc *Incremental, c *circuit.Circuit, lib *cell.Library) bool {
+	t.Helper()
+	tm, err := Analyze(c, lib)
+	if err != nil {
+		return false
+	}
+	if math.Abs(inc.Delay()-tm.Delay) > 1e-9 {
+		return false
+	}
+	for i := range c.Nodes {
+		if math.Abs(inc.Arrival(circuit.NodeID(i))-tm.Arrival[i]) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIncrementalNewNodes(t *testing.T) {
+	// Nodes appended after construction are handled once reported.
+	lib := cell.Default()
+	c := circuit.New("grow")
+	a, _ := c.AddPI("a")
+	b, _ := c.AddPI("b")
+	g1, _ := c.AddGate("g1", logic.And, a, b)
+	if err := c.AddPO("o", g1); err != nil {
+		t.Fatal(err)
+	}
+	inc, err := NewIncremental(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0 := inc.Delay()
+	// Append an inverter chain feeding a new pin of g1? g1 is AND2; add a
+	// new INV over a and wire it in.
+	inv, err := c.AddGate("inv", logic.Inv, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddFanin(g1, inv); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Update(inv, g1, a); err != nil {
+		t.Fatal(err)
+	}
+	if !agree(t, inc, c, lib) {
+		t.Fatal("diverged after appending a node")
+	}
+	if inc.Delay() <= d0 {
+		t.Error("delay should grow through the new inverter")
+	}
+}
+
+func TestIncrementalUnmappableEdit(t *testing.T) {
+	lib := cell.Default()
+	c := circuit.New("bad")
+	var pins []circuit.NodeID
+	for i := 0; i < 5; i++ {
+		id, _ := c.AddPI("p" + string(rune('a'+i)))
+		pins = append(pins, id)
+	}
+	g, _ := c.AddGate("g", logic.And, pins[0], pins[1], pins[2], pins[3])
+	if err := c.AddPO("o", g); err != nil {
+		t.Fatal(err)
+	}
+	inc, err := NewIncremental(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grow to AND5 (exists), then AND6 (does not): Update must error.
+	if err := c.AddFanin(g, pins[4]); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Update(g, pins[4]); err != nil {
+		t.Fatalf("AND5 should be mappable: %v", err)
+	}
+	extra, _ := c.AddPI("pf")
+	if err := c.AddFanin(g, extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Update(g, extra); err == nil {
+		t.Error("unmappable AND6 accepted by incremental update")
+	}
+}

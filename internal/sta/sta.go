@@ -1,0 +1,152 @@
+// Package sta implements static timing analysis over the linear cell-delay
+// model of internal/cell: arrival times propagate forward in topological
+// order, required times backward from the circuit delay, and slack is their
+// difference. The critical path and per-node slack drive both the paper's
+// delay-overhead measurements (Table II) and the delay-constrained
+// fingerprinting heuristics (Table III and the proactive method of §III-D).
+package sta
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cell"
+	"repro/internal/circuit"
+)
+
+// Timing holds the result of one analysis pass.
+type Timing struct {
+	// Arrival[id] is the latest signal arrival time at node id's output.
+	// PIs arrive at 0.
+	Arrival []float64
+	// Required[id] is the latest time node id's output may settle without
+	// increasing the circuit delay.
+	Required []float64
+	// Slack[id] = Required[id] − Arrival[id]; ≥ 0 everywhere, 0 on the
+	// critical path.
+	Slack []float64
+	// GateDelay[id] is the pin-to-pin delay of gate id under its load
+	// (0 for PIs).
+	GateDelay []float64
+	// Delay is the circuit delay: max arrival over PO drivers.
+	Delay float64
+	// CriticalPath lists node IDs from a PI to the critical PO driver.
+	CriticalPath []circuit.NodeID
+}
+
+// Analyze runs timing analysis of c under library lib.
+func Analyze(c *circuit.Circuit, lib *cell.Library) (*Timing, error) {
+	loads, err := cell.Loads(lib, c)
+	if err != nil {
+		return nil, err
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	t := &Timing{
+		Arrival:   make([]float64, len(c.Nodes)),
+		Required:  make([]float64, len(c.Nodes)),
+		Slack:     make([]float64, len(c.Nodes)),
+		GateDelay: make([]float64, len(c.Nodes)),
+	}
+	// Forward pass: arrival times.
+	for _, id := range order {
+		nd := &c.Nodes[id]
+		if nd.IsPI {
+			t.Arrival[id] = 0
+			continue
+		}
+		d, err := cell.GateDelay(lib, nd.Kind, len(nd.Fanin), loads[id])
+		if err != nil {
+			return nil, fmt.Errorf("sta: node %q: %w", nd.Name, err)
+		}
+		t.GateDelay[id] = d
+		worst := 0.0
+		for _, f := range nd.Fanin {
+			if t.Arrival[f] > worst {
+				worst = t.Arrival[f]
+			}
+		}
+		t.Arrival[id] = worst + d
+	}
+	for _, po := range c.POs {
+		if t.Arrival[po.Driver] > t.Delay {
+			t.Delay = t.Arrival[po.Driver]
+		}
+	}
+	// Backward pass: required times.
+	for i := range t.Required {
+		t.Required[i] = math.Inf(1)
+	}
+	for _, po := range c.POs {
+		if t.Delay < t.Required[po.Driver] {
+			t.Required[po.Driver] = t.Delay
+		}
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		nd := &c.Nodes[id]
+		if nd.IsPI {
+			continue
+		}
+		req := t.Required[id]
+		for _, f := range nd.Fanin {
+			if r := req - t.GateDelay[id]; r < t.Required[f] {
+				t.Required[f] = r
+			}
+		}
+	}
+	// Unconstrained nodes (dead logic) get slack relative to circuit delay.
+	for i := range t.Required {
+		if math.IsInf(t.Required[i], 1) {
+			t.Required[i] = t.Delay
+		}
+		t.Slack[i] = t.Required[i] - t.Arrival[i]
+	}
+	t.CriticalPath = tracePath(c, t)
+	return t, nil
+}
+
+// tracePath follows worst arrival times backward from the critical PO.
+func tracePath(c *circuit.Circuit, t *Timing) []circuit.NodeID {
+	var end circuit.NodeID = circuit.None
+	for _, po := range c.POs {
+		if end == circuit.None || t.Arrival[po.Driver] > t.Arrival[end] {
+			end = po.Driver
+		}
+	}
+	if end == circuit.None {
+		return nil
+	}
+	var rev []circuit.NodeID
+	cur := end
+	for {
+		rev = append(rev, cur)
+		nd := &c.Nodes[cur]
+		if nd.IsPI || len(nd.Fanin) == 0 {
+			break
+		}
+		worst := nd.Fanin[0]
+		for _, f := range nd.Fanin[1:] {
+			if t.Arrival[f] > t.Arrival[worst] {
+				worst = f
+			}
+		}
+		cur = worst
+	}
+	// Reverse to PI→PO order.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Delay is a convenience wrapper returning just the circuit delay.
+func Delay(c *circuit.Circuit, lib *cell.Library) (float64, error) {
+	t, err := Analyze(c, lib)
+	if err != nil {
+		return 0, err
+	}
+	return t.Delay, nil
+}

@@ -1,0 +1,262 @@
+package sta
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cell"
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+func chain(t *testing.T, n int) *circuit.Circuit {
+	t.Helper()
+	c := circuit.New("chain")
+	a, _ := c.AddPI("a")
+	b, _ := c.AddPI("b")
+	prev := a
+	for i := 0; i < n; i++ {
+		g, err := c.AddGate(c.FreshName("g"), logic.Nand, prev, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev = g
+	}
+	if err := c.AddPO("o", prev); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestChainDelayGrows(t *testing.T) {
+	lib := cell.Default()
+	d5, err := Delay(chain(t, 5), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d10, err := Delay(chain(t, 10), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d10 <= d5 || d5 <= 0 {
+		t.Errorf("delays: 5-chain %g, 10-chain %g", d5, d10)
+	}
+	// A 10-chain should be roughly twice a 5-chain (same per-stage load
+	// except the last stage).
+	if ratio := d10 / d5; ratio < 1.6 || ratio > 2.4 {
+		t.Errorf("10/5 chain delay ratio = %g, expected ≈2", ratio)
+	}
+}
+
+func TestSlackProperties(t *testing.T) {
+	lib := cell.Default()
+	c := chain(t, 6)
+	tm, err := Analyze(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Nodes {
+		if tm.Slack[i] < -1e-9 {
+			t.Errorf("negative slack %g at node %q", tm.Slack[i], c.Nodes[i].Name)
+		}
+	}
+	// Chain: every chain gate is critical (slack 0).
+	for i := range c.Nodes {
+		nd := &c.Nodes[i]
+		if !nd.IsPI && tm.Slack[i] > 1e-9 {
+			t.Errorf("chain gate %q has slack %g, want 0", nd.Name, tm.Slack[i])
+		}
+	}
+	// Critical path must run PI → PO driver with non-decreasing arrivals.
+	cp := tm.CriticalPath
+	if len(cp) == 0 {
+		t.Fatal("empty critical path")
+	}
+	if !c.Nodes[cp[0]].IsPI {
+		t.Error("critical path does not start at a PI")
+	}
+	if !c.IsPODriver(cp[len(cp)-1]) {
+		t.Error("critical path does not end at a PO driver")
+	}
+	for i := 1; i < len(cp); i++ {
+		if tm.Arrival[cp[i]] < tm.Arrival[cp[i-1]] {
+			t.Error("arrival decreases along critical path")
+		}
+		// Consecutive nodes must be connected.
+		found := false
+		for _, f := range c.Nodes[cp[i]].Fanin {
+			if f == cp[i-1] {
+				found = true
+			}
+		}
+		if !found {
+			t.Error("critical path nodes not connected")
+		}
+	}
+	if math.Abs(tm.Arrival[cp[len(cp)-1]]-tm.Delay) > 1e-9 {
+		t.Error("critical path end arrival != circuit delay")
+	}
+}
+
+// bruteDelay computes the exact longest weighted path by DFS memoisation,
+// independent of the Analyze implementation.
+func bruteDelay(c *circuit.Circuit, lib *cell.Library) float64 {
+	loads, err := cell.Loads(lib, c)
+	if err != nil {
+		panic(err)
+	}
+	memo := make([]float64, len(c.Nodes))
+	done := make([]bool, len(c.Nodes))
+	var arrive func(circuit.NodeID) float64
+	arrive = func(id circuit.NodeID) float64 {
+		if done[id] {
+			return memo[id]
+		}
+		done[id] = true
+		nd := &c.Nodes[id]
+		if nd.IsPI {
+			return 0
+		}
+		d, err := cell.GateDelay(lib, nd.Kind, len(nd.Fanin), loads[id])
+		if err != nil {
+			panic(err)
+		}
+		worst := 0.0
+		for _, f := range nd.Fanin {
+			if a := arrive(f); a > worst {
+				worst = a
+			}
+		}
+		memo[id] = worst + d
+		return memo[id]
+	}
+	best := 0.0
+	for _, po := range c.POs {
+		if a := arrive(po.Driver); a > best {
+			best = a
+		}
+	}
+	return best
+}
+
+// TestAgainstBruteForce: Analyze's delay must equal the brute-force longest
+// path on random DAGs (DESIGN.md invariant #9).
+func TestAgainstBruteForce(t *testing.T) {
+	lib := cell.Default()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCircuit(rng, 4, 25)
+		tm, err := Analyze(c, lib)
+		if err != nil {
+			return false
+		}
+		want := bruteDelay(c, lib)
+		if math.Abs(tm.Delay-want) > 1e-9 {
+			t.Logf("seed %d: Analyze %g, brute %g", seed, tm.Delay, want)
+			return false
+		}
+		// Required ≤ Delay at PO drivers; Arrival+Slack = Required.
+		for i := range c.Nodes {
+			if math.Abs(tm.Required[i]-tm.Arrival[i]-tm.Slack[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFanoutLoadMatters: adding fanout to a gate increases its delay and the
+// circuit delay when on the critical path.
+func TestFanoutLoadMatters(t *testing.T) {
+	lib := cell.Default()
+	mk := func(extraLoad bool) *circuit.Circuit {
+		c := circuit.New("l")
+		a, _ := c.AddPI("a")
+		b, _ := c.AddPI("b")
+		g1, _ := c.AddGate("g1", logic.Nand, a, b)
+		g2, _ := c.AddGate("g2", logic.Nand, g1, b)
+		if err := c.AddPO("o", g2); err != nil {
+			t.Fatal(err)
+		}
+		if extraLoad {
+			for i := 0; i < 4; i++ {
+				name := c.FreshName("ld")
+				g, _ := c.AddGate(name, logic.Inv, g1)
+				if err := c.AddPO("po_"+name, g); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return c
+	}
+	d0, err := Delay(mk(false), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := Delay(mk(true), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 <= d0 {
+		t.Errorf("extra fanout load did not increase delay: %g vs %g", d1, d0)
+	}
+}
+
+func TestUnmappableError(t *testing.T) {
+	lib := cell.Default()
+	c := circuit.New("wide")
+	var pins []circuit.NodeID
+	for i := 0; i < 6; i++ {
+		id, _ := c.AddPI("p" + string(rune('a'+i)))
+		pins = append(pins, id)
+	}
+	w, _ := c.AddGate("w", logic.And, pins...)
+	if err := c.AddPO("o", w); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(c, lib); err == nil {
+		t.Error("Analyze of unmappable circuit succeeded")
+	}
+}
+
+func randomCircuit(rng *rand.Rand, nPI, nGates int) *circuit.Circuit {
+	c := circuit.New("rand")
+	ids := make([]circuit.NodeID, 0, nPI+nGates)
+	for i := 0; i < nPI; i++ {
+		id, _ := c.AddPI("pi" + string(rune('a'+i)))
+		ids = append(ids, id)
+	}
+	kinds := []logic.Kind{logic.And, logic.Or, logic.Nand, logic.Nor, logic.Xor, logic.Inv, logic.Buf}
+	for g := 0; g < nGates; g++ {
+		k := kinds[rng.Intn(len(kinds))]
+		n := k.MinFanin()
+		// Widen only kinds that have >2-input cells in the default library.
+		if (k == logic.And || k == logic.Or || k == logic.Nand || k == logic.Nor) && rng.Intn(3) == 0 {
+			n += rng.Intn(2)
+		}
+		fanin := make([]circuit.NodeID, 0, n)
+		seen := map[circuit.NodeID]bool{}
+		for len(fanin) < n {
+			f := ids[rng.Intn(len(ids))]
+			if seen[f] {
+				continue
+			}
+			seen[f] = true
+			fanin = append(fanin, f)
+		}
+		id, err := c.AddGate(c.FreshName("g"), k, fanin...)
+		if err != nil {
+			panic(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := c.AddPO("out", ids[len(ids)-1]); err != nil {
+		panic(err)
+	}
+	return c
+}

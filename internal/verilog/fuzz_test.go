@@ -1,0 +1,43 @@
+package verilog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// FuzzParse: the Verilog reader must never panic; accepted netlists must
+// validate, serialise, and re-parse to an equivalent circuit.
+func FuzzParse(f *testing.F) {
+	f.Add("module m (a, o);\n input a;\n output o;\n not (o, a);\nendmodule\n")
+	f.Add("module m (a, b, o);\n input a, b;\n output o;\n wire t;\n nand g1 (t, a, b);\n xor g2 (o, t, a);\nendmodule\n")
+	f.Add("module m (a, o);\n input a;\n output o;\n assign o = a;\nendmodule\n")
+	f.Add("module m (a, o);\n input a;\n output o;\n assign o = 1'b1;\nendmodule\n")
+	f.Add("module m (o);\n output o;\nendmodule")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("accepted circuit invalid: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, c); err != nil {
+			return // e.g. PO-name collisions the writer legitimately rejects
+		}
+		back, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("own output rejected: %v\n%s", err, buf.String())
+		}
+		if len(c.PIs) <= 16 {
+			eq, mm, err := sim.EquivalentExhaustive(c, back)
+			if err == nil && !eq {
+				t.Fatalf("round trip changed function: %v", mm)
+			}
+		}
+	})
+}

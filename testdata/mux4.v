@@ -1,0 +1,14 @@
+// 4:1 mux, structural
+module mux4 (d0, d1, d2, d3, s0, s1, y);
+  input d0, d1, d2, d3, s0, s1;
+  output y;
+  wire ns0, ns1, t0, t1, t2, t3, o1;
+  not g0 (ns0, s0);
+  not g1 (ns1, s1);
+  and g2 (t0, d0, ns0, ns1);
+  and g3 (t1, d1, s0, ns1);
+  and g4 (t2, d2, ns0, s1);
+  and g5 (t3, d3, s0, s1);
+  or  g6 (o1, t0, t1, t2, t3);
+  buf g7 (y, o1);
+endmodule
