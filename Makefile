@@ -2,9 +2,21 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench experiments fuzz cover clean
+.PHONY: all build test vet bench experiments fuzz cover ci clean
 
 all: build vet test
+
+# Everything the CI workflow runs: formatting, vet, build, the full race-
+# enabled test suite, and a short fuzz pass over the two line-oriented
+# netlist parsers.
+ci:
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/blif/
+	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/benchfmt/
 
 build:
 	$(GO) build ./...

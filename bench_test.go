@@ -500,6 +500,24 @@ func BenchmarkSuiteGeneration(b *testing.B) {
 	}
 }
 
+// BenchmarkTable2Jobs measures the parallel sweep's scaling: the whole
+// Table II regeneration at worker counts 1/2/4. Rows are identical at every
+// -j (the determinism guarantee); only wall-clock should move, and only on
+// multi-core hosts — on a single-core box expect parity.
+func BenchmarkTable2Jobs(b *testing.B) {
+	lib := cell.Default()
+	for _, jobs := range []int{1, 2, 4} {
+		jobs := jobs
+		b.Run(fmt.Sprintf("j=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunTable2(nil, lib, jobs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkTable2Averages regenerates the Table II average row in one shot
 // (kept separate so -bench=Table2Averages gives the paper's summary line
 // quickly).
@@ -507,7 +525,7 @@ func BenchmarkTable2Averages(b *testing.B) {
 	lib := cell.Default()
 	var area, delay, pw float64
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.RunTable2(nil, lib)
+		rows, err := experiments.RunTable2(nil, lib, 1)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSmoke runs the generator end to end: one circuit to stdout, then the
+// whole suite into a directory, asserting exit 0 and non-empty artefacts.
+func TestSmoke(t *testing.T) {
+	out, err := exec.Command("go", "run", ".", "-name", "c432").CombinedOutput()
+	if err != nil {
+		t.Fatalf("benchgen -name c432: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "module") {
+		t.Fatalf("no Verilog module in output:\n%.400s", out)
+	}
+
+	dir := t.TempDir()
+	out, err = exec.Command("go", "run", ".", "-dir", dir, "-format", "blif").CombinedOutput()
+	if err != nil {
+		t.Fatalf("benchgen -dir: %v\n%s", err, out)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.blif"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no BLIF files written (%v)", err)
+	}
+	st, err := os.Stat(files[0])
+	if err != nil || st.Size() == 0 {
+		t.Fatalf("empty artefact %s", files[0])
+	}
+}

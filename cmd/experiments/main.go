@@ -8,12 +8,18 @@
 //	experiments -all                 everything
 //	experiments -circuits c432,des   restrict to a subset
 //	experiments -seed 7              reactive-kick seed
+//	experiments -all -j 8            run on 8 workers (output identical to -j 1)
+//
+// Tables print to stdout; timing diagnostics go to stderr, so stdout is
+// byte-identical for a given -seed at any -j (the determinism guarantee the
+// golden test enforces).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -30,6 +36,7 @@ func main() {
 	all := flag.Bool("all", false, "run everything")
 	circuits := flag.String("circuits", "", "comma-separated circuit subset (default: whole suite)")
 	seed := flag.Int64("seed", 1, "seed for the reactive heuristic's random kicks")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker count for the parallel sweeps (results do not depend on it)")
 	flag.Parse()
 
 	if *all {
@@ -47,28 +54,30 @@ func main() {
 
 	if *table2 {
 		start := time.Now()
-		rows, err := experiments.RunTable2(names, lib)
+		rows, err := experiments.RunTable2(names, lib, *jobs)
 		fail(err)
 		fmt.Println("== Table II: full fingerprinting (measured vs paper) ==")
 		fmt.Print(experiments.FormatTable2(rows))
-		fmt.Printf("(%s)\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Println()
+		timing("Table II", start)
 	}
 
 	var t3rows []experiments.Table3Row
 	if *table3 || *fig7 {
 		start := time.Now()
 		var err error
-		t3rows, err = experiments.RunTable3(names, nil, lib, *seed)
+		t3rows, err = experiments.RunTable3(names, nil, lib, *seed, *jobs)
 		fail(err)
 		if *table3 {
 			fmt.Println("== Table III: reactive delay-constrained heuristic (averages, measured vs paper) ==")
 			fmt.Print(experiments.FormatTable3(t3rows))
-			fmt.Printf("(%s)\n\n", time.Since(start).Round(time.Millisecond))
+			fmt.Println()
+			timing("Table III", start)
 		}
 	}
 
 	if *fig7 {
-		fig, err := experiments.RunFig7(names, t3rows, lib)
+		fig, err := experiments.RunFig7(names, t3rows, lib, *jobs)
 		fail(err)
 		fmt.Println("== Fig. 7: fingerprint sizes before/after delay constraints ==")
 		fmt.Print(experiments.FormatFig7(fig))
@@ -76,12 +85,12 @@ func main() {
 	}
 
 	if *proactive {
-		runProactive(names, lib)
+		runProactive(names, lib, *seed, *jobs)
 	}
 
 	if *robustness {
 		fmt.Println("\n== E14 (extension): tracing robustness vs tampering ==")
-		points, err := experiments.RunE14("c3540", 10, 20, []int{0, 5, 15, 40, 80, 120, 180, 240}, lib, *seed)
+		points, err := experiments.RunE14("c3540", 10, 20, []int{0, 5, 15, 40, 80, 120, 180, 240}, lib, *seed, *jobs)
 		fail(err)
 		fmt.Print(experiments.FormatE14("c3540", points))
 	}
@@ -90,11 +99,16 @@ func main() {
 // runProactive is experiment E7: the paper describes the proactive
 // slack-driven heuristic (§III-D) but does not evaluate it; this extension
 // compares it to the reactive method at a 10 % budget.
-func runProactive(names []string, lib *cell.Library) {
+func runProactive(names []string, lib *cell.Library, seed int64, jobs int) {
 	fmt.Println("== E7 (extension): proactive vs reactive heuristic ==")
-	rows, err := experiments.RunE7(names, 0.10, lib, 1)
+	rows, err := experiments.RunE7(names, 0.10, lib, seed, jobs)
 	fail(err)
 	fmt.Print(experiments.FormatE7(rows, 0.10))
+}
+
+// timing reports a phase duration on stderr, keeping stdout reproducible.
+func timing(phase string, start time.Time) {
+	fmt.Fprintf(os.Stderr, "%s took %s\n", phase, time.Since(start).Round(time.Millisecond))
 }
 
 func fail(err error) {

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// runStdout runs the experiments CLI and returns stdout alone — stderr
+// carries wall-clock diagnostics that legitimately differ between runs.
+func runStdout(t *testing.T, args ...string) []byte {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "."}, args...)...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("experiments %s: %v\nstderr:\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	if stdout.Len() == 0 {
+		t.Fatalf("experiments %s: empty stdout", strings.Join(args, " "))
+	}
+	return stdout.Bytes()
+}
+
+// TestSmoke runs a small Table II subset end to end.
+func TestSmoke(t *testing.T) {
+	out := runStdout(t, "-table2", "-circuits", "c432,vda")
+	for _, frag := range []string{"Table II", "c432", "vda", "AVG"} {
+		if !strings.Contains(string(out), frag) {
+			t.Errorf("missing %q in output:\n%s", frag, out)
+		}
+	}
+}
+
+// TestGoldenDeterminism is the PR's hard guarantee, enforced at the binary
+// level: the full sweep's stdout is byte-identical at -j 1 and -j 8. Every
+// source of scheduling-dependence — aggregation order, kick seeds, shard
+// merging — would show up here as a diff.
+func TestGoldenDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full -all sweep in -short mode")
+	}
+	serial := runStdout(t, "-all", "-seed", "1", "-j", "1")
+	parallel := runStdout(t, "-all", "-seed", "1", "-j", "8")
+	if !bytes.Equal(serial, parallel) {
+		sl, pl := strings.Split(string(serial), "\n"), strings.Split(string(parallel), "\n")
+		for i := 0; i < len(sl) && i < len(pl); i++ {
+			if sl[i] != pl[i] {
+				t.Fatalf("stdout diverges at line %d:\n  -j 1: %q\n  -j 8: %q", i+1, sl[i], pl[i])
+			}
+		}
+		t.Fatalf("stdout length differs: %d vs %d lines", len(sl), len(pl))
+	}
+}

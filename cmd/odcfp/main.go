@@ -21,6 +21,7 @@ import (
 	"math/big"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"repro"
@@ -83,7 +84,7 @@ commands:
               [-all]                modify every location (default)
   extract     -in F -copy G         recover the fingerprint from a copy
   verify      -in F -copy G         prove functional equivalence (SAT)
-  constrain   -in F -out G -budget B [-method reactive|proactive] [-seed N]
+  constrain   -in F -out G -budget B [-method reactive|proactive] [-seed N] [-j N]
   watermark   -in F -key K -slots N [-out G | -verify G]
   sdc         -in F [-out G -bits 1011]    analyse/embed SDC fingerprints
   issue       -in F -registry R.json -buyer NAME -out G
@@ -530,6 +531,7 @@ func cmdConstrain(args []string) error {
 	budget := fs.Float64("budget", 0.05, "fractional delay budget (0.05 = +5%)")
 	method := fs.String("method", "reactive", "reactive or proactive")
 	seed := fs.Int64("seed", 1, "random seed for the reactive kicks")
+	jobs := fs.Int("j", runtime.GOMAXPROCS(0), "trial-evaluation workers (result is identical at any count)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -546,7 +548,7 @@ func cmdConstrain(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := odcfp.ConstrainOptions{Library: lib, DelayBudget: *budget, Seed: *seed}
+	opts := odcfp.ConstrainOptions{Library: lib, DelayBudget: *budget, Seed: *seed, Workers: *jobs}
 	var res *odcfp.ConstrainResult
 	switch *method {
 	case "reactive":

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	out, err := exec.Command("go", append([]string{"run", "."}, args...)...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("odcfp %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	if len(strings.TrimSpace(string(out))) == 0 {
+		t.Fatalf("odcfp %s: empty output", strings.Join(args, " "))
+	}
+	return string(out)
+}
+
+// TestSmoke drives the CLI end to end on the tiny committed netlists:
+// stats/analyze, a fingerprint embed + extract round trip, and the
+// parallel constrain path.
+func TestSmoke(t *testing.T) {
+	in := filepath.Join("..", "..", "testdata", "c17.bench")
+
+	if out := runCLI(t, "stats", "-in", in); !strings.Contains(out, "gates") {
+		t.Errorf("stats output malformed:\n%s", out)
+	}
+	if out := runCLI(t, "analyze", "-in", in); !strings.Contains(out, "fingerprint locations") {
+		t.Errorf("analyze output malformed:\n%s", out)
+	}
+
+	dir := t.TempDir()
+	fp := filepath.Join(dir, "fp.v")
+	if out := runCLI(t, "fingerprint", "-in", in, "-out", fp); !strings.Contains(out, "verified") {
+		t.Errorf("fingerprint output malformed:\n%s", out)
+	}
+	if out := runCLI(t, "extract", "-in", in, "-copy", fp); !strings.Contains(out, "fingerprint value") {
+		t.Errorf("extract output malformed:\n%s", out)
+	}
+
+	con := filepath.Join(dir, "con.v")
+	out := runCLI(t, "constrain", "-in", in, "-out", con, "-budget", "0.10", "-j", "4")
+	if !strings.Contains(out, "reactive heuristic") {
+		t.Errorf("constrain output malformed:\n%s", out)
+	}
+}

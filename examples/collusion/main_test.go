@@ -1,0 +1,17 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestSmoke(t *testing.T) {
+	out, err := exec.Command("go", "run", ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("collusion: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "fingerprint locations") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}

@@ -1,0 +1,18 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestSmoke runs the sweep on the smallest suite circuit to keep it quick.
+func TestSmoke(t *testing.T) {
+	out, err := exec.Command("go", "run", ".", "c432").CombinedOutput()
+	if err != nil {
+		t.Fatalf("delaybudget c432: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "full fingerprint") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}

@@ -1,0 +1,17 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestSmoke(t *testing.T) {
+	out, err := exec.Command("go", "run", ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("fabline: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "master die") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}

@@ -1,0 +1,17 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestSmoke(t *testing.T) {
+	out, err := exec.Command("go", "run", ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("quickstart: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "fingerprint location") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}

@@ -2,6 +2,7 @@ package cell
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/circuit"
 	"repro/internal/logic"
@@ -61,15 +62,31 @@ func Loads(l *Library, c *circuit.Circuit) ([]float64, error) {
 	for _, po := range c.POs {
 		nPO[po.Driver]++
 	}
+	var scratch []float64
 	for i := range c.Nodes {
-		sum := 0.0
 		fo := c.Nodes[i].Fanout()
+		scratch = scratch[:0]
 		for _, s := range fo {
-			sum += pinCap[s]
+			scratch = append(scratch, pinCap[s])
 		}
-		loads[i] = l.NodeLoad(sum, len(fo), nPO[i])
+		loads[i] = l.NodeLoad(SumLoads(scratch), len(fo), nPO[i])
 	}
 	return loads, nil
+}
+
+// SumLoads adds pin capacitances in ascending value order (the slice is
+// sorted in place). Netlist edits permute fanout slices, and float addition
+// is not associative: summing in slice order would let two functionally
+// identical circuits disagree in the last ulp, which the delay-constrained
+// heuristics then amplify into different removal choices. Canonical ordering
+// makes the load a pure function of the fanout multiset.
+func SumLoads(caps []float64) float64 {
+	sort.Float64s(caps)
+	sum := 0.0
+	for _, c := range caps {
+		sum += c
+	}
+	return sum
 }
 
 // GateDelay returns the pin-to-pin delay of gate g driving load cload.

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/cell"
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/sta"
 )
 
@@ -25,6 +26,12 @@ type Options struct {
 	DelayBudget float64
 	// Seed drives the random kicks of the reactive method.
 	Seed int64
+	// Workers bounds the goroutines evaluating candidate removals in the
+	// reactive method's inner loop (≤ 1 runs serial). Each worker owns a
+	// private Working clone plus incremental STA and evaluates a disjoint
+	// candidate shard; shards merge by (delay, lowest modification index),
+	// so the result is byte-identical at any worker count.
+	Workers int
 }
 
 // Result reports a constrained fingerprinting outcome.
@@ -82,18 +89,42 @@ func Reactive(a *core.Analysis, start core.Assignment, opts Options) (*Result, e
 	res := &Result{}
 	startCount := start.CountActive()
 
-	// toggle flips modification m and updates incremental timing.
-	toggle := func(m int, enable bool) error {
+	// Trial workers: worker 0 is the main state; extras are private clones
+	// so candidate trials never contend. Permanent removals are mirrored
+	// into every worker at the end of each round, keeping all states equal
+	// at round boundaries — which is why a trial delay is a pure function
+	// of (round state, candidate) and sharding cannot change the outcome.
+	type worker struct {
+		w   *core.Working
+		inc *sta.Incremental
+	}
+	nw := opts.Workers
+	if nw < 1 {
+		nw = 1
+	}
+	ws := make([]worker, 1, nw)
+	ws[0] = worker{w, inc}
+	for len(ws) < nw {
+		wc := w.Clone()
+		ic, err := sta.NewIncremental(wc.C, opts.Library)
+		if err != nil {
+			return nil, err
+		}
+		ws = append(ws, worker{wc, ic})
+	}
+
+	// toggle flips modification m on one worker and updates its timing.
+	toggle := func(wk worker, m int, enable bool) error {
 		var err error
 		if enable {
-			err = w.Enable(m)
+			err = wk.w.Enable(m)
 		} else {
-			err = w.Disable(m)
+			err = wk.w.Disable(m)
 		}
 		if err != nil {
 			return err
 		}
-		return inc.Update(w.ModAffected(m)...)
+		return wk.inc.Update(wk.w.ModAffected(m)...)
 	}
 
 	for {
@@ -117,30 +148,59 @@ func Reactive(a *core.Analysis, start core.Assignment, opts Options) (*Result, e
 				}
 			}
 		}
-		// Trial-remove every candidate, tracking the best delay.
-		best, bestDelay := -1, math.Inf(1)
-		for _, m := range cands {
-			if err := toggle(m, false); err != nil {
-				return nil, err
-			}
-			d := inc.Delay()
-			res.STACalls++
-			if d < bestDelay {
-				best, bestDelay = m, d
-			}
-			if err := toggle(m, true); err != nil {
-				return nil, err
-			}
+		// Trial-remove every candidate: stride-shard the candidates over
+		// the workers; delays land in per-candidate slots, so the merge
+		// below sees the same numbers whatever the schedule.
+		delays := make([]float64, len(cands))
+		shards := len(ws)
+		if shards > len(cands) {
+			shards = len(cands)
 		}
+		err = par.Do(shards, shards, func(k int) error {
+			wk := ws[k]
+			for ci := k; ci < len(cands); ci += shards {
+				if err := toggle(wk, cands[ci], false); err != nil {
+					return err
+				}
+				delays[ci] = wk.inc.Delay()
+				if err := toggle(wk, cands[ci], true); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.STACalls += len(cands)
+		best, bestDelay := pickBest(cands, delays)
 		if best < 0 || bestDelay >= tm.Delay-slackEps {
 			// Greedy stall: random kick.
 			best = cands[rng.Intn(len(cands))]
 		}
-		if err := toggle(best, false); err != nil {
-			return nil, err
+		// Permanent removal, mirrored into every worker state.
+		for _, wk := range ws {
+			if err := toggle(wk, best, false); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return summarize(a, w, opts.Library, base, startCount, res)
+}
+
+// pickBest returns the candidate with the lowest trial delay. Exact delay
+// ties break towards the lowest modification index, so the chosen removal
+// does not depend on the order the trials were evaluated in — the property
+// the sharded evaluation above and the serial loop both need to agree on.
+func pickBest(cands []int, delays []float64) (best int, bestDelay float64) {
+	best, bestDelay = -1, math.Inf(1)
+	for ci, m := range cands {
+		d := delays[ci]
+		if d < bestDelay || (d == bestDelay && best >= 0 && m < best) {
+			best, bestDelay = m, d
+		}
+	}
+	return best, bestDelay
 }
 
 // candidates returns the active modifications whose removal could shorten

@@ -2,6 +2,7 @@ package constrain
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/cell"
@@ -262,5 +263,62 @@ func TestDeterministicWithSeed(t *testing.T) {
 	}
 	if r1.Kept != r2.Kept || r1.Final.Delay != r2.Final.Delay {
 		t.Error("same seed produced different results")
+	}
+}
+
+// TestPickBestTieBreak feeds pickBest two candidates with exactly equal
+// trial delays in both evaluation orders: the lowest modification index
+// must win either way, otherwise the surviving assignment would depend on
+// iteration (or shard) order.
+func TestPickBestTieBreak(t *testing.T) {
+	best, d := pickBest([]int{2, 7}, []float64{5.0, 5.0})
+	if best != 2 || d != 5.0 {
+		t.Fatalf("ascending order: picked %d (%.1f), want 2", best, d)
+	}
+	best, d = pickBest([]int{7, 2}, []float64{5.0, 5.0})
+	if best != 2 || d != 5.0 {
+		t.Fatalf("descending order: picked %d (%.1f), want 2", best, d)
+	}
+	// A strictly better delay still wins regardless of index.
+	best, _ = pickBest([]int{2, 7}, []float64{5.0, 4.0})
+	if best != 7 {
+		t.Fatalf("picked %d, want 7 (lower delay)", best)
+	}
+	best, _ = pickBest(nil, nil)
+	if best != -1 {
+		t.Fatalf("empty candidates: picked %d, want -1", best)
+	}
+}
+
+// TestReactiveParallelMatchesSerial is the determinism guarantee at the
+// heuristic level: the full Result of a parallel run (several trial
+// workers) must be deeply equal to the serial run — same surviving
+// assignment, same metrics bit-for-bit, same STA-call count.
+func TestReactiveParallelMatchesSerial(t *testing.T) {
+	lib := cell.Default()
+	for _, seed := range []int64{7, 29} {
+		c := buildTestCircuit(t, seed, 140)
+		a := analyzed(t, c)
+		if a.NumLocations() < 5 {
+			t.Skip("too few locations")
+		}
+		for _, budget := range []float64{0.05, 0.0} {
+			serial, err := Reactive(a, core.FullAssignment(a), Options{Library: lib, DelayBudget: budget, Seed: 9, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 3, 8} {
+				par, err := Reactive(a, core.FullAssignment(a), Options{Library: lib, DelayBudget: budget, Seed: 9, Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(serial, par) {
+					t.Fatalf("seed %d budget %.2f workers %d: parallel result diverged from serial\nserial: kept=%d delay=%.12f sta=%d\nparallel: kept=%d delay=%.12f sta=%d",
+						seed, budget, workers,
+						serial.Kept, serial.Final.Delay, serial.STACalls,
+						par.Kept, par.Final.Delay, par.STACalls)
+				}
+			}
+		}
 	}
 }

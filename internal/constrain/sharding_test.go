@@ -1,0 +1,113 @@
+package constrain
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/sta"
+)
+
+// TestShardedTrialsBitExact replays Reactive's inner loop on c6288 — the
+// kick-heavy circuit with ~80k trial toggles — holding a second worker state
+// that only evaluates the odd-index shard, and requires every shared trial
+// delay to be bit-identical between the two states. This is the regression
+// guard for two real bugs: epsilon-suppressed arrival residues in
+// sta.Incremental that depended on a state's toggle history, and
+// fanout-order-dependent load sums after netlist edits.
+func TestShardedTrialsBitExact(t *testing.T) {
+	lib := cell.Default()
+	spec, err := bench.ByName("c6288")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := spec.Build()
+	a, err := core.Analyze(c, core.DefaultOptions(lib))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := core.FullAssignment(a)
+
+	w, err := core.NewWorking(a, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := sta.NewIncremental(w.C, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := w.Clone()
+	inc2, err := sta.NewIncremental(w2.C, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	trial := func(wx *core.Working, ix *sta.Incremental, m int) float64 {
+		if err := wx.Disable(m); err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.Update(wx.ModAffected(m)...); err != nil {
+			t.Fatal(err)
+		}
+		d := ix.Delay()
+		if err := wx.Enable(m); err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.Update(wx.ModAffected(m)...); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+
+	base, err := core.Measure(a.Circuit, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := base.Delay * 1.10
+	for round := 0; round < 2000; round++ {
+		tm, err := sta.Analyze(w.C, lib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tm.Delay <= budget+slackEps || w.ActiveCount() == 0 {
+			t.Logf("budget met at round %d", round)
+			return
+		}
+		cands := candidates(a, w, tm)
+		if len(cands) == 0 {
+			t.Fatalf("no candidates at round %d", round)
+		}
+		// Serial trials on worker 1; worker 2 trials only its stride-1 shard
+		// (odd indices), like the 2-worker run would.
+		delays := make([]float64, len(cands))
+		for ci, m := range cands {
+			delays[ci] = trial(w, inc, m)
+		}
+		for ci := 1; ci < len(cands); ci += 2 {
+			d2 := trial(w2, inc2, cands[ci])
+			if d2 != delays[ci] {
+				t.Fatalf("round %d cand %d (mod %d): serial %.17g sharded %.17g diff %g",
+					round, ci, cands[ci], delays[ci], d2, d2-delays[ci])
+			}
+		}
+		best, bestDelay := pickBest(cands, delays)
+		if best < 0 || bestDelay >= tm.Delay-slackEps {
+			best = cands[0] // deterministic stand-in for the kick
+		}
+		for _, pair := range []struct {
+			wx *core.Working
+			ix *sta.Incremental
+		}{{w, inc}, {w2, inc2}} {
+			if err := pair.wx.Disable(best); err != nil {
+				t.Fatal(err)
+			}
+			if err := pair.ix.Update(pair.wx.ModAffected(best)...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if inc.Delay() != inc2.Delay() {
+			t.Fatalf("round %d: post-removal delay drift %.17g vs %.17g", round, inc.Delay(), inc2.Delay())
+		}
+	}
+}

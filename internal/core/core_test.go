@@ -448,6 +448,70 @@ func TestWorkingEnableDisable(t *testing.T) {
 	}
 }
 
+func TestWorkingClone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := randomMapped(rng, 5, 30)
+	a, err := Analyze(c, DefaultOptions(lib()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Locations) < 2 {
+		t.Skip("too few locations in sample")
+	}
+	w, err := NewWorking(a, FullAssignment(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Park a helper so the clone must carry the park node too.
+	if err := w.Disable(0); err != nil {
+		t.Fatal(err)
+	}
+	cl := w.Clone()
+	if cl.ActiveCount() != w.ActiveCount() {
+		t.Fatalf("clone active %d, original %d", cl.ActiveCount(), w.ActiveCount())
+	}
+	if got, want := cl.C.String(), w.C.String(); got != want {
+		t.Fatal("clone netlist differs from original")
+	}
+	// Toggling the clone must not touch the original.
+	before := w.C.String()
+	if err := cl.Disable(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Enable(0); err != nil {
+		t.Fatal(err)
+	}
+	if w.C.String() != before {
+		t.Fatal("clone toggle mutated the original netlist")
+	}
+	if w.Active(1) != true || cl.Active(1) != false {
+		t.Fatal("active flags shared between clone and original")
+	}
+	// And vice versa: the original's toggles leave the clone alone.
+	cb := cl.C.String()
+	if err := w.Disable(1); err != nil {
+		t.Fatal(err)
+	}
+	if cl.C.String() != cb {
+		t.Fatal("original toggle mutated the clone")
+	}
+	if err := cl.C.Validate(); err != nil {
+		t.Fatalf("clone invalid after toggling: %v", err)
+	}
+	// A clone snapshot with the same active set matches a fresh embed.
+	snap, err := cl.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Embed(a, cl.Assignment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NumGates() != direct.NumGates() {
+		t.Errorf("clone snapshot %d gates, direct embed %d", snap.NumGates(), direct.NumGates())
+	}
+}
+
 func TestIntRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	c := randomMapped(rng, 5, 40)

@@ -246,6 +246,27 @@ func (w *Working) Enable(m int) error {
 	return nil
 }
 
+// Clone returns an independent copy of the working circuit sharing the
+// read-only Analysis: the netlist is deep-copied and every AppliedMod's
+// state (pins, helper inverters, active flag, park node) carries over, so
+// toggles on the clone never touch the original. The parallel reactive
+// heuristic clones one Working per trial worker.
+func (w *Working) Clone() *Working {
+	out := &Working{
+		C:        w.C.Clone(),
+		Analysis: w.Analysis,
+		Mods:     make([]AppliedMod, len(w.Mods)),
+		park:     w.park,
+	}
+	for i := range w.Mods {
+		m := w.Mods[i]
+		m.pins = append([]circuit.NodeID(nil), m.pins...)
+		m.invs = append([]circuit.NodeID(nil), m.invs...)
+		out.Mods[i] = m
+	}
+	return out
+}
+
 // ActiveCount returns the number of enabled modifications.
 func (w *Working) ActiveCount() int {
 	n := 0

@@ -22,6 +22,7 @@ import (
 	"repro/internal/cell"
 	"repro/internal/constrain"
 	"repro/internal/core"
+	"repro/internal/par"
 )
 
 // Table2Row is one measured row of Table II plus its paper counterpart.
@@ -41,24 +42,26 @@ type Table2Row struct {
 
 // RunTable2 fingerprints every named benchmark fully (the paper's
 // "maximum fingerprint size" configuration) and reports Table II. A nil
-// names slice runs the entire suite in paper order.
-func RunTable2(names []string, lib *cell.Library) ([]Table2Row, error) {
+// names slice runs the entire suite in paper order. Independent circuits
+// run on up to `jobs` workers (≤ 0 = one per CPU); rows come back in name
+// order regardless of scheduling.
+func RunTable2(names []string, lib *cell.Library, jobs int) ([]Table2Row, error) {
 	if names == nil {
 		names = bench.Names()
 	}
-	rows := make([]Table2Row, 0, len(names))
-	for _, name := range names {
+	return par.Map(len(names), jobs, func(i int) (Table2Row, error) {
+		name := names[i]
 		spec, err := bench.ByName(name)
 		if err != nil {
-			return nil, err
+			return Table2Row{}, err
 		}
 		c := spec.Build()
 		res, err := core.Fingerprint(c, lib, nil)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", name, err)
+			return Table2Row{}, fmt.Errorf("experiments: %s: %w", name, err)
 		}
 		cap := res.Analysis.Capacity()
-		rows = append(rows, Table2Row{
+		return Table2Row{
 			Name:       name,
 			Gates:      res.Base.Gates,
 			Area:       res.Base.Area,
@@ -70,24 +73,44 @@ func RunTable2(names []string, lib *cell.Library) ([]Table2Row, error) {
 			DelayOvh:   res.Overhead.Delay,
 			PowerOvh:   res.Overhead.Power,
 			Paper:      PaperTable2[name],
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
-// Averages of the overhead columns (the paper's "Avg Change" row).
+// nanMean accumulates a streaming mean that skips NaN samples (a metric the
+// base design lacks — e.g. the paper prints N/A for c6288's power), so one
+// undefined entry cannot poison a whole averaged column.
+type nanMean struct {
+	sum float64
+	n   int
+}
+
+func (m *nanMean) add(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	m.sum += v
+	m.n++
+}
+
+func (m *nanMean) mean() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / float64(m.n)
+}
+
+// Averages of the overhead columns (the paper's "Avg Change" row). NaN
+// entries are skipped per column — mirroring the N/A guard pct() applies at
+// display time — instead of propagating into the average.
 func AverageOverheads(rows []Table2Row) (area, delay, power float64) {
-	n := 0
+	var a, d, p nanMean
 	for _, r := range rows {
-		area += r.AreaOvh
-		delay += r.DelayOvh
-		power += r.PowerOvh
-		n++
+		a.add(r.AreaOvh)
+		d.add(r.DelayOvh)
+		p.add(r.PowerOvh)
 	}
-	if n == 0 {
-		return 0, 0, 0
-	}
-	return area / float64(n), delay / float64(n), power / float64(n)
+	return a.mean(), d.mean(), p.mean()
 }
 
 // FormatTable2 renders measured-vs-paper rows as an aligned text table.
@@ -136,7 +159,13 @@ type Table3Row struct {
 // across the named benchmarks and averages the results (the paper's Table
 // III). A nil names slice runs the whole suite; nil budgets means the
 // paper's 10 %/5 %/1 %.
-func RunTable3(names []string, budgets []float64, lib *cell.Library, seed int64) ([]Table3Row, error) {
+//
+// The whole circuit × budget grid fans out on up to `jobs` workers; every
+// cell runs with DeriveSeed(seed, name, budgetIndex), so its kick sequence
+// depends only on the cell, never on scheduling, and aggregation walks the
+// grid in deterministic (budget, name) order — the output is byte-identical
+// at any job count.
+func RunTable3(names []string, budgets []float64, lib *cell.Library, seed int64, jobs int) ([]Table3Row, error) {
 	if names == nil {
 		names = bench.Names()
 	}
@@ -148,39 +177,55 @@ func RunTable3(names []string, budgets []float64, lib *cell.Library, seed int64)
 		name string
 		a    *core.Analysis
 	}
-	preps := make([]prep, 0, len(names))
-	for _, name := range names {
+	preps, err := par.Map(len(names), jobs, func(i int) (prep, error) {
+		name := names[i]
 		spec, err := bench.ByName(name)
 		if err != nil {
-			return nil, err
+			return prep{}, err
 		}
 		c := spec.Build()
 		a, err := core.Analyze(c, core.DefaultOptions(lib))
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", name, err)
+			return prep{}, fmt.Errorf("experiments: %s: %w", name, err)
 		}
-		preps = append(preps, prep{name, a})
+		return prep{name, a}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	results, err := par.Map(len(budgets)*len(preps), jobs, func(i int) (*constrain.Result, error) {
+		bi, pi := i/len(preps), i%len(preps)
+		p := preps[pi]
+		res, err := constrain.Reactive(p.a, core.FullAssignment(p.a), constrain.Options{
+			Library:     lib,
+			DelayBudget: budgets[bi],
+			Seed:        DeriveSeed(seed, p.name, bi),
+			Workers:     jobs,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s@%g: %w", p.name, budgets[bi], err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	rows := make([]Table3Row, 0, len(budgets))
-	for _, budget := range budgets {
+	for bi, budget := range budgets {
 		row := Table3Row{Budget: budget, PerCircuit: make(map[string]*constrain.Result, len(preps))}
-		for _, p := range preps {
-			res, err := constrain.Reactive(p.a, core.FullAssignment(p.a),
-				constrain.Options{Library: lib, DelayBudget: budget, Seed: seed})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s@%g: %w", p.name, budget, err)
-			}
+		var red, area, delay, power nanMean
+		for pi, p := range preps {
+			res := results[bi*len(preps)+pi]
 			row.PerCircuit[p.name] = res
-			row.Reduction += res.FingerprintReduction
-			row.AreaOvh += res.Overhead.Area
-			row.DelayOvh += res.Overhead.Delay
-			row.PowerOvh += res.Overhead.Power
+			red.add(res.FingerprintReduction)
+			area.add(res.Overhead.Area)
+			delay.add(res.Overhead.Delay)
+			power.add(res.Overhead.Power)
 		}
-		n := float64(len(preps))
-		row.Reduction /= n
-		row.AreaOvh /= n
-		row.DelayOvh /= n
-		row.PowerOvh /= n
+		row.Reduction = red.mean()
+		row.AreaOvh = area.mean()
+		row.DelayOvh = delay.mean()
+		row.PowerOvh = power.mean()
 		for _, pr := range PaperTable3 {
 			if pr.Budget == budget {
 				row.Paper = pr
@@ -218,7 +263,8 @@ type Fig7Series struct {
 
 // RunFig7 computes the Fig. 7 fingerprint-size comparison from a Table III
 // run (reusing its per-circuit results to avoid re-running the heuristic).
-func RunFig7(names []string, table3 []Table3Row, lib *cell.Library) (*Fig7Series, error) {
+// Circuits are re-analysed on up to `jobs` workers.
+func RunFig7(names []string, table3 []Table3Row, lib *cell.Library, jobs int) (*Fig7Series, error) {
 	if names == nil {
 		names = bench.Names()
 	}
@@ -226,7 +272,8 @@ func RunFig7(names []string, table3 []Table3Row, lib *cell.Library) (*Fig7Series
 	for _, r := range table3 {
 		fig.Budgets = append(fig.Budgets, r.Budget)
 	}
-	for _, name := range names {
+	allSeries, err := par.Map(len(names), jobs, func(i int) ([]float64, error) {
+		name := names[i]
 		spec, err := bench.ByName(name)
 		if err != nil {
 			return nil, err
@@ -244,7 +291,13 @@ func RunFig7(names []string, table3 []Table3Row, lib *cell.Library) (*Fig7Series
 			}
 			series = append(series, survivingBits(a, res.Assignment))
 		}
-		fig.Bits[name] = series
+		return series, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		fig.Bits[name] = allSeries[i]
 	}
 	return fig, nil
 }
@@ -310,39 +363,40 @@ type E7Row struct {
 	ReactDelay, ProDelay float64 // fractional overheads
 }
 
-// RunE7 runs both heuristics at the given budget over the named circuits.
-func RunE7(names []string, budget float64, lib *cell.Library, seed int64) ([]E7Row, error) {
+// RunE7 runs both heuristics at the given budget over the named circuits,
+// one circuit per worker (up to `jobs`), each with its per-circuit derived
+// seed.
+func RunE7(names []string, budget float64, lib *cell.Library, seed int64, jobs int) ([]E7Row, error) {
 	if names == nil {
 		names = bench.Names()
 	}
-	rows := make([]E7Row, 0, len(names))
-	for _, name := range names {
+	return par.Map(len(names), jobs, func(i int) (E7Row, error) {
+		name := names[i]
 		spec, err := bench.ByName(name)
 		if err != nil {
-			return nil, err
+			return E7Row{}, err
 		}
 		c := spec.Build()
 		a, err := core.Analyze(c, core.DefaultOptions(lib))
 		if err != nil {
-			return nil, err
+			return E7Row{}, err
 		}
-		opts := constrain.Options{Library: lib, DelayBudget: budget, Seed: seed}
+		opts := constrain.Options{Library: lib, DelayBudget: budget, Seed: DeriveSeed(seed, name, 0), Workers: jobs}
 		rea, err := constrain.Reactive(a, core.FullAssignment(a), opts)
 		if err != nil {
-			return nil, err
+			return E7Row{}, err
 		}
 		pro, err := constrain.Proactive(a, opts)
 		if err != nil {
-			return nil, err
+			return E7Row{}, err
 		}
-		rows = append(rows, E7Row{
+		return E7Row{
 			Name:      name,
 			ReactKept: rea.Kept, ProKept: pro.Kept,
 			ReactSTA: rea.STACalls, ProSTA: pro.STACalls,
 			ReactDelay: rea.Overhead.Delay, ProDelay: pro.Overhead.Delay,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // FormatE7 renders the heuristic comparison.

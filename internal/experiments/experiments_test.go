@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"fmt"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -14,7 +16,7 @@ var subset = []string{"c432", "c499", "vda"}
 
 func TestRunTable2Subset(t *testing.T) {
 	lib := cell.Default()
-	rows, err := RunTable2(subset, lib)
+	rows, err := RunTable2(subset, lib, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +61,7 @@ func TestRunTable2Subset(t *testing.T) {
 func TestRunTable3AndFig7Subset(t *testing.T) {
 	lib := cell.Default()
 	budgets := []float64{0.10, 0.01}
-	rows, err := RunTable3(subset, budgets, lib, 1)
+	rows, err := RunTable3(subset, budgets, lib, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +88,7 @@ func TestRunTable3AndFig7Subset(t *testing.T) {
 	if rows[1].Reduction < rows[0].Reduction-1e-9 {
 		t.Errorf("1%% budget reduced less (%.3f) than 10%% (%.3f)", rows[1].Reduction, rows[0].Reduction)
 	}
-	fig, err := RunFig7(subset, rows, lib)
+	fig, err := RunFig7(subset, rows, lib, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +153,7 @@ func TestPaperDataComplete(t *testing.T) {
 
 func TestRunE7Subset(t *testing.T) {
 	lib := cell.Default()
-	rows, err := RunE7([]string{"c432", "vda"}, 0.10, lib, 1)
+	rows, err := RunE7([]string{"c432", "vda"}, 0.10, lib, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +176,7 @@ func TestRunE7Subset(t *testing.T) {
 
 func TestRunE14Robustness(t *testing.T) {
 	lib := cell.Default()
-	points, err := RunE14("c880", 6, 8, []int{0, 3}, lib, 1)
+	points, err := RunE14("c880", 6, 8, []int{0, 3}, lib, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,10 +196,10 @@ func TestRunE14Robustness(t *testing.T) {
 		t.Error("FormatE14 malformed")
 	}
 	// Tiny circuits are rejected.
-	if _, err := RunE14("c432", 3, 2, []int{0}, lib, 1); err == nil {
+	if _, err := RunE14("c432", 3, 2, []int{0}, lib, 1, 1); err == nil {
 		t.Log("c432 accepted (has ≥8 locations); fine")
 	}
-	if _, err := RunE14("nope", 3, 2, []int{0}, lib, 1); err == nil {
+	if _, err := RunE14("nope", 3, 2, []int{0}, lib, 1, 1); err == nil {
 		t.Error("unknown circuit accepted")
 	}
 }
@@ -206,5 +208,140 @@ func TestAverageOverheadsEmpty(t *testing.T) {
 	a, d, p := AverageOverheads(nil)
 	if a != 0 || d != 0 || p != 0 {
 		t.Error("empty average not zero")
+	}
+}
+
+// TestAverageOverheadsSkipsNaN is the regression test for the aggregation
+// bug: one NaN row (a base design with zero power — the paper's c6288 N/A
+// case) used to poison every printed AVG column. NaN entries must now be
+// skipped per column, exactly as pct() guards them at display time.
+func TestAverageOverheadsSkipsNaN(t *testing.T) {
+	rows := []Table2Row{
+		{AreaOvh: 0.10, DelayOvh: 0.20, PowerOvh: 0.30},
+		{AreaOvh: 0.30, DelayOvh: 0.40, PowerOvh: math.NaN()},
+	}
+	a, d, p := AverageOverheads(rows)
+	if math.IsNaN(a) || math.IsNaN(d) || math.IsNaN(p) {
+		t.Fatalf("NaN leaked into averages: %v %v %v", a, d, p)
+	}
+	if math.Abs(a-0.20) > 1e-12 || math.Abs(d-0.30) > 1e-12 {
+		t.Errorf("area/delay averages wrong: %v %v", a, d)
+	}
+	// Power averages over the one defined row only.
+	if math.Abs(p-0.30) > 1e-12 {
+		t.Errorf("power average %v, want 0.30 (NaN row skipped)", p)
+	}
+	// All-NaN column degrades to 0, like the empty-input case.
+	_, _, p = AverageOverheads([]Table2Row{{PowerOvh: math.NaN()}})
+	if p != 0 {
+		t.Errorf("all-NaN power average %v, want 0", p)
+	}
+	// The formatted AVG row must stay printable numbers, not "NaN".
+	out := FormatTable2(rows)
+	if strings.Contains(out, "NaN") && !strings.Contains(out, "N/A") {
+		t.Log(out)
+	}
+	avgLine := ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "AVG") {
+			avgLine = line
+		}
+	}
+	if avgLine == "" || strings.Contains(avgLine, "NaN") {
+		t.Errorf("AVG row poisoned: %q", avgLine)
+	}
+}
+
+// TestJobsInvariance is the in-process half of the determinism guarantee:
+// every sweep must return deeply equal results at any worker count.
+func TestJobsInvariance(t *testing.T) {
+	lib := cell.Default()
+	budgets := []float64{0.10, 0.01}
+
+	t2a, err := RunTable2(subset, lib, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2b, err := RunTable2(subset, lib, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(t2a, t2b) {
+		t.Error("Table II differs between -j 1 and -j 4")
+	}
+
+	t3a, err := RunTable3(subset, budgets, lib, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3b, err := RunTable3(subset, budgets, lib, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(t3a, t3b) {
+		t.Error("Table III differs between -j 1 and -j 4")
+	}
+
+	f7a, err := RunFig7(subset, t3a, lib, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f7b, err := RunFig7(subset, t3b, lib, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f7a, f7b) {
+		t.Error("Fig. 7 differs between -j 1 and -j 4")
+	}
+
+	e14a, err := RunE14("c880", 6, 4, []int{0, 3}, lib, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e14b, err := RunE14("c880", 6, 4, []int{0, 3}, lib, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(e14a, e14b) {
+		t.Error("E14 differs between -j 1 and -j 4")
+	}
+}
+
+// TestDeriveSeed pins the derivation scheme: a pure function of
+// (base, name, index) with all three inputs decorrelating the result.
+func TestDeriveSeed(t *testing.T) {
+	if DeriveSeed(1, "c432", 0) != DeriveSeed(1, "c432", 0) {
+		t.Error("not deterministic")
+	}
+	seen := map[int64]string{}
+	for _, name := range []string{"c432", "c499", "des"} {
+		for idx := 0; idx < 3; idx++ {
+			s := DeriveSeed(1, name, idx)
+			if prev, dup := seen[s]; dup {
+				t.Errorf("seed collision: (%s,%d) and %s", name, idx, prev)
+			}
+			seen[s] = fmt.Sprintf("(%s,%d)", name, idx)
+		}
+	}
+	if DeriveSeed(1, "c432", 0) == DeriveSeed(2, "c432", 0) {
+		t.Error("base seed ignored")
+	}
+}
+
+// TestRunTable3PropagatesLowestError pins the deterministic error path: an
+// unknown circuit name fails identically at any job count.
+func TestRunTable3PropagatesLowestError(t *testing.T) {
+	lib := cell.Default()
+	names := []string{"c432", "nope1", "nope2"}
+	_, err1 := RunTable3(names, []float64{0.10}, lib, 1, 1)
+	_, err8 := RunTable3(names, []float64{0.10}, lib, 1, 8)
+	if err1 == nil || err8 == nil {
+		t.Fatal("unknown circuit accepted")
+	}
+	if err1.Error() != err8.Error() {
+		t.Errorf("error differs by job count:\n  j1: %v\n  j8: %v", err1, err8)
+	}
+	if !strings.Contains(err1.Error(), "nope1") {
+		t.Errorf("not the lowest-index error: %v", err1)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cell"
 	"repro/internal/core"
+	"repro/internal/par"
 )
 
 // E14 measures tracing robustness against tampering (extension): an
@@ -29,8 +30,12 @@ type E14Point struct {
 }
 
 // RunE14 runs the robustness sweep on one benchmark circuit with nBuyers
-// registered buyers and the given strip levels.
-func RunE14(circuitName string, nBuyers, trials int, stripLevels []int, lib *cell.Library, seed int64) ([]E14Point, error) {
+// registered buyers and the given strip levels. Buyer registration draws
+// from the base seed; each strip level then fans out onto the worker pool
+// with its own derived rng (DeriveSeed over the level index), so the trial
+// outcomes depend only on (seed, circuit, level) — not on how many levels
+// run concurrently.
+func RunE14(circuitName string, nBuyers, trials int, stripLevels []int, lib *cell.Library, seed int64, jobs int) ([]E14Point, error) {
 	spec, err := bench.ByName(circuitName)
 	if err != nil {
 		return nil, err
@@ -67,34 +72,35 @@ func RunE14(circuitName string, nBuyers, trials int, stripLevels []int, lib *cel
 		buyers[i] = buyer{name, asg}
 	}
 
-	out := make([]E14Point, 0, len(stripLevels))
-	for _, strip := range stripLevels {
+	return par.Map(len(stripLevels), jobs, func(li int) (E14Point, error) {
+		strip := stripLevels[li]
+		rng := rand.New(rand.NewSource(DeriveSeed(seed, circuitName, 1+li)))
 		point := E14Point{Stripped: strip, Trials: trials}
 		wins := 0
 		for trial := 0; trial < trials; trial++ {
 			b := buyers[rng.Intn(len(buyers))]
 			cp, err := core.Embed(a, b.asg)
 			if err != nil {
-				return nil, err
+				return E14Point{}, err
 			}
 			// Strip `strip` random modified slots.
 			var modified [][2]int
-			for li := range b.asg {
-				for ti, v := range b.asg[li] {
+			for loc := range b.asg {
+				for ti, v := range b.asg[loc] {
 					if v >= 0 {
-						modified = append(modified, [2]int{li, ti})
+						modified = append(modified, [2]int{loc, ti})
 					}
 				}
 			}
 			rng.Shuffle(len(modified), func(i, j int) { modified[i], modified[j] = modified[j], modified[i] })
 			for k := 0; k < strip && k < len(modified); k++ {
 				if err := core.Strip(a, cp, modified[k][0], modified[k][1]); err != nil {
-					return nil, err
+					return E14Point{}, err
 				}
 			}
 			scores, err := tracer.TraceScores(cp)
 			if err != nil {
-				return nil, err
+				return E14Point{}, err
 			}
 			// Top-1: the true buyer strictly outranks every other buyer on
 			// the composite (present-fraction, all-slot fraction) ordering
@@ -113,9 +119,8 @@ func RunE14(circuitName string, nBuyers, trials int, stripLevels []int, lib *cel
 			}
 		}
 		point.Top1 = float64(wins) / float64(trials)
-		out = append(out, point)
-	}
-	return out, nil
+		return point, nil
+	})
 }
 
 // FormatE14 renders the robustness curve.

@@ -1,0 +1,124 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrdered(t *testing.T) {
+	for _, j := range []int{0, 1, 2, 7, 64} {
+		out, err := Map(100, j, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("j=%d: %v", j, err)
+		}
+		if len(out) != 100 {
+			t.Fatalf("j=%d: %d results", j, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("j=%d: out[%d] = %d", j, i, v)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(0, 4, func(i int) (string, error) { return "x", nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("got %v, %v", out, err)
+	}
+}
+
+// TestMapLowestIndexError asserts the determinism contract: no matter how
+// scheduling interleaves, the reported error is the smallest failing
+// index's, exactly what a serial loop would return.
+func TestMapLowestIndexError(t *testing.T) {
+	for _, j := range []int{1, 2, 8} {
+		for rep := 0; rep < 20; rep++ {
+			_, err := Map(32, j, func(i int) (int, error) {
+				switch i {
+				case 3, 7, 20:
+					return 0, fmt.Errorf("fail %d", i)
+				case 1:
+					time.Sleep(time.Millisecond) // skew completion order
+				}
+				return i, nil
+			})
+			if err == nil || err.Error() != "fail 3" {
+				t.Fatalf("j=%d rep=%d: got %v, want fail 3", j, rep, err)
+			}
+		}
+	}
+}
+
+func TestMapStopsClaimingAfterError(t *testing.T) {
+	var ran atomic.Int64
+	_, err := Map(1000, 2, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, errors.New("boom")
+		}
+		time.Sleep(100 * time.Microsecond)
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if n := ran.Load(); n == 1000 {
+		t.Log("all indices ran despite early error (legal but wasteful)")
+	}
+}
+
+func TestMapBoundedConcurrency(t *testing.T) {
+	const j = 3
+	var cur, max atomic.Int64
+	_, err := Map(50, j, func(i int) (int, error) {
+		c := cur.Add(1)
+		for {
+			m := max.Load()
+			if c <= m || max.CompareAndSwap(m, c) {
+				break
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+		cur.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := max.Load(); m > j {
+		t.Fatalf("observed %d concurrent tasks, cap %d", m, j)
+	}
+}
+
+func TestDo(t *testing.T) {
+	var sum atomic.Int64
+	if err := Do(10, 4, func(i int) error { sum.Add(int64(i)); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 45 {
+		t.Fatalf("sum %d", sum.Load())
+	}
+	if err := Do(5, 2, func(i int) error {
+		if i == 2 {
+			return errors.New("nope")
+		}
+		return nil
+	}); err == nil || err.Error() != "nope" {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(5) != 5 {
+		t.Error("explicit count not honoured")
+	}
+	if Workers(0) != runtime.GOMAXPROCS(0) || Workers(-3) != runtime.GOMAXPROCS(0) {
+		t.Error("default not GOMAXPROCS")
+	}
+}

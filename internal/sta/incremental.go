@@ -31,6 +31,7 @@ type Incremental struct {
 
 	inQueue []bool
 	queue   []circuit.NodeID
+	capBuf  []float64 // scratch for refreshLoad's canonical-order sum
 }
 
 // NewIncremental builds the initial timing state (one full pass).
@@ -96,11 +97,14 @@ func (in *Incremental) refreshPinCap(id circuit.NodeID) error {
 
 func (in *Incremental) refreshLoad(id circuit.NodeID) {
 	fo := in.c.Nodes[id].Fanout()
-	sum := 0.0
+	in.capBuf = in.capBuf[:0]
 	for _, s := range fo {
-		sum += in.pinCap[s]
+		in.capBuf = append(in.capBuf, in.pinCap[s])
 	}
-	in.loads[id] = in.lib.NodeLoad(sum, len(fo), in.nPO[id])
+	// cell.SumLoads: fanout slices get permuted by toggles, so the sum must
+	// be order-canonical or clones with different edit histories drift in
+	// the last ulp.
+	in.loads[id] = in.lib.NodeLoad(cell.SumLoads(in.capBuf), len(fo), in.nPO[id])
 }
 
 func (in *Incremental) refreshGateDelay(id circuit.NodeID) error {
@@ -117,7 +121,13 @@ func (in *Incremental) refreshGateDelay(id circuit.NodeID) error {
 	return nil
 }
 
-// recomputeArrival returns true when the node's arrival changed.
+// recomputeArrival returns true when the node's arrival changed. The
+// comparison is exact, not epsilon-based: at the fixpoint every node then
+// equals the bit-exact function of its fanins, so the converged state is
+// identical to a fresh full pass no matter what edit history (or propagation
+// order) led there. An epsilon cutoff here leaves last-ulp residues that
+// depend on visit order, which the constraint heuristics amplify into
+// different removal choices.
 func (in *Incremental) recomputeArrival(id circuit.NodeID) bool {
 	nd := &in.c.Nodes[id]
 	a := 0.0
@@ -129,8 +139,7 @@ func (in *Incremental) recomputeArrival(id circuit.NodeID) bool {
 		}
 		a += in.gd[id]
 	}
-	const eps = 1e-12
-	if diff := a - in.arrival[id]; diff > eps || diff < -eps {
+	if a != in.arrival[id] {
 		in.arrival[id] = a
 		return true
 	}
@@ -145,20 +154,30 @@ func (in *Incremental) Update(affected ...circuit.NodeID) error {
 	in.grow()
 	// Nodes whose load may have changed: the affected nodes themselves
 	// (fanout edits) plus sources feeding an affected gate (its pin cap or
-	// pin count changed).
-	dirty := make(map[circuit.NodeID]bool, 4*len(affected))
+	// pin count changed). Collected in first-seen order, NOT a map: the order
+	// seeds the propagation queue below, and recomputeArrival's eps cutoff
+	// makes the residual last-ulp state depend on visit order — map iteration
+	// here would make repeated runs differ in the last float bit.
+	seen := make(map[circuit.NodeID]bool, 4*len(affected))
+	dirty := make([]circuit.NodeID, 0, 4*len(affected))
+	mark := func(id circuit.NodeID) {
+		if !seen[id] {
+			seen[id] = true
+			dirty = append(dirty, id)
+		}
+	}
 	for _, a := range affected {
 		if err := in.refreshPinCap(a); err != nil {
 			return err
 		}
 	}
 	for _, a := range affected {
-		dirty[a] = true
+		mark(a)
 		for _, f := range in.c.Nodes[a].Fanin {
-			dirty[f] = true
+			mark(f)
 		}
 	}
-	for id := range dirty {
+	for _, id := range dirty {
 		in.refreshLoad(id)
 		if err := in.refreshGateDelay(id); err != nil {
 			return err
@@ -166,7 +185,7 @@ func (in *Incremental) Update(affected ...circuit.NodeID) error {
 	}
 	// Propagate arrivals to a fixpoint (terminates: the DAG is acyclic, so
 	// each node settles after its transitive fanin settles).
-	for id := range dirty {
+	for _, id := range dirty {
 		in.push(id)
 	}
 	for len(in.queue) > 0 {
