@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench experiments fuzz cover ci clean
+.PHONY: all build test vet bench bench-verify experiments fuzz cover ci clean
 
 all: build vet test
 
@@ -33,6 +33,12 @@ experiments:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Incremental-verification baseline: 64 fingerprint copies through the
+# persistent cec.Session vs 64 cold cec.Check miters; writes BENCH_verify.json
+# and fails below a 3× speedup or on any verdict mismatch.
+bench-verify:
+	$(GO) run ./cmd/benchverify
 
 cover:
 	$(GO) test -cover ./...

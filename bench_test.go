@@ -14,12 +14,14 @@ package odcfp_test
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"testing"
 
 	"repro"
 	"repro/internal/bench"
 	"repro/internal/cec"
 	"repro/internal/cell"
+	"repro/internal/circuit"
 	"repro/internal/constrain"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -450,13 +452,17 @@ func BenchmarkPowerEstimate(b *testing.B) {
 	}
 }
 
-func BenchmarkSimulation64x1024(b *testing.B) {
+// BenchmarkSimRun is the one-shot simulation path: every call rebuilds the
+// value arena (one allocation per run, none per node since the engine
+// rewrite). Compare with BenchmarkSimEngine.
+func BenchmarkSimRun(b *testing.B) {
 	spec, err := bench.ByName("c6288")
 	if err != nil {
 		b.Fatal(err)
 	}
 	c := spec.Build()
 	vec := sim.Random(len(c.PIs), 16, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.Run(c, vec); err != nil {
@@ -464,6 +470,44 @@ func BenchmarkSimulation64x1024(b *testing.B) {
 		}
 	}
 	b.SetBytes(int64(16 * 8 * c.NumNodes()))
+}
+
+// BenchmarkSimEngine re-runs a persistent sim.Engine on the same shape:
+// after the first run the arena and schedule are reused, so allocs/op must
+// be ~0 — the acceptance criterion of the zero-alloc simulation core.
+func BenchmarkSimEngine(b *testing.B) {
+	spec, err := bench.ByName("c6288")
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := spec.Build()
+	vec := sim.Random(len(c.PIs), 16, 1)
+	eng, err := sim.NewEngine(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.Run(vec); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(vec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(16 * 8 * c.NumNodes()))
+}
+
+// BenchmarkExhaustive measures stimulus construction (block-pattern word
+// fills; formerly an O(2^n·n) per-bit loop).
+func BenchmarkExhaustive(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Exhaustive(16); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func BenchmarkCEC(b *testing.B) {
@@ -490,6 +534,88 @@ func BenchmarkCEC(b *testing.B) {
 			}
 		})
 	}
+}
+
+// verifyFixture analyses one benchmark and draws nCopies deterministic
+// random fingerprint assignments from it.
+func verifyFixture(b *testing.B, name string, nCopies int) (*core.Analysis, []core.Assignment) {
+	b.Helper()
+	spec, err := bench.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := core.Analyze(spec.Build(), core.DefaultOptions(cell.Default()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	n := a.BitCapacity()
+	asgs := make([]core.Assignment, nCopies)
+	for i := range asgs {
+		bits := make([]bool, n)
+		for j := range bits {
+			bits[j] = rng.Intn(2) == 1
+		}
+		asgs[i], err = a.AssignmentFromBits(bits)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return a, asgs
+}
+
+// BenchmarkVerifySession verifies 64 fingerprint copies of one analysis on
+// a persistent cec.Session: the miter is encoded once per iteration
+// (core.NewVerifier) and each copy costs one assumption solve on the shared
+// solver. Compare with BenchmarkVerifyColdCEC; cmd/benchverify records the
+// same contest in BENCH_verify.json.
+func BenchmarkVerifySession(b *testing.B) {
+	a, asgs := verifyFixture(b, "c5315", 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ver := core.NewVerifier(a)
+		if !ver.Incremental() {
+			b.Fatal("session construction failed; cold fallback would be measured")
+		}
+		for _, asg := range asgs {
+			v, err := ver.Verify(asg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !v.Equivalent {
+				b.Fatal("catalogued copy not equivalent")
+			}
+		}
+	}
+	b.ReportMetric(64, "copies/op")
+}
+
+// BenchmarkVerifyColdCEC is the one-shot baseline for the same 64 copies:
+// each verification builds a fresh miter over a pre-embedded instance and
+// solves it from scratch (copies are materialized outside the timer).
+func BenchmarkVerifyColdCEC(b *testing.B) {
+	a, asgs := verifyFixture(b, "c5315", 64)
+	copies := make([]*circuit.Circuit, len(asgs))
+	for i, asg := range asgs {
+		cp, err := core.Embed(a, asg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		copies[i] = cp
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cp := range copies {
+			v, err := cec.Check(a.Circuit, cp, cec.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !v.Equivalent {
+				b.Fatal("catalogued copy not equivalent")
+			}
+		}
+	}
+	b.ReportMetric(64, "copies/op")
 }
 
 func BenchmarkSuiteGeneration(b *testing.B) {

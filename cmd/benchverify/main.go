@@ -1,0 +1,128 @@
+// Command benchverify times the incremental verification engine against the
+// one-shot baseline and records the result as a JSON baseline artefact:
+// verifying N fingerprint copies of one analysis through the persistent
+// cec.Session (including session construction) versus N cold cec.Check calls
+// on pre-embedded copies. Both paths must agree on every verdict; the
+// baseline asserts the session is at least 3× faster.
+//
+//	benchverify                      c5315, 64 copies, BENCH_verify.json
+//	benchverify -circuit c7552 -copies 32 -o /tmp/b.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cec"
+	"repro/internal/cell"
+	"repro/internal/circuit"
+	"repro/internal/core"
+)
+
+// Baseline is the JSON schema of the emitted artefact.
+type Baseline struct {
+	Circuit       string  `json:"circuit"`
+	Gates         int     `json:"gates"`
+	Copies        int     `json:"copies"`
+	SessionSecs   float64 `json:"session_secs"` // build + N incremental verifies
+	ColdSecs      float64 `json:"cold_secs"`    // N one-shot miters (embed excluded)
+	Speedup       float64 `json:"speedup"`
+	VerdictsMatch bool    `json:"verdicts_match"`
+	AllEquivalent bool    `json:"all_equivalent"`
+}
+
+func main() {
+	name := flag.String("circuit", "c5315", "benchmark circuit")
+	copies := flag.Int("copies", 64, "number of fingerprint copies to verify")
+	seed := flag.Int64("seed", 1, "assignment-draw seed")
+	out := flag.String("o", "BENCH_verify.json", "output JSON path")
+	flag.Parse()
+
+	spec, err := bench.ByName(*name)
+	fail(err)
+	c := spec.Build()
+	a, err := core.Analyze(c, core.DefaultOptions(cell.Default()))
+	fail(err)
+
+	rng := rand.New(rand.NewSource(*seed))
+	n := a.BitCapacity()
+	asgs := make([]core.Assignment, *copies)
+	for i := range asgs {
+		bits := make([]bool, n)
+		for j := range bits {
+			bits[j] = rng.Intn(2) == 1
+		}
+		asgs[i], err = a.AssignmentFromBits(bits)
+		fail(err)
+	}
+
+	// Session path: one persistent miter, one assumption solve per copy.
+	sessionStart := time.Now()
+	ver := core.NewVerifier(a)
+	if !ver.Incremental() {
+		fail(fmt.Errorf("session construction failed for %s; cold fallback would be measured", *name))
+	}
+	sessionVerdicts := make([]bool, *copies)
+	for i, asg := range asgs {
+		v, err := ver.Verify(asg)
+		fail(err)
+		sessionVerdicts[i] = v.Equivalent
+	}
+	sessionSecs := time.Since(sessionStart).Seconds()
+
+	// Cold path: a fresh miter per copy. The copies are materialized up
+	// front so only verification is timed, matching the session side (which
+	// never materializes at all).
+	instances := make([]*circuit.Circuit, *copies)
+	for i, asg := range asgs {
+		instances[i], err = core.Embed(a, asg)
+		fail(err)
+	}
+	coldStart := time.Now()
+	match, allEq := true, true
+	for i, inst := range instances {
+		v, err := cec.Check(a.Circuit, inst, cec.DefaultOptions())
+		fail(err)
+		if v.Equivalent != sessionVerdicts[i] {
+			match = false
+		}
+		if !v.Equivalent {
+			allEq = false
+		}
+	}
+	coldSecs := time.Since(coldStart).Seconds()
+
+	b := Baseline{
+		Circuit:       *name,
+		Gates:         c.NumGates(),
+		Copies:        *copies,
+		SessionSecs:   sessionSecs,
+		ColdSecs:      coldSecs,
+		Speedup:       coldSecs / sessionSecs,
+		VerdictsMatch: match,
+		AllEquivalent: allEq,
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	fail(err)
+	fail(os.WriteFile(*out, append(data, '\n'), 0o644))
+	fmt.Printf("%s: %d copies, session %.2fs vs cold %.2fs — %.1f× (verdicts match: %v)\n",
+		b.Circuit, b.Copies, b.SessionSecs, b.ColdSecs, b.Speedup, b.VerdictsMatch)
+	if !match {
+		fail(fmt.Errorf("session and one-shot verdicts disagree"))
+	}
+	if b.Speedup < 3 {
+		fail(fmt.Errorf("speedup %.2f× below the 3× acceptance bar", b.Speedup))
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchverify:", err)
+		os.Exit(1)
+	}
+}

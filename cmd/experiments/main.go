@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -37,7 +38,31 @@ func main() {
 	circuits := flag.String("circuits", "", "comma-separated circuit subset (default: whole suite)")
 	seed := flag.Int64("seed", 1, "seed for the reactive heuristic's random kicks")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker count for the parallel sweeps (results do not depend on it)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	// Profiles are written to files and diagnostics to stderr, so enabling
+	// them keeps stdout byte-identical.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		fail(err)
+		fail(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			fail(f.Close())
+		}()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			fail(err)
+			runtime.GC()
+			fail(pprof.WriteHeapProfile(f))
+			fail(f.Close())
+		}()
+	}
 
 	if *all {
 		*table2, *table3, *fig7, *proactive, *robustness = true, true, true, true, true

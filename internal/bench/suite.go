@@ -122,9 +122,38 @@ func Suite() []Spec {
 	}
 }
 
-// ByName returns the suite entry with the given paper name.
+// Extras returns additional large ISCAS'85 stand-ins used by the
+// incremental-verification benchmarks. They are deliberately NOT part of
+// Suite(): the Table II experiments (and their golden outputs) are pinned
+// to the paper's 14 rows, so the extras are reachable only through ByName.
+func Extras() []Spec {
+	return []Spec{
+		{
+			Name:        "c5315",
+			Description: "9-bit ALU with selectors (verification benchmark)",
+			Build: func() *circuit.Circuit {
+				return ALU("c5315s", ALUOptions{Width: 16, Banks: 6, WithShift: true, WithZero: true})
+			},
+		},
+		{
+			Name:        "c7552",
+			Description: "32-bit adder/comparator (verification benchmark)",
+			Build: func() *circuit.Circuit {
+				return ExpandXors(ALU("c7552s", ALUOptions{Width: 24, Banks: 6, WithShift: true, WithZero: true}))
+			},
+		},
+	}
+}
+
+// ByName returns the entry with the given paper name, searching the Table II
+// suite first and then the extras.
 func ByName(name string) (Spec, error) {
 	for _, s := range Suite() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	for _, s := range Extras() {
 		if s.Name == name {
 			return s, nil
 		}

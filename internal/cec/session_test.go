@@ -1,0 +1,351 @@
+package cec
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+	"repro/internal/sim"
+)
+
+// materialize builds the concrete instance circuit that a (slots, choice)
+// pair describes, the way core's embedding does: negative literals become
+// helper inverters, same-kind mods append fanins, kind-changing mods go
+// through ConvertGate.
+func materialize(t *testing.T, master *circuit.Circuit, slots []Slot, choice []int) *circuit.Circuit {
+	t.Helper()
+	inst := master.Clone()
+	for i, v := range choice {
+		if v < 0 {
+			continue
+		}
+		m := slots[i].Options[v]
+		g := slots[i].Gate
+		pins := make([]circuit.NodeID, 0, len(m.Lits))
+		for _, l := range m.Lits {
+			src := l.Node
+			if l.Neg {
+				id, err := inst.AddGate(inst.FreshName("inv"), logic.Inv, l.Node)
+				if err != nil {
+					t.Fatal(err)
+				}
+				src = id
+			}
+			pins = append(pins, src)
+		}
+		if m.Kind == inst.Nodes[g].Kind {
+			for _, p := range pins {
+				if err := inst.AddFanin(g, p); err != nil {
+					t.Fatal(err)
+				}
+			}
+		} else {
+			if len(pins) != 1 {
+				t.Fatalf("kind-changing mod with %d pins", len(pins))
+			}
+			if err := inst.ConvertGate(g, m.Kind, pins[0]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return inst
+}
+
+// sessionFixture is fig1 with its canonical paper modification: X = AND(A,B)
+// is the target, Y = OR(C,D) the trigger with controlling value 1 (the cone
+// is masked when Y = 1), so appending literal Y to X is function-preserving.
+// A second, deliberately broken option appends ¬Y instead.
+func sessionFixture(t *testing.T) (*circuit.Circuit, []Slot) {
+	t.Helper()
+	c := fig1(t)
+	x := c.MustLookup("X")
+	y := c.MustLookup("Y")
+	slots := []Slot{{
+		Gate: x,
+		Options: []Mod{
+			{Kind: logic.And, Lits: []Lit{{Node: y}}},            // sound
+			{Kind: logic.And, Lits: []Lit{{Node: y, Neg: true}}}, // broken
+		},
+	}}
+	return c, slots
+}
+
+func TestSessionMatchesCheckOnFixture(t *testing.T) {
+	c, slots := sessionFixture(t)
+	sess, err := NewSession(c, slots, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, choice := range [][]int{{-1}, {0}, {1}} {
+		got, err := sess.Verify(choice)
+		if err != nil {
+			t.Fatalf("choice %v: %v", choice, err)
+		}
+		inst := materialize(t, c, slots, choice)
+		want, err := Check(c, inst, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Equivalent != want.Equivalent || got.Proved != want.Proved {
+			t.Errorf("choice %v: session (%v,%v) vs check (%v,%v)",
+				choice, got.Equivalent, got.Proved, want.Equivalent, want.Proved)
+		}
+		if !got.Equivalent {
+			// Counterexample round trip: replay on both circuits; the named
+			// PO must differ.
+			assertCexDiffers(t, c, inst, got)
+		}
+	}
+}
+
+// assertCexDiffers replays a counterexample on master and instance and
+// fails unless some PO (including the named one, when set) differs.
+func assertCexDiffers(t *testing.T, master, inst *circuit.Circuit, v Verdict) {
+	t.Helper()
+	if v.Counterexample == nil {
+		t.Fatal("inequivalent verdict without counterexample")
+	}
+	om, err := sim.EvalOne(master, v.Counterexample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oi, err := sim.EvalOne(inst, v.Counterexample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	differs := false
+	for i := range om {
+		if om[i] != oi[i] {
+			differs = true
+			if v.PO == master.POs[i].Name {
+				return
+			}
+		}
+	}
+	if !differs {
+		t.Errorf("counterexample %v does not distinguish the circuits", v.Counterexample)
+	} else if v.PO != "" {
+		t.Errorf("counterexample differs but not on claimed PO %q", v.PO)
+	}
+}
+
+func TestSessionStaleAfterMutation(t *testing.T) {
+	c, slots := sessionFixture(t)
+	sess, err := NewSession(c, slots, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Verify([]int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetKind(c.MustLookup("F"), logic.Or); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Verify([]int{0}); err == nil {
+		t.Fatal("Verify on a stale session must fail")
+	}
+}
+
+func TestSessionRejectsUnionCycle(t *testing.T) {
+	// A literal drawn from the slot gate's own fanout cone makes the
+	// instrumented instance cyclic: X feeds F, and the mod wants F as an
+	// extra literal on X.
+	c := fig1(t)
+	x := c.MustLookup("X")
+	f := c.MustLookup("F")
+	slots := []Slot{{Gate: x, Options: []Mod{{Kind: logic.And, Lits: []Lit{{Node: f}}}}}}
+	if _, err := NewSession(c, slots, DefaultOptions()); err == nil {
+		t.Fatal("expected union-cycle error")
+	}
+}
+
+func TestSessionCascadedSlots(t *testing.T) {
+	// Two slots where the second slot's literal lies in the fanout of the
+	// first slot's gate: the literal must be read from the *instance*
+	// netlist, which the union topological order guarantees.
+	c := circuit.New("cascade")
+	a, _ := c.AddPI("A")
+	b, _ := c.AddPI("B")
+	d, _ := c.AddPI("C")
+	e, _ := c.AddPI("D")
+	x, _ := c.AddGate("X", logic.And, a, b) // slot 0 gate
+	y, _ := c.AddGate("Y", logic.Or, d, e)  // trigger for X
+	f, _ := c.AddGate("F", logic.And, x, y) // in TFO(X)
+	g, _ := c.AddGate("G", logic.Or, d, e)  // slot 1 gate
+	h, _ := c.AddGate("H", logic.And, g, y) // output cone
+	z, _ := c.AddGate("Z", logic.Or, h, f)  // keeps F observable
+	if err := c.AddPO("Z", z); err != nil {
+		t.Fatal(err)
+	}
+	slots := []Slot{
+		{Gate: x, Options: []Mod{{Kind: logic.And, Lits: []Lit{{Node: y}}}}},
+		// Slot 1 appends literal F — F is in the fanout of slot 0's gate.
+		// OR identity is 0, so a sound literal must be 0 whenever the cone
+		// is observable; we do not claim soundness here, only that the
+		// session verdict matches the one-shot check on the same instance.
+		{Gate: g, Options: []Mod{{Kind: logic.Or, Lits: []Lit{{Node: f}}}, {Kind: logic.Or, Lits: []Lit{{Node: f, Neg: true}}}}},
+	}
+	sess, err := NewSession(c, slots, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, choice := range [][]int{{-1, -1}, {0, -1}, {-1, 0}, {0, 0}, {0, 1}, {-1, 1}} {
+		got, err := sess.Verify(choice)
+		if err != nil {
+			t.Fatalf("choice %v: %v", choice, err)
+		}
+		inst := materialize(t, c, slots, choice)
+		want, err := Check(c, inst, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Equivalent != want.Equivalent {
+			t.Errorf("choice %v: session says %v, check says %v", choice, got.Equivalent, want.Equivalent)
+		}
+		if !got.Equivalent {
+			assertCexDiffers(t, c, inst, got)
+		}
+	}
+}
+
+// TestSessionRandomProperty cross-checks session verdicts against one-shot
+// Check on random circuits with random (often function-changing) slots.
+func TestSessionRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	trials := 30
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		master := randomCircuit(rng, "m", 6, 20+rng.Intn(20))
+		slots := randomSlots(rng, master)
+		sess, err := NewSession(master, slots, DefaultOptions())
+		if err != nil {
+			// Union cycles are a legitimate rejection; skip the trial.
+			continue
+		}
+		for k := 0; k < 8; k++ {
+			choice := make([]int, len(slots))
+			for i := range choice {
+				choice[i] = rng.Intn(len(slots[i].Options)+1) - 1
+			}
+			got, err := sess.Verify(choice)
+			if err != nil {
+				t.Fatalf("trial %d choice %v: %v", trial, choice, err)
+			}
+			inst := materialize(t, master, slots, choice)
+			want, err := Check(master, inst, DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Equivalent != want.Equivalent {
+				t.Fatalf("trial %d choice %v: session says %v, check says %v",
+					trial, choice, got.Equivalent, want.Equivalent)
+			}
+			if !got.Equivalent {
+				assertCexDiffers(t, master, inst, got)
+			}
+		}
+	}
+}
+
+// randomSlots picks up to three random non-PI gates and gives each 1-3
+// random literal-append or convert mods; most change the function, some
+// (appending an identity-forcing literal) may not.
+func randomSlots(rng *rand.Rand, c *circuit.Circuit) []Slot {
+	var gates []circuit.NodeID
+	for i := range c.Nodes {
+		nd := &c.Nodes[i]
+		if nd.IsPI {
+			continue
+		}
+		switch nd.Kind {
+		case logic.And, logic.Or, logic.Nand, logic.Nor, logic.Inv, logic.Buf:
+			gates = append(gates, circuit.NodeID(i))
+		}
+	}
+	rng.Shuffle(len(gates), func(i, j int) { gates[i], gates[j] = gates[j], gates[i] })
+	nSlots := 1 + rng.Intn(3)
+	if nSlots > len(gates) {
+		nSlots = len(gates)
+	}
+	slots := make([]Slot, 0, nSlots)
+	for _, g := range gates[:nSlots] {
+		kind := c.Nodes[g].Kind
+		nOpts := 1 + rng.Intn(3)
+		opts := make([]Mod, 0, nOpts)
+		for v := 0; v < nOpts; v++ {
+			lit := Lit{Node: circuit.NodeID(rng.Intn(len(c.Nodes))), Neg: rng.Intn(2) == 1}
+			if lit.Node == g {
+				lit.Node = c.PIs[rng.Intn(len(c.PIs))]
+			}
+			// A positive literal repeating an existing pin cannot be
+			// materialized (AddFanin rejects duplicates); a fresh helper
+			// inverter never collides.
+			for _, f := range c.Nodes[g].Fanin {
+				if f == lit.Node {
+					lit.Neg = true
+					break
+				}
+			}
+			switch kind {
+			case logic.Inv:
+				nk := logic.Nand
+				if rng.Intn(2) == 1 {
+					nk = logic.Nor
+				}
+				opts = append(opts, Mod{Kind: nk, Lits: []Lit{lit}})
+			case logic.Buf:
+				nk := logic.And
+				if rng.Intn(2) == 1 {
+					nk = logic.Or
+				}
+				opts = append(opts, Mod{Kind: nk, Lits: []Lit{lit}})
+			default:
+				opts = append(opts, Mod{Kind: kind, Lits: []Lit{lit}})
+			}
+		}
+		slots = append(slots, Slot{Gate: g, Options: opts})
+	}
+	return slots
+}
+
+func TestSessionStatsAndSweeping(t *testing.T) {
+	// A circuit with duplicated structure: sweeping or hashing should
+	// collapse the redundant half.
+	c := circuit.New("dup")
+	a, _ := c.AddPI("A")
+	b, _ := c.AddPI("B")
+	x1, _ := c.AddGate("X1", logic.And, a, b)
+	x2, _ := c.AddGate("X2", logic.And, a, b) // structural duplicate of X1
+	n1, _ := c.AddGate("N1", logic.Nand, a, b)
+	o1, _ := c.AddGate("O1", logic.Or, x1, n1)
+	o2, _ := c.AddGate("O2", logic.Or, x2, n1)
+	if err := c.AddPO("O1", o1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddPO("O2", o2); err != nil {
+		t.Fatal(err)
+	}
+	slots := []Slot{{Gate: o1, Options: []Mod{{Kind: logic.Or, Lits: []Lit{{Node: a}}}}}}
+	sess, err := NewSession(c, slots, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sess.Stats()
+	if st.Hashed == 0 {
+		t.Error("structural hashing found no duplicates in a duplicated circuit")
+	}
+	// N1 = NAND(A,B) is the complement of X1 = AND(A,B): the sweeper should
+	// at least attempt (and here prove) the antivalence merge.
+	if st.Merged == 0 {
+		t.Error("SAT sweeping merged nothing despite an antivalent pair")
+	}
+	if _, err := sess.Verify([]int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.Stats().Verifies; got != 1 {
+		t.Errorf("Verifies = %d, want 1", got)
+	}
+}

@@ -57,7 +57,25 @@ type Circuit struct {
 	POs   []PO
 
 	byName map[string]NodeID
+
+	// version counts netlist mutations; topo caches the last computed
+	// topological order, valid while topoVersion == version. Every mutator
+	// calls touch(), so analysis passes can memoize per-version results and
+	// TopoOrder is O(1) on an unchanged netlist.
+	version     uint64
+	topo        []NodeID
+	topoVersion uint64
+	topoValid   bool
 }
+
+// Version returns a counter that increases on every netlist mutation
+// (node/PO insertion, fanin rewiring, kind change). Analysis engines use it
+// to invalidate cached per-circuit state (topological orders, level
+// schedules, simulation arenas).
+func (c *Circuit) Version() uint64 { return c.version }
+
+// touch records a netlist mutation, invalidating memoized derived state.
+func (c *Circuit) touch() { c.version++ }
 
 // New returns an empty circuit with the given name.
 func New(name string) *Circuit {
@@ -101,6 +119,7 @@ func (c *Circuit) AddPI(name string) (NodeID, error) {
 	if err := c.checkName(name); err != nil {
 		return None, err
 	}
+	c.touch()
 	id := NodeID(len(c.Nodes))
 	c.Nodes = append(c.Nodes, Node{Name: name, IsPI: true})
 	c.PIs = append(c.PIs, id)
@@ -126,6 +145,7 @@ func (c *Circuit) AddGate(name string, kind logic.Kind, fanin ...NodeID) (NodeID
 			return None, fmt.Errorf("circuit %s: gate %q: fanin %d out of range", c.Name, name, f)
 		}
 	}
+	c.touch()
 	id := NodeID(len(c.Nodes))
 	c.Nodes = append(c.Nodes, Node{Name: name, Kind: kind, Fanin: append([]NodeID(nil), fanin...)})
 	for _, f := range fanin {
@@ -146,6 +166,7 @@ func (c *Circuit) AddPO(name string, driver NodeID) error {
 			return fmt.Errorf("circuit %s: duplicate PO name %q", c.Name, name)
 		}
 	}
+	c.touch()
 	c.POs = append(c.POs, PO{Name: name, Driver: driver})
 	return nil
 }
@@ -204,6 +225,7 @@ func (c *Circuit) AddFanin(g, src NodeID) error {
 			return fmt.Errorf("circuit %s: AddFanin: %q already reads %q", c.Name, nd.Name, c.Nodes[src].Name)
 		}
 	}
+	c.touch()
 	nd.Fanin = append(nd.Fanin, src)
 	c.Nodes[src].fanout = append(c.Nodes[src].fanout, g)
 	return nil
@@ -227,6 +249,7 @@ func (c *Circuit) SetKind(g NodeID, kind logic.Kind) error {
 	if err := checkArity(kind, len(nd.Fanin)); err != nil {
 		return fmt.Errorf("circuit %s: SetKind %q: %w", c.Name, nd.Name, err)
 	}
+	c.touch()
 	nd.Kind = kind
 	return nil
 }
@@ -254,6 +277,7 @@ func (c *Circuit) ConvertGate(g NodeID, kind logic.Kind, src NodeID) error {
 	if err := checkArity(kind, len(nd.Fanin)+1); err != nil {
 		return fmt.Errorf("circuit %s: ConvertGate %q: %w", c.Name, nd.Name, err)
 	}
+	c.touch()
 	nd.Kind = kind
 	nd.Fanin = append(nd.Fanin, src)
 	c.Nodes[src].fanout = append(c.Nodes[src].fanout, g)
@@ -288,6 +312,7 @@ func (c *Circuit) RewireGate(g NodeID, kind logic.Kind, fanin []NodeID) error {
 		}
 		seen[f] = true
 	}
+	c.touch()
 	for _, f := range nd.Fanin {
 		c.removeFanoutEdge(f, g)
 	}
@@ -322,6 +347,7 @@ func (c *Circuit) ReplaceFanin(g NodeID, pin int, newSrc NodeID) error {
 			return fmt.Errorf("circuit %s: ReplaceFanin: %q already reads %q", c.Name, nd.Name, c.Nodes[newSrc].Name)
 		}
 	}
+	c.touch()
 	old := nd.Fanin[pin]
 	nd.Fanin[pin] = newSrc
 	c.removeFanoutEdge(old, g)
@@ -357,6 +383,7 @@ func (c *Circuit) UnconvertGate(g NodeID, kind logic.Kind, src NodeID) error {
 	if err := checkArity(kind, len(nd.Fanin)-1); err != nil {
 		return fmt.Errorf("circuit %s: UnconvertGate %q: %w", c.Name, nd.Name, err)
 	}
+	c.touch()
 	nd.Fanin = append(nd.Fanin[:idx], nd.Fanin[idx+1:]...)
 	nd.Kind = kind
 	c.removeFanoutEdge(src, g)
@@ -384,6 +411,7 @@ func (c *Circuit) RemoveFanin(g, src NodeID) error {
 	if err := checkArity(nd.Kind, len(nd.Fanin)-1); err != nil {
 		return fmt.Errorf("circuit %s: RemoveFanin %q: %w", c.Name, nd.Name, err)
 	}
+	c.touch()
 	nd.Fanin = append(nd.Fanin[:idx], nd.Fanin[idx+1:]...)
 	c.removeFanoutEdge(src, g)
 	return nil
@@ -407,6 +435,13 @@ func (c *Circuit) Clone() *Circuit {
 		PIs:    append([]NodeID(nil), c.PIs...),
 		POs:    append([]PO(nil), c.POs...),
 		byName: make(map[string]NodeID, len(c.byName)),
+		// The clone has identical node IDs and edges, so the memoized
+		// topological order carries over (the cached slice is never mutated
+		// in place, only replaced on recompute, so sharing is safe).
+		version:     c.version,
+		topo:        c.topo,
+		topoVersion: c.topoVersion,
+		topoValid:   c.topoValid,
 	}
 	for i := range c.Nodes {
 		n := c.Nodes[i]

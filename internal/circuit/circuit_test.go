@@ -465,3 +465,86 @@ func TestMustLookupPanics(t *testing.T) {
 	}()
 	c.MustLookup("missing")
 }
+
+// TestTopoMemoized checks the TopoOrder cache: identical slice on repeated
+// calls, invalidation on every mutator, and independence between clones.
+func TestTopoMemoized(t *testing.T) {
+	c, ids := buildFig1(t)
+	o1, err := c.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := c.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &o1[0] != &o2[0] {
+		t.Error("TopoOrder on unchanged circuit did not return the cached slice")
+	}
+	v0 := c.Version()
+
+	// Every mutator must bump Version (and thus invalidate the cache).
+	inv, err := c.AddGate("inv", logic.Inv, ids["F"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Version() == v0 {
+		t.Error("AddGate did not bump Version")
+	}
+	o3, err := c.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o3) != len(o1)+1 {
+		t.Errorf("recomputed order has %d nodes, want %d", len(o3), len(o1)+1)
+	}
+	steps := []struct {
+		name string
+		fn   func() error
+	}{
+		{"AddPO", func() error { return c.AddPO("G", inv) }},
+		{"AddFanin", func() error { return c.AddFanin(ids["X"], ids["C"]) }},
+		{"RemoveFanin", func() error { return c.RemoveFanin(ids["X"], ids["C"]) }},
+		{"SetKind", func() error { return c.SetKind(ids["X"], logic.Nand) }},
+		{"ConvertGate", func() error { return c.ConvertGate(inv, logic.Nand, ids["A"]) }},
+		{"UnconvertGate", func() error { return c.UnconvertGate(inv, logic.Inv, ids["A"]) }},
+		{"ReplaceFanin", func() error { return c.ReplaceFanin(inv, 0, ids["X"]) }},
+		{"RewireGate", func() error { return c.RewireGate(inv, logic.Inv, []NodeID{ids["F"]}) }},
+	}
+	for _, s := range steps {
+		before := c.Version()
+		if err := s.fn(); err != nil {
+			t.Fatalf("%s: %v", s.name, err)
+		}
+		if c.Version() == before {
+			t.Errorf("%s did not bump Version", s.name)
+		}
+		if _, err := c.TopoOrder(); err != nil {
+			t.Fatalf("TopoOrder after %s: %v", s.name, err)
+		}
+	}
+
+	// A clone shares the cache snapshot but diverges independently.
+	cl := c.Clone()
+	co, err := cl.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.AddGate("cl_only", logic.Inv, ids["F"]); err != nil {
+		t.Fatal(err)
+	}
+	co2, err := cl.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(co2) != len(co)+1 {
+		t.Error("clone topo did not refresh after clone-only mutation")
+	}
+	oc, err := c.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oc) != len(co) {
+		t.Error("original topo length changed by clone mutation")
+	}
+}

@@ -5,7 +5,25 @@ import "fmt"
 // TopoOrder returns all node IDs in a topological order (every node appears
 // after all of its fanin). Primary inputs come first in PI declaration order.
 // It returns an error if the netlist contains a combinational cycle.
+//
+// The order is memoized per Circuit.Version: repeated calls on an unchanged
+// netlist return the same cached slice in O(1), and any mutation invalidates
+// the cache. Callers must treat the returned slice as read-only.
 func (c *Circuit) TopoOrder() ([]NodeID, error) {
+	if c.topoValid && c.topoVersion == c.version {
+		return c.topo, nil
+	}
+	order, err := c.topoOrderUncached()
+	if err != nil {
+		return nil, err
+	}
+	c.topo = order
+	c.topoVersion = c.version
+	c.topoValid = true
+	return order, nil
+}
+
+func (c *Circuit) topoOrderUncached() ([]NodeID, error) {
 	n := len(c.Nodes)
 	indeg := make([]int, n)
 	for i := range c.Nodes {

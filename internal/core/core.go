@@ -24,6 +24,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/cell"
 	"repro/internal/circuit"
@@ -163,6 +164,9 @@ type Analysis struct {
 	Locations []Location
 	// levels caches the logic level of every node of Circuit.
 	levels []int
+	// verifier lazily holds the shared incremental verifier (verify.go).
+	verifyMu sync.Mutex
+	verifier *Verifier
 }
 
 // Analyze scans the circuit and returns all fingerprint locations with their

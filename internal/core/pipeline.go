@@ -81,11 +81,20 @@ func finish(a *Analysis, asg Assignment, lib *cell.Library) (*Result, error) {
 }
 
 // Verify proves that the fingerprinted instance is functionally equivalent
-// to the analysed original (Requirement 1), using simulation plus SAT.
+// to the analysed original (Requirement 1). Copies produced by the pipeline
+// are fully determined by their Assignment, so the proof runs on the
+// analysis-wide incremental cec.Session (one encoding amortized over all
+// copies); an assignment the session cannot express falls back to a
+// one-shot cec.Check of the materialized netlist.
 func (r *Result) Verify() error {
-	v, err := cec.Check(r.Analysis.Circuit, r.Fingerprinted, cec.DefaultOptions())
+	v, err := r.Analysis.SharedVerifier().Verify(r.Assignment)
 	if err != nil {
-		return err
+		// The session path could not serve this assignment (e.g. shape
+		// drift); fall back to checking the concrete netlist.
+		v, err = cec.Check(r.Analysis.Circuit, r.Fingerprinted, cec.DefaultOptions())
+		if err != nil {
+			return err
+		}
 	}
 	if !v.Equivalent {
 		return fmt.Errorf("core: fingerprinted instance differs on PO %q for input %v", v.PO, v.Counterexample)

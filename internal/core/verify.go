@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cec"
+)
+
+// This file bridges the analysis catalogue to the incremental verification
+// engine in internal/cec: one persistent cec.Session per Analysis proves
+// every issued fingerprint copy equivalent to the master with a single
+// assumption solve, instead of one cold miter per copy.
+
+// sessionSlots flattens the catalogue into cec slots, one per
+// (location, target) pair in deterministic location-major order — the same
+// order used by slotChoice.
+func sessionSlots(a *Analysis) []cec.Slot {
+	var slots []cec.Slot
+	for i := range a.Locations {
+		for j := range a.Locations[i].Targets {
+			tgt := &a.Locations[i].Targets[j]
+			slot := cec.Slot{Gate: tgt.Gate, Options: make([]cec.Mod, len(tgt.Variants))}
+			for v, variant := range tgt.Variants {
+				lits := make([]cec.Lit, len(variant.Lits))
+				for k, l := range variant.Lits {
+					lits[k] = cec.Lit{Node: l.Node, Neg: l.Neg}
+				}
+				slot.Options[v] = cec.Mod{Kind: variant.NewGateKind, Lits: lits}
+			}
+			slots = append(slots, slot)
+		}
+	}
+	return slots
+}
+
+// slotChoice flattens an Assignment into the session's choice vector in the
+// same slot order as sessionSlots. Tampered entries are rejected: a session
+// can only express catalogued modifications.
+func slotChoice(a *Analysis, asg Assignment) ([]int, error) {
+	if len(asg) != len(a.Locations) {
+		return nil, fmt.Errorf("core: assignment has %d locations, analysis %d", len(asg), len(a.Locations))
+	}
+	var choice []int
+	for i := range asg {
+		if len(asg[i]) != len(a.Locations[i].Targets) {
+			return nil, fmt.Errorf("core: assignment loc %d has %d targets, analysis %d", i, len(asg[i]), len(a.Locations[i].Targets))
+		}
+		for j, v := range asg[i] {
+			if v < -1 || v >= len(a.Locations[i].Targets[j].Variants) {
+				return nil, fmt.Errorf("core: assignment loc %d target %d: variant %d out of range", i, j, v)
+			}
+			choice = append(choice, v)
+		}
+	}
+	return choice, nil
+}
+
+// Verifier proves fingerprint copies equivalent to the master. It prefers
+// the persistent incremental session (one encoding, cheap per-copy
+// assumption solves, shared learned clauses) and falls back to one-shot
+// cec.Check on a materialized instance when the session cannot express the
+// catalogue (e.g. a modification literal would close a combinational cycle
+// in the union graph).
+type Verifier struct {
+	a    *Analysis
+	sess *cec.Session // nil: fall back to one-shot checks
+}
+
+// NewVerifier builds a verifier for a. Session construction failures are
+// not fatal — the verifier silently degrades to the one-shot path.
+func NewVerifier(a *Analysis) *Verifier {
+	v := &Verifier{a: a}
+	if sess, err := cec.NewSession(a.Circuit, sessionSlots(a), cec.DefaultOptions()); err == nil {
+		v.sess = sess
+	}
+	return v
+}
+
+// Incremental reports whether the verifier runs on a persistent session.
+func (v *Verifier) Incremental() bool { return v.sess != nil }
+
+// Verify proves or refutes that the copy selected by asg is equivalent to
+// the master. Assignments containing Tampered entries cannot be verified
+// at assignment level; materialize the suspect netlist and use cec.Check.
+func (v *Verifier) Verify(asg Assignment) (cec.Verdict, error) {
+	choice, err := slotChoice(v.a, asg)
+	if err != nil {
+		return cec.Verdict{}, err
+	}
+	if v.sess != nil {
+		return v.sess.Verify(choice)
+	}
+	inst, err := Embed(v.a, asg)
+	if err != nil {
+		return cec.Verdict{}, err
+	}
+	return cec.Check(v.a.Circuit, inst, cec.DefaultOptions())
+}
+
+// SharedVerifier returns the analysis-wide verifier, building it on first
+// use. The verifier (and its underlying session) is safe for concurrent
+// Verify calls.
+func (a *Analysis) SharedVerifier() *Verifier {
+	a.verifyMu.Lock()
+	defer a.verifyMu.Unlock()
+	if a.verifier == nil {
+		a.verifier = NewVerifier(a)
+	}
+	return a.verifier
+}

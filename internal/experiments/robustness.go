@@ -93,10 +93,22 @@ func RunE14(circuitName string, nBuyers, trials int, stripLevels []int, lib *cel
 				}
 			}
 			rng.Shuffle(len(modified), func(i, j int) { modified[i], modified[j] = modified[j], modified[i] })
+			remaining := b.asg.Clone()
 			for k := 0; k < strip && k < len(modified); k++ {
 				if err := core.Strip(a, cp, modified[k][0], modified[k][1]); err != nil {
 					return E14Point{}, err
 				}
+				remaining[modified[k][0]][modified[k][1]] = -1
+			}
+			// Requirement 1 must survive tampering: the stripped copy still
+			// carries a catalogued assignment, so one incremental solve on
+			// the shared session proves it equivalent to the master.
+			verdict, err := a.SharedVerifier().Verify(remaining)
+			if err != nil {
+				return E14Point{}, err
+			}
+			if !verdict.Equivalent {
+				return E14Point{}, fmt.Errorf("experiments: stripped copy of %s inequivalent on PO %q", b.name, verdict.PO)
 			}
 			scores, err := tracer.TraceScores(cp)
 			if err != nil {

@@ -143,34 +143,42 @@ func Stats(c *circuit.Circuit) ObservabilityStats {
 // conditions exist almost everywhere in any combinational circuit". The
 // return value maps gate NodeID → fraction of patterns with the pin masked
 // (only gates with non-trivial local ODCs appear).
+// Stimulus and simulation storage come from sim.SharedRandom and the shared
+// sim.Engine, so repeated calls with the same circuit/seed/shape reuse both.
 func MaskedFraction(c *circuit.Circuit, nWords int, seed int64) (map[circuit.NodeID]float64, error) {
-	vec := sim.Random(len(c.PIs), nWords, seed)
-	res, err := sim.Run(c, vec)
+	vec := sim.SharedRandom(len(c.PIs), nWords, seed)
+	eng, err := sim.EngineFor(c)
 	if err != nil {
 		return nil, err
 	}
 	out := make(map[circuit.NodeID]float64)
 	totalBits := float64(nWords * 64)
-	for i := range c.Nodes {
-		nd := &c.Nodes[i]
-		if nd.IsPI || !HasLocalODC(nd.Kind, len(nd.Fanin)) {
-			continue
-		}
-		cv, _ := nd.Kind.ControllingValue()
-		// Pin 0's ODC condition: any other pin at the controlling value.
-		masked := 0
-		for w := 0; w < nWords; w++ {
-			var any uint64
-			for p := 1; p < len(nd.Fanin); p++ {
-				v := res.Node[nd.Fanin[p]][w]
-				if !cv {
-					v = ^v
-				}
-				any |= v
+	err = eng.WithRun(vec, func(res *sim.Result) error {
+		for i := range c.Nodes {
+			nd := &c.Nodes[i]
+			if nd.IsPI || !HasLocalODC(nd.Kind, len(nd.Fanin)) {
+				continue
 			}
-			masked += popcount(any)
+			cv, _ := nd.Kind.ControllingValue()
+			// Pin 0's ODC condition: any other pin at the controlling value.
+			masked := 0
+			for w := 0; w < nWords; w++ {
+				var any uint64
+				for p := 1; p < len(nd.Fanin); p++ {
+					v := res.Node[nd.Fanin[p]][w]
+					if !cv {
+						v = ^v
+					}
+					any |= v
+				}
+				masked += popcount(any)
+			}
+			out[circuit.NodeID(i)] = float64(masked) / totalBits
 		}
-		out[circuit.NodeID(i)] = float64(masked) / totalBits
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -97,6 +97,13 @@ type Solver struct {
 	// MaxConflicts bounds the search; ≤0 means unlimited. When exceeded,
 	// Solve returns Unknown.
 	MaxConflicts int64
+
+	// Assumption-trail reuse: consecutive Solve calls that share a prefix of
+	// their assumption lists keep the corresponding pseudo-decision levels
+	// (and everything propagated under them) assigned between calls, instead
+	// of re-propagating thousands of assumptions from scratch.
+	lastAssume []lit // assumptions applied by the most recent Solve, in order
+	assumeIdx  []int // per pseudo-decision level: index into lastAssume
 }
 
 // New returns a solver with no variables or clauses.
@@ -415,6 +422,9 @@ func (s *Solver) backtrack(level int) {
 	s.trail = s.trail[:bound]
 	s.trailLim = s.trailLim[:level]
 	s.qhead = len(s.trail)
+	if len(s.assumeIdx) > level {
+		s.assumeIdx = s.assumeIdx[:level]
+	}
 }
 
 func (s *Solver) pickBranch() (lit, bool) {
@@ -486,17 +496,6 @@ func (s *Solver) Solve(assumptions ...int) Status {
 	if !s.ok {
 		return Unsat
 	}
-	s.backtrack(0)
-	if conf := s.propagate(); conf != nil {
-		s.ok = false
-		return Unsat
-	}
-
-	var restart int64 = 1
-	confBudget := 100 * luby(restart)
-	confsAtRestart := int64(0)
-	maxLearnts := len(s.clauses)/3 + 500
-
 	// Assert assumptions as pseudo-decisions.
 	assume := make([]lit, 0, len(assumptions))
 	for _, e := range assumptions {
@@ -512,13 +511,52 @@ func (s *Solver) Solve(assumptions ...int) Status {
 		}
 		assume = append(assume, mkLit(v-1, e < 0))
 	}
+
+	// Assumption-trail reuse: keep every pseudo-decision level whose
+	// assumption also appears, at the same index, in this call's assumption
+	// list. Those levels (and their propagations) are still valid decisions
+	// for this solve, so only the divergent suffix is re-applied. Levels are
+	// sound to keep because every trail literal at level ℓ is implied by the
+	// formula plus the decisions at levels ≤ ℓ, all of which are kept.
+	prefix := 0
+	for prefix < len(assume) && prefix < len(s.lastAssume) && assume[prefix] == s.lastAssume[prefix] {
+		prefix++
+	}
+	keep := 0
+	for keep < len(s.assumeIdx) && s.assumeIdx[keep] < prefix {
+		keep++
+	}
+	s.backtrack(keep)
+	s.lastAssume = append(s.lastAssume[:0], assume...)
 	// assumed counts assumptions consumed; assumeLevels counts the
 	// pseudo-decision levels actually created for them. They differ when an
-	// assumption is already satisfied by level-0 propagation — conflating
-	// the two would make the solver mistake a real decision level for an
-	// assumption level and declare Unsat without conflict analysis.
+	// assumption is already satisfied by propagation below its level —
+	// conflating the two would make the solver mistake a real decision level
+	// for an assumption level and declare Unsat without conflict analysis.
 	assumed := 0
-	assumeLevels := 0
+	assumeLevels := s.decisionLevel() // == keep
+	if keep > 0 {
+		assumed = s.assumeIdx[keep-1] + 1
+	}
+	if conf := s.propagate(); conf != nil {
+		if s.decisionLevel() == 0 {
+			s.ok = false
+			return Unsat
+		}
+		// Clauses were added against a reused trail; discard it and retry
+		// from scratch.
+		s.backtrack(0)
+		assumed, assumeLevels = 0, 0
+		if conf := s.propagate(); conf != nil {
+			s.ok = false
+			return Unsat
+		}
+	}
+
+	var restart int64 = 1
+	confBudget := 100 * luby(restart)
+	confsAtRestart := int64(0)
+	maxLearnts := len(s.clauses)/3 + 500
 
 	for {
 		conf := s.propagate()
@@ -526,11 +564,16 @@ func (s *Solver) Solve(assumptions ...int) Status {
 			s.conflicts++
 			confsAtRestart++
 			if s.decisionLevel() <= assumeLevels {
-				// Conflict within/below the assumption levels.
-				s.backtrack(0)
-				if assumeLevels == 0 {
+				// Conflict within/below the assumption levels: unsatisfiable
+				// under these assumptions. Step just below the conflicting
+				// level — the falsified clause has a literal assigned at the
+				// conflict level, so the remaining trail is consistent and
+				// fully propagated, ready for prefix reuse by the next call.
+				if s.decisionLevel() == 0 {
 					s.ok = false
+					return Unsat
 				}
+				s.backtrack(s.decisionLevel() - 1)
 				return Unsat
 			}
 			learnt, bt := s.analyze(conf)
@@ -585,10 +628,12 @@ func (s *Solver) Solve(assumptions ...int) Status {
 				assumed++
 				continue
 			case valFalse:
-				s.backtrack(0)
+				// Refuted by propagation from earlier levels; the trail is
+				// consistent and stays in place for prefix reuse.
 				return Unsat
 			}
 			s.trailLim = append(s.trailLim, len(s.trail))
+			s.assumeIdx = append(s.assumeIdx, assumed)
 			s.enqueue(a, nil)
 			assumed++
 			assumeLevels = s.decisionLevel()
@@ -604,6 +649,19 @@ func (s *Solver) Solve(assumptions ...int) Status {
 		s.enqueue(l, nil)
 	}
 }
+
+// BacktrackAll undoes every search assignment, returning the solver to
+// decision level 0. After Solve returns Sat the trail still carries the
+// model (so Value works); incremental users must call BacktrackAll before
+// adding further clauses, because AddClause assumes a level-0 trail (a unit
+// clause enqueued at a stale search level would be silently undone by the
+// next Solve). Model values are invalid afterwards.
+func (s *Solver) BacktrackAll() { s.backtrack(0) }
+
+// Conflicts returns the cumulative conflict count across all Solve calls.
+// MaxConflicts compares against this cumulative counter, so per-call budgets
+// are expressed as s.MaxConflicts = s.Conflicts() + budget.
+func (s *Solver) Conflicts() int64 { return s.conflicts }
 
 // Value returns the assignment of (1-based) variable v after a Sat result:
 // true/false. It must only be called after Solve returned Sat.

@@ -441,3 +441,128 @@ func TestLargeRandom3SAT(t *testing.T) {
 		t.Fatalf("3-SAT ratio 3.0 instance: %v (expected SAT with overwhelming probability)", got)
 	}
 }
+
+// TestAssumptionSequenceAgainstBruteForce stresses assumption-trail reuse:
+// one persistent solver serves a sequence of assumption solves whose lists
+// share long common prefixes (the cec.Session usage pattern — a pinned
+// prefix plus a varying tail), interleaving Sat and Unsat outcomes. Every
+// verdict must match brute force on a fresh formula.
+func TestAssumptionSequenceAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 4 + rng.Intn(8)
+		s := New()
+		for i := 0; i < nVars; i++ {
+			s.NewVar()
+		}
+		cnf := make([][]int, 0, 24)
+		for i := 0; i < 6+rng.Intn(16); i++ {
+			width := 1 + rng.Intn(3)
+			cl := make([]int, 0, width)
+			for j := 0; j < width; j++ {
+				l := 1 + rng.Intn(nVars)
+				if rng.Intn(2) == 1 {
+					l = -l
+				}
+				cl = append(cl, l)
+			}
+			cnf = append(cnf, cl)
+			if err := s.AddClause(cl...); err != nil {
+				return false
+			}
+		}
+		// A fixed prefix of assumptions over distinct vars…
+		perm := rng.Perm(nVars)
+		nPrefix := 1 + rng.Intn(3)
+		prefix := make([]int, 0, nPrefix)
+		for _, v := range perm[:nPrefix] {
+			l := v + 1
+			if rng.Intn(2) == 1 {
+				l = -l
+			}
+			prefix = append(prefix, l)
+		}
+		// …then a sequence of solves varying only the tail, so consecutive
+		// calls reuse the prefix's pseudo-decision levels.
+		for round := 0; round < 6; round++ {
+			tail := perm[nPrefix] + 1
+			if rng.Intn(2) == 1 {
+				tail = -tail
+			}
+			assumed := append(append([]int{}, prefix...), tail)
+			if round == 3 {
+				// Once mid-sequence: drop the tail (shorter list, full reuse).
+				assumed = assumed[:len(assumed)-1]
+			}
+			full := append([][]int{}, cnf...)
+			for _, a := range assumed {
+				full = append(full, []int{a})
+			}
+			want := bruteForce(nVars, full)
+			got := s.Solve(assumed...)
+			if got == Sat {
+				// The model must satisfy the assumptions.
+				for _, a := range assumed {
+					v := a
+					if v < 0 {
+						v = -v
+					}
+					if s.Value(v) != (a > 0) {
+						t.Logf("seed %d round %d: model violates assumption %d", seed, round, a)
+						return false
+					}
+				}
+			}
+			if want != (got == Sat) {
+				t.Logf("seed %d round %d: assumptions %v want SAT=%v got %v", seed, round, assumed, want, got)
+				return false
+			}
+		}
+		// The solver must still answer the unassumed query correctly.
+		want := bruteForce(nVars, cnf)
+		if got := s.Solve(); want != (got == Sat) {
+			t.Logf("seed %d: final unassumed solve: want SAT=%v got %v", seed, want, got)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAssumptionReuseAfterUnsat pins the reuse-specific exits: an Unsat
+// under assumptions leaves the shared prefix in place, and both repeating
+// the same assumptions and flipping the tail answer correctly.
+func TestAssumptionReuseAfterUnsat(t *testing.T) {
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	// a → b, c → ¬b
+	if err := s.AddClause(-a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddClause(-c, -b); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Solve(a, c); got != Unsat {
+		t.Fatalf("a∧c: %v, want UNSAT", got)
+	}
+	// Identical assumption list again (full prefix reuse of a consistent
+	// sub-trail must not corrupt the verdict).
+	if got := s.Solve(a, c); got != Unsat {
+		t.Fatalf("a∧c repeated: %v, want UNSAT", got)
+	}
+	// Shared prefix, different tail.
+	if got := s.Solve(a, -c); got != Sat {
+		t.Fatalf("a∧¬c: %v, want SAT", got)
+	}
+	if !s.Value(a) || !s.Value(b) || s.Value(c) {
+		t.Error("model wrong after prefix reuse")
+	}
+	if got := s.Solve(a, b); got != Sat {
+		t.Fatalf("a∧b: %v, want SAT", got)
+	}
+	if got := s.Solve(c, a); got != Unsat {
+		t.Fatalf("c∧a (reordered): %v, want UNSAT", got)
+	}
+}

@@ -1,0 +1,324 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+	"repro/internal/par"
+)
+
+// Engine is a reusable bit-parallel simulator bound to one circuit. It keeps
+// the topological schedule and a single preallocated word arena across Run
+// calls, so re-simulating the same circuit with same-shaped vectors performs
+// no per-node allocation. The schedule is refreshed automatically when the
+// circuit's Version changes.
+//
+// Reuse rules:
+//   - A Result returned by Run aliases the engine arena and is valid only
+//     until the next Run on the same engine. Copy what must outlive it, or
+//     use WithRun to scope the consumption.
+//   - An Engine is not safe for concurrent Run calls; WithRun serializes
+//     access with an internal mutex and is safe from multiple goroutines.
+//   - Jobs > 1 enables level-parallel evaluation on internal/par. Output
+//     words are disjoint per gate, so results are bit-identical to serial.
+type Engine struct {
+	c *circuit.Circuit
+
+	// Jobs is the worker count for level-parallel evaluation; values <= 1
+	// (and small levels) evaluate serially. Results are identical either way.
+	Jobs int
+
+	mu      sync.Mutex
+	version uint64
+	gates   []circuit.NodeID   // non-PI nodes in topo order
+	levels  [][]circuit.NodeID // gates grouped by logic level, ascending
+	nWords  int
+	arena   []uint64
+	node    [][]uint64 // per-node value views; PIs alias input vectors
+	res     Result
+}
+
+// minParallelLevel is the smallest level width worth fanning out over
+// internal/par; below it goroutine overhead dominates the word loops.
+const minParallelLevel = 64
+
+// NewEngine builds an engine for c, failing if the netlist has a cycle.
+func NewEngine(c *circuit.Circuit) (*Engine, error) {
+	e := &Engine{c: c}
+	if err := e.refresh(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// refresh recomputes the gate schedule for the circuit's current version.
+// The arena is re-sized lazily in Run (it depends on the vector shape).
+func (e *Engine) refresh() error {
+	order, err := e.c.TopoOrder()
+	if err != nil {
+		return err
+	}
+	levels := e.c.Levels()
+	maxLevel := 0
+	for _, l := range levels {
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	e.gates = e.gates[:0]
+	e.levels = make([][]circuit.NodeID, maxLevel+1)
+	for _, id := range order {
+		if e.c.Nodes[id].IsPI {
+			continue
+		}
+		e.gates = append(e.gates, id)
+		l := levels[id]
+		e.levels[l] = append(e.levels[l], id)
+	}
+	e.version = e.c.Version()
+	e.nWords = -1 // force arena re-slice on next Run
+	return nil
+}
+
+// Run simulates the engine's circuit on v and returns per-node values backed
+// by the engine arena. The Result is invalidated by the next Run call.
+func (e *Engine) Run(v *Vectors) (*Result, error) {
+	if len(v.Words) != len(e.c.PIs) {
+		return nil, fmt.Errorf("sim: %d input streams for %d PIs", len(v.Words), len(e.c.PIs))
+	}
+	if e.version != e.c.Version() {
+		if err := e.refresh(); err != nil {
+			return nil, err
+		}
+	}
+	nWords := v.NumWords()
+	for i := range v.Words {
+		if len(v.Words[i]) != nWords {
+			return nil, fmt.Errorf("sim: ragged vector lengths")
+		}
+	}
+	if e.nWords != nWords || len(e.node) != len(e.c.Nodes) {
+		need := len(e.gates) * nWords
+		if cap(e.arena) < need {
+			e.arena = make([]uint64, need)
+		}
+		arena := e.arena[:need]
+		if len(e.node) != len(e.c.Nodes) {
+			e.node = make([][]uint64, len(e.c.Nodes))
+		}
+		off := 0
+		for _, id := range e.gates {
+			e.node[id] = arena[off : off+nWords : off+nWords]
+			off += nWords
+		}
+		e.nWords = nWords
+	}
+	for i, pi := range e.c.PIs {
+		e.node[pi] = v.Words[i]
+	}
+	if e.Jobs > 1 {
+		for _, level := range e.levels {
+			if len(level) == 0 {
+				continue
+			}
+			if len(level) < minParallelLevel {
+				for _, id := range level {
+					nd := &e.c.Nodes[id]
+					evalInto(e.node[id], nd.Kind, nd.Fanin, e.node)
+				}
+				continue
+			}
+			level := level
+			par.Do(len(level), e.Jobs, func(k int) error {
+				id := level[k]
+				nd := &e.c.Nodes[id]
+				evalInto(e.node[id], nd.Kind, nd.Fanin, e.node)
+				return nil
+			})
+		}
+	} else {
+		for _, id := range e.gates {
+			nd := &e.c.Nodes[id]
+			evalInto(e.node[id], nd.Kind, nd.Fanin, e.node)
+		}
+	}
+	e.res.Node = e.node
+	return &e.res, nil
+}
+
+// WithRun simulates v and hands the arena-backed Result to fn while holding
+// the engine lock, so concurrent callers cannot invalidate it mid-read. The
+// Result must not be retained after fn returns.
+func (e *Engine) WithRun(v *Vectors, fn func(*Result) error) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	res, err := e.Run(v)
+	if err != nil {
+		return err
+	}
+	return fn(res)
+}
+
+// evalInto evaluates one gate across all words, writing into out. It reads
+// fanin streams directly from node, eliminating the per-word gather buffer
+// of the naive loop; the common 1- and 2-input shapes get unrolled kernels.
+func evalInto(out []uint64, kind logic.Kind, fanin []circuit.NodeID, node [][]uint64) {
+	switch kind {
+	case logic.Const0:
+		for w := range out {
+			out[w] = 0
+		}
+		return
+	case logic.Const1:
+		for w := range out {
+			out[w] = ^uint64(0)
+		}
+		return
+	case logic.Buf:
+		copy(out, node[fanin[0]])
+		return
+	case logic.Inv:
+		a := node[fanin[0]]
+		for w := range out {
+			out[w] = ^a[w]
+		}
+		return
+	}
+	if len(fanin) == 2 {
+		a, b := node[fanin[0]], node[fanin[1]]
+		switch kind {
+		case logic.And:
+			for w := range out {
+				out[w] = a[w] & b[w]
+			}
+		case logic.Nand:
+			for w := range out {
+				out[w] = ^(a[w] & b[w])
+			}
+		case logic.Or:
+			for w := range out {
+				out[w] = a[w] | b[w]
+			}
+		case logic.Nor:
+			for w := range out {
+				out[w] = ^(a[w] | b[w])
+			}
+		case logic.Xor:
+			for w := range out {
+				out[w] = a[w] ^ b[w]
+			}
+		case logic.Xnor:
+			for w := range out {
+				out[w] = ^(a[w] ^ b[w])
+			}
+		}
+		return
+	}
+	// N-ary accumulate: seed from the first fanin, fold the rest, negate at
+	// the end for the inverting kinds.
+	copy(out, node[fanin[0]])
+	switch kind {
+	case logic.And, logic.Nand:
+		for _, f := range fanin[1:] {
+			s := node[f]
+			for w := range out {
+				out[w] &= s[w]
+			}
+		}
+	case logic.Or, logic.Nor:
+		for _, f := range fanin[1:] {
+			s := node[f]
+			for w := range out {
+				out[w] |= s[w]
+			}
+		}
+	case logic.Xor, logic.Xnor:
+		for _, f := range fanin[1:] {
+			s := node[f]
+			for w := range out {
+				out[w] ^= s[w]
+			}
+		}
+	}
+	if kind.Inverting() {
+		for w := range out {
+			out[w] = ^out[w]
+		}
+	}
+}
+
+// engineCache maps circuits to their shared engines. Entries are evicted
+// oldest-first beyond engineCacheMax to bound arena memory in long runs.
+var engineCache struct {
+	sync.Mutex
+	m     map[*circuit.Circuit]*Engine
+	order []*circuit.Circuit
+}
+
+const engineCacheMax = 16
+
+// EngineFor returns a process-wide shared engine for c, creating and caching
+// it on first use. Use the returned engine only through WithRun: the cache is
+// shared across goroutines. Returns an error if c has a cycle.
+func EngineFor(c *circuit.Circuit) (*Engine, error) {
+	engineCache.Lock()
+	defer engineCache.Unlock()
+	if e, ok := engineCache.m[c]; ok {
+		return e, nil
+	}
+	e, err := NewEngine(c)
+	if err != nil {
+		return nil, err
+	}
+	if engineCache.m == nil {
+		engineCache.m = make(map[*circuit.Circuit]*Engine)
+	}
+	engineCache.m[c] = e
+	engineCache.order = append(engineCache.order, c)
+	if len(engineCache.order) > engineCacheMax {
+		old := engineCache.order[0]
+		engineCache.order = engineCache.order[1:]
+		delete(engineCache.m, old)
+	}
+	return e, nil
+}
+
+// sharedRandomCache memoizes Random vector sets by shape and seed. The
+// vectors are immutable once published; callers must not write to them.
+var sharedRandomCache struct {
+	sync.RWMutex
+	m map[randomKey]*Vectors
+}
+
+type randomKey struct {
+	nPI, nWords int
+	seed        int64
+}
+
+// SharedRandom returns the same *Vectors as Random(nPI, nWords, seed) but
+// memoized process-wide, so repeated estimators with the same seed and shape
+// (power, ODC fraction) share one allocation. The result is shared and must
+// be treated as read-only.
+func SharedRandom(nPI, nWords int, seed int64) *Vectors {
+	key := randomKey{nPI, nWords, seed}
+	sharedRandomCache.RLock()
+	v := sharedRandomCache.m[key]
+	sharedRandomCache.RUnlock()
+	if v != nil {
+		return v
+	}
+	v = Random(nPI, nWords, seed)
+	sharedRandomCache.Lock()
+	if prev, ok := sharedRandomCache.m[key]; ok {
+		v = prev
+	} else {
+		if sharedRandomCache.m == nil {
+			sharedRandomCache.m = make(map[randomKey]*Vectors)
+		}
+		sharedRandomCache.m[key] = v
+	}
+	sharedRandomCache.Unlock()
+	return v
+}

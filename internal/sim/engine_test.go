@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// exhaustiveReference is the original per-bit O(2^n·n) construction, kept as
+// the oracle for the block-fill fast path.
+func exhaustiveReference(nPI int) *Vectors {
+	patterns := 1 << uint(nPI)
+	nWords := (patterns + 63) / 64
+	v := &Vectors{Words: make([][]uint64, nPI)}
+	for i := 0; i < nPI; i++ {
+		w := make([]uint64, nWords)
+		for p := 0; p < nWords*64; p++ {
+			idx := p % patterns
+			if idx>>uint(i)&1 == 1 {
+				w[p/64] |= 1 << uint(p%64)
+			}
+		}
+		v.Words[i] = w
+	}
+	return v
+}
+
+func TestExhaustiveBlockFill(t *testing.T) {
+	for nPI := 1; nPI <= 10; nPI++ {
+		got, err := Exhaustive(nPI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := exhaustiveReference(nPI)
+		for i := range want.Words {
+			for j := range want.Words[i] {
+				if got.Words[i][j] != want.Words[i][j] {
+					t.Fatalf("nPI=%d input %d word %d: got %016x want %016x",
+						nPI, i, j, got.Words[i][j], want.Words[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestEngineMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		c := randomCircuit(rng, 6, 40)
+		v := Random(len(c.PIs), 8, int64(trial))
+		want, err := Run(c, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewEngine(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, jobs := range []int{1, 4} {
+			e.Jobs = jobs
+			got, err := e.Run(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for id := range want.Node {
+				for w := range want.Node[id] {
+					if got.Node[id][w] != want.Node[id][w] {
+						t.Fatalf("trial %d jobs %d node %d word %d: engine %016x run %016x",
+							trial, jobs, id, w, got.Node[id][w], want.Node[id][w])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEngineReuseZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := randomCircuit(rng, 8, 200)
+	v := Random(len(c.PIs), 16, 3)
+	e, err := NewEngine(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(v); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := e.Run(v); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("engine re-run allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestEngineTracksMutation(t *testing.T) {
+	c := circuit.New("mut")
+	a, _ := c.AddPI("A")
+	b, _ := c.AddPI("B")
+	g, _ := c.AddGate("G", logic.And, a, b)
+	if err := c.AddPO("G", g); err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &Vectors{Words: [][]uint64{{0b1100}, {0b1010}}}
+	res, err := e.Run(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Node[g][0] != 0b1000 {
+		t.Fatalf("AND: got %b", res.Node[g][0])
+	}
+	if err := c.SetKind(g, logic.Or); err != nil {
+		t.Fatal(err)
+	}
+	res, err = e.Run(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Node[g][0] != 0b1110 {
+		t.Fatalf("engine did not refresh after SetKind: got %b", res.Node[g][0])
+	}
+}
+
+func TestSharedRandomMemoized(t *testing.T) {
+	a := SharedRandom(5, 4, 42)
+	b := SharedRandom(5, 4, 42)
+	if &a.Words[0][0] != &b.Words[0][0] {
+		t.Error("SharedRandom did not return the memoized vectors")
+	}
+	want := Random(5, 4, 42)
+	for i := range want.Words {
+		for j := range want.Words[i] {
+			if a.Words[i][j] != want.Words[i][j] {
+				t.Fatal("SharedRandom differs from Random")
+			}
+		}
+	}
+	other := SharedRandom(5, 4, 43)
+	if &other.Words[0][0] == &a.Words[0][0] {
+		t.Error("different seeds must not share vectors")
+	}
+}
+
+func TestEngineForSharedAndConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := randomCircuit(rng, 6, 60)
+	e1, err := EngineFor(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := EngineFor(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Error("EngineFor returned distinct engines for the same circuit")
+	}
+	v := Random(len(c.PIs), 8, 1)
+	want, err := Run(c, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			done <- e1.WithRun(v, func(res *Result) error {
+				for id := range want.Node {
+					for w := range want.Node[id] {
+						if res.Node[id][w] != want.Node[id][w] {
+							t.Error("concurrent WithRun produced wrong values")
+							return nil
+						}
+					}
+				}
+				return nil
+			})
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

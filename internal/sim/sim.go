@@ -46,9 +46,30 @@ func Random(nPI, nWords int, seed int64) *Vectors {
 // words per input, comfortably in memory and time for unit tests.
 const MaxExhaustivePIs = 22
 
-// Exhaustive generates all 2^nPI input patterns (padded up to a multiple of
-// 64 by repeating pattern 0, which is harmless for equivalence checking).
+// blockMasks[i] is the 64-pattern word of input i under counting order:
+// bit lane l equals (l>>i)&1, i.e. input i alternates blocks of 2^i zeros
+// and 2^i ones.
+var blockMasks = [6]uint64{
+	0xAAAAAAAAAAAAAAAA,
+	0xCCCCCCCCCCCCCCCC,
+	0xF0F0F0F0F0F0F0F0,
+	0xFF00FF00FF00FF00,
+	0xFFFF0000FFFF0000,
+	0xFFFFFFFF00000000,
+}
+
+// Exhaustive generates all 2^nPI input patterns in counting order. When
+// 2^nPI < 64 the word is padded by cycling through the pattern range again
+// (pattern p carries input bits (p mod 2^nPI)>>i), which is harmless for
+// equivalence checking: no new input combinations are introduced.
 // It returns an error when nPI exceeds MaxExhaustivePIs.
+//
+// Construction is by block-pattern word fills rather than per-bit loops:
+// input i alternates 2^i-sized blocks, so for i < 6 every word is the fixed
+// mask blockMasks[i], and for i >= 6 word w is all-ones exactly when bit
+// i-6 of w is set. This is bit-for-bit identical to the per-bit definition,
+// including the sub-word padding case (masking p to its low nPI bits never
+// changes bit i for i < nPI).
 func Exhaustive(nPI int) (*Vectors, error) {
 	if nPI > MaxExhaustivePIs {
 		return nil, fmt.Errorf("sim: %d PIs exceeds exhaustive limit %d", nPI, MaxExhaustivePIs)
@@ -58,12 +79,15 @@ func Exhaustive(nPI int) (*Vectors, error) {
 	v := &Vectors{Words: make([][]uint64, nPI)}
 	for i := 0; i < nPI; i++ {
 		w := make([]uint64, nWords)
-		for p := 0; p < nWords*64; p++ {
-			// Pattern index modulo the true pattern count, so padding
-			// repeats pattern range instead of injecting new ones.
-			idx := p % patterns
-			if idx>>uint(i)&1 == 1 {
-				w[p/64] |= 1 << uint(p%64)
+		if i < 6 {
+			for j := range w {
+				w[j] = blockMasks[i]
+			}
+		} else {
+			for j := range w {
+				if j>>uint(i-6)&1 == 1 {
+					w[j] = ^uint64(0)
+				}
 			}
 		}
 		v.Words[i] = w
@@ -80,39 +104,16 @@ type Result struct {
 // Run simulates the circuit on the given vectors and returns values for all
 // nodes. It fails if the vector shape does not match the PI count or the
 // circuit has a cycle.
+//
+// Each call builds a fresh single-use Engine, so the Result owns its backing
+// storage and stays valid indefinitely; use a long-lived Engine (or
+// EngineFor) to amortize the arena and schedule across repeated runs.
 func Run(c *circuit.Circuit, v *Vectors) (*Result, error) {
-	if len(v.Words) != len(c.PIs) {
-		return nil, fmt.Errorf("sim: %d input streams for %d PIs", len(v.Words), len(c.PIs))
-	}
-	nWords := v.NumWords()
-	order, err := c.TopoOrder()
+	e, err := NewEngine(c)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Node: make([][]uint64, len(c.Nodes))}
-	for i, pi := range c.PIs {
-		if len(v.Words[i]) != nWords {
-			return nil, fmt.Errorf("sim: ragged vector lengths")
-		}
-		res.Node[pi] = v.Words[i]
-	}
-	in := make([]uint64, 0, 8)
-	for _, id := range order {
-		nd := &c.Nodes[id]
-		if nd.IsPI {
-			continue
-		}
-		out := make([]uint64, nWords)
-		for w := 0; w < nWords; w++ {
-			in = in[:0]
-			for _, f := range nd.Fanin {
-				in = append(in, res.Node[f][w])
-			}
-			out[w] = nd.Kind.EvalWord(in)
-		}
-		res.Node[id] = out
-	}
-	return res, nil
+	return e.Run(v)
 }
 
 // Outputs returns the PO value streams in PO order.
@@ -246,7 +247,13 @@ func ToggleCounts(c *circuit.Circuit, v *Vectors) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
-	counts := make([]int, len(c.Nodes))
+	return res.Toggles(), nil
+}
+
+// Toggles counts, per node, the number of value changes between consecutive
+// patterns in the result. Nil node streams (unsimulated nodes) count zero.
+func (res *Result) Toggles() []int {
+	counts := make([]int, len(res.Node))
 	for id := range res.Node {
 		words := res.Node[id]
 		if words == nil {
@@ -265,5 +272,5 @@ func ToggleCounts(c *circuit.Circuit, v *Vectors) ([]int, error) {
 			}
 		}
 	}
-	return counts, nil
+	return counts
 }

@@ -186,6 +186,11 @@ type Evidence struct {
 	// MatchedBits is the evidence strength of the matched slots (log₂ of
 	// the chance an unrelated design reproduces them).
 	MatchedBits float64
+	// Equivalent attests Requirement 1 for the recovered assignment: a copy
+	// carrying exactly the extracted catalogue modifications (tampered
+	// slots treated as unmodified) is functionally equivalent to the
+	// master. Proved on the analysis-wide incremental cec.Session.
+	Equivalent bool
 }
 
 // Fraction is Matched/Total.
@@ -210,7 +215,21 @@ func Verify(a *core.Analysis, p Params, suspect *circuit.Circuit) (*Evidence, er
 	if err != nil {
 		return nil, err
 	}
+	// Functional-equivalence attestation: sanitize tampered slots to
+	// "unmodified" (a session only expresses catalogued modifications) and
+	// prove the recovered assignment on the shared incremental session.
+	clean := got.Clone()
+	for i := range clean {
+		for j, v := range clean[i] {
+			if v == core.Tampered {
+				clean[i][j] = -1
+			}
+		}
+	}
 	e := &Evidence{Total: len(m.Slots)}
+	if verdict, verr := a.SharedVerifier().Verify(clean); verr == nil {
+		e.Equivalent = verdict.Equivalent
+	}
 	for _, slot := range m.Slots {
 		want := m.Assignment[slot.Loc][slot.Target]
 		if got[slot.Loc][slot.Target] == want {

@@ -144,6 +144,9 @@ func TestEmbedVerifyRoundTrip(t *testing.T) {
 	if e.Matched != e.Total || e.Total != 10 {
 		t.Fatalf("verify: %d/%d", e.Matched, e.Total)
 	}
+	if !e.Equivalent {
+		t.Error("evidence must attest the recovered assignment equivalent (Requirement 1)")
+	}
 	if e.MatchedBits < 10 {
 		t.Errorf("evidence strength only %.1f bits", e.MatchedBits)
 	}

@@ -39,6 +39,7 @@ import (
 	"repro/internal/fpcode"
 	"repro/internal/fuse"
 	"repro/internal/sdc"
+	"repro/internal/sim"
 	"repro/internal/techmap"
 	"repro/internal/verilog"
 	"repro/internal/watermark"
@@ -77,7 +78,26 @@ type (
 	CollusionResult = attack.CollusionResult
 	// Tracer is the designer-side registry used to trace pirated copies.
 	Tracer = attack.Tracer
+
+	// Verifier proves fingerprint copies equivalent to the master over a
+	// persistent incremental cec.Session, falling back to one-shot miters
+	// when the catalogue cannot be instrumented. Obtain one with
+	// NewVerifier or share the analysis-wide instance via
+	// (*Analysis).SharedVerifier.
+	Verifier = core.Verifier
+	// Verdict is an equivalence-check outcome (cec package).
+	Verdict = cec.Verdict
+	// SimEngine is a reusable zero-allocation bit-parallel simulator bound
+	// to one circuit.
+	SimEngine = sim.Engine
 )
+
+// NewVerifier builds an incremental verifier for an analysis; see
+// (*Analysis).SharedVerifier for the shared instance.
+func NewVerifier(a *Analysis) *Verifier { return core.NewVerifier(a) }
+
+// NewSimEngine builds a reusable simulation engine for a circuit.
+func NewSimEngine(c *Circuit) (*SimEngine, error) { return sim.NewEngine(c) }
 
 // DefaultLibrary returns the MCNC-flavoured standard-cell library used
 // throughout the reproduction.
