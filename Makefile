@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-verify experiments fuzz cover ci clean
+.PHONY: all build test vet bench bench-verify experiments reproduce doccheck fuzz cover ci clean
 
 all: build vet test
 
-# Everything the CI workflow runs: formatting, vet, build, the full race-
-# enabled test suite, and a short fuzz pass over the two line-oriented
-# netlist parsers.
-ci:
+# Everything the CI workflow runs: formatting, vet, doc lint, build, the
+# full race-enabled test suite, and a short fuzz pass over the two
+# line-oriented netlist parsers.
+ci: doccheck
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) vet ./...
@@ -17,6 +17,11 @@ ci:
 	$(GO) test -race ./...
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/blif/
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/benchfmt/
+
+# Godoc lint: every package needs a package comment, every exported
+# declaration a doc comment (internal/tools/doccheck).
+doccheck:
+	$(GO) run ./internal/tools/doccheck .
 
 build:
 	$(GO) build ./...
@@ -30,6 +35,14 @@ test:
 # Regenerate every table/figure of the paper (also: go test -bench=Table2 .)
 experiments:
 	$(GO) run ./cmd/experiments -all
+
+# Full reproduction pipeline (README "Reproducing the paper's tables"):
+# run every experiment, emit the machine-readable manifest, render it to
+# Markdown. The tables in EXPERIMENTS.md come from exactly this pipeline.
+reproduce:
+	$(GO) run ./cmd/experiments -all -report runreport.json
+	$(GO) run ./cmd/report -o tables.md runreport.json
+	@echo "wrote runreport.json and tables.md"
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -7,6 +7,12 @@
 //
 //	benchverify                      c5315, 64 copies, BENCH_verify.json
 //	benchverify -circuit c7552 -copies 32 -o /tmp/b.json
+//	benchverify -report run.json     also emit a report.RunReport manifest
+//
+// With -report the run additionally writes a report.RunReport manifest:
+// flags, stage wall times, the internal/obs metrics snapshot (miter sizes,
+// sweep/assumption solve counts, SAT work) and the verdict summary.
+// -deterministic zeroes the manifest's wall-clock fields.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"repro/internal/cell"
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/report"
 )
 
 // Baseline is the JSON schema of the emitted artefact.
@@ -41,13 +48,25 @@ func main() {
 	copies := flag.Int("copies", 64, "number of fingerprint copies to verify")
 	seed := flag.Int64("seed", 1, "assignment-draw seed")
 	out := flag.String("o", "BENCH_verify.json", "output JSON path")
+	reportPath := flag.String("report", "", "write a JSON run manifest to this path")
+	deterministic := flag.Bool("deterministic", false, "zero wall-clock fields in the -report manifest")
 	flag.Parse()
 
+	var rb *report.Builder
+	if *reportPath != "" {
+		rb = report.NewBuilder("benchverify", *deterministic)
+		rb.Flags(flag.CommandLine)
+	}
+
+	analyzeStart := time.Now()
 	spec, err := bench.ByName(*name)
 	fail(err)
 	c := spec.Build()
 	a, err := core.Analyze(c, core.DefaultOptions(cell.Default()))
 	fail(err)
+	if rb != nil {
+		rb.Stage("analyze", analyzeStart)
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	n := a.BitCapacity()
@@ -74,6 +93,9 @@ func main() {
 		sessionVerdicts[i] = v.Equivalent
 	}
 	sessionSecs := time.Since(sessionStart).Seconds()
+	if rb != nil {
+		rb.Stage("session_verify", sessionStart)
+	}
 
 	// Cold path: a fresh miter per copy. The copies are materialized up
 	// front so only verification is timed, matching the session side (which
@@ -96,6 +118,9 @@ func main() {
 		}
 	}
 	coldSecs := time.Since(coldStart).Seconds()
+	if rb != nil {
+		rb.Stage("cold_verify", coldStart)
+	}
 
 	b := Baseline{
 		Circuit:       *name,
@@ -110,6 +135,19 @@ func main() {
 	data, err := json.MarshalIndent(b, "", "  ")
 	fail(err)
 	fail(os.WriteFile(*out, append(data, '\n'), 0o644))
+	if rb != nil {
+		rb.SetVerify(report.VerifySummary{
+			Circuit:       b.Circuit,
+			Gates:         b.Gates,
+			Copies:        b.Copies,
+			SessionSecs:   b.SessionSecs,
+			ColdSecs:      b.ColdSecs,
+			Speedup:       b.Speedup,
+			VerdictsMatch: b.VerdictsMatch,
+			AllEquivalent: b.AllEquivalent,
+		})
+		fail(rb.Finish().WriteFile(*reportPath))
+	}
 	fmt.Printf("%s: %d copies, session %.2fs vs cold %.2fs — %.1f× (verdicts match: %v)\n",
 		b.Circuit, b.Copies, b.SessionSecs, b.ColdSecs, b.Speedup, b.VerdictsMatch)
 	if !match {

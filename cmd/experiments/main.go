@@ -9,10 +9,18 @@
 //	experiments -circuits c432,des   restrict to a subset
 //	experiments -seed 7              reactive-kick seed
 //	experiments -all -j 8            run on 8 workers (output identical to -j 1)
+//	experiments -all -report r.json  also write a machine-readable manifest
 //
 // Tables print to stdout; timing diagnostics go to stderr, so stdout is
 // byte-identical for a given -seed at any -j (the determinism guarantee the
 // golden test enforces).
+//
+// With -report the run additionally emits a report.RunReport JSON manifest:
+// flags, per-stage and per-circuit wall times (internal/obs spans), the full
+// metrics snapshot, and the measured rows behind every printed table.
+// Emitting a manifest never changes stdout. Adding -deterministic zeroes all
+// wall-clock-derived manifest fields so two runs with the same flags produce
+// byte-identical manifests.
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 
 	"repro/internal/cell"
 	"repro/internal/experiments"
+	"repro/internal/report"
 )
 
 func main() {
@@ -38,6 +47,8 @@ func main() {
 	circuits := flag.String("circuits", "", "comma-separated circuit subset (default: whole suite)")
 	seed := flag.Int64("seed", 1, "seed for the reactive heuristic's random kicks")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker count for the parallel sweeps (results do not depend on it)")
+	reportPath := flag.String("report", "", "write a JSON run manifest to this path")
+	deterministic := flag.Bool("deterministic", false, "zero wall-clock fields in the -report manifest")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -77,6 +88,12 @@ func main() {
 	}
 	lib := cell.Default()
 
+	var rb *report.Builder
+	if *reportPath != "" {
+		rb = report.NewBuilder("experiments", *deterministic)
+		rb.Flags(flag.CommandLine)
+	}
+
 	if *table2 {
 		start := time.Now()
 		rows, err := experiments.RunTable2(names, lib, *jobs)
@@ -85,6 +102,10 @@ func main() {
 		fmt.Print(experiments.FormatTable2(rows))
 		fmt.Println()
 		timing("Table II", start)
+		if rb != nil {
+			rb.Stage("table2", start)
+			rb.Tables().Table2 = rows
+		}
 	}
 
 	var t3rows []experiments.Table3Row
@@ -93,42 +114,70 @@ func main() {
 		var err error
 		t3rows, err = experiments.RunTable3(names, nil, lib, *seed, *jobs)
 		fail(err)
+		if rb != nil {
+			rb.Stage("table3", start)
+		}
 		if *table3 {
 			fmt.Println("== Table III: reactive delay-constrained heuristic (averages, measured vs paper) ==")
 			fmt.Print(experiments.FormatTable3(t3rows))
 			fmt.Println()
 			timing("Table III", start)
+			if rb != nil {
+				rb.Tables().Table3 = t3rows
+			}
 		}
 	}
 
 	if *fig7 {
+		start := time.Now()
 		fig, err := experiments.RunFig7(names, t3rows, lib, *jobs)
 		fail(err)
 		fmt.Println("== Fig. 7: fingerprint sizes before/after delay constraints ==")
 		fmt.Print(experiments.FormatFig7(fig))
 		fmt.Println()
+		if rb != nil {
+			rb.Stage("fig7", start)
+			rb.Tables().Fig7 = fig
+		}
 	}
 
 	if *proactive {
-		runProactive(names, lib, *seed, *jobs)
+		start := time.Now()
+		rows := runProactive(names, lib, *seed, *jobs)
+		if rb != nil {
+			rb.Stage("e7", start)
+			rb.Tables().E7 = rows
+			rb.Tables().E7Budget = 0.10
+		}
 	}
 
 	if *robustness {
+		start := time.Now()
 		fmt.Println("\n== E14 (extension): tracing robustness vs tampering ==")
 		points, err := experiments.RunE14("c3540", 10, 20, []int{0, 5, 15, 40, 80, 120, 180, 240}, lib, *seed, *jobs)
 		fail(err)
 		fmt.Print(experiments.FormatE14("c3540", points))
+		if rb != nil {
+			rb.Stage("e14", start)
+			rb.Tables().E14Circuit = "c3540"
+			rb.Tables().E14 = points
+		}
+	}
+
+	if rb != nil {
+		fail(rb.Finish().WriteFile(*reportPath))
 	}
 }
 
 // runProactive is experiment E7: the paper describes the proactive
 // slack-driven heuristic (§III-D) but does not evaluate it; this extension
 // compares it to the reactive method at a 10 % budget.
-func runProactive(names []string, lib *cell.Library, seed int64, jobs int) {
+func runProactive(names []string, lib *cell.Library, seed int64, jobs int) []experiments.E7Row {
 	fmt.Println("== E7 (extension): proactive vs reactive heuristic ==")
 	rows, err := experiments.RunE7(names, 0.10, lib, seed, jobs)
 	fail(err)
 	fmt.Print(experiments.FormatE7(rows, 0.10))
+	return rows
 }
 
 // timing reports a phase duration on stderr, keeping stdout reproducible.

@@ -2,9 +2,13 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/report"
 )
 
 // runStdout runs the experiments CLI and returns stdout alone — stderr
@@ -52,5 +56,68 @@ func TestGoldenDeterminism(t *testing.T) {
 			}
 		}
 		t.Fatalf("stdout length differs: %d vs %d lines", len(sl), len(pl))
+	}
+}
+
+// TestReportGolden proves the observability layer does not perturb results:
+// two fixed-seed runs with the same flags emit byte-identical -deterministic
+// manifests, and stdout is byte-identical with and without -report.
+func TestReportGolden(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	args := []string{"-table2", "-table3", "-circuits", "c432,c880", "-j", "2", "-seed", "1", "-deterministic", "-report", path}
+	out1 := runStdout(t, args...)
+	m1, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2 := runStdout(t, args...)
+	m2, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m1, m2) {
+		l1, l2 := strings.Split(string(m1), "\n"), strings.Split(string(m2), "\n")
+		for i := 0; i < len(l1) && i < len(l2); i++ {
+			if l1[i] != l2[i] {
+				t.Fatalf("manifests diverge at line %d:\n  run 1: %q\n  run 2: %q", i+1, l1[i], l2[i])
+			}
+		}
+		t.Fatalf("manifest length differs: %d vs %d lines", len(l1), len(l2))
+	}
+	if !bytes.Equal(out1, out2) {
+		t.Fatalf("stdout differs between identical -report runs")
+	}
+	plain := runStdout(t, "-table2", "-table3", "-circuits", "c432,c880", "-j", "2", "-seed", "1")
+	if !bytes.Equal(out1, plain) {
+		t.Fatalf("-report perturbed stdout:\nwith:\n%s\nwithout:\n%s", out1, plain)
+	}
+}
+
+// TestReportRendersTableIIRow closes the loop between manifests and the
+// committed tables: the c880 row rendered from a fresh manifest must appear
+// verbatim in EXPERIMENTS.md.
+func TestReportRendersTableIIRow(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	runStdout(t, "-table2", "-circuits", "c880", "-deterministic", "-report", path)
+	r, err := report.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := report.Render(r)
+	var row string
+	for _, line := range strings.Split(md, "\n") {
+		if strings.HasPrefix(line, "c880 ") {
+			row = line
+		}
+	}
+	if row == "" {
+		t.Fatalf("no c880 row in rendered report:\n%s", md)
+	}
+	committed, err := os.ReadFile("../../EXPERIMENTS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(committed), row+"\n") {
+		t.Fatalf("rendered row not found in EXPERIMENTS.md:\n%q", row)
 	}
 }

@@ -1,0 +1,44 @@
+// Command report renders a RunReport manifest (written by
+// `experiments -report` or `benchverify -report`) into the Markdown tables
+// recorded in EXPERIMENTS.md:
+//
+//	report run.json                 render to stdout
+//	report -o tables.md run.json    render to a file
+//
+// The table bodies are produced by the same experiments.Format* functions
+// the live run prints with, so a rendered row is byte-identical to the row
+// in EXPERIMENTS.md. The tables in EXPERIMENTS.md are regenerated through
+// this pipeline, never edited by hand (DESIGN.md §8).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/report"
+)
+
+func main() {
+	out := flag.String("o", "", "output Markdown path (default: stdout)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: report [-o out.md] manifest.json")
+		os.Exit(2)
+	}
+	r, err := report.ReadFile(flag.Arg(0))
+	fail(err)
+	md := report.Render(r)
+	if *out == "" {
+		fmt.Print(md)
+		return
+	}
+	fail(os.WriteFile(*out, []byte(md), 0o644))
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+}

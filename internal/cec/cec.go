@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/sat"
 	"repro/internal/sim"
 )
@@ -211,6 +212,9 @@ func interfaceCheck(a, b *circuit.Circuit) error {
 // Check decides whether circuits a and b (same PI/PO interface) compute the
 // same function on every output.
 func Check(a, b *circuit.Circuit, opts Options) (Verdict, error) {
+	mOneShotChecks.Inc()
+	sp := obs.Start("cec.check")
+	defer sp.End()
 	if err := interfaceCheck(a, b); err != nil {
 		return Verdict{}, err
 	}

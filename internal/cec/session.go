@@ -8,8 +8,27 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/sat"
 	"repro/internal/sim"
+)
+
+// Observability counters (internal/obs), aggregated across every session
+// and one-shot check in the process. Miter size before SAT sweeping is
+// miter_vars + nodes_merged (each merge avoided one variable); after
+// sweeping it is miter_vars.
+var (
+	mSessions         = obs.NewCounter("cec", "sessions_built")
+	mMiterVars        = obs.NewCounter("cec", "miter_vars")
+	mMiterClauses     = obs.NewCounter("cec", "miter_clauses")
+	mNodesHashed      = obs.NewCounter("cec", "nodes_hashed")
+	mNodesMerged      = obs.NewCounter("cec", "nodes_merged")
+	mSweepSolves      = obs.NewCounter("cec", "sweep_solves")
+	mVerifies         = obs.NewCounter("cec", "session_verifies")
+	mUniversalSolves  = obs.NewCounter("cec", "universal_solves")
+	mAssumptionSolves = obs.NewCounter("cec", "assumption_solves")
+	mConesClosed      = obs.NewCounter("cec", "cones_closed")
+	mOneShotChecks    = obs.NewCounter("cec", "oneshot_checks")
 )
 
 // This file implements the incremental verification engine: instead of
@@ -55,6 +74,19 @@ type SessionStats struct {
 	SweepSolves int // bounded equivalence queries attempted by sweeping
 	Verifies    int // Verify calls served
 	ClosedPOs   int // miter outputs proved unreachable under all activations
+
+	// UniversalSolves and AssumptionSolves split the Verify-phase SAT
+	// calls: one-time all-activations-free cone closings vs. per-choice
+	// assumption solves over the POs that stayed open.
+	UniversalSolves  int
+	AssumptionSolves int
+	// BuildDecisions/BuildPropagations/BuildConflicts freeze the SAT work
+	// spent constructing the miter (dominated by SAT sweeping); Decisions/
+	// Propagations/Conflicts count the verify phase alone — the solver's
+	// counters are reset (sat.Solver.ResetStats) when construction ends,
+	// so reused-solver stats no longer conflate the two phases.
+	BuildDecisions, BuildPropagations, BuildConflicts int64
+	Decisions, Propagations, Conflicts                int64
 }
 
 // Session is a persistent miter between a master circuit and its
@@ -114,7 +146,10 @@ func NewSession(master *circuit.Circuit, slots []Slot, opts Options) (*Session, 
 		opts:    opts,
 		s:       sat.New(),
 	}
-	if err := sess.build(); err != nil {
+	sp := obs.Start("cec.session_build")
+	err := sess.build()
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
 	return sess, nil
@@ -558,6 +593,17 @@ func (sess *Session) build() error {
 	sess.poOpen = make([]bool, len(c.POs))
 	sess.stats.Vars = sess.s.NumVars()
 	sess.stats.Clauses = sess.s.NumClauses()
+	// Freeze the build-phase SAT work and zero the solver counters, so the
+	// session's verify-phase stats (and per-copy attribution by callers)
+	// start from a clean slate on the reused solver.
+	sess.stats.BuildDecisions, sess.stats.BuildPropagations, sess.stats.BuildConflicts = sess.s.Stats()
+	sess.s.ResetStats()
+	mSessions.Inc()
+	mMiterVars.Add(int64(sess.stats.Vars))
+	mMiterClauses.Add(int64(sess.stats.Clauses))
+	mNodesHashed.Add(int64(sess.stats.Hashed))
+	mNodesMerged.Add(int64(sess.stats.Merged))
+	mSweepSolves.Add(int64(sess.stats.SweepSolves))
 	return nil
 }
 
@@ -588,6 +634,7 @@ func (sess *Session) Verify(choice []int) (Verdict, error) {
 		}
 	}
 	sess.stats.Verifies++
+	mVerifies.Inc()
 	if sess.trivial {
 		return Verdict{Equivalent: true, Proved: true}, nil
 	}
@@ -608,10 +655,13 @@ func (sess *Session) Verify(choice []int) (Verdict, error) {
 		if x == 0 || sess.poClosed[i] || sess.poOpen[i] {
 			continue
 		}
+		sess.stats.UniversalSolves++
+		mUniversalSolves.Inc()
 		switch sess.s.Solve(x) {
 		case sat.Unsat:
 			sess.poClosed[i] = true
 			sess.stats.ClosedPOs++
+			mConesClosed.Inc()
 		default:
 			sess.poOpen[i] = true
 		}
@@ -624,6 +674,8 @@ func (sess *Session) Verify(choice []int) (Verdict, error) {
 		if x == 0 || sess.poClosed[i] {
 			continue
 		}
+		sess.stats.AssumptionSolves++
+		mAssumptionSolves.Inc()
 		switch sess.s.Solve(append(assumptions[:nAss:nAss], x)...) {
 		case sat.Unsat:
 			continue
@@ -644,12 +696,15 @@ func (sess *Session) Verify(choice []int) (Verdict, error) {
 // Slots returns the number of slots the session was built with.
 func (sess *Session) Slots() int { return len(sess.slots) }
 
-// Stats returns a snapshot of the session's counters.
+// Stats returns a snapshot of the session's counters. The solver-level
+// Decisions/Propagations/Conflicts cover the verify phase only; build-phase
+// work is frozen in the Build* fields.
 func (sess *Session) Stats() SessionStats {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	st := sess.stats
 	st.Vars = sess.s.NumVars()
 	st.Clauses = sess.s.NumClauses()
+	st.Decisions, st.Propagations, st.Conflicts = sess.s.Stats()
 	return st
 }

@@ -14,8 +14,23 @@ import (
 
 	"repro/internal/cell"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/sta"
+)
+
+// Observability counters (internal/obs) for the heuristics: how many
+// greedy rounds ran, how many candidate removals were trial-evaluated, how
+// many modifications were pruned to meet budgets, and how often the
+// reactive method had to kick randomly out of a greedy stall.
+var (
+	mReactiveRuns  = obs.NewCounter("constrain", "reactive_runs")
+	mProactiveRuns = obs.NewCounter("constrain", "proactive_runs")
+	mRounds        = obs.NewCounter("constrain", "rounds")
+	mTrials        = obs.NewCounter("constrain", "trials")
+	mPruned        = obs.NewCounter("constrain", "mods_pruned")
+	mKicks         = obs.NewCounter("constrain", "random_kicks")
+	hCandidates    = obs.NewHistogram("constrain", "candidates_per_round")
 )
 
 // Options configures a constraint run.
@@ -69,6 +84,9 @@ func Reactive(a *core.Analysis, start core.Assignment, opts Options) (*Result, e
 	if opts.Library == nil {
 		return nil, fmt.Errorf("constrain: Options.Library is required")
 	}
+	sp := obs.Start("constrain.reactive")
+	defer sp.End()
+	mReactiveRuns.Inc()
 	base, err := core.Measure(a.Circuit, opts.Library)
 	if err != nil {
 		return nil, err
@@ -137,7 +155,9 @@ func Reactive(a *core.Analysis, start core.Assignment, opts Options) (*Result, e
 			break
 		}
 		res.Rounds++
+		mRounds.Inc()
 		cands := candidates(a, w, tm)
+		hCandidates.Observe(int64(len(cands)))
 		if len(cands) == 0 {
 			// Should not happen while delay > budget (some mod must touch
 			// the critical path, otherwise delay would equal the base
@@ -173,10 +193,12 @@ func Reactive(a *core.Analysis, start core.Assignment, opts Options) (*Result, e
 			return nil, err
 		}
 		res.STACalls += len(cands)
+		mTrials.Add(int64(len(cands)))
 		best, bestDelay := pickBest(cands, delays)
 		if best < 0 || bestDelay >= tm.Delay-slackEps {
 			// Greedy stall: random kick.
 			best = cands[rng.Intn(len(cands))]
+			mKicks.Inc()
 		}
 		// Permanent removal, mirrored into every worker state.
 		for _, wk := range ws {
@@ -184,6 +206,7 @@ func Reactive(a *core.Analysis, start core.Assignment, opts Options) (*Result, e
 				return nil, err
 			}
 		}
+		mPruned.Inc()
 	}
 	return summarize(a, w, opts.Library, base, startCount, res)
 }
@@ -252,6 +275,9 @@ func Proactive(a *core.Analysis, opts Options) (*Result, error) {
 	if opts.Library == nil {
 		return nil, fmt.Errorf("constrain: Options.Library is required")
 	}
+	sp := obs.Start("constrain.proactive")
+	defer sp.End()
+	mProactiveRuns.Inc()
 	base, err := core.Measure(a.Circuit, opts.Library)
 	if err != nil {
 		return nil, err

@@ -29,7 +29,25 @@ import (
 	"repro/internal/cell"
 	"repro/internal/circuit"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/odc"
+)
+
+// Observability counters (internal/obs) for the analysis and embedding hot
+// paths, aggregated across every Analyze/Embed call in the process.
+var (
+	mAnalyses       = obs.NewCounter("core", "analyses")
+	mODCChecks      = obs.NewCounter("core", "odc_checks")
+	mLocationsFound = obs.NewCounter("core", "locations_found")
+	mTargetsFound   = obs.NewCounter("core", "targets_found")
+	mEmbeds         = obs.NewCounter("core", "embeds")
+	mModsEmbedded   = obs.NewCounter("core", "mods_embedded")
+	mVariantKind    = [...]*obs.Counter{
+		AddLiteral:    obs.NewCounter("core", "variant_add_literal"),
+		ConvertSingle: obs.NewCounter("core", "variant_convert_single"),
+		Reroute:       obs.NewCounter("core", "variant_reroute"),
+	}
+	mSessionFallbacks = obs.NewCounter("core", "verify_oneshot_fallbacks")
 )
 
 // Lit is a signal reference with polarity: the value fed to a modified gate
@@ -56,6 +74,7 @@ const (
 	Reroute
 )
 
+// String names the kind for diagnostics and metrics.
 func (k VariantKind) String() string {
 	switch k {
 	case AddLiteral:
@@ -180,6 +199,9 @@ func Analyze(c *circuit.Circuit, opts Options) (*Analysis, error) {
 	if err := c.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid circuit: %w", err)
 	}
+	sp := obs.Start("core.analyze")
+	defer sp.End()
+	mAnalyses.Inc()
 	a := &Analysis{Circuit: c, Options: opts, levels: c.Levels()}
 	claimed := make([]bool, len(c.Nodes)) // target gates already owned by a location
 
@@ -190,6 +212,7 @@ func Analyze(c *circuit.Circuit, opts Options) (*Analysis, error) {
 			continue
 		}
 		// Criterion 4 precondition: primary gate has non-zero local ODC.
+		mODCChecks.Inc()
 		if !odc.HasLocalODC(nd.Kind, len(nd.Fanin)) {
 			continue
 		}
@@ -202,6 +225,8 @@ func Analyze(c *circuit.Circuit, opts Options) (*Analysis, error) {
 		}
 		a.Locations = append(a.Locations, loc)
 	}
+	mLocationsFound.Add(int64(a.NumLocations()))
+	mTargetsFound.Add(int64(a.TotalTargets()))
 	return a, nil
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/logic"
+	"repro/internal/obs"
 )
 
 // Assignment selects, for every location and each of its targets, which
@@ -164,6 +165,8 @@ func (w *Working) apply(i, j, v int) error {
 	if err := w.connect(g, variant, mod.pins); err != nil {
 		return fmt.Errorf("core: apply mod %d/%d/%d: %w", i, j, v, err)
 	}
+	mModsEmbedded.Inc()
+	mVariantKind[variant.Kind].Inc()
 	w.Mods = append(w.Mods, mod)
 	return nil
 }
@@ -337,6 +340,9 @@ func (w *Working) Snapshot() (*circuit.Circuit, error) {
 // the swept, validated fingerprinted netlist. This is the paper's "output
 // new file" step of Fig. 6.
 func Embed(a *Analysis, asg Assignment) (*circuit.Circuit, error) {
+	sp := obs.Start("core.embed")
+	defer sp.End()
+	mEmbeds.Inc()
 	w, err := NewWorking(a, asg)
 	if err != nil {
 		return nil, err

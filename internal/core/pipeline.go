@@ -7,6 +7,7 @@ import (
 	"repro/internal/cec"
 	"repro/internal/cell"
 	"repro/internal/circuit"
+	"repro/internal/obs"
 )
 
 // Result bundles the outcome of a full fingerprinting run: the analysed
@@ -58,6 +59,8 @@ func FingerprintBits(c *circuit.Circuit, lib *cell.Library, bits []bool) (*Resul
 }
 
 func finish(a *Analysis, asg Assignment, lib *cell.Library) (*Result, error) {
+	sp := obs.Start("core.fingerprint_finish")
+	defer sp.End()
 	fp, err := Embed(a, asg)
 	if err != nil {
 		return nil, err
@@ -91,6 +94,7 @@ func (r *Result) Verify() error {
 	if err != nil {
 		// The session path could not serve this assignment (e.g. shape
 		// drift); fall back to checking the concrete netlist.
+		mSessionFallbacks.Inc()
 		v, err = cec.Check(r.Analysis.Circuit, r.Fingerprinted, cec.DefaultOptions())
 		if err != nil {
 			return err

@@ -90,6 +90,7 @@ func (v *Verifier) Verify(asg Assignment) (cec.Verdict, error) {
 	if v.sess != nil {
 		return v.sess.Verify(choice)
 	}
+	mSessionFallbacks.Inc()
 	inst, err := Embed(v.a, asg)
 	if err != nil {
 		return cec.Verdict{}, err

@@ -22,6 +22,7 @@ import (
 	"repro/internal/cell"
 	"repro/internal/constrain"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -51,6 +52,8 @@ func RunTable2(names []string, lib *cell.Library, jobs int) ([]Table2Row, error)
 	}
 	return par.Map(len(names), jobs, func(i int) (Table2Row, error) {
 		name := names[i]
+		sp := obs.Start("table2/" + name)
+		defer sp.End()
 		spec, err := bench.ByName(name)
 		if err != nil {
 			return Table2Row{}, err
@@ -151,8 +154,9 @@ type Table3Row struct {
 	PowerOvh  float64
 	Paper     PaperTable3Row
 	// PerCircuit carries the per-benchmark results behind the averages
-	// (used by Fig. 7).
-	PerCircuit map[string]*constrain.Result
+	// (used by Fig. 7). It is not serialized into run manifests — the
+	// derived Fig. 7 series is embedded there instead.
+	PerCircuit map[string]*constrain.Result `json:"-"`
 }
 
 // RunTable3 applies the reactive delay-constrained heuristic at each budget
@@ -179,6 +183,8 @@ func RunTable3(names []string, budgets []float64, lib *cell.Library, seed int64,
 	}
 	preps, err := par.Map(len(names), jobs, func(i int) (prep, error) {
 		name := names[i]
+		sp := obs.Start("analyze/" + name)
+		defer sp.End()
 		spec, err := bench.ByName(name)
 		if err != nil {
 			return prep{}, err
@@ -196,6 +202,8 @@ func RunTable3(names []string, budgets []float64, lib *cell.Library, seed int64,
 	results, err := par.Map(len(budgets)*len(preps), jobs, func(i int) (*constrain.Result, error) {
 		bi, pi := i/len(preps), i%len(preps)
 		p := preps[pi]
+		sp := obs.Start(fmt.Sprintf("table3/%s@%g", p.name, budgets[bi]))
+		defer sp.End()
 		res, err := constrain.Reactive(p.a, core.FullAssignment(p.a), constrain.Options{
 			Library:     lib,
 			DelayBudget: budgets[bi],
@@ -274,6 +282,8 @@ func RunFig7(names []string, table3 []Table3Row, lib *cell.Library, jobs int) (*
 	}
 	allSeries, err := par.Map(len(names), jobs, func(i int) ([]float64, error) {
 		name := names[i]
+		sp := obs.Start("fig7/" + name)
+		defer sp.End()
 		spec, err := bench.ByName(name)
 		if err != nil {
 			return nil, err
@@ -372,6 +382,8 @@ func RunE7(names []string, budget float64, lib *cell.Library, seed int64, jobs i
 	}
 	return par.Map(len(names), jobs, func(i int) (E7Row, error) {
 		name := names[i]
+		sp := obs.Start("e7/" + name)
+		defer sp.End()
 		spec, err := bench.ByName(name)
 		if err != nil {
 			return E7Row{}, err

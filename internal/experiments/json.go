@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+)
+
+// This file makes the table rows JSON-round-trippable for run manifests
+// (internal/report). Plain JSON has no NaN, but the rows use NaN for "the
+// paper prints N/A" (PaperRow.PowerOvh on c6288) and the same guard exists
+// for measured metrics a base design may lack. Those fields marshal
+// through NaNFloat, which encodes NaN as the string "NaN" and decodes it
+// back, so a rendered manifest prints N/A exactly like the live run.
+
+// NaNFloat is a float64 that survives JSON round trips when NaN.
+type NaNFloat float64
+
+// MarshalJSON encodes NaN as the string "NaN".
+func (f NaNFloat) MarshalJSON() ([]byte, error) {
+	if math.IsNaN(float64(f)) {
+		return []byte(`"NaN"`), nil
+	}
+	return json.Marshal(float64(f))
+}
+
+// UnmarshalJSON decodes the string "NaN" back to NaN.
+func (f *NaNFloat) UnmarshalJSON(b []byte) error {
+	if bytes.Equal(b, []byte(`"NaN"`)) {
+		*f = NaNFloat(math.NaN())
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = NaNFloat(v)
+	return nil
+}
+
+// paperRowJSON mirrors PaperRow with NaN-safe floats.
+type paperRowJSON struct {
+	Gates      int      `json:"gates"`
+	Area       NaNFloat `json:"area"`
+	Delay      NaNFloat `json:"delay"`
+	Power      NaNFloat `json:"power"`
+	Locations  int      `json:"locations"`
+	Log2Combos NaNFloat `json:"log2_combos"`
+	AreaOvh    NaNFloat `json:"area_ovh"`
+	DelayOvh   NaNFloat `json:"delay_ovh"`
+	PowerOvh   NaNFloat `json:"power_ovh"`
+}
+
+// MarshalJSON encodes the row with N/A entries as "NaN".
+func (p PaperRow) MarshalJSON() ([]byte, error) {
+	return json.Marshal(paperRowJSON{
+		Gates: p.Gates, Area: NaNFloat(p.Area), Delay: NaNFloat(p.Delay),
+		Power: NaNFloat(p.Power), Locations: p.Locations,
+		Log2Combos: NaNFloat(p.Log2Combos), AreaOvh: NaNFloat(p.AreaOvh),
+		DelayOvh: NaNFloat(p.DelayOvh), PowerOvh: NaNFloat(p.PowerOvh),
+	})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (p *PaperRow) UnmarshalJSON(b []byte) error {
+	var j paperRowJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	*p = PaperRow{
+		Gates: j.Gates, Area: float64(j.Area), Delay: float64(j.Delay),
+		Power: float64(j.Power), Locations: j.Locations,
+		Log2Combos: float64(j.Log2Combos), AreaOvh: float64(j.AreaOvh),
+		DelayOvh: float64(j.DelayOvh), PowerOvh: float64(j.PowerOvh),
+	}
+	return nil
+}
+
+// table2RowJSON mirrors Table2Row with NaN-safe floats.
+type table2RowJSON struct {
+	Name       string   `json:"name"`
+	Gates      int      `json:"gates"`
+	Area       NaNFloat `json:"area"`
+	Delay      NaNFloat `json:"delay"`
+	Power      NaNFloat `json:"power"`
+	Locations  int      `json:"locations"`
+	Log2Combos NaNFloat `json:"log2_combos"`
+	AreaOvh    NaNFloat `json:"area_ovh"`
+	DelayOvh   NaNFloat `json:"delay_ovh"`
+	PowerOvh   NaNFloat `json:"power_ovh"`
+	Paper      PaperRow `json:"paper"`
+}
+
+// MarshalJSON encodes the row with undefined metrics as "NaN".
+func (r Table2Row) MarshalJSON() ([]byte, error) {
+	return json.Marshal(table2RowJSON{
+		Name: r.Name, Gates: r.Gates, Area: NaNFloat(r.Area),
+		Delay: NaNFloat(r.Delay), Power: NaNFloat(r.Power),
+		Locations: r.Locations, Log2Combos: NaNFloat(r.Log2Combos),
+		AreaOvh: NaNFloat(r.AreaOvh), DelayOvh: NaNFloat(r.DelayOvh),
+		PowerOvh: NaNFloat(r.PowerOvh), Paper: r.Paper,
+	})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (r *Table2Row) UnmarshalJSON(b []byte) error {
+	var j table2RowJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	*r = Table2Row{
+		Name: j.Name, Gates: j.Gates, Area: float64(j.Area),
+		Delay: float64(j.Delay), Power: float64(j.Power),
+		Locations: j.Locations, Log2Combos: float64(j.Log2Combos),
+		AreaOvh: float64(j.AreaOvh), DelayOvh: float64(j.DelayOvh),
+		PowerOvh: float64(j.PowerOvh), Paper: j.Paper,
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestTable2RowNaNRoundTrip: the paper's N/A entries (NaN) must survive a
+// JSON round trip, or a manifest-rendered c6288 row would print 0.00 where
+// the committed table prints N/A.
+func TestTable2RowNaNRoundTrip(t *testing.T) {
+	row := Table2Row{Name: "c6288", Gates: 2800, PowerOvh: 0.0353, Paper: PaperTable2["c6288"]}
+	if !math.IsNaN(row.Paper.PowerOvh) {
+		t.Fatal("test premise: paper c6288 power overhead should be NaN")
+	}
+	data, err := json.Marshal(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Table2Row
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(got.Paper.PowerOvh) {
+		t.Errorf("paper PowerOvh = %v after round trip, want NaN", got.Paper.PowerOvh)
+	}
+	if got.Name != "c6288" || got.Gates != 2800 || got.PowerOvh != 0.0353 {
+		t.Errorf("round trip altered row: %+v", got)
+	}
+	if FormatTable2([]Table2Row{got}) != FormatTable2([]Table2Row{row}) {
+		t.Error("formatted row differs after round trip")
+	}
+}

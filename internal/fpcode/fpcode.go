@@ -64,10 +64,13 @@ func NewRepetition(r int) (Repetition, error) {
 	return Repetition{R: r}, nil
 }
 
+// Name identifies the code and its factor.
 func (c Repetition) Name() string { return fmt.Sprintf("repetition-%d", c.R) }
 
+// PayloadBits returns how many payload bits fit in n locations.
 func (c Repetition) PayloadBits(n int) int { return n / c.R }
 
+// Encode replicates the payload R times across n locations.
 func (c Repetition) Encode(payload []bool, n int) ([]bool, error) {
 	k := c.PayloadBits(n)
 	if len(payload) > k {
@@ -83,6 +86,8 @@ func (c Repetition) Encode(payload []bool, n int) ([]bool, error) {
 	return out, nil
 }
 
+// Decode majority-votes each payload bit across its R replicas; erased
+// positions abstain. Ties and fully erased bits are errors.
 func (c Repetition) Decode(observed []Trit) ([]bool, error) {
 	k := c.PayloadBits(len(observed))
 	out := make([]bool, k)
@@ -115,10 +120,14 @@ func (c Repetition) Decode(observed []Trit) ([]bool, error) {
 // error position.
 type Hamming74 struct{}
 
+// Name identifies the code.
 func (Hamming74) Name() string { return "hamming-7-4" }
 
+// PayloadBits returns 4 data bits per complete 7-location block.
 func (Hamming74) PayloadBits(n int) int { return (n / 7) * 4 }
 
+// Encode packs the payload into 7-bit codewords with parity at positions
+// 1, 2 and 4.
 func (Hamming74) Encode(payload []bool, n int) ([]bool, error) {
 	k := (n / 7) * 4
 	if len(payload) > k {
@@ -140,6 +149,8 @@ func (Hamming74) Encode(payload []bool, n int) ([]bool, error) {
 	return out, nil
 }
 
+// Decode corrects up to one flipped or erased position per block via the
+// syndrome and returns the recovered data bits.
 func (Hamming74) Decode(observed []Trit) ([]bool, error) {
 	n := len(observed)
 	k := (n / 7) * 4

@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricKind discriminates snapshot records.
+type MetricKind string
+
+// The metric kinds a snapshot can carry.
+const (
+	KindCounter   MetricKind = "counter"
+	KindGauge     MetricKind = "gauge"
+	KindHistogram MetricKind = "histogram"
+)
+
+// MetricSnapshot is one metric's state at Snapshot time.
+type MetricSnapshot struct {
+	// Name is "subsystem.name" (e.g. "sat.conflicts").
+	Name string     `json:"name"`
+	Kind MetricKind `json:"kind"`
+	// Nondet marks metrics whose value depends on goroutine scheduling or
+	// wall time; deterministic snapshots zero them.
+	Nondet bool  `json:"nondet,omitempty"`
+	Value  int64 `json:"value"`
+	// Histogram-only fields: Count observations summing to Sum, bucketed
+	// by power of two (Buckets[i] counts values in [2^(i-1), 2^i)).
+	Count   int64   `json:"count,omitempty"`
+	Buckets []int64 `json:"buckets,omitempty"`
+}
+
+// metric is the common registry entry.
+type metric interface {
+	name() string
+	nondet() bool
+	snapshot() MetricSnapshot
+	reset()
+}
+
+var registry struct {
+	mu sync.Mutex
+	m  map[string]metric
+}
+
+func register(m metric) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.m == nil {
+		registry.m = make(map[string]metric)
+	}
+	if _, dup := registry.m[m.name()]; dup {
+		panic("obs: duplicate metric " + m.name())
+	}
+	registry.m[m.name()] = m
+}
+
+// Option configures a metric at registration.
+type Option func(*meta)
+
+type meta struct {
+	fullName string
+	isNondet bool
+}
+
+func (m *meta) name() string { return m.fullName }
+func (m *meta) nondet() bool { return m.isNondet }
+
+// Nondet marks the metric as scheduling- or time-dependent: its value is
+// zeroed in deterministic snapshots (e.g. busy-time accounting, cache
+// evictions whose order depends on goroutine interleaving).
+func Nondet() Option { return func(m *meta) { m.isNondet = true } }
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	meta
+	v atomic.Int64
+}
+
+// NewCounter registers a counter named subsystem.name.
+func NewCounter(subsystem, name string, opts ...Option) *Counter {
+	c := &Counter{meta: newMeta(subsystem, name, opts)}
+	register(c)
+	return c
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) snapshot() MetricSnapshot {
+	return MetricSnapshot{Name: c.fullName, Kind: KindCounter, Nondet: c.isNondet, Value: c.v.Load()}
+}
+func (c *Counter) reset() { c.v.Store(0) }
+
+// Gauge is an atomic instantaneous value (set, add, or track a maximum).
+type Gauge struct {
+	meta
+	v atomic.Int64
+}
+
+// NewGauge registers a gauge named subsystem.name.
+func NewGauge(subsystem, name string, opts ...Option) *Gauge {
+	g := &Gauge{meta: newMeta(subsystem, name, opts)}
+	register(g)
+	return g
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by n (useful for in-flight counts).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// SetMax raises the gauge to v if v is larger.
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) snapshot() MetricSnapshot {
+	return MetricSnapshot{Name: g.fullName, Kind: KindGauge, Nondet: g.isNondet, Value: g.v.Load()}
+}
+func (g *Gauge) reset() { g.v.Store(0) }
+
+// histBuckets is the fixed bucket count: bucket i holds observations v with
+// bit-length i, i.e. bucket 0 counts v ≤ 0, bucket i counts 2^(i-1) ≤ v < 2^i.
+const histBuckets = 32
+
+// Histogram is a lock-free power-of-two histogram of int64 observations.
+type Histogram struct {
+	meta
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// NewHistogram registers a histogram named subsystem.name.
+func NewHistogram(subsystem, name string, opts ...Option) *Histogram {
+	h := &Histogram{meta: newMeta(subsystem, name, opts)}
+	register(h)
+	return h
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	b := 0
+	if v > 0 {
+		b = bits.Len64(uint64(v))
+		if b >= histBuckets {
+			b = histBuckets - 1
+		}
+	}
+	h.buckets[b].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+func (h *Histogram) snapshot() MetricSnapshot {
+	s := MetricSnapshot{
+		Name:   h.fullName,
+		Kind:   KindHistogram,
+		Nondet: h.isNondet,
+		Value:  h.sum.Load(),
+		Count:  h.count.Load(),
+	}
+	// Trim trailing empty buckets so snapshots stay compact.
+	last := -1
+	var bs [histBuckets]int64
+	for i := range h.buckets {
+		bs[i] = h.buckets[i].Load()
+		if bs[i] != 0 {
+			last = i
+		}
+	}
+	if last >= 0 {
+		s.Buckets = append([]int64(nil), bs[:last+1]...)
+	}
+	return s
+}
+
+func (h *Histogram) reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+func newMeta(subsystem, name string, opts []Option) meta {
+	m := meta{fullName: subsystem + "." + name}
+	for _, o := range opts {
+		o(&m)
+	}
+	return m
+}
+
+// Snapshot returns every registered metric's state, sorted by name. In
+// deterministic mode, metrics declared Nondet are reported with zeroed
+// values so fixed-seed snapshots are byte-identical run to run.
+func Snapshot(deterministic bool) []MetricSnapshot {
+	registry.mu.Lock()
+	out := make([]MetricSnapshot, 0, len(registry.m))
+	for _, m := range registry.m {
+		s := m.snapshot()
+		if deterministic && s.Nondet {
+			s.Value, s.Count, s.Buckets = 0, 0, nil
+		}
+		out = append(out, s)
+	}
+	registry.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Reset zeroes every registered metric and drops any recorded spans. Tests
+// and CLIs call it so each run's snapshot reflects that run alone.
+func Reset() {
+	registry.mu.Lock()
+	for _, m := range registry.m {
+		m.reset()
+	}
+	registry.mu.Unlock()
+	tracer.mu.Lock()
+	tracer.spans = nil
+	tracer.mu.Unlock()
+}

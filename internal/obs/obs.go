@@ -1,0 +1,136 @@
+// Package obs is the repository's observability layer: lightweight span
+// tracing and typed counters/gauges/histograms, designed so every hot path
+// (analysis, embedding, incremental verification, SAT search, simulation,
+// the constraint heuristics and the worker pool) can be instrumented
+// permanently without measurable cost when observability is off.
+//
+// Two primitives:
+//
+//   - Spans (Start/End) record named wall-clock intervals, nestable via
+//     Span.Child and safe to create and end from any goroutine. When
+//     tracing is disabled — the default — Start returns nil and every Span
+//     method no-ops on a nil receiver, so the disabled cost is one atomic
+//     load and a nil check.
+//   - Metrics (NewCounter/NewGauge/NewHistogram) are registered once per
+//     subsystem as package-level vars and updated with single atomic
+//     operations; they are always on, because an atomic add is cheaper
+//     than a branch that decides whether to add.
+//
+// Snapshot drains both into deterministic, name-sorted records which
+// internal/report serializes into the per-run JSON manifest. Metrics whose
+// values depend on goroutine scheduling or wall time (declared with the
+// Nondet option) are zeroed when a snapshot is taken in deterministic
+// mode, so fixed-seed manifests are byte-identical run to run.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// enabled gates span collection (and any other timing-priced
+// instrumentation call sites choose to guard). Metrics ignore it.
+var enabled atomic.Bool
+
+// Enable switches span tracing on or off process-wide. CLIs enable it when
+// a -report or -trace flag is given; the default is off.
+func Enable(on bool) { enabled.Store(on) }
+
+// Enabled reports whether span tracing is on. Call sites may also use it to
+// guard instrumentation whose mere computation is expensive (e.g. calling
+// time.Now for utilization accounting).
+func Enabled() bool { return enabled.Load() }
+
+// SpanRecord is one completed span as drained by Snapshot.
+type SpanRecord struct {
+	// Name identifies the operation; by convention "subsystem.op" or, for
+	// per-item stage work, "stage/item" (e.g. "table2/c880").
+	Name string
+	// Start is the wall-clock start time (zeroed in deterministic
+	// snapshots).
+	Start time.Time
+	// Dur is the span's duration (zeroed in deterministic snapshots).
+	Dur time.Duration
+	// Depth is the nesting depth: 0 for root spans, parent.Depth+1 for
+	// children.
+	Depth int
+}
+
+// Span is an in-flight traced interval. A nil *Span (what Start returns
+// while tracing is disabled) is valid: every method no-ops.
+type Span struct {
+	name  string
+	start time.Time
+	depth int
+}
+
+// tracer is the process-wide completed-span sink.
+var tracer struct {
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+// Start begins a root span. Returns nil (a no-op span) when tracing is
+// disabled.
+func Start(name string) *Span {
+	if !enabled.Load() {
+		return nil
+	}
+	return &Span{name: name, start: time.Now()}
+}
+
+// Child begins a nested span under s. On a nil receiver it behaves like
+// Start would with tracing disabled.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{name: name, start: time.Now(), depth: s.depth + 1}
+}
+
+// End completes the span and records it. Safe on a nil receiver and from
+// any goroutine; a span must be ended at most once.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	rec := SpanRecord{Name: s.name, Start: s.start, Dur: time.Since(s.start), Depth: s.depth}
+	tracer.mu.Lock()
+	tracer.spans = append(tracer.spans, rec)
+	tracer.mu.Unlock()
+}
+
+// DrainSpans returns all completed spans and clears the sink. Spans are
+// ordered by start time (name breaking ties), so the order does not depend
+// on which goroutine finished first.
+func DrainSpans() []SpanRecord {
+	tracer.mu.Lock()
+	out := tracer.spans
+	tracer.spans = nil
+	tracer.mu.Unlock()
+	sortSpans(out)
+	return out
+}
+
+// sortSpans orders by (Start, Name, Depth); a stable, scheduling-independent
+// order for spans created from deterministic work.
+func sortSpans(spans []SpanRecord) {
+	// Insertion sort: span counts are small (one per stage/circuit), and
+	// this keeps the package dependency-free.
+	for i := 1; i < len(spans); i++ {
+		for j := i; j > 0 && spanLess(spans[j], spans[j-1]); j-- {
+			spans[j], spans[j-1] = spans[j-1], spans[j]
+		}
+	}
+}
+
+func spanLess(a, b SpanRecord) bool {
+	if !a.Start.Equal(b.Start) {
+		return a.Start.Before(b.Start)
+	}
+	if a.Name != b.Name {
+		return a.Name < b.Name
+	}
+	return a.Depth < b.Depth
+}

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// Metrics used across tests; registered once because the registry rejects
+// duplicate names.
+var (
+	testCounter = NewCounter("obstest", "counter")
+	testGauge   = NewGauge("obstest", "gauge")
+	testHist    = NewHistogram("obstest", "hist")
+	testNondet  = NewCounter("obstest", "busy_ns", Nondet())
+)
+
+func snap(t *testing.T, name string, det bool) MetricSnapshot {
+	t.Helper()
+	for _, s := range Snapshot(det) {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("metric %q not in snapshot", name)
+	return MetricSnapshot{}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	Reset()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				testCounter.Inc()
+				testGauge.Add(1)
+				testHist.Observe(int64(j % 7))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := testCounter.Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := testGauge.Value(); got != 8000 {
+		t.Errorf("gauge = %d, want 8000", got)
+	}
+	if got := testHist.Count(); got != 8000 {
+		t.Errorf("hist count = %d, want 8000", got)
+	}
+	// 1000 = 142 full 0..6 cycles (sum 21 each) + leftovers 0..5 (sum 15).
+	wantSum := int64(8 * (142*21 + 15))
+	if got := testHist.Sum(); got != wantSum {
+		t.Errorf("hist sum = %d, want %d", got, wantSum)
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	Reset()
+	testGauge.SetMax(5)
+	testGauge.SetMax(3)
+	if got := testGauge.Value(); got != 5 {
+		t.Errorf("SetMax kept %d, want 5", got)
+	}
+	testGauge.SetMax(9)
+	if got := testGauge.Value(); got != 9 {
+		t.Errorf("SetMax kept %d, want 9", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	Reset()
+	// Bucket index is the bit length: 0→b0, 1→b1, 2,3→b2, 4..7→b3.
+	for _, v := range []int64{0, 1, 2, 3, 4, 7, -5} {
+		testHist.Observe(v)
+	}
+	s := snap(t, "obstest.hist", false)
+	want := []int64{2, 1, 2, 2} // {0,-5}, {1}, {2,3}, {4,7}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %v, want %v", s.Buckets, want)
+	}
+	for i := range want {
+		if s.Buckets[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", s.Buckets, want)
+		}
+	}
+}
+
+func TestSnapshotSortedAndDeterministicZeroing(t *testing.T) {
+	Reset()
+	testCounter.Add(3)
+	testNondet.Add(12345)
+	all := Snapshot(false)
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Name >= all[i].Name {
+			t.Fatalf("snapshot not sorted: %q before %q", all[i-1].Name, all[i].Name)
+		}
+	}
+	if s := snap(t, "obstest.busy_ns", false); s.Value != 12345 || !s.Nondet {
+		t.Errorf("nondet metric = %+v, want value 12345 and Nondet", s)
+	}
+	if s := snap(t, "obstest.busy_ns", true); s.Value != 0 {
+		t.Errorf("deterministic snapshot kept nondet value %d", s.Value)
+	}
+	if s := snap(t, "obstest.counter", true); s.Value != 3 {
+		t.Errorf("deterministic snapshot zeroed a deterministic counter: %d", s.Value)
+	}
+}
+
+func TestSpansDisabledAreFree(t *testing.T) {
+	Reset()
+	Enable(false)
+	sp := Start("never")
+	if sp != nil {
+		t.Fatal("Start returned a live span while disabled")
+	}
+	sp.Child("nested").End() // all no-ops on nil receivers
+	sp.End()
+	if got := DrainSpans(); len(got) != 0 {
+		t.Fatalf("disabled tracing recorded %d spans", len(got))
+	}
+}
+
+func TestSpansNestingAndDrainOrder(t *testing.T) {
+	Reset()
+	Enable(true)
+	defer Enable(false)
+	root := Start("root")
+	child := root.Child("child")
+	time.Sleep(time.Millisecond)
+	child.End()
+	root.End()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := Start("goroutine")
+			s.End()
+		}()
+	}
+	wg.Wait()
+	spans := DrainSpans()
+	if len(spans) != 6 {
+		t.Fatalf("drained %d spans, want 6", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["root"].Depth != 0 || byName["child"].Depth != 1 {
+		t.Errorf("depths: root=%d child=%d, want 0/1", byName["root"].Depth, byName["child"].Depth)
+	}
+	if byName["child"].Dur <= 0 || byName["root"].Dur < byName["child"].Dur {
+		t.Errorf("durations: root=%v child=%v", byName["root"].Dur, byName["child"].Dur)
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start.Before(spans[i-1].Start) {
+			t.Fatal("spans not ordered by start time")
+		}
+	}
+	if got := DrainSpans(); len(got) != 0 {
+		t.Fatalf("second drain returned %d spans", len(got))
+	}
+}
+
+func TestReset(t *testing.T) {
+	Reset()
+	testCounter.Add(7)
+	testHist.Observe(9)
+	Enable(true)
+	Start("x").End()
+	Enable(false)
+	Reset()
+	if got := testCounter.Value(); got != 0 {
+		t.Errorf("counter survived Reset: %d", got)
+	}
+	if got := testHist.Count(); got != 0 {
+		t.Errorf("histogram survived Reset: %d", got)
+	}
+	if got := DrainSpans(); len(got) != 0 {
+		t.Errorf("spans survived Reset: %d", len(got))
+	}
+}

@@ -23,6 +23,23 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Observability (internal/obs). Batch shape is deterministic for a fixed
+// workload and worker flag; the busy/wall nanosecond pair (worker
+// utilization = busy/(wall*workers)) is wall-clock derived, so it is
+// declared Nondet and only accumulated while tracing is enabled — the pool's
+// fast path stays free of time.Now calls.
+var (
+	mBatches   = obs.NewCounter("par", "batches")
+	mTasks     = obs.NewCounter("par", "tasks")
+	hBatchSize = obs.NewHistogram("par", "batch_size")
+	gWorkers   = obs.NewGauge("par", "workers_max")
+	mBusyNS    = obs.NewCounter("par", "busy_ns", obs.Nondet())
+	mWallNS    = obs.NewCounter("par", "wall_ns", obs.Nondet())
 )
 
 // Workers normalises a `-j`-style worker-count flag: values ≤ 0 mean "one
@@ -46,6 +63,15 @@ func Map[T any](n, j int, fn func(i int) (T, error)) ([]T, error) {
 	if j > n {
 		j = n
 	}
+	mBatches.Inc()
+	mTasks.Add(int64(n))
+	hBatchSize.Observe(int64(n))
+	gWorkers.SetMax(int64(j))
+	timed := obs.Enabled()
+	var wall time.Time
+	if timed {
+		wall = time.Now()
+	}
 	if j == 1 {
 		for i := 0; i < n; i++ {
 			v, err := fn(i)
@@ -53,6 +79,11 @@ func Map[T any](n, j int, fn func(i int) (T, error)) ([]T, error) {
 				return nil, err
 			}
 			out[i] = v
+		}
+		if timed {
+			d := int64(time.Since(wall))
+			mBusyNS.Add(d)
+			mWallNS.Add(d)
 		}
 		return out, nil
 	}
@@ -65,6 +96,11 @@ func Map[T any](n, j int, fn func(i int) (T, error)) ([]T, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var t0 time.Time
+			if timed {
+				t0 = time.Now()
+				defer func() { mBusyNS.Add(int64(time.Since(t0))) }()
+			}
 			for !failed.Load() {
 				i := int(next.Add(1))
 				if i >= n {
@@ -81,6 +117,9 @@ func Map[T any](n, j int, fn func(i int) (T, error)) ([]T, error) {
 		}()
 	}
 	wg.Wait()
+	if timed {
+		mWallNS.Add(int64(time.Since(wall)))
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

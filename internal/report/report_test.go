@@ -1,0 +1,132 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/obs"
+)
+
+// TestBuilderDeterministicZeroing: under -deterministic every wall-clock
+// field is zeroed and spans come back sorted by name, so two builds of the
+// same run serialize identically.
+func TestBuilderDeterministicZeroing(t *testing.T) {
+	b := NewBuilder("test", true)
+	sp := obs.Start("zeta")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	obs.Start("alpha").End()
+	b.Stage("phase1", time.Now().Add(-time.Second))
+	r := b.Finish()
+
+	if r.Start != "" {
+		t.Errorf("Start = %q, want empty", r.Start)
+	}
+	if r.Stages[0].WallMS != 0 {
+		t.Errorf("stage wall = %v, want 0", r.Stages[0].WallMS)
+	}
+	if len(r.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(r.Spans))
+	}
+	if r.Spans[0].Name != "alpha" || r.Spans[1].Name != "zeta" {
+		t.Errorf("deterministic spans not name-sorted: %+v", r.Spans)
+	}
+	for _, s := range r.Spans {
+		if s.StartUS != 0 || s.DurUS != 0 {
+			t.Errorf("span %s has non-zero times: %+v", s.Name, s)
+		}
+	}
+	for _, m := range r.Metrics {
+		if m.Nondet && (m.Value != 0 || m.Count != 0) {
+			t.Errorf("Nondet metric %s not zeroed: %+v", m.Name, m)
+		}
+	}
+}
+
+// TestBuilderLive: without -deterministic, spans carry real durations and
+// the report is stamped.
+func TestBuilderLive(t *testing.T) {
+	b := NewBuilder("test", false)
+	sp := obs.Start("work")
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	b.Stage("phase", start)
+	r := b.Finish()
+	if r.Start == "" {
+		t.Error("live report missing Start timestamp")
+	}
+	if r.Stages[0].WallMS <= 0 {
+		t.Errorf("stage wall = %v, want > 0", r.Stages[0].WallMS)
+	}
+	if len(r.Spans) != 1 || r.Spans[0].DurUS <= 0 {
+		t.Errorf("span not recorded with duration: %+v", r.Spans)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	b := NewBuilder("experiments", true)
+	b.Tables().Table2 = []experiments.Table2Row{{Name: "c880", Gates: 304, Locations: 82}}
+	b.SetVerify(VerifySummary{Circuit: "c5315", Copies: 64, SessionSecs: 1.5, VerdictsMatch: true})
+	r := b.Finish()
+
+	path := filepath.Join(t.TempDir(), "r.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tool != "experiments" || got.Schema != Schema {
+		t.Errorf("round trip lost identity: %+v", got)
+	}
+	if len(got.Tables.Table2) != 1 || got.Tables.Table2[0].Name != "c880" {
+		t.Errorf("round trip lost tables: %+v", got.Tables)
+	}
+	if got.Verify == nil || got.Verify.SessionSecs != 0 {
+		t.Errorf("deterministic verify durations not zeroed: %+v", got.Verify)
+	}
+}
+
+func TestReadFileRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"other/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("want schema error, got nil")
+	}
+}
+
+// TestExampleManifest keeps the committed example in sync with the schema:
+// it must parse and render the sections DESIGN.md §8 documents.
+func TestExampleManifest(t *testing.T) {
+	r, err := ReadFile("testdata/runreport.example.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := Render(r)
+	for _, frag := range []string{"# Run report: experiments", "Table II", "c432", "## Metrics", "## Spans"} {
+		if !strings.Contains(md, frag) {
+			t.Errorf("rendered example missing %q", frag)
+		}
+	}
+}
+
+// TestRenderAggregatesSpans: repeated spans of one name fold into one row.
+func TestRenderAggregatesSpans(t *testing.T) {
+	r := &RunReport{
+		Schema: Schema, Tool: "test",
+		Spans: []Span{{Name: "core.embed", DurUS: 150}, {Name: "core.embed", DurUS: 250}},
+	}
+	md := Render(r)
+	if !strings.Contains(md, "| core.embed | 2 | 0.4 |") {
+		t.Errorf("span aggregation missing:\n%s", md)
+	}
+}

@@ -12,6 +12,17 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"repro/internal/obs"
+)
+
+// Package-wide observability counters: per-Solve work deltas aggregated
+// across every solver instance in the process (internal/obs).
+var (
+	mSolves       = obs.NewCounter("sat", "solves")
+	mDecisions    = obs.NewCounter("sat", "decisions")
+	mPropagations = obs.NewCounter("sat", "propagations")
+	mConflicts    = obs.NewCounter("sat", "conflicts")
 )
 
 // Status is the solver verdict.
@@ -26,6 +37,7 @@ const (
 	Unsat
 )
 
+// String names the solve outcome for diagnostics.
 func (s Status) String() string {
 	switch s {
 	case Sat:
@@ -132,9 +144,24 @@ func (s *Solver) NumVars() int { return s.nVars }
 // NumClauses returns the number of problem clauses added (excluding learnt).
 func (s *Solver) NumClauses() int { return len(s.clauses) }
 
-// Stats returns (decisions, propagations, conflicts) counters.
+// Stats returns (decisions, propagations, conflicts) counters. They
+// accumulate across every Solve call since construction or the last
+// ResetStats, so incremental users measuring a phase must bracket it with
+// ResetStats (or difference two Stats reads).
 func (s *Solver) Stats() (int64, int64, int64) {
 	return s.decisions, s.propagations, s.conflicts
+}
+
+// ResetStats zeroes the decisions/propagations/conflicts counters so a
+// reused solver (e.g. a persistent cec.Session miter across BacktrackAll
+// cycles) can report per-phase work. Because per-call budgets are expressed
+// against the cumulative conflict count (MaxConflicts = Conflicts() +
+// budget), any previously derived MaxConflicts is stale after a reset;
+// ResetStats therefore clears MaxConflicts, and callers must re-derive it
+// before the next bounded Solve.
+func (s *Solver) ResetStats() {
+	s.decisions, s.propagations, s.conflicts = 0, 0, 0
+	s.MaxConflicts = 0
 }
 
 // AddClause adds a clause in DIMACS literal convention (±var, 1-based).
@@ -493,6 +520,13 @@ func luby(i int64) int64 {
 // literals asserted at the start of search). With assumptions, Unsat means
 // "unsatisfiable under these assumptions".
 func (s *Solver) Solve(assumptions ...int) Status {
+	d0, p0, c0 := s.decisions, s.propagations, s.conflicts
+	defer func() {
+		mSolves.Inc()
+		mDecisions.Add(s.decisions - d0)
+		mPropagations.Add(s.propagations - p0)
+		mConflicts.Add(s.conflicts - c0)
+	}()
 	if !s.ok {
 		return Unsat
 	}

@@ -566,3 +566,49 @@ func TestAssumptionReuseAfterUnsat(t *testing.T) {
 		t.Fatalf("c∧a (reordered): %v, want UNSAT", got)
 	}
 }
+
+// TestResetStats is the regression test for per-phase stats on a reused
+// solver: before the fix, Stats() accumulated across BacktrackAll reuses
+// with no way to zero it, so a session could not attribute SAT work to the
+// phase (build vs. verify) that caused it.
+func TestResetStats(t *testing.T) {
+	s := pigeonhole(t, 6, 5)
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("PHP(6,5) = %v, want UNSAT", got)
+	}
+	d, p, c := s.Stats()
+	if d == 0 || p == 0 || c == 0 {
+		t.Fatalf("expected non-zero stats after a learning-heavy solve, got %d/%d/%d", d, p, c)
+	}
+	s.MaxConflicts = s.Conflicts() + 100
+	s.ResetStats()
+	if d, p, c := s.Stats(); d != 0 || p != 0 || c != 0 {
+		t.Fatalf("stats after ResetStats = %d/%d/%d, want 0/0/0", d, p, c)
+	}
+	// A stale cumulative budget would be nonsensical against the zeroed
+	// counter; ResetStats must clear it so the next solve is unbounded
+	// until the caller re-derives a budget.
+	if s.MaxConflicts != 0 {
+		t.Fatalf("MaxConflicts after ResetStats = %d, want 0", s.MaxConflicts)
+	}
+	// A reused solver accumulates fresh stats from zero after the reset.
+	s2 := pigeonhole(t, 5, 5)
+	if got := s2.Solve(); got != Sat {
+		t.Fatalf("PHP(5,5) = %v, want SAT", got)
+	}
+	s2.BacktrackAll()
+	s2.ResetStats()
+	if got := s2.Solve(); got != Sat {
+		t.Fatalf("PHP(5,5) re-solve = %v, want SAT", got)
+	}
+	if d, _, _ := s2.Stats(); d <= 0 {
+		t.Fatal("decisions did not accumulate after reset")
+	}
+	// Budgets derived fresh after a reset behave: Conflicts() counts from
+	// zero, so Conflicts()+1 caps the next solve at one conflict.
+	s3 := pigeonhole(t, 8, 7)
+	s3.MaxConflicts = s3.Conflicts() + 1
+	if got := s3.Solve(); got != Unknown {
+		t.Fatalf("budgeted solve = %v, want UNKNOWN", got)
+	}
+}

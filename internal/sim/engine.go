@@ -6,7 +6,21 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/par"
+)
+
+// Observability counters (internal/obs). Run and word counts are
+// deterministic for a fixed workload; the arena and engine-cache counters
+// depend on which goroutine populates/evicts the shared cache first, so
+// they are declared Nondet and zeroed in deterministic manifests.
+var (
+	mRuns        = obs.NewCounter("sim", "runs")
+	mWords       = obs.NewCounter("sim", "gate_words")
+	mArenaSizes  = obs.NewCounter("sim", "arena_resizes", obs.Nondet())
+	mArenaReuses = obs.NewCounter("sim", "arena_reuses", obs.Nondet())
+	mCacheHits   = obs.NewCounter("sim", "engine_cache_hits", obs.Nondet())
+	mCacheMisses = obs.NewCounter("sim", "engine_cache_misses", obs.Nondet())
 )
 
 // Engine is a reusable bit-parallel simulator bound to one circuit. It keeps
@@ -100,6 +114,7 @@ func (e *Engine) Run(v *Vectors) (*Result, error) {
 		}
 	}
 	if e.nWords != nWords || len(e.node) != len(e.c.Nodes) {
+		mArenaSizes.Inc()
 		need := len(e.gates) * nWords
 		if cap(e.arena) < need {
 			e.arena = make([]uint64, need)
@@ -114,7 +129,11 @@ func (e *Engine) Run(v *Vectors) (*Result, error) {
 			off += nWords
 		}
 		e.nWords = nWords
+	} else {
+		mArenaReuses.Inc()
 	}
+	mRuns.Inc()
+	mWords.Add(int64(len(e.gates) * nWords))
 	for i, pi := range e.c.PIs {
 		e.node[pi] = v.Words[i]
 	}
@@ -266,8 +285,10 @@ func EngineFor(c *circuit.Circuit) (*Engine, error) {
 	engineCache.Lock()
 	defer engineCache.Unlock()
 	if e, ok := engineCache.m[c]; ok {
+		mCacheHits.Inc()
 		return e, nil
 	}
+	mCacheMisses.Inc()
 	e, err := NewEngine(c)
 	if err != nil {
 		return nil, err

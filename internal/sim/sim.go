@@ -157,6 +157,7 @@ type Mismatch struct {
 	Pattern int    // global pattern index (word*64 + lane)
 }
 
+// String renders the mismatch for error messages.
 func (m *Mismatch) String() string {
 	return fmt.Sprintf("PO %q differs at pattern %d", m.PO, m.Pattern)
 }

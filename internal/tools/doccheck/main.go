@@ -1,0 +1,145 @@
+// Command doccheck lints godoc coverage: every package must open with a
+// package doc comment, and every exported top-level declaration (func,
+// method, type, const/var group) must carry one. `make doccheck` runs it
+// over the whole module and fails CI on any gap, so the documentation
+// audit cannot rot.
+//
+//	go run ./internal/tools/doccheck .
+//
+// Generated files (a "Code generated ... DO NOT EDIT." header), _test.go
+// files and testdata directories are exempt.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var violations []string
+	pkgFiles := map[string][]*ast.File{} // dir -> parsed files
+	fset := token.NewFileSet()
+
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+		if generated(f) {
+			return nil
+		}
+		pkgFiles[filepath.Dir(path)] = append(pkgFiles[filepath.Dir(path)], f)
+		for _, decl := range f.Decls {
+			violations = append(violations, checkDecl(fset, decl)...)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(1)
+	}
+
+	dirs := make([]string, 0, len(pkgFiles))
+	for dir := range pkgFiles {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+	for _, dir := range dirs {
+		if !hasPackageDoc(pkgFiles[dir]) {
+			violations = append(violations,
+				fmt.Sprintf("%s: package %s has no package doc comment", dir, pkgFiles[dir][0].Name.Name))
+		}
+	}
+
+	if len(violations) > 0 {
+		sort.Strings(violations)
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, v)
+		}
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented declarations\n", len(violations))
+		os.Exit(1)
+	}
+}
+
+func generated(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "// Code generated ") && strings.HasSuffix(c.Text, " DO NOT EDIT.") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func hasPackageDoc(files []*ast.File) bool {
+	for _, f := range files {
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDecl reports exported top-level declarations without a doc comment.
+// For grouped const/var/type decls one comment on the group suffices (a
+// per-spec comment also counts, matching godoc's resolution order).
+func checkDecl(fset *token.FileSet, decl ast.Decl) []string {
+	var out []string
+	flag := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: exported %s %s is undocumented", p.Filename, p.Line, kind, name))
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if d.Name.IsExported() && d.Doc == nil {
+			flag(d.Pos(), "func", d.Name.Name)
+		}
+	case *ast.GenDecl:
+		if d.Doc != nil {
+			return nil
+		}
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+					flag(s.Pos(), "type", s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				if s.Doc != nil || s.Comment != nil {
+					continue
+				}
+				for _, n := range s.Names {
+					if n.IsExported() {
+						flag(n.Pos(), "value", n.Name)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
