@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-verify experiments reproduce doccheck fuzz cover ci clean
+.PHONY: all build test vet bench bench-verify bench-serve serve-smoke experiments reproduce doccheck fuzz cover ci clean
 
 all: build vet test
 
@@ -17,6 +17,19 @@ ci: doccheck
 	$(GO) test -race ./...
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/blif/
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/benchfmt/
+	$(MAKE) serve-smoke
+
+# Daemon smoke: start odcfpd, run a concurrent loadgen burst, SIGTERM-drain,
+# restart on the same store and prove no issued fingerprint was lost
+# (scripts/serve_smoke.sh). The race-enabled service tests run first.
+serve-smoke:
+	$(GO) test -race -count=1 ./internal/serve/...
+	GO=$(GO) scripts/serve_smoke.sh
+
+# Full-size service benchmark: ≥1000 mixed issue/trace requests over 8
+# concurrent clients with a mid-run restart; writes BENCH_serve.json.
+bench-serve:
+	GO=$(GO) scripts/serve_smoke.sh 1000 8 BENCH_serve.json
 
 # Godoc lint: every package needs a package comment, every exported
 # declaration a doc comment (internal/tools/doccheck).

@@ -1,0 +1,395 @@
+// Command loadgen drives concurrent issue/trace traffic against an odcfpd
+// daemon and records throughput, latency percentiles and the daemon's
+// analysis-cache hit rate to a JSON report (BENCH_serve.json).
+//
+// Usage:
+//
+//	loadgen -addr 127.0.0.1:8341 [-bench c880 | -in design.bench]
+//	        [-n 1000] [-c 8] [-save DIR] [-out BENCH_serve.json]
+//	loadgen -addr 127.0.0.1:8341 -replay DIR [-out BENCH_serve.json]
+//
+// The main mode uploads the design once, then issues a fingerprinted copy
+// per synthetic buyer and immediately traces it back, asserting the daemon
+// identifies the buyer — a mixed issue/trace workload of -n requests over
+// -c concurrent clients. With -save, every issued copy is kept on disk so
+// a later -replay run (typically against a restarted daemon) can trace the
+// saved copies and prove no acknowledged issuance was lost; replay results
+// are merged into the existing -out report under "restart".
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/benchfmt"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// report is the BENCH_serve.json schema.
+type report struct {
+	Design    string       `json:"design"`
+	Digest    string       `json:"digest"`
+	Clients   int          `json:"clients"`
+	Requests  int          `json:"requests"`
+	Failures  int          `json:"failures"`
+	WallMS    float64      `json:"wall_ms"`
+	RPS       float64      `json:"rps"`
+	Issue     *latencyStat `json:"issue,omitempty"`
+	Trace     *latencyStat `json:"trace,omitempty"`
+	Cache     *cacheStat   `json:"cache,omitempty"`
+	Restart   *replayStat  `json:"restart,omitempty"`
+	Generated string       `json:"generated"`
+}
+
+type latencyStat struct {
+	Count int     `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"`
+}
+
+type cacheStat struct {
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+type replayStat struct {
+	Traced   int     `json:"traced"`
+	Lost     int     `json:"lost"`
+	WallMS   float64 `json:"wall_ms"`
+	HitRate  float64 `json:"hit_rate"`
+	Failures int     `json:"failures"`
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8341", "daemon address host:port")
+	benchName := fs.String("bench", "c880", "suite circuit to upload (ignored with -in)")
+	inFile := fs.String("in", "", "netlist file to upload instead of a suite circuit")
+	format := fs.String("format", "", "netlist format of -in (default: sniffed by the daemon)")
+	n := fs.Int("n", 1000, "total requests (each buyer costs one issue and one trace)")
+	c := fs.Int("c", 8, "concurrent clients")
+	saveDir := fs.String("save", "", "save issued copies to this directory for -replay")
+	replayDir := fs.String("replay", "", "trace previously saved copies instead of generating load")
+	out := fs.String("out", "BENCH_serve.json", "JSON report path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base := "http://" + *addr
+	if *replayDir != "" {
+		return replay(base, *replayDir, *out)
+	}
+	return generate(base, *benchName, *inFile, *format, *n, *c, *saveDir, *out)
+}
+
+// upload posts the netlist and returns the design digest and name.
+func upload(base string, netlist []byte, format string) (digest, design string, err error) {
+	url := base + "/designs"
+	if format != "" {
+		url += "?format=" + format
+	}
+	resp, err := http.Post(url, "text/plain", bytes.NewReader(netlist))
+	if err != nil {
+		return "", "", err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		return "", "", fmt.Errorf("upload: %s: %s", resp.Status, body)
+	}
+	var info struct {
+		Digest string `json:"digest"`
+		Design string `json:"design"`
+	}
+	if err := json.Unmarshal(body, &info); err != nil {
+		return "", "", fmt.Errorf("upload response: %w", err)
+	}
+	return info.Digest, info.Design, nil
+}
+
+// scrapeCache reads the daemon's analysis-cache counters from /metrics.
+func scrapeCache(base string) (*cacheStat, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var metrics []struct {
+		Name  string `json:"name"`
+		Value int64  `json:"value"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		return nil, err
+	}
+	cs := &cacheStat{}
+	for _, m := range metrics {
+		switch m.Name {
+		case "serve.cache_hits":
+			cs.Hits = m.Value
+		case "serve.cache_misses":
+			cs.Misses = m.Value
+		}
+	}
+	if total := cs.Hits + cs.Misses; total > 0 {
+		cs.HitRate = float64(cs.Hits) / float64(total)
+	}
+	return cs, nil
+}
+
+func percentiles(durs []time.Duration) *latencyStat {
+	if len(durs) == 0 {
+		return nil
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(durs)-1))
+		return float64(durs[i]) / float64(time.Millisecond)
+	}
+	return &latencyStat{
+		Count: len(durs),
+		P50MS: at(0.50), P95MS: at(0.95), P99MS: at(0.99),
+		MaxMS: float64(durs[len(durs)-1]) / float64(time.Millisecond),
+	}
+}
+
+func generate(base, benchName, inFile, format string, n, c int, saveDir, out string) error {
+	var netlist []byte
+	if inFile != "" {
+		b, err := os.ReadFile(inFile)
+		if err != nil {
+			return err
+		}
+		netlist = b
+	} else {
+		spec, err := bench.ByName(benchName)
+		if err != nil {
+			return err
+		}
+		var buf bytes.Buffer
+		if err := benchfmt.Write(&buf, spec.Build()); err != nil {
+			return err
+		}
+		netlist = buf.Bytes()
+	}
+	digest, design, err := upload(base, netlist, format)
+	if err != nil {
+		return err
+	}
+	if saveDir != "" {
+		if err := os.MkdirAll(saveDir, 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(saveDir, "digest"), []byte(digest+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+
+	buyers := n / 2 // each buyer = one issue + one trace
+	if buyers < 1 {
+		buyers = 1
+	}
+	var (
+		mu         sync.Mutex
+		issueLat   []time.Duration
+		traceLat   []time.Duration
+		failures   atomic.Int64
+		nextBuyer  atomic.Int64
+		httpClient = &http.Client{Timeout: 2 * time.Minute}
+	)
+	fail := func(f string, args ...any) {
+		failures.Add(1)
+		fmt.Fprintf(os.Stderr, "loadgen: "+f+"\n", args...)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := nextBuyer.Add(1) - 1
+				if i >= int64(buyers) {
+					return
+				}
+				buyer := fmt.Sprintf("buyer-%05d", i)
+				t0 := time.Now()
+				resp, err := httpClient.Post(
+					base+"/designs/"+digest+"/issue?buyer="+buyer, "text/plain", nil)
+				if err != nil {
+					fail("issue %s: %v", buyer, err)
+					continue
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				dIssue := time.Since(t0)
+				if resp.StatusCode != http.StatusOK {
+					fail("issue %s: %s: %s", buyer, resp.Status, body)
+					continue
+				}
+				if saveDir != "" {
+					if err := os.WriteFile(filepath.Join(saveDir, buyer+".bench"), body, 0o644); err != nil {
+						fail("save %s: %v", buyer, err)
+					}
+				}
+				t1 := time.Now()
+				tresp, err := httpClient.Post(
+					base+"/designs/"+digest+"/trace", "text/plain", bytes.NewReader(body))
+				if err != nil {
+					fail("trace %s: %v", buyer, err)
+					continue
+				}
+				tbody, _ := io.ReadAll(tresp.Body)
+				tresp.Body.Close()
+				dTrace := time.Since(t1)
+				if tresp.StatusCode != http.StatusOK {
+					fail("trace %s: %s: %s", buyer, tresp.Status, tbody)
+					continue
+				}
+				var tr struct {
+					Exact string `json:"exact"`
+				}
+				if err := json.Unmarshal(tbody, &tr); err != nil || tr.Exact != buyer {
+					fail("trace %s: got %q (%v)", buyer, tr.Exact, err)
+					continue
+				}
+				mu.Lock()
+				issueLat = append(issueLat, dIssue)
+				traceLat = append(traceLat, dTrace)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	cache, err := scrapeCache(base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: metrics scrape failed: %v\n", err)
+	}
+	rep := report{
+		Design:    design,
+		Digest:    digest,
+		Clients:   c,
+		Requests:  2 * buyers,
+		Failures:  int(failures.Load()),
+		WallMS:    float64(wall) / float64(time.Millisecond),
+		RPS:       float64(2*buyers) / wall.Seconds(),
+		Issue:     percentiles(issueLat),
+		Trace:     percentiles(traceLat),
+		Cache:     cache,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+	}
+	if err := writeReport(out, rep); err != nil {
+		return err
+	}
+	fmt.Printf("loadgen: %d requests, %d clients, %d failures, %.1f req/s, cache hit rate %.4f\n",
+		rep.Requests, c, rep.Failures, rep.RPS, hitRate(cache))
+	if rep.Failures > 0 {
+		return fmt.Errorf("%d requests failed", rep.Failures)
+	}
+	return nil
+}
+
+func hitRate(c *cacheStat) float64 {
+	if c == nil {
+		return 0
+	}
+	return c.HitRate
+}
+
+// replay traces every copy saved by a previous -save run against the (now
+// restarted) daemon and merges the outcome into the report at out.
+func replay(base, dir, out string) error {
+	dg, err := os.ReadFile(filepath.Join(dir, "digest"))
+	if err != nil {
+		return fmt.Errorf("replay: %w (was the first run started with -save?)", err)
+	}
+	digest := strings.TrimSpace(string(dg))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	httpClient := &http.Client{Timeout: 2 * time.Minute}
+	stat := replayStat{}
+	start := time.Now()
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".bench") {
+			continue
+		}
+		buyer := strings.TrimSuffix(name, ".bench")
+		body, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		resp, err := httpClient.Post(base+"/designs/"+digest+"/trace", "text/plain", bytes.NewReader(body))
+		if err != nil {
+			stat.Failures++
+			fmt.Fprintf(os.Stderr, "loadgen: replay trace %s: %v\n", buyer, err)
+			continue
+		}
+		tbody, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var tr struct {
+			Exact string `json:"exact"`
+		}
+		if resp.StatusCode != http.StatusOK || json.Unmarshal(tbody, &tr) != nil {
+			stat.Failures++
+			fmt.Fprintf(os.Stderr, "loadgen: replay trace %s: %s: %s\n", buyer, resp.Status, tbody)
+			continue
+		}
+		stat.Traced++
+		if tr.Exact != buyer {
+			stat.Lost++
+			fmt.Fprintf(os.Stderr, "loadgen: replay: %s traced to %q — issuance lost!\n", buyer, tr.Exact)
+		}
+	}
+	stat.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+	if cs, err := scrapeCache(base); err == nil {
+		stat.HitRate = cs.HitRate
+	}
+
+	// Merge into the existing report if one exists.
+	rep := report{Digest: digest, Generated: time.Now().UTC().Format(time.RFC3339)}
+	if prev, err := os.ReadFile(out); err == nil {
+		json.Unmarshal(prev, &rep)
+	}
+	rep.Restart = &stat
+	if err := writeReport(out, rep); err != nil {
+		return err
+	}
+	fmt.Printf("loadgen: replay traced %d copies after restart, %d lost, %d failures\n",
+		stat.Traced, stat.Lost, stat.Failures)
+	if stat.Lost > 0 || stat.Failures > 0 || stat.Traced == 0 {
+		return fmt.Errorf("replay: %d lost, %d failures, %d traced", stat.Lost, stat.Failures, stat.Traced)
+	}
+	return nil
+}
+
+func writeReport(path string, rep report) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

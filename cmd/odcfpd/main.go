@@ -1,0 +1,100 @@
+// Command odcfpd is the fingerprinting-as-a-service daemon: it serves the
+// analyze/issue/trace workflow of internal/serve over HTTP, holding analysed
+// designs in an LRU cache and persisting issued fingerprints in a crash-safe
+// store so they survive restarts.
+//
+// Usage:
+//
+//	odcfpd -addr :8341 -store ./odcfpd-store [-cache 64] [-j N]
+//	       [-max-bytes 16777216] [-timeout 60s] [-verify] [-addr-file PATH]
+//
+// The daemon drains gracefully on SIGINT/SIGTERM: the listener closes,
+// in-flight requests run to completion, then the process exits 0. With
+// -addr-file the actual listen address (useful with ":0") is written to the
+// given path once the listener is bound.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "odcfpd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("odcfpd", flag.ExitOnError)
+	addr := fs.String("addr", ":8341", "listen address (use :0 for an ephemeral port)")
+	store := fs.String("store", "odcfpd-store", "durable store directory")
+	cache := fs.Int("cache", 0, "analysis cache capacity in designs (0 = default 64)")
+	workers := fs.Int("j", 0, "max concurrently executing requests (0 = one per CPU)")
+	maxBytes := fs.Int64("max-bytes", 0, "max request body bytes (0 = default 16 MiB)")
+	timeout := fs.Duration("timeout", 0, "per-request timeout (0 = default 60s)")
+	verify := fs.Bool("verify", false, "CEC-verify every issued copy against the master before returning it")
+	addrFile := fs.String("addr-file", "", "write the bound listen address to this file")
+	drain := fs.Duration("drain", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv, err := serve.New(serve.Config{
+		StoreDir:        *store,
+		CacheSize:       *cache,
+		Workers:         *workers,
+		MaxRequestBytes: *maxBytes,
+		RequestTimeout:  *timeout,
+		VerifyIssues:    *verify,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "odcfpd: listening on %s (store %s, %d designs loaded)\n",
+		bound, *store, srv.NumDesigns())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+	fmt.Fprintln(os.Stderr, "odcfpd: draining...")
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-serveErr; err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "odcfpd: clean exit")
+	return nil
+}

@@ -1,0 +1,94 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Pool metrics. Task counts are workload-determined; the in-flight gauge
+// and rejection counter depend on wall-clock timing and scheduling, so they
+// are Nondet like the pool's busy-time accounting in Map.
+var (
+	mPoolTasks    = obs.NewCounter("par", "pool_tasks")
+	mPoolRejected = obs.NewCounter("par", "pool_rejected", obs.Nondet())
+	gPoolInFlight = obs.NewGauge("par", "pool_in_flight", obs.Nondet())
+	gPoolWorkers  = obs.NewGauge("par", "pool_workers")
+)
+
+// ErrPoolClosed is returned by Pool.Run after Close has been called.
+var ErrPoolClosed = errors.New("par: pool closed")
+
+// Pool is the long-lived counterpart to Map: a bounded executor for
+// request-serving workloads (the fingerprinting daemon in internal/serve)
+// where tasks arrive continuously instead of as one indexed batch. At most
+// Workers tasks execute at any moment; excess callers wait for a slot or
+// give up when their context is done. Tasks run on the caller's goroutine
+// (caller-runs semantics), so a task's stack, panics and context plumbing
+// behave exactly as if the caller had run it inline — the pool only
+// enforces the concurrency bound.
+//
+// Close provides graceful drain: new Run calls are rejected with
+// ErrPoolClosed, tasks already admitted (including those still waiting for
+// a slot) run to completion, and Close returns once the pool is empty.
+type Pool struct {
+	sem     chan struct{}
+	workers int
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewPool creates a pool executing at most j tasks concurrently (j ≤ 0
+// means Workers(0), one per available CPU).
+func NewPool(j int) *Pool {
+	j = Workers(j)
+	gPoolWorkers.SetMax(int64(j))
+	return &Pool{sem: make(chan struct{}, j), workers: j}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// InFlight returns the number of tasks currently executing (not counting
+// callers still waiting for a slot).
+func (p *Pool) InFlight() int { return len(p.sem) }
+
+// Run executes fn as soon as a slot is free and returns its error. It
+// returns ctx.Err() if the context is done before a slot frees up (the
+// daemon's per-request admission timeout), and ErrPoolClosed after Close.
+func (p *Pool) Run(ctx context.Context, fn func() error) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		mPoolRejected.Inc()
+		return ErrPoolClosed
+	}
+	p.wg.Add(1)
+	p.mu.Unlock()
+	defer p.wg.Done()
+
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		mPoolRejected.Inc()
+		return ctx.Err()
+	}
+	defer func() { <-p.sem }()
+	mPoolTasks.Inc()
+	gPoolInFlight.Add(1)
+	defer gPoolInFlight.Add(-1)
+	return fn()
+}
+
+// Close drains the pool: it rejects subsequent Run calls and blocks until
+// every admitted task has finished. Close is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,106 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolBound: with j=3, at most 3 tasks ever run at once, and all tasks
+// run exactly once.
+func TestPoolBound(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	var running, peak, total atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := p.Run(context.Background(), func() error {
+				n := running.Add(1)
+				for {
+					cur := peak.Load()
+					if n <= cur || peak.CompareAndSwap(cur, n) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				running.Add(-1)
+				total.Add(1)
+				return nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if total.Load() != 50 {
+		t.Errorf("ran %d tasks, want 50", total.Load())
+	}
+	if peak.Load() > 3 {
+		t.Errorf("peak concurrency %d exceeds bound 3", peak.Load())
+	}
+}
+
+// TestPoolContextTimeout: a caller whose context expires while waiting for
+// a slot gets ctx.Err and its task never runs.
+func TestPoolContextTimeout(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go p.Run(context.Background(), func() error {
+		close(started)
+		<-release
+		return nil
+	})
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	ran := false
+	err := p.Run(ctx, func() error { ran = true; return nil })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want deadline exceeded", err)
+	}
+	if ran {
+		t.Error("task ran despite admission timeout")
+	}
+	close(release)
+}
+
+// TestPoolCloseDrains: Close waits for in-flight work and rejects new work.
+func TestPoolCloseDrains(t *testing.T) {
+	p := NewPool(2)
+	var done atomic.Bool
+	started := make(chan struct{})
+	go p.Run(context.Background(), func() error {
+		close(started)
+		time.Sleep(20 * time.Millisecond)
+		done.Store(true)
+		return nil
+	})
+	<-started
+	p.Close()
+	if !done.Load() {
+		t.Error("Close returned before in-flight task finished")
+	}
+	if err := p.Run(context.Background(), func() error { return nil }); !errors.Is(err, ErrPoolClosed) {
+		t.Errorf("Run after Close = %v, want ErrPoolClosed", err)
+	}
+	p.Close() // idempotent
+}
+
+// TestPoolPropagatesError: fn's error comes back to the caller unchanged.
+func TestPoolPropagatesError(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	want := errors.New("boom")
+	if err := p.Run(context.Background(), func() error { return want }); !errors.Is(err, want) {
+		t.Errorf("err = %v, want %v", err, want)
+	}
+}

@@ -5,6 +5,12 @@
 // fingerprint values (mixed-radix integers over the design's modification
 // slots) and serialises to JSON, keyed by a digest of the design so a
 // registry cannot accidentally be used with the wrong netlist.
+//
+// A Registry is safe for concurrent use: Issue, TraceExact, TraceScores,
+// Buyers and Save may be called from any number of goroutines (the serving
+// daemon in internal/serve does exactly that). The expensive circuit work —
+// embedding a copy, extracting a suspect's assignment — runs outside the
+// internal lock; only the issued-record map is guarded.
 package registry
 
 import (
@@ -15,6 +21,7 @@ import (
 	"io"
 	"math/big"
 	"sort"
+	"sync"
 
 	"repro/internal/attack"
 	"repro/internal/circuit"
@@ -23,12 +30,19 @@ import (
 
 // Registry records issued fingerprints for one design.
 type Registry struct {
+	// mu guards Issued. The exported fields are set at construction/load
+	// time and never mutated afterwards, so reads of Design/Digest need no
+	// lock; every access to Issued takes it.
+	mu sync.RWMutex
+
 	// Design is the circuit name (informational).
 	Design string `json:"design"`
 	// Digest fingerprints the analysed netlist structure; Load rejects a
 	// registry whose digest does not match the analysis it is used with.
 	Digest string `json:"digest"`
-	// Issued maps buyer name → decimal fingerprint value.
+	// Issued maps buyer name → decimal fingerprint value. Callers must not
+	// access it directly while other goroutines use the registry; it is
+	// exported only for JSON serialisation.
 	Issued map[string]string `json:"issued"`
 }
 
@@ -62,7 +76,8 @@ func New(a *core.Analysis) *Registry {
 // design's combination count), embeds it, and records it. Issuing the same
 // buyer twice returns the same instance; two buyers colliding on a value is
 // rejected (retry with a different name — astronomically unlikely beyond
-// toy designs).
+// toy designs). Concurrent Issue calls for distinct buyers are safe and
+// embed their copies in parallel; the record map alone is serialised.
 func (r *Registry) Issue(a *core.Analysis, buyer string) (*circuit.Circuit, *big.Int, error) {
 	if err := r.check(a); err != nil {
 		return nil, nil, err
@@ -74,45 +89,88 @@ func (r *Registry) Issue(a *core.Analysis, buyer string) (*circuit.Circuit, *big
 	if combos.Sign() <= 0 || combos.Cmp(big.NewInt(1)) == 0 {
 		return nil, nil, fmt.Errorf("registry: design has no fingerprint capacity")
 	}
-	var value *big.Int
-	if prev, ok := r.Issued[buyer]; ok {
-		v, ok2 := new(big.Int).SetString(prev, 10)
-		if !ok2 {
-			return nil, nil, fmt.Errorf("registry: corrupt record for %q", buyer)
-		}
-		value = v
-	} else {
-		sum := sha256.Sum256([]byte("odcfp-issue:" + r.Digest + ":" + buyer))
-		value = new(big.Int).SetBytes(sum[:])
-		value.Mod(value, combos)
-		// Collision check against existing records.
-		dec := value.String()
-		for other, v := range r.Issued {
-			if v == dec {
-				return nil, nil, fmt.Errorf("registry: fingerprint collision between %q and %q", buyer, other)
-			}
-		}
-		r.Issued[buyer] = dec
+	value, fresh, err := r.reserve(buyer, combos)
+	if err != nil {
+		return nil, nil, err
 	}
 	asg, err := a.AssignmentFromInt(value)
 	if err != nil {
+		r.release(buyer, fresh)
 		return nil, nil, err
 	}
 	cp, err := core.Embed(a, asg)
 	if err != nil {
+		r.release(buyer, fresh)
 		return nil, nil, err
 	}
 	return cp, value, nil
 }
 
+// reserve returns the buyer's recorded fingerprint value, deriving and
+// recording a fresh one (fresh=true) when the buyer is new. It holds the
+// write lock only around the map access, so the expensive embed that
+// follows runs unlocked.
+func (r *Registry) reserve(buyer string, combos *big.Int) (value *big.Int, fresh bool, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.Issued[buyer]; ok {
+		v, ok2 := new(big.Int).SetString(prev, 10)
+		if !ok2 {
+			return nil, false, fmt.Errorf("registry: corrupt record for %q", buyer)
+		}
+		return v, false, nil
+	}
+	sum := sha256.Sum256([]byte("odcfp-issue:" + r.Digest + ":" + buyer))
+	value = new(big.Int).SetBytes(sum[:])
+	value.Mod(value, combos)
+	// Collision check against existing records.
+	dec := value.String()
+	for other, v := range r.Issued {
+		if v == dec {
+			return nil, false, fmt.Errorf("registry: fingerprint collision between %q and %q", buyer, other)
+		}
+	}
+	r.Issued[buyer] = dec
+	return value, true, nil
+}
+
+// release drops a reservation made by reserve when the embed that followed
+// it failed, so a failed Issue leaves no record behind. Pre-existing
+// records (fresh=false) are kept.
+func (r *Registry) release(buyer string, fresh bool) {
+	if !fresh {
+		return
+	}
+	r.mu.Lock()
+	delete(r.Issued, buyer)
+	r.mu.Unlock()
+}
+
 // Buyers returns the registered buyer names, sorted.
 func (r *Registry) Buyers() []string {
+	r.mu.RLock()
 	out := make([]string, 0, len(r.Issued))
 	for b := range r.Issued {
 		out = append(out, b)
 	}
+	r.mu.RUnlock()
 	sort.Strings(out)
 	return out
+}
+
+// NumIssued returns the number of recorded buyers.
+func (r *Registry) NumIssued() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.Issued)
+}
+
+// Value returns the decimal fingerprint value recorded for buyer, or false.
+func (r *Registry) Value(buyer string) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, ok := r.Issued[buyer]
+	return v, ok
 }
 
 // TraceExact extracts the fingerprint of an untampered suspect copy and
@@ -130,6 +188,8 @@ func (r *Registry) TraceExact(a *core.Analysis, suspect *circuit.Circuit) (strin
 		return "", err
 	}
 	dec := v.String()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	for buyer, val := range r.Issued {
 		if val == dec {
 			return buyer, nil
@@ -146,7 +206,13 @@ func (r *Registry) TraceScores(a *core.Analysis, suspect *circuit.Circuit) ([]at
 	}
 	tr := attack.NewTracer(a)
 	for _, buyer := range r.Buyers() {
-		v, ok := new(big.Int).SetString(r.Issued[buyer], 10)
+		rec, ok := r.Value(buyer)
+		if !ok {
+			// Racing caller failed its embed and released the record
+			// between Buyers and here; skip it like Buyers never saw it.
+			continue
+		}
+		v, ok := new(big.Int).SetString(rec, 10)
 		if !ok {
 			return nil, fmt.Errorf("registry: corrupt record for %q", buyer)
 		}
@@ -166,11 +232,25 @@ func (r *Registry) check(a *core.Analysis) error {
 	return nil
 }
 
-// Save writes the registry as JSON.
+// Save writes the registry as JSON. It snapshots the record map under the
+// read lock, so a save racing concurrent Issue calls serialises a
+// consistent (point-in-time) state. Durable callers (internal/serve) must
+// write the output via temp file + fsync + rename, never truncate-in-place.
 func (r *Registry) Save(w io.Writer) error {
+	type wire struct {
+		Design string            `json:"design"`
+		Digest string            `json:"digest"`
+		Issued map[string]string `json:"issued"`
+	}
+	snap := wire{Design: r.Design, Digest: r.Digest, Issued: map[string]string{}}
+	r.mu.RLock()
+	for b, v := range r.Issued {
+		snap.Issued[b] = v
+	}
+	r.mu.RUnlock()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(r)
+	return enc.Encode(snap)
 }
 
 // Load reads a registry and validates it against the analysis.

@@ -2,7 +2,10 @@ package registry
 
 import (
 	"bytes"
+	"fmt"
+	"io"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/bench"
@@ -173,5 +176,58 @@ func TestDigestSensitivity(t *testing.T) {
 	// Deterministic.
 	if DesignDigest(a) != d1 {
 		t.Error("digest not deterministic")
+	}
+}
+
+// TestConcurrentIssueRace is the -race regression for the registry's
+// goroutine-safety contract: many goroutines issue distinct buyers while
+// others trace, list and save concurrently. Run with -race (make ci does).
+func TestConcurrentIssueRace(t *testing.T) {
+	a := analyzed(t, "c880")
+	r := New(a)
+	const buyers = 16
+	copies := make([]*circuit.Circuit, buyers)
+	var wg sync.WaitGroup
+	errs := make([]error, buyers)
+	for i := 0; i < buyers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cp, _, err := r.Issue(a, fmt.Sprintf("buyer-%02d", i))
+			copies[i], errs[i] = cp, err
+		}(i)
+	}
+	// Concurrent readers: listing, serialising and tracing while issuance
+	// is in flight must not race (values may be mid-flight, errors are ok).
+	for k := 0; k < 4; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 8; j++ {
+				_ = r.Buyers()
+				_ = r.NumIssued()
+				if err := r.Save(io.Discard); err != nil {
+					t.Error(err)
+				}
+				_, _ = r.TraceExact(a, a.Circuit)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("buyer %d: %v", i, err)
+		}
+	}
+	if got := r.NumIssued(); got != buyers {
+		t.Fatalf("NumIssued = %d, want %d", got, buyers)
+	}
+	// Every concurrently issued copy traces back to its buyer.
+	for i, cp := range copies {
+		want := fmt.Sprintf("buyer-%02d", i)
+		got, err := r.TraceExact(a, cp)
+		if err != nil || got != want {
+			t.Errorf("copy %d traced to %q (%v), want %q", i, got, err, want)
+		}
 	}
 }

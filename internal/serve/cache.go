@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Cache metrics. Hit/miss/eviction order depends on request interleaving
+// under concurrent load, so they are Nondet for deterministic snapshots;
+// the size gauge is an instantaneous reading.
+var (
+	mCacheHits      = obs.NewCounter("serve", "cache_hits", obs.Nondet())
+	mCacheMisses    = obs.NewCounter("serve", "cache_misses", obs.Nondet())
+	mCacheEvictions = obs.NewCounter("serve", "cache_evictions", obs.Nondet())
+	gCacheSize      = obs.NewGauge("serve", "cache_size", obs.Nondet())
+)
+
+// analysisCache is an LRU of core.Analysis keyed by design digest — the
+// daemon's reason to exist: location analysis runs once per design, then
+// every issue/trace request reuses the cached result. An Analysis is
+// immutable after construction (the shared verifier inside it has its own
+// lock), so one cached value may serve any number of concurrent requests.
+//
+// Misses are deduplicated: concurrent requests for the same evicted digest
+// run the loader once and share its result (singleflight), so a popular
+// design being re-analysed never stampedes the worker pool.
+type analysisCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List               // front = most recently used
+	items map[string]*list.Element // digest → element holding *cacheEntry
+
+	flight map[string]*flightCall // in-progress loads by digest
+}
+
+type cacheEntry struct {
+	digest string
+	a      *core.Analysis
+}
+
+type flightCall struct {
+	done chan struct{}
+	a    *core.Analysis
+	err  error
+}
+
+// newAnalysisCache creates a cache holding at most capacity analyses
+// (capacity ≤ 0 means 1).
+func newAnalysisCache(capacity int) *analysisCache {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &analysisCache{
+		cap:    capacity,
+		ll:     list.New(),
+		items:  make(map[string]*list.Element),
+		flight: make(map[string]*flightCall),
+	}
+}
+
+// get returns the cached analysis for digest, marking it most recently
+// used, or nil.
+func (c *analysisCache) get(digest string) *core.Analysis {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[digest]; ok {
+		c.ll.MoveToFront(el)
+		mCacheHits.Inc()
+		return el.Value.(*cacheEntry).a
+	}
+	mCacheMisses.Inc()
+	return nil
+}
+
+// add inserts (or refreshes) digest, evicting the least recently used
+// entry beyond capacity.
+func (c *analysisCache) add(digest string, a *core.Analysis) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.addLocked(digest, a)
+}
+
+func (c *analysisCache) addLocked(digest string, a *core.Analysis) {
+	if el, ok := c.items[digest]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).a = a
+		return
+	}
+	c.items[digest] = c.ll.PushFront(&cacheEntry{digest: digest, a: a})
+	for c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.items, el.Value.(*cacheEntry).digest)
+		mCacheEvictions.Inc()
+	}
+	gCacheSize.Set(int64(c.ll.Len()))
+}
+
+// len returns the number of cached analyses.
+func (c *analysisCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// getOrLoad returns the cached analysis or runs load once per digest,
+// sharing the result (and error) with every concurrent caller. Successful
+// loads are inserted into the cache; errors are not cached.
+func (c *analysisCache) getOrLoad(digest string, load func() (*core.Analysis, error)) (*core.Analysis, error) {
+	c.mu.Lock()
+	if el, ok := c.items[digest]; ok {
+		c.ll.MoveToFront(el)
+		mCacheHits.Inc()
+		a := el.Value.(*cacheEntry).a
+		c.mu.Unlock()
+		return a, nil
+	}
+	mCacheMisses.Inc()
+	if f, ok := c.flight[digest]; ok {
+		c.mu.Unlock()
+		<-f.done
+		return f.a, f.err
+	}
+	f := &flightCall{done: make(chan struct{})}
+	c.flight[digest] = f
+	c.mu.Unlock()
+
+	f.a, f.err = load()
+	c.mu.Lock()
+	delete(c.flight, digest)
+	if f.err == nil {
+		c.addLocked(digest, f.a)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.a, f.err
+}

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The cache never dereferences its values, so distinct empty Analyses are
+// enough to check identity and eviction.
+func fakeAnalyses(n int) []*core.Analysis {
+	out := make([]*core.Analysis, n)
+	for i := range out {
+		out[i] = new(core.Analysis)
+	}
+	return out
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newAnalysisCache(2)
+	as := fakeAnalyses(3)
+	c.add("d0", as[0])
+	c.add("d1", as[1])
+	if got := c.get("d0"); got != as[0] { // refresh d0: d1 becomes LRU
+		t.Fatalf("get(d0) = %p, want %p", got, as[0])
+	}
+	c.add("d2", as[2]) // evicts d1
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	if got := c.get("d1"); got != nil {
+		t.Error("d1 survived eviction")
+	}
+	if c.get("d0") != as[0] || c.get("d2") != as[2] {
+		t.Error("wrong entries evicted")
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := newAnalysisCache(4)
+	var loads atomic.Int64
+	gate := make(chan struct{})
+	want := new(core.Analysis)
+	load := func() (*core.Analysis, error) {
+		loads.Add(1)
+		<-gate
+		return want, nil
+	}
+	const callers = 8
+	results := make([]*core.Analysis, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a, err := c.getOrLoad("dig", load)
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = a
+		}(i)
+	}
+	// Let every caller reach the cache before the load completes. The
+	// loader has started (or will) exactly once; releasing the gate lets
+	// all callers share its result.
+	close(gate)
+	wg.Wait()
+	if n := loads.Load(); n != 1 {
+		t.Errorf("loader ran %d times, want 1", n)
+	}
+	for i, a := range results {
+		if a != want {
+			t.Errorf("caller %d got %p, want %p", i, a, want)
+		}
+	}
+	if c.get("dig") != want {
+		t.Error("loaded analysis not cached")
+	}
+}
+
+func TestCacheLoadErrorNotCached(t *testing.T) {
+	c := newAnalysisCache(4)
+	boom := errors.New("boom")
+	calls := 0
+	load := func() (*core.Analysis, error) {
+		calls++
+		if calls == 1 {
+			return nil, boom
+		}
+		return new(core.Analysis), nil
+	}
+	if _, err := c.getOrLoad("d", load); !errors.Is(err, boom) {
+		t.Fatalf("first load err = %v, want boom", err)
+	}
+	if c.len() != 0 {
+		t.Fatal("error result was cached")
+	}
+	a, err := c.getOrLoad("d", load)
+	if err != nil || a == nil {
+		t.Fatalf("second load = %p, %v", a, err)
+	}
+	if calls != 2 {
+		t.Errorf("loader calls = %d, want 2", calls)
+	}
+}
+
+func TestCacheCapacityFloor(t *testing.T) {
+	c := newAnalysisCache(0) // normalised to 1
+	as := fakeAnalyses(2)
+	c.add("a", as[0])
+	c.add("b", as[1])
+	if c.len() != 1 {
+		t.Errorf("len = %d, want 1", c.len())
+	}
+	if c.get("b") != as[1] {
+		t.Error("most recent entry missing")
+	}
+}
+
+func TestCacheConcurrentMixed(t *testing.T) {
+	c := newAnalysisCache(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				d := fmt.Sprintf("d%d", (g+i)%6) // more digests than capacity
+				if _, err := c.getOrLoad(d, func() (*core.Analysis, error) {
+					return new(core.Analysis), nil
+				}); err != nil {
+					t.Error(err)
+				}
+				c.get(d)
+				c.len()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.len() > 4 {
+		t.Errorf("len = %d exceeds capacity 4", c.len())
+	}
+}

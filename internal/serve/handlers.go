@@ -1,0 +1,515 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/registry"
+)
+
+// DesignInfo is the JSON summary of one analysed design.
+type DesignInfo struct {
+	// Digest identifies the analysed design (registry.DesignDigest).
+	Digest string `json:"digest"`
+	// Design is the circuit name from the netlist.
+	Design string `json:"design"`
+	// Format is the stored netlist format ("bench", "blif", "v").
+	Format string `json:"format"`
+	// Gates counts the swept design's gates.
+	Gates int `json:"gates"`
+	// Locations is the number of fingerprint locations (Definition 1).
+	Locations int `json:"locations"`
+	// Slots is the number of (location, target) modification slots.
+	Slots int `json:"slots"`
+	// CapacityBits is log₂ of the distinct-fingerprint count.
+	CapacityBits float64 `json:"capacity_bits"`
+	// Buyers counts issued fingerprints.
+	Buyers int `json:"buyers"`
+}
+
+// IssueRequest is the JSON body of POST /designs/{digest}/issue. The buyer
+// may alternatively be given as the ?buyer= query parameter.
+type IssueRequest struct {
+	// Buyer is the name the fingerprint is recorded under.
+	Buyer string `json:"buyer"`
+}
+
+// TraceResponse is the JSON result of POST /designs/{digest}/trace.
+type TraceResponse struct {
+	// Digest echoes the design digest.
+	Digest string `json:"digest"`
+	// Exact is the buyer whose fingerprint the suspect matches exactly,
+	// or "" when no untampered match exists.
+	Exact string `json:"exact"`
+	// Scores carries per-buyer marking-assumption scores (?scores=1 only).
+	Scores []TraceScore `json:"scores,omitempty"`
+	// Threshold is the accusation threshold the Implicated list was
+	// computed at (?threshold=, default 1.0).
+	Threshold float64 `json:"threshold,omitempty"`
+	// Implicated lists buyers whose agreement over surviving modifications
+	// reaches Threshold (?scores=1 only). At the default threshold of 1.0
+	// this is attack.Accuse's exact marking-assumption rule; a lower
+	// threshold also catches coalitions whose forged copy retained another
+	// colluder's variant at the sites the attack detected.
+	Implicated []string `json:"implicated,omitempty"`
+}
+
+// TraceScore is one buyer's agreement with the suspect copy.
+type TraceScore struct {
+	// Buyer names the registered buyer.
+	Buyer string `json:"buyer"`
+	// AgreePresent of TotalPresent surviving-modification slots agree.
+	AgreePresent int `json:"agree_present"`
+	// TotalPresent counts slots where the suspect carries a modification.
+	TotalPresent int `json:"total_present"`
+	// Fraction is AgreePresent/TotalPresent (1.0 when TotalPresent is 0).
+	Fraction float64 `json:"fraction"`
+	// FractionAll is agreement over every untampered slot.
+	FractionAll float64 `json:"fraction_all"`
+}
+
+// HealthResponse is the JSON body of GET /healthz.
+type HealthResponse struct {
+	// Status is "ok", or "draining" after Shutdown begins (status 503).
+	Status string `json:"status"`
+	// Designs counts servable designs.
+	Designs int `json:"designs"`
+	// CachedAnalyses counts analyses resident in the LRU.
+	CachedAnalyses int `json:"cached_analyses"`
+	// InFlight counts requests currently holding worker slots.
+	InFlight int `json:"in_flight"`
+	// Workers is the worker-pool bound.
+	Workers int `json:"workers"`
+}
+
+// apiError carries an HTTP status through the worker-pool boundary.
+type apiError struct {
+	status int
+	msg    string
+}
+
+// Error implements error.
+func (e *apiError) Error() string { return e.msg }
+
+func apiErrorf(status int, format string, args ...any) *apiError {
+	return &apiError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// writeJSON emits v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError emits the standard {"error": ...} body.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	mErrors.Inc()
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// readBody reads the request body under the configured size limit.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return nil, apiErrorf(http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+		}
+		return nil, apiErrorf(http.StatusBadRequest, "reading body: %v", err)
+	}
+	return data, nil
+}
+
+// withWorker admits fn to the bounded pool under the per-request timeout
+// and maps admission/execution failures onto HTTP statuses. fn writes the
+// success response itself.
+func (s *Server) withWorker(w http.ResponseWriter, r *http.Request, kind string, fn func(ctx context.Context) error) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	err := s.pool.Run(ctx, func() error {
+		if s.testHook != nil {
+			s.testHook(kind)
+		}
+		return fn(ctx)
+	})
+	switch {
+	case err == nil:
+	case errors.Is(err, par.ErrPoolClosed):
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+	case errors.Is(err, context.DeadlineExceeded):
+		mTimeouts.Inc()
+		writeError(w, http.StatusGatewayTimeout, "request timed out in admission queue")
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "client went away")
+	default:
+		var ae *apiError
+		if errors.As(err, &ae) {
+			writeError(w, ae.status, ae.msg)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// info builds the DesignInfo summary (buyer count 0 until the registry has
+// been touched — counting it would force a registry load on listing).
+func (s *Server) info(d *design, a *registryView) DesignInfo {
+	return DesignInfo{
+		Digest:       d.digest,
+		Design:       a.design,
+		Format:       d.meta.Format,
+		Gates:        a.gates,
+		Locations:    a.locations,
+		Slots:        a.slots,
+		CapacityBits: a.capacityBits,
+		Buyers:       a.buyers,
+	}
+}
+
+// registryView is the subset of analysis+registry state DesignInfo needs.
+type registryView struct {
+	design       string
+	gates        int
+	locations    int
+	slots        int
+	capacityBits float64
+	buyers       int
+}
+
+// handleUpload implements POST /designs: parse, analyse once, persist, and
+// return the digest clients use for every later issue/trace call.
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	data, err := s.readBody(w, r)
+	if err != nil {
+		var ae *apiError
+		errors.As(err, &ae)
+		writeError(w, ae.status, ae.msg)
+		return
+	}
+	if len(bytes.TrimSpace(data)) == 0 {
+		writeError(w, http.StatusBadRequest, "empty netlist")
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = detectFormat(data)
+	}
+	s.withWorker(w, r, "upload", func(ctx context.Context) error {
+		c, err := parseNetlist(format, data)
+		if err != nil {
+			return apiErrorf(http.StatusBadRequest, "parsing %s netlist: %v", format, err)
+		}
+		a, err := analyzeUpload(c)
+		if err != nil {
+			return apiErrorf(http.StatusUnprocessableEntity, "analysis failed: %v", err)
+		}
+		digest := registry.DesignDigest(a)
+
+		s.mu.Lock()
+		d, existed := s.designs[digest]
+		if !existed {
+			d = &design{digest: digest, meta: DesignMeta{Design: a.Circuit.Name, Format: format}}
+			s.designs[digest] = d
+			gDesigns.Set(int64(len(s.designs)))
+		}
+		s.mu.Unlock()
+
+		if !existed {
+			if err := s.store.PutDesign(digest, d.meta, data); err != nil {
+				s.mu.Lock()
+				delete(s.designs, digest)
+				gDesigns.Set(int64(len(s.designs)))
+				s.mu.Unlock()
+				return err
+			}
+		}
+		s.cache.add(digest, a)
+		mUploads.Inc()
+
+		reg, err := s.registryOf(d, a)
+		if err != nil {
+			return err
+		}
+		cap := a.Capacity()
+		status := http.StatusCreated
+		if existed {
+			status = http.StatusOK
+		}
+		writeJSON(w, status, s.info(d, &registryView{
+			design:       a.Circuit.Name,
+			gates:        a.Circuit.NumGates(),
+			locations:    a.NumLocations(),
+			slots:        a.TotalTargets(),
+			capacityBits: cap.Log2Combos,
+			buyers:       reg.NumIssued(),
+		}))
+		return nil
+	})
+}
+
+// handleList implements GET /designs: light entries, no forced analysis.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]map[string]string, 0, len(s.designs))
+	for _, d := range s.designs {
+		out = append(out, map[string]string{
+			"digest": d.digest,
+			"design": d.meta.Design,
+			"format": d.meta.Format,
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i]["digest"] < out[j]["digest"] })
+	writeJSON(w, http.StatusOK, map[string]any{"designs": out})
+}
+
+// handleInfo implements GET /designs/{digest}.
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	d := s.lookupDesign(digest)
+	if d == nil {
+		writeError(w, http.StatusNotFound, "unknown design "+digest)
+		return
+	}
+	s.withWorker(w, r, "info", func(ctx context.Context) error {
+		a, err := s.analysis(d)
+		if err != nil {
+			return err
+		}
+		reg, err := s.registryOf(d, a)
+		if err != nil {
+			return err
+		}
+		cap := a.Capacity()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"info": s.info(d, &registryView{
+				design:       a.Circuit.Name,
+				gates:        a.Circuit.NumGates(),
+				locations:    a.NumLocations(),
+				slots:        a.TotalTargets(),
+				capacityBits: cap.Log2Combos,
+				buyers:       reg.NumIssued(),
+			}),
+			"buyers": reg.Buyers(),
+		})
+		return nil
+	})
+}
+
+// handleIssue implements POST /designs/{digest}/issue: mint (or re-mint,
+// idempotently) the buyer's fingerprinted copy and stream it back as a
+// netlist. The registry is durably saved before the copy leaves the
+// server, so an acknowledged issuance always survives a restart.
+func (s *Server) handleIssue(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	d := s.lookupDesign(digest)
+	if d == nil {
+		writeError(w, http.StatusNotFound, "unknown design "+digest)
+		return
+	}
+	buyer := r.URL.Query().Get("buyer")
+	if buyer == "" {
+		data, err := s.readBody(w, r)
+		if err == nil && len(bytes.TrimSpace(data)) > 0 {
+			var req IssueRequest
+			if jerr := json.Unmarshal(data, &req); jerr != nil {
+				writeError(w, http.StatusBadRequest, "issue request body must be JSON {\"buyer\": ...}")
+				return
+			}
+			buyer = req.Buyer
+		}
+	}
+	if buyer == "" {
+		writeError(w, http.StatusBadRequest, "buyer name required (?buyer= or JSON body)")
+		return
+	}
+	format := outputFormat(r.URL.Query().Get("format"), d.meta.Format)
+	verify := s.cfg.VerifyIssues || r.URL.Query().Get("verify") == "1"
+
+	s.withWorker(w, r, "issue", func(ctx context.Context) error {
+		a, err := s.analysis(d)
+		if err != nil {
+			return err
+		}
+		d.mu.Lock()
+		reg, err := d.ensureRegistry(s.store, a)
+		var cp *circuitAndValue
+		if err == nil {
+			cp, err = issueLocked(reg, a, buyer)
+			if err == nil {
+				// Durability before acknowledgement.
+				err = s.store.SaveRegistry(d.digest, reg)
+			}
+		}
+		d.mu.Unlock()
+		if err != nil {
+			var ae *apiError
+			if errors.As(err, &ae) {
+				return ae
+			}
+			return apiErrorf(http.StatusConflict, "issue: %v", err)
+		}
+		if verify {
+			asg, err := a.AssignmentFromInt(cp.value)
+			if err != nil {
+				return err
+			}
+			verdict, err := a.SharedVerifier().Verify(asg)
+			if err != nil {
+				return fmt.Errorf("verifying issued copy: %w", err)
+			}
+			if !verdict.Equivalent {
+				return fmt.Errorf("issued copy NOT equivalent to master (PO %s)", verdict.PO)
+			}
+		}
+		var buf bytes.Buffer
+		if err := writeNetlist(&buf, format, cp.ckt); err != nil {
+			return err
+		}
+		mIssues.Inc()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("X-Odcfp-Digest", d.digest)
+		w.Header().Set("X-Odcfp-Buyer", buyer)
+		w.Header().Set("X-Odcfp-Fingerprint", cp.value.String())
+		w.Header().Set("X-Odcfp-Format", format)
+		if verify {
+			w.Header().Set("X-Odcfp-Verified", "equivalent")
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write(buf.Bytes())
+		return nil
+	})
+}
+
+// handleTrace implements POST /designs/{digest}/trace: the body is the
+// suspect netlist; the response names the exact-match buyer (untampered
+// copies) and, with ?scores=1, the full marking-assumption score table
+// plus the implicated coalition.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	d := s.lookupDesign(digest)
+	if d == nil {
+		writeError(w, http.StatusNotFound, "unknown design "+digest)
+		return
+	}
+	data, err := s.readBody(w, r)
+	if err != nil {
+		var ae *apiError
+		errors.As(err, &ae)
+		writeError(w, ae.status, ae.msg)
+		return
+	}
+	if len(bytes.TrimSpace(data)) == 0 {
+		writeError(w, http.StatusBadRequest, "empty suspect netlist")
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = detectFormat(data)
+	}
+	wantScores := r.URL.Query().Get("scores") == "1"
+	threshold := 1.0
+	if tq := r.URL.Query().Get("threshold"); tq != "" {
+		v, err := strconv.ParseFloat(tq, 64)
+		if err != nil || v < 0 || v > 1 {
+			writeError(w, http.StatusBadRequest, "threshold must be a number in [0, 1]")
+			return
+		}
+		threshold = v
+	}
+
+	s.withWorker(w, r, "trace", func(ctx context.Context) error {
+		suspect, err := parseNetlist(format, data)
+		if err != nil {
+			return apiErrorf(http.StatusBadRequest, "parsing %s suspect: %v", format, err)
+		}
+		a, err := s.analysis(d)
+		if err != nil {
+			return err
+		}
+		reg, err := s.registryOf(d, a)
+		if err != nil {
+			return err
+		}
+		resp := TraceResponse{Digest: d.digest}
+		if exact, err := reg.TraceExact(a, suspect); err == nil {
+			resp.Exact = exact
+		}
+		if wantScores {
+			scores, err := reg.TraceScores(a, suspect)
+			if err != nil {
+				return apiErrorf(http.StatusUnprocessableEntity, "trace: %v", err)
+			}
+			resp.Threshold = threshold
+			for _, sc := range scores {
+				resp.Scores = append(resp.Scores, TraceScore{
+					Buyer:        sc.Name,
+					AgreePresent: sc.AgreePresent,
+					TotalPresent: sc.TotalPresent,
+					Fraction:     sc.Fraction(),
+					FractionAll:  sc.FractionAll(),
+				})
+				if sc.TotalPresent > 0 && sc.Fraction() >= threshold {
+					resp.Implicated = append(resp.Implicated, sc.Name)
+				}
+			}
+		}
+		mTraces.Inc()
+		writeJSON(w, http.StatusOK, resp)
+		return nil
+	})
+}
+
+// handleHealth implements GET /healthz.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	resp := HealthResponse{
+		Status:         "ok",
+		Designs:        s.NumDesigns(),
+		CachedAnalyses: s.cache.len(),
+		InFlight:       s.InFlight(),
+		Workers:        s.pool.Workers(),
+	}
+	status := http.StatusOK
+	if s.draining.Load() {
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+// handleMetrics implements GET /metrics: the full obs snapshot as JSON.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, obs.Snapshot(false))
+}
+
+// circuitAndValue pairs an issued copy with its fingerprint value.
+type circuitAndValue struct {
+	ckt   *circuit.Circuit
+	value *big.Int
+}
+
+// issueLocked mints the buyer's copy; the caller holds d.mu.
+func issueLocked(reg *registry.Registry, a *core.Analysis, buyer string) (*circuitAndValue, error) {
+	ckt, value, err := reg.Issue(a, buyer)
+	if err != nil {
+		return nil, err
+	}
+	return &circuitAndValue{ckt: ckt, value: value}, nil
+}

@@ -1,0 +1,362 @@
+// Package serve is the fingerprinting-as-a-service layer: a long-running
+// daemon (cmd/odcfpd) that turns the paper's one-shot CLI workflow —
+// analyse a netlist for ODC fingerprint locations, issue a uniquely
+// fingerprinted copy per buyer, trace a suspect copy back to its buyer
+// (Dunbar & Qu §III) — into a concurrent HTTP/JSON request/response
+// protocol, the "online interrogation" shape related watermarking work
+// (SIGNED) frames IP protection in.
+//
+// The server's economics come from doing the expensive step once: location
+// analysis (core.Analyze) runs at upload time and the resulting
+// core.Analysis is held in an LRU cache keyed by the design digest, so
+// issuance and tracing — which the CLI pays a full re-analysis for on
+// every invocation — reuse it. Work is admitted through a bounded
+// par.Pool with per-request timeouts and request-size limits; issued
+// fingerprints persist through a crash-safe Store (temp file + fsync +
+// rename) and survive restarts; everything is instrumented with
+// internal/obs and exposed at GET /metrics.
+//
+// API (see DESIGN.md §9 for schemas):
+//
+//	POST /designs                 upload a netlist → analyse once → digest
+//	GET  /designs                 list stored designs
+//	GET  /designs/{digest}        one design's analysis + registry summary
+//	POST /designs/{digest}/issue  mint a fingerprinted copy for a buyer
+//	POST /designs/{digest}/trace  score a suspect copy against the registry
+//	GET  /healthz                 liveness + drain state
+//	GET  /metrics                 obs metric snapshot (JSON)
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/blif"
+	"repro/internal/cell"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/registry"
+	"repro/internal/techmap"
+	"repro/internal/verilog"
+)
+
+// Request metrics: traffic counters are workload-determined; latency and
+// in-flight depend on wall time and scheduling.
+var (
+	mRequests  = obs.NewCounter("serve", "requests")
+	mErrors    = obs.NewCounter("serve", "request_errors")
+	mUploads   = obs.NewCounter("serve", "uploads")
+	mIssues    = obs.NewCounter("serve", "issues")
+	mTraces    = obs.NewCounter("serve", "traces")
+	mTimeouts  = obs.NewCounter("serve", "request_timeouts", obs.Nondet())
+	hLatencyNS = obs.NewHistogram("serve", "request_ns", obs.Nondet())
+	gInFlight  = obs.NewGauge("serve", "inflight", obs.Nondet())
+	gDesigns   = obs.NewGauge("serve", "designs")
+)
+
+// Config tunes the daemon. The zero value is usable: every field has a
+// production default applied by New.
+type Config struct {
+	// StoreDir is the durable store's root directory (required).
+	StoreDir string
+	// CacheSize bounds the analysis LRU (default 64 designs).
+	CacheSize int
+	// Workers bounds concurrently executing requests (default: one per
+	// CPU, par.Workers(0)).
+	Workers int
+	// MaxRequestBytes bounds any request body (default 16 MiB).
+	MaxRequestBytes int64
+	// RequestTimeout bounds one request's queueing + execution time
+	// (default 60s).
+	RequestTimeout time.Duration
+	// VerifyIssues proves every issued copy functionally equivalent to the
+	// master (shared incremental CEC session) before returning it. Clients
+	// can also request this per call with ?verify=1.
+	VerifyIssues bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = 64
+	}
+	if c.Workers == 0 {
+		c.Workers = par.Workers(0)
+	}
+	if c.MaxRequestBytes == 0 {
+		c.MaxRequestBytes = 16 << 20
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	return c
+}
+
+// design is the server's per-digest state. The registry is loaded lazily
+// and mu serialises issue+persist so the durable file is always a superset
+// of every acknowledged issuance.
+type design struct {
+	digest string
+	meta   DesignMeta
+
+	mu  sync.Mutex
+	reg *registry.Registry
+}
+
+// Server is the fingerprinting daemon: an http.Handler plus the cache,
+// store, worker pool and lifecycle around it. Create with New; serve
+// either via Serve/ListenAndServe or by mounting Handler in a test server.
+type Server struct {
+	cfg   Config
+	store *Store
+	cache *analysisCache
+	pool  *par.Pool
+
+	mu      sync.Mutex
+	designs map[string]*design
+
+	draining atomic.Bool
+	httpSrv  *http.Server
+
+	// testHook, when non-nil (tests only), runs while the request holds a
+	// worker slot, keyed by request kind ("issue", "trace", "upload").
+	testHook func(kind string)
+}
+
+// New opens the store, reloads every persisted design (analysis stays lazy
+// — the cache fills on first use) and returns a ready-to-serve daemon.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.StoreDir == "" {
+		return nil, fmt.Errorf("serve: Config.StoreDir is required")
+	}
+	store, err := OpenStore(cfg.StoreDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		store:   store,
+		cache:   newAnalysisCache(cfg.CacheSize),
+		pool:    par.NewPool(cfg.Workers),
+		designs: make(map[string]*design),
+	}
+	digests, err := store.Digests()
+	if err != nil {
+		return nil, err
+	}
+	for _, dg := range digests {
+		meta, err := store.LoadMeta(dg)
+		if err != nil {
+			return nil, err
+		}
+		s.designs[dg] = &design{digest: dg, meta: meta}
+	}
+	gDesigns.Set(int64(len(s.designs)))
+	s.httpSrv = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP handler (also usable under httptest).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /designs", s.handleUpload)
+	mux.HandleFunc("GET /designs", s.handleList)
+	mux.HandleFunc("GET /designs/{digest}", s.handleInfo)
+	mux.HandleFunc("POST /designs/{digest}/issue", s.handleIssue)
+	mux.HandleFunc("POST /designs/{digest}/trace", s.handleTrace)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s.instrument(mux)
+}
+
+// instrument wraps the mux with the request counter, in-flight gauge and
+// latency histogram.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mRequests.Inc()
+		gInFlight.Add(1)
+		defer gInFlight.Add(-1)
+		t0 := time.Now()
+		next.ServeHTTP(w, r)
+		hLatencyNS.Observe(int64(time.Since(t0)))
+	})
+}
+
+// Serve accepts connections on ln until Shutdown. It returns nil after a
+// clean shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	err := s.httpSrv.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// ListenAndServe binds addr and calls Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Shutdown drains the daemon gracefully: the listener closes, in-flight
+// requests run to completion (bounded by ctx), then the worker pool is
+// closed. Safe to call even when Serve was never started.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	err := s.httpSrv.Shutdown(ctx)
+	s.pool.Close()
+	return err
+}
+
+// InFlight returns the number of requests currently holding worker slots.
+func (s *Server) InFlight() int { return s.pool.InFlight() }
+
+// NumDesigns returns the number of designs the daemon can serve.
+func (s *Server) NumDesigns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.designs)
+}
+
+// lookupDesign returns the design for digest, or nil.
+func (s *Server) lookupDesign(digest string) *design {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.designs[digest]
+}
+
+// analysis returns the design's cached analysis, re-running the upload
+// path (parse stored bytes → sweep → analyze) on a cache miss and
+// verifying the recomputed digest still matches the stored one.
+func (s *Server) analysis(d *design) (*core.Analysis, error) {
+	return s.cache.getOrLoad(d.digest, func() (*core.Analysis, error) {
+		meta, raw, err := s.store.LoadDesign(d.digest)
+		if err != nil {
+			return nil, err
+		}
+		c, err := parseNetlist(meta.Format, raw)
+		if err != nil {
+			return nil, fmt.Errorf("serve: stored design %s: %w", d.digest, err)
+		}
+		a, err := analyzeUpload(c)
+		if err != nil {
+			return nil, fmt.Errorf("serve: stored design %s: %w", d.digest, err)
+		}
+		if got := registry.DesignDigest(a); got != d.digest {
+			return nil, fmt.Errorf("serve: stored design %s re-analyses to digest %s (store corrupted?)", d.digest, got)
+		}
+		return a, nil
+	})
+}
+
+// registryOf returns the design's registry, loading it on first use.
+func (s *Server) registryOf(d *design, a *core.Analysis) (*registry.Registry, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ensureRegistry(s.store, a)
+}
+
+// ensureRegistry loads or creates the registry; the caller must hold d.mu.
+func (d *design) ensureRegistry(store *Store, a *core.Analysis) (*registry.Registry, error) {
+	if d.reg != nil {
+		return d.reg, nil
+	}
+	r, err := store.LoadRegistry(d.digest, a)
+	if err != nil {
+		return nil, err
+	}
+	d.reg = r
+	return r, nil
+}
+
+// analyzeUpload is the canonical upload pipeline: sweep dead logic, then
+// analyse with the default library and options — byte-identical to the
+// CLI's registry-facing commands, so daemon digests match odcfp's.
+func analyzeUpload(c *circuit.Circuit) (*core.Analysis, error) {
+	swept, _ := c.Sweep()
+	return core.Analyze(swept, core.DefaultOptions(cell.Default()))
+}
+
+// parseNetlist decodes data in the given format: "bench", "blif" or
+// "v"/"verilog". BLIF input is technology-mapped onto the default library.
+func parseNetlist(format string, data []byte) (*circuit.Circuit, error) {
+	switch strings.ToLower(format) {
+	case "bench":
+		return benchfmt.Parse(bytes.NewReader(data))
+	case "blif":
+		n, err := blif.Parse(bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		return techmap.Map(n, techmap.DefaultOptions(cell.Default()))
+	case "v", "verilog":
+		return verilog.Parse(bytes.NewReader(data))
+	default:
+		return nil, fmt.Errorf("unknown netlist format %q (want bench, blif or v)", format)
+	}
+}
+
+// writeNetlist encodes c in the given output format ("bench" or "v").
+func writeNetlist(w io.Writer, format string, c *circuit.Circuit) error {
+	switch strings.ToLower(format) {
+	case "bench":
+		return benchfmt.Write(w, c)
+	case "v", "verilog":
+		return verilog.Write(w, c)
+	default:
+		return fmt.Errorf("unknown output format %q (want bench or v)", format)
+	}
+}
+
+// detectFormat sniffs a netlist's format from its content: BLIF models
+// start with dot-directives, Verilog declares a module, everything else is
+// treated as ISCAS .bench (whose INPUT(...) lines are unmistakable anyway).
+func detectFormat(data []byte) string {
+	for _, line := range strings.Split(string(data), "\n") {
+		t := strings.TrimSpace(line)
+		switch {
+		case t == "" || strings.HasPrefix(t, "#") || strings.HasPrefix(t, "//"):
+			continue
+		case strings.HasPrefix(t, "."):
+			return "blif"
+		case strings.HasPrefix(t, "module"):
+			return "v"
+		default:
+			return "bench"
+		}
+	}
+	return "bench"
+}
+
+// outputFormat picks the issue-response encoding: an explicit query wins,
+// then the design's own upload format when it round-trips ("bench", "v"),
+// else structural Verilog.
+func outputFormat(query, designFormat string) string {
+	if query != "" {
+		return query
+	}
+	switch designFormat {
+	case "bench", "v", "verilog":
+		return designFormat
+	default:
+		return "v"
+	}
+}

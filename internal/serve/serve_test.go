@@ -1,0 +1,468 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/bench"
+	"repro/internal/benchfmt"
+	"repro/internal/circuit"
+)
+
+// benchBytes renders a suite circuit as .bench text — the client-side view
+// of a netlist upload.
+func benchBytes(t testing.TB, name string) []byte {
+	t.Helper()
+	spec, err := bench.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := benchfmt.Write(&buf, spec.Build()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.StoreDir == "" {
+		cfg.StoreDir = t.TempDir()
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func uploadDesign(t testing.TB, base string, netlist []byte) (DesignInfo, int) {
+	t.Helper()
+	resp, err := http.Post(base+"/designs", "text/plain", bytes.NewReader(netlist))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload: status %d: %s", resp.StatusCode, body)
+	}
+	var info DesignInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatalf("upload response: %v: %s", err, body)
+	}
+	return info, resp.StatusCode
+}
+
+// issueCopy mints buyer's copy and returns the netlist bytes plus the
+// fingerprint value header.
+func issueCopy(t testing.TB, base, digest, buyer, query string) ([]byte, string) {
+	t.Helper()
+	url := fmt.Sprintf("%s/designs/%s/issue?buyer=%s%s", base, digest, buyer, query)
+	resp, err := http.Post(url, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("issue %s: status %d: %s", buyer, resp.StatusCode, body)
+	}
+	return body, resp.Header.Get("X-Odcfp-Fingerprint")
+}
+
+func traceSuspect(t testing.TB, base, digest string, netlist []byte, query string) TraceResponse {
+	t.Helper()
+	url := base + "/designs/" + digest + "/trace" + query
+	resp, err := http.Post(url, "text/plain", bytes.NewReader(netlist))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace: status %d: %s", resp.StatusCode, body)
+	}
+	var tr TraceResponse
+	if err := json.Unmarshal(body, &tr); err != nil {
+		t.Fatalf("trace response: %v: %s", err, body)
+	}
+	return tr
+}
+
+func parseBench(t testing.TB, data []byte) *circuit.Circuit {
+	t.Helper()
+	c, err := benchfmt.Parse(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestServeEndToEnd walks the whole service lifecycle over HTTP: upload a
+// design, issue two buyers (one verified), trace a verbatim copy exactly,
+// collude the two copies and confirm the trace implicates both colluders.
+func TestServeEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	netlist := benchBytes(t, "c880")
+
+	info, status := uploadDesign(t, ts.URL, netlist)
+	if status != http.StatusCreated {
+		t.Fatalf("first upload status = %d, want 201", status)
+	}
+	if info.Digest == "" || info.Locations == 0 || info.CapacityBits <= 0 {
+		t.Fatalf("implausible upload info: %+v", info)
+	}
+	// Re-uploading the same design is idempotent: 200, same digest.
+	info2, status2 := uploadDesign(t, ts.URL, netlist)
+	if status2 != http.StatusOK || info2.Digest != info.Digest {
+		t.Fatalf("re-upload = %d %s, want 200 %s", status2, info2.Digest, info.Digest)
+	}
+
+	aliceBody, aliceFP := issueCopy(t, ts.URL, info.Digest, "alice", "&verify=1")
+	bobBody, bobFP := issueCopy(t, ts.URL, info.Digest, "bob", "")
+	if aliceFP == bobFP {
+		t.Fatalf("alice and bob share fingerprint %s", aliceFP)
+	}
+	// Innocent buyers the collusion trace must NOT implicate.
+	for _, b := range []string{"carol", "dave", "erin"} {
+		issueCopy(t, ts.URL, info.Digest, b, "")
+	}
+	// Idempotent re-issue: same fingerprint value.
+	_, aliceFP2 := issueCopy(t, ts.URL, info.Digest, "alice", "")
+	if aliceFP2 != aliceFP {
+		t.Errorf("re-issue changed fingerprint: %s → %s", aliceFP, aliceFP2)
+	}
+
+	// A verbatim pirated copy traces exactly to its buyer, and at the
+	// default threshold 1.0 the score-based accusation implicates exactly
+	// that buyer (attack.Accuse's marking-assumption rule).
+	tr := traceSuspect(t, ts.URL, info.Digest, aliceBody, "")
+	if tr.Exact != "alice" {
+		t.Errorf("exact trace = %q, want alice", tr.Exact)
+	}
+	tr = traceSuspect(t, ts.URL, info.Digest, aliceBody, "?scores=1")
+	if len(tr.Implicated) != 1 || tr.Implicated[0] != "alice" {
+		t.Errorf("pirated-copy accusation = %v, want [alice]", tr.Implicated)
+	}
+
+	// Collusion: alice and bob merge their copies. Slots where the two
+	// copies agreed survive intact (marking assumption), so the colluders
+	// dominate the score table; a threshold below both colluders' scores
+	// but above every innocent's implicates exactly the coalition. The
+	// whole pipeline is deterministic (hash-derived fingerprints), so 0.4
+	// separates cleanly for this design: colluders score ≥ 0.5, innocents
+	// ≤ 0.31.
+	coll, err := attack.Collude([]*circuit.Circuit{
+		parseBench(t, aliceBody), parseBench(t, bobBody),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coll.DetectedGates) == 0 {
+		t.Fatal("collusion detected no differing sites")
+	}
+	var forged bytes.Buffer
+	if err := benchfmt.Write(&forged, coll.Forged); err != nil {
+		t.Fatal(err)
+	}
+	tr = traceSuspect(t, ts.URL, info.Digest, forged.Bytes(), "?scores=1&threshold=0.4")
+	implicated := map[string]bool{}
+	for _, b := range tr.Implicated {
+		implicated[b] = true
+	}
+	if len(implicated) != 2 || !implicated["alice"] || !implicated["bob"] {
+		t.Errorf("collusion trace implicated %v, want exactly {alice, bob} (scores %+v)", tr.Implicated, tr.Scores)
+	}
+	// The forged copy matches no registered fingerprint exactly.
+	if tr.Exact != "" {
+		t.Errorf("forged copy traced exactly to %q", tr.Exact)
+	}
+
+	// Listing and info agree with what we uploaded.
+	resp, err := http.Get(ts.URL + "/designs/" + info.Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Info   DesignInfo `json:"info"`
+		Buyers []string   `json:"buyers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got.Info.Buyers != 5 || len(got.Buyers) != 5 {
+		t.Errorf("info buyers = %d %v, want the 5 issued", got.Info.Buyers, got.Buyers)
+	}
+
+	// Health and metrics endpoints respond.
+	for _, path := range []string{"/healthz", "/metrics", "/designs"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestServeRestartLosesNothing: issued fingerprints and designs survive a
+// daemon restart on the same store directory — the acceptance criterion
+// that an acknowledged issuance is never lost.
+func TestServeRestartLosesNothing(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, Config{StoreDir: dir})
+	netlist := benchBytes(t, "c880")
+	info, _ := uploadDesign(t, ts1.URL, netlist)
+	aliceBody, aliceFP := issueCopy(t, ts1.URL, info.Digest, "alice", "")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Draining is visible on the health endpoint; pooled endpoints refuse.
+	resp, err := http.Get(ts1.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining = %d, want 503", resp.StatusCode)
+	}
+	ts1.Close()
+
+	// "Restart": a fresh server over the same store.
+	s2, ts2 := newTestServer(t, Config{StoreDir: dir})
+	if n := s2.NumDesigns(); n != 1 {
+		t.Fatalf("restarted server has %d designs, want 1", n)
+	}
+	// The pre-restart copy still traces to alice (the record survived).
+	tr := traceSuspect(t, ts2.URL, info.Digest, aliceBody, "")
+	if tr.Exact != "alice" {
+		t.Errorf("post-restart trace = %q, want alice", tr.Exact)
+	}
+	// Re-issuing alice yields the identical fingerprint from the reloaded
+	// registry, not a fresh derivation that happens to match.
+	_, fp2 := issueCopy(t, ts2.URL, info.Digest, "alice", "")
+	if fp2 != aliceFP {
+		t.Errorf("post-restart fingerprint %s, want %s", fp2, aliceFP)
+	}
+}
+
+// TestServeGracefulShutdown: Shutdown lets an in-flight request run to
+// completion, then Serve returns nil and the port stops accepting.
+func TestServeGracefulShutdown(t *testing.T) {
+	s, err := New(Config{StoreDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	s.testHook = func(kind string) {
+		if kind == "issue" {
+			entered <- struct{}{}
+			<-release
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	info, _ := uploadDesign(t, base, benchBytes(t, "c432"))
+
+	type result struct {
+		status int
+		fp     string
+		err    error
+	}
+	issueDone := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(base+"/designs/"+info.Digest+"/issue?buyer=alice", "text/plain", nil)
+		if err != nil {
+			issueDone <- result{err: err}
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		issueDone <- result{status: resp.StatusCode, fp: resp.Header.Get("X-Odcfp-Fingerprint")}
+	}()
+	<-entered // the issue request now holds a worker slot
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+	for !s.draining.Load() {
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case r := <-issueDone:
+		t.Fatalf("in-flight request finished before release: %+v", r)
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+
+	r := <-issueDone
+	if r.err != nil || r.status != http.StatusOK || r.fp == "" {
+		t.Fatalf("in-flight issue after shutdown began = %+v, want 200 with fingerprint", r)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("port still accepting connections after shutdown")
+	}
+}
+
+// TestServeConcurrentIssue: many clients issuing different buyers at once
+// all succeed with distinct fingerprints (run under -race).
+func TestServeConcurrentIssue(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	info, _ := uploadDesign(t, ts.URL, benchBytes(t, "c880"))
+
+	const buyers = 8
+	fps := make([]string, buyers)
+	var wg sync.WaitGroup
+	for i := 0; i < buyers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, fps[i] = issueCopy(t, ts.URL, info.Digest, fmt.Sprintf("buyer-%02d", i), "")
+		}(i)
+	}
+	wg.Wait()
+	seen := map[string]int{}
+	for i, fp := range fps {
+		if fp == "" {
+			t.Fatalf("buyer %d got no fingerprint", i)
+		}
+		if j, dup := seen[fp]; dup {
+			t.Errorf("buyers %d and %d share fingerprint %s", i, j, fp)
+		}
+		seen[fp] = i
+	}
+	resp, err := http.Get(ts.URL + "/designs/" + info.Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Info DesignInfo `json:"info"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got.Info.Buyers != buyers {
+		t.Errorf("registry has %d buyers, want %d", got.Info.Buyers, buyers)
+	}
+}
+
+// TestServeRequestLimits: oversized bodies are rejected with 413 and a
+// request stuck behind a saturated pool times out with 504.
+func TestServeRequestLimits(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, MaxRequestBytes: 256, RequestTimeout: 200 * time.Millisecond})
+
+	big := bytes.Repeat([]byte("# padding line\n"), 100)
+	resp, err := http.Post(ts.URL+"/designs", "text/plain", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized upload = %d, want 413", resp.StatusCode)
+	}
+
+	// A tiny inverter fits the 256-byte budget for the timeout half.
+	tiny := []byte("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n")
+	info, _ := uploadDesign(t, ts.URL, tiny)
+
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	s.testHook = func(kind string) {
+		if kind == "info" {
+			entered <- struct{}{}
+			<-release
+		}
+	}
+	go func() {
+		resp, err := http.Get(ts.URL + "/designs/" + info.Digest)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	<-entered // worker slot occupied
+	resp, err = http.Post(ts.URL+"/designs/"+info.Digest+"/issue?buyer=waiter", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("queued request = %d (%s), want 504", resp.StatusCode, body)
+	}
+	close(release)
+}
+
+// TestServeErrors: malformed requests get sensible statuses.
+func TestServeErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	post := func(path string, body string) int {
+		resp, err := http.Post(ts.URL+path, "text/plain", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := post("/designs", ""); got != http.StatusBadRequest {
+		t.Errorf("empty upload = %d, want 400", got)
+	}
+	if got := post("/designs", "INPUT(a\n???"); got != http.StatusBadRequest {
+		t.Errorf("garbage upload = %d, want 400", got)
+	}
+	unknown := strings.Repeat("ab", 16)
+	if got := post("/designs/"+unknown+"/issue?buyer=x", ""); got != http.StatusNotFound {
+		t.Errorf("issue on unknown digest = %d, want 404", got)
+	}
+	if got := post("/designs/"+unknown+"/trace", "INPUT(a)\nOUTPUT(a)\n"); got != http.StatusNotFound {
+		t.Errorf("trace on unknown digest = %d, want 404", got)
+	}
+	info, _ := uploadDesign(t, ts.URL, benchBytes(t, "c432"))
+	if got := post("/designs/"+info.Digest+"/issue", ""); got != http.StatusBadRequest {
+		t.Errorf("issue without buyer = %d, want 400", got)
+	}
+	if got := post("/designs/"+info.Digest+"/trace", ""); got != http.StatusBadRequest {
+		t.Errorf("trace with empty body = %d, want 400", got)
+	}
+}

@@ -1,0 +1,263 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/registry"
+)
+
+// Store metrics: saves/loads are workload-determined; recovered temp files
+// only exist after a crash, so the counter is effectively a crash detector.
+var (
+	mStoreSaves     = obs.NewCounter("serve", "store_saves")
+	mStoreLoads     = obs.NewCounter("serve", "store_loads")
+	mStoreRecovered = obs.NewCounter("serve", "store_recovered_tmp")
+)
+
+// tmpMarker tags in-progress atomic writes; OpenStore sweeps leftovers.
+const tmpMarker = ".tmp-"
+
+// DesignMeta is the durable sidecar record of one uploaded design: enough
+// to re-run the upload path (parse → sweep → analyze) byte-identically on
+// restart, which is what makes the design digest stable across restarts.
+type DesignMeta struct {
+	// Design is the circuit name (informational).
+	Design string `json:"design"`
+	// Format is the netlist format of the stored bytes: "bench", "blif" or
+	// "v".
+	Format string `json:"format"`
+}
+
+// Store is the daemon's durable state, rooted at one directory. Per design
+// digest it holds three files:
+//
+//	<digest>.design        raw uploaded netlist bytes, verbatim
+//	<digest>.meta.json     DesignMeta (format + name)
+//	<digest>.registry.json the registry.Registry of issued fingerprints
+//
+// Every write is crash-safe: content goes to a temp file in the same
+// directory, is fsynced, then renamed over the destination (and the
+// directory fsynced), so readers — including a restarted daemon — only
+// ever observe a complete old or complete new file, never a torn one.
+// OpenStore removes temp files left behind by a crash mid-write.
+type Store struct {
+	dir string
+}
+
+// OpenStore opens (creating if necessary) a store rooted at dir and
+// recovers from any interrupted writes by deleting leftover temp files.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: store: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: store: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.Contains(e.Name(), tmpMarker) {
+			// A crash mid-write left this behind; the destination file (if
+			// any) is the last complete state, so the temp is garbage.
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return nil, fmt.Errorf("serve: store: recovering %s: %w", e.Name(), err)
+			}
+			mStoreRecovered.Inc()
+		}
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// atomicWrite writes data to path via temp file + fsync + rename. The
+// destination is never truncated in place.
+func (s *Store) atomicWrite(path string, data []byte) error {
+	f, err := os.CreateTemp(s.dir, filepath.Base(path)+tmpMarker+"*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	cleanup := func() { f.Close(); os.Remove(tmp) }
+	if _, err := f.Write(data); err != nil {
+		cleanup()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Persist the rename itself.
+	if d, err := os.Open(s.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	mStoreSaves.Inc()
+	return nil
+}
+
+func (s *Store) designPath(digest string) string { return filepath.Join(s.dir, digest+".design") }
+func (s *Store) metaPath(digest string) string   { return filepath.Join(s.dir, digest+".meta.json") }
+func (s *Store) registryPath(digest string) string {
+	return filepath.Join(s.dir, digest+".registry.json")
+}
+
+// validDigest rejects digests that could escape the store directory; real
+// digests are fixed-width lowercase hex (registry.DesignDigest).
+func validDigest(d string) bool {
+	if len(d) != 32 {
+		return false
+	}
+	for _, c := range d {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// PutDesign durably records a design's raw netlist bytes and metadata.
+// The netlist is stored verbatim so reloading replays the exact upload.
+func (s *Store) PutDesign(digest string, meta DesignMeta, netlist []byte) error {
+	if !validDigest(digest) {
+		return fmt.Errorf("serve: store: invalid digest %q", digest)
+	}
+	mb, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	if err := s.atomicWrite(s.designPath(digest), netlist); err != nil {
+		return fmt.Errorf("serve: store design %s: %w", digest, err)
+	}
+	if err := s.atomicWrite(s.metaPath(digest), append(mb, '\n')); err != nil {
+		return fmt.Errorf("serve: store meta %s: %w", digest, err)
+	}
+	return nil
+}
+
+// HasDesign reports whether a complete design record exists for digest.
+func (s *Store) HasDesign(digest string) bool {
+	if !validDigest(digest) {
+		return false
+	}
+	if _, err := os.Stat(s.metaPath(digest)); err != nil {
+		return false
+	}
+	_, err := os.Stat(s.designPath(digest))
+	return err == nil
+}
+
+// LoadDesign returns the stored metadata and raw netlist bytes for digest.
+func (s *Store) LoadDesign(digest string) (DesignMeta, []byte, error) {
+	var meta DesignMeta
+	if !validDigest(digest) {
+		return meta, nil, fmt.Errorf("serve: store: invalid digest %q", digest)
+	}
+	mb, err := os.ReadFile(s.metaPath(digest))
+	if err != nil {
+		return meta, nil, fmt.Errorf("serve: store: %w", err)
+	}
+	if err := json.Unmarshal(mb, &meta); err != nil {
+		return meta, nil, fmt.Errorf("serve: store: meta %s: %w", digest, err)
+	}
+	data, err := os.ReadFile(s.designPath(digest))
+	if err != nil {
+		return meta, nil, fmt.Errorf("serve: store: %w", err)
+	}
+	mStoreLoads.Inc()
+	return meta, data, nil
+}
+
+// LoadMeta reads only the metadata sidecar for digest (startup reload
+// avoids touching the netlist bytes until first use).
+func (s *Store) LoadMeta(digest string) (DesignMeta, error) {
+	var meta DesignMeta
+	if !validDigest(digest) {
+		return meta, fmt.Errorf("serve: store: invalid digest %q", digest)
+	}
+	mb, err := os.ReadFile(s.metaPath(digest))
+	if err != nil {
+		return meta, fmt.Errorf("serve: store: %w", err)
+	}
+	if err := json.Unmarshal(mb, &meta); err != nil {
+		return meta, fmt.Errorf("serve: store: meta %s: %w", digest, err)
+	}
+	return meta, nil
+}
+
+// Digests lists every digest with a complete design record, sorted.
+func (s *Store) Digests() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: store: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".meta.json") || strings.Contains(name, tmpMarker) {
+			continue
+		}
+		digest := strings.TrimSuffix(name, ".meta.json")
+		if s.HasDesign(digest) {
+			out = append(out, digest)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// SaveRegistry durably persists the design's registry. The JSON is
+// serialised by registry.Save (a point-in-time snapshot under the
+// registry's read lock) and written atomically, satisfying the
+// crash-safety contract that no restart observes a torn registry.
+func (s *Store) SaveRegistry(digest string, r *registry.Registry) error {
+	if !validDigest(digest) {
+		return fmt.Errorf("serve: store: invalid digest %q", digest)
+	}
+	var b strings.Builder
+	if err := r.Save(&b); err != nil {
+		return err
+	}
+	if err := s.atomicWrite(s.registryPath(digest), []byte(b.String())); err != nil {
+		return fmt.Errorf("serve: store registry %s: %w", digest, err)
+	}
+	return nil
+}
+
+// LoadRegistry reads the design's registry, validating it against the
+// analysis. A missing registry file is not an error: it returns a fresh
+// empty registry (the design was stored but nothing issued yet).
+func (s *Store) LoadRegistry(digest string, a *core.Analysis) (*registry.Registry, error) {
+	if !validDigest(digest) {
+		return nil, fmt.Errorf("serve: store: invalid digest %q", digest)
+	}
+	f, err := os.Open(s.registryPath(digest))
+	if os.IsNotExist(err) {
+		return registry.New(a), nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: store: %w", err)
+	}
+	defer f.Close()
+	r, err := registry.Load(f, a)
+	if err != nil {
+		return nil, fmt.Errorf("serve: store: registry %s: %w", digest, err)
+	}
+	mStoreLoads.Inc()
+	return r, nil
+}

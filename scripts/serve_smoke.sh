@@ -1,0 +1,69 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke test of the fingerprinting daemon:
+#
+#   1. start odcfpd on an ephemeral port with a fresh store
+#   2. drive a loadgen burst of mixed issue/trace requests, saving every
+#      issued copy
+#   3. SIGTERM the daemon and require a clean (exit 0) graceful drain
+#   4. restart the daemon on the same store and replay the saved copies,
+#      proving no acknowledged issuance was lost across the restart
+#
+# Usage: scripts/serve_smoke.sh [requests] [clients] [out.json]
+# Defaults are sized for CI (fast); the BENCH_serve.json in the repo was
+# produced with `scripts/serve_smoke.sh 1000 8 BENCH_serve.json`.
+set -eu
+
+N=${1:-200}
+C=${2:-8}
+OUT=${3:-serve_smoke.json}
+
+GO=${GO:-go}
+WORK=$(mktemp -d)
+STORE="$WORK/store"
+COPIES="$WORK/copies"
+ADDRFILE="$WORK/addr"
+LOG="$WORK/odcfpd.log"
+
+cleanup() {
+    [ -n "${DPID:-}" ] && kill "$DPID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "serve-smoke: building binaries"
+$GO build -o "$WORK/odcfpd" ./cmd/odcfpd
+$GO build -o "$WORK/loadgen" ./cmd/loadgen
+
+start_daemon() {
+    rm -f "$ADDRFILE"
+    "$WORK/odcfpd" -addr 127.0.0.1:0 -store "$STORE" -addr-file "$ADDRFILE" >>"$LOG" 2>&1 &
+    DPID=$!
+    for _ in $(seq 1 100); do
+        [ -s "$ADDRFILE" ] && break
+        kill -0 "$DPID" 2>/dev/null || { echo "serve-smoke: daemon died at startup"; cat "$LOG"; exit 1; }
+        sleep 0.1
+    done
+    [ -s "$ADDRFILE" ] || { echo "serve-smoke: daemon never bound"; cat "$LOG"; exit 1; }
+    ADDR=$(cat "$ADDRFILE")
+}
+
+echo "serve-smoke: phase 1 — $N requests, $C clients"
+start_daemon
+"$WORK/loadgen" -addr "$ADDR" -n "$N" -c "$C" -save "$COPIES" -out "$OUT"
+
+echo "serve-smoke: draining daemon with SIGTERM"
+kill -TERM "$DPID"
+if ! wait "$DPID"; then
+    echo "serve-smoke: daemon exited non-zero"; cat "$LOG"; exit 1
+fi
+DPID=
+
+echo "serve-smoke: phase 2 — restart and replay saved copies"
+start_daemon
+"$WORK/loadgen" -addr "$ADDR" -replay "$COPIES" -out "$OUT"
+
+kill -TERM "$DPID"
+wait "$DPID" || { echo "serve-smoke: daemon exited non-zero after replay"; cat "$LOG"; exit 1; }
+DPID=
+
+echo "serve-smoke: OK (report: $OUT)"
