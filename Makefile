@@ -2,13 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-verify bench-serve serve-smoke experiments reproduce doccheck fuzz cover ci clean
+.PHONY: all build test vet bench bench-verify bench-serve serve-smoke chaos experiments reproduce doccheck fuzz cover ci clean
 
 all: build vet test
 
 # Everything the CI workflow runs: formatting, vet, doc lint, build, the
-# full race-enabled test suite, and a short fuzz pass over the two
-# line-oriented netlist parsers.
+# full race-enabled test suite, a short fuzz pass over the three netlist
+# parsers, and the fault-injected chaos smoke.
 ci: doccheck
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
@@ -17,7 +17,18 @@ ci: doccheck
 	$(GO) test -race ./...
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/blif/
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/benchfmt/
+	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/verilog/
+	$(MAKE) chaos
 	$(MAKE) serve-smoke
+
+# Chaos smoke: the daemon's fault-injection suite (DESIGN.md §10) under the
+# race detector — injected store failures, SAT stalls and budget exhaustion,
+# pool saturation — asserting no acknowledged issuance is lost, no slot or
+# goroutine leaks, and every degraded response is labeled. The run's metric
+# snapshot lands in chaos-metrics.json (CI uploads it as an artifact).
+chaos:
+	CHAOS_METRICS_OUT=$(CURDIR)/chaos-metrics.json \
+		$(GO) test -race -count=1 -run 'TestChaos' ./internal/serve/
 
 # Daemon smoke: start odcfpd, run a concurrent loadgen burst, SIGTERM-drain,
 # restart on the same store and prove no issued fingerprint was lost
@@ -75,5 +86,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/verilog/
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/benchfmt/
 
+# Seed corpora under internal/*/testdata/fuzz are committed — clean only
+# removes generated run artifacts, never fuzz seeds.
 clean:
-	rm -rf internal/*/testdata/fuzz
+	rm -f BENCH_*.json runreport.json tables.md chaos-metrics.json

@@ -45,11 +45,14 @@ func main() {
 
 // report is the BENCH_serve.json schema.
 type report struct {
-	Design    string       `json:"design"`
-	Digest    string       `json:"digest"`
-	Clients   int          `json:"clients"`
-	Requests  int          `json:"requests"`
-	Failures  int          `json:"failures"`
+	Design   string `json:"design"`
+	Digest   string `json:"digest"`
+	Clients  int    `json:"clients"`
+	Requests int    `json:"requests"`
+	Failures int    `json:"failures"`
+	// Shed counts 429 responses absorbed by client-side retry — the
+	// daemon's overload flow control, not failures.
+	Shed      int          `json:"shed,omitempty"`
 	WallMS    float64      `json:"wall_ms"`
 	RPS       float64      `json:"rps"`
 	Issue     *latencyStat `json:"issue,omitempty"`
@@ -100,6 +103,37 @@ func run(args []string) error {
 		return replay(base, *replayDir, *out)
 	}
 	return generate(base, *benchName, *inFile, *format, *n, *c, *saveDir, *out)
+}
+
+// postRetry posts body to url, honoring 429 shed responses by backing off
+// and retrying: shedding is the daemon's flow control under overload, not a
+// request failure (README "Operating under overload and failure"). Each
+// shed is counted in shed when non-nil. The final response body is
+// returned with the body already read and closed.
+func postRetry(c *http.Client, url, contentType string, body []byte, shed *atomic.Int64) (*http.Response, []byte, error) {
+	backoff := 25 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		resp, err := c.Post(url, contentType, rd)
+		if err != nil {
+			return nil, nil, err
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests || attempt >= 50 {
+			return resp, b, nil
+		}
+		if shed != nil {
+			shed.Add(1)
+		}
+		time.Sleep(backoff)
+		if backoff < 400*time.Millisecond {
+			backoff *= 2
+		}
+	}
 }
 
 // upload posts the netlist and returns the design digest and name.
@@ -213,6 +247,7 @@ func generate(base, benchName, inFile, format string, n, c int, saveDir, out str
 		issueLat   []time.Duration
 		traceLat   []time.Duration
 		failures   atomic.Int64
+		shed       atomic.Int64
 		nextBuyer  atomic.Int64
 		httpClient = &http.Client{Timeout: 2 * time.Minute}
 	)
@@ -233,14 +268,12 @@ func generate(base, benchName, inFile, format string, n, c int, saveDir, out str
 				}
 				buyer := fmt.Sprintf("buyer-%05d", i)
 				t0 := time.Now()
-				resp, err := httpClient.Post(
-					base+"/designs/"+digest+"/issue?buyer="+buyer, "text/plain", nil)
+				resp, body, err := postRetry(httpClient,
+					base+"/designs/"+digest+"/issue?buyer="+buyer, "text/plain", nil, &shed)
 				if err != nil {
 					fail("issue %s: %v", buyer, err)
 					continue
 				}
-				body, _ := io.ReadAll(resp.Body)
-				resp.Body.Close()
 				dIssue := time.Since(t0)
 				if resp.StatusCode != http.StatusOK {
 					fail("issue %s: %s: %s", buyer, resp.Status, body)
@@ -252,14 +285,12 @@ func generate(base, benchName, inFile, format string, n, c int, saveDir, out str
 					}
 				}
 				t1 := time.Now()
-				tresp, err := httpClient.Post(
-					base+"/designs/"+digest+"/trace", "text/plain", bytes.NewReader(body))
+				tresp, tbody, err := postRetry(httpClient,
+					base+"/designs/"+digest+"/trace", "text/plain", body, &shed)
 				if err != nil {
 					fail("trace %s: %v", buyer, err)
 					continue
 				}
-				tbody, _ := io.ReadAll(tresp.Body)
-				tresp.Body.Close()
 				dTrace := time.Since(t1)
 				if tresp.StatusCode != http.StatusOK {
 					fail("trace %s: %s: %s", buyer, tresp.Status, tbody)
@@ -292,6 +323,7 @@ func generate(base, benchName, inFile, format string, n, c int, saveDir, out str
 		Clients:   c,
 		Requests:  2 * buyers,
 		Failures:  int(failures.Load()),
+		Shed:      int(shed.Load()),
 		WallMS:    float64(wall) / float64(time.Millisecond),
 		RPS:       float64(2*buyers) / wall.Seconds(),
 		Issue:     percentiles(issueLat),
@@ -302,8 +334,8 @@ func generate(base, benchName, inFile, format string, n, c int, saveDir, out str
 	if err := writeReport(out, rep); err != nil {
 		return err
 	}
-	fmt.Printf("loadgen: %d requests, %d clients, %d failures, %.1f req/s, cache hit rate %.4f\n",
-		rep.Requests, c, rep.Failures, rep.RPS, hitRate(cache))
+	fmt.Printf("loadgen: %d requests, %d clients, %d failures, %d shed, %.1f req/s, cache hit rate %.4f\n",
+		rep.Requests, c, rep.Failures, rep.Shed, rep.RPS, hitRate(cache))
 	if rep.Failures > 0 {
 		return fmt.Errorf("%d requests failed", rep.Failures)
 	}
@@ -342,14 +374,12 @@ func replay(base, dir, out string) error {
 		if err != nil {
 			return err
 		}
-		resp, err := httpClient.Post(base+"/designs/"+digest+"/trace", "text/plain", bytes.NewReader(body))
+		resp, tbody, err := postRetry(httpClient, base+"/designs/"+digest+"/trace", "text/plain", body, nil)
 		if err != nil {
 			stat.Failures++
 			fmt.Fprintf(os.Stderr, "loadgen: replay trace %s: %v\n", buyer, err)
 			continue
 		}
-		tbody, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
 		var tr struct {
 			Exact string `json:"exact"`
 		}

@@ -99,16 +99,27 @@ func readCircuit(path string) (*odcfp.Circuit, error) {
 		return nil, err
 	}
 	defer f.Close()
+	var c *odcfp.Circuit
 	switch strings.ToLower(filepath.Ext(path)) {
 	case ".blif":
-		return odcfp.ReadBLIF(f, odcfp.DefaultLibrary())
+		c, err = odcfp.ReadBLIF(f, odcfp.DefaultLibrary())
 	case ".v", ".verilog":
-		return odcfp.ReadVerilog(f)
+		c, err = odcfp.ReadVerilog(f)
 	case ".bench":
-		return odcfp.ReadBench(f)
+		c, err = odcfp.ReadBench(f)
 	default:
 		return nil, fmt.Errorf("cannot infer format of %q (want .blif, .v or .bench)", path)
 	}
+	if err != nil {
+		return nil, err
+	}
+	// Same structural gate as the daemon's upload handler: a netlist that
+	// parses but is malformed (undriven inputs, cycles) fails here with the
+	// diagnostic instead of deep inside analysis.
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: invalid netlist: %w", path, err)
+	}
+	return c, nil
 }
 
 func writeCircuit(path string, c *odcfp.Circuit) error {

@@ -7,11 +7,17 @@
 //
 //	odcfpd -addr :8341 -store ./odcfpd-store [-cache 64] [-j N]
 //	       [-max-bytes 16777216] [-timeout 60s] [-verify] [-addr-file PATH]
+//	       [-retries 3] [-breaker 3] [-cooldown 30s] [-max-queue N]
+//	       [-faults SPEC]
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: the listener closes,
 // in-flight requests run to completion, then the process exits 0. With
 // -addr-file the actual listen address (useful with ":0") is written to the
 // given path once the listener is bound.
+//
+// -faults arms the internal/fault injection plan (chaos testing only; see
+// that package for the spec syntax, e.g.
+// "store.write:p=0.3;sat.slow:delay=5ms;seed:42").
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/serve"
 )
 
@@ -45,17 +52,34 @@ func run(args []string) error {
 	verify := fs.Bool("verify", false, "CEC-verify every issued copy against the master before returning it")
 	addrFile := fs.String("addr-file", "", "write the bound listen address to this file")
 	drain := fs.Duration("drain", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+	retries := fs.Int("retries", 0, "attempts for transient store errors (0 = default 3)")
+	breaker := fs.Int("breaker", 0, "consecutive SAT-verify failures tripping degraded mode (0 = default 3)")
+	cooldown := fs.Duration("cooldown", 0, "open-breaker cooldown before a probe (0 = default 30s)")
+	maxQueue := fs.Int("max-queue", 0, "shed requests beyond this pool queue depth (0 = default 4×workers, <0 = off)")
+	faults := fs.String("faults", "", "arm a fault-injection plan (chaos testing; see internal/fault)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *faults != "" {
+		plan, err := fault.Parse(*faults)
+		if err != nil {
+			return err
+		}
+		fault.Enable(plan)
+		fmt.Fprintf(os.Stderr, "odcfpd: FAULT INJECTION ARMED: %s\n", plan)
+	}
 
 	srv, err := serve.New(serve.Config{
-		StoreDir:        *store,
-		CacheSize:       *cache,
-		Workers:         *workers,
-		MaxRequestBytes: *maxBytes,
-		RequestTimeout:  *timeout,
-		VerifyIssues:    *verify,
+		StoreDir:         *store,
+		CacheSize:        *cache,
+		Workers:          *workers,
+		MaxRequestBytes:  *maxBytes,
+		RequestTimeout:   *timeout,
+		VerifyIssues:     *verify,
+		RetryAttempts:    *retries,
+		BreakerThreshold: *breaker,
+		BreakerCooldown:  *cooldown,
+		MaxQueueDepth:    *maxQueue,
 	})
 	if err != nil {
 		return err

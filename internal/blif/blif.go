@@ -93,6 +93,11 @@ func Parse(r io.Reader) (*Netlist, error) {
 				}
 				line += " " + strings.TrimSpace(next)
 			}
+			// A lone continuation backslash (possibly at EOF) can join to
+			// nothing; skip it rather than emit an empty line.
+			if line = strings.TrimSpace(line); line == "" {
+				continue
+			}
 			return line, true
 		}
 		return "", false

@@ -11,6 +11,8 @@
 package cec
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/circuit"
@@ -19,6 +21,14 @@ import (
 	"repro/internal/sat"
 	"repro/internal/sim"
 )
+
+// ErrBudgetExhausted is wrapped by Check/Session.Verify errors when the SAT
+// search ran out of its MaxConflicts budget (or a sat.budget fault fired)
+// before reaching a verdict. Callers distinguish it from structural errors
+// with errors.Is: a budget exhaustion is retryable — with a larger budget,
+// or by degrading to a simulation spot-check, as the daemon's verification
+// circuit breaker does.
+var ErrBudgetExhausted = errors.New("cec: SAT conflict budget exhausted")
 
 // Options tunes the checker.
 type Options struct {
@@ -212,6 +222,12 @@ func interfaceCheck(a, b *circuit.Circuit) error {
 // Check decides whether circuits a and b (same PI/PO interface) compute the
 // same function on every output.
 func Check(a, b *circuit.Circuit, opts Options) (Verdict, error) {
+	return CheckCtx(context.Background(), a, b, opts)
+}
+
+// CheckCtx is Check with cooperative cancellation: when ctx is done the SAT
+// search stops at its next poll and the context error is returned.
+func CheckCtx(ctx context.Context, a, b *circuit.Circuit, opts Options) (Verdict, error) {
 	mOneShotChecks.Inc()
 	sp := obs.Start("cec.check")
 	defer sp.End()
@@ -262,7 +278,11 @@ func Check(a, b *circuit.Circuit, opts Options) (Verdict, error) {
 	if err := s.AddClause(diff...); err != nil {
 		return Verdict{}, err
 	}
-	switch s.Solve() {
+	st, err := s.SolveCtx(ctx)
+	if err != nil {
+		return Verdict{}, err
+	}
+	switch st {
 	case sat.Unsat:
 		return Verdict{Equivalent: true, Proved: true}, nil
 	case sat.Sat:
@@ -273,7 +293,7 @@ func Check(a, b *circuit.Circuit, opts Options) (Verdict, error) {
 		po := findDifferingPO(a, b, cex)
 		return Verdict{Equivalent: false, Proved: true, Counterexample: cex, PO: po}, nil
 	default:
-		return Verdict{}, fmt.Errorf("cec: SAT budget exhausted (%d conflicts)", opts.MaxConflicts)
+		return Verdict{}, fmt.Errorf("%w (%d conflicts)", ErrBudgetExhausted, opts.MaxConflicts)
 	}
 }
 

@@ -1,6 +1,7 @@
 package cec
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -612,6 +613,14 @@ func (sess *Session) build() error {
 // slot's gate unmodified, v ≥ 0 applies Options[v]. The verdict matches
 // what Check(master, instance) would return for the materialized instance.
 func (sess *Session) Verify(choice []int) (Verdict, error) {
+	return sess.VerifyCtx(context.Background(), choice)
+}
+
+// VerifyCtx is Verify with cooperative cancellation. When ctx is done the
+// in-flight SAT solve stops at its next poll and the context error is
+// returned; the session stays usable — a PO interrupted mid-close is left
+// unresolved and is retried on the next call.
+func (sess *Session) VerifyCtx(ctx context.Context, choice []int) (Verdict, error) {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	if sess.master.Version() != sess.version {
@@ -657,7 +666,13 @@ func (sess *Session) Verify(choice []int) (Verdict, error) {
 		}
 		sess.stats.UniversalSolves++
 		mUniversalSolves.Inc()
-		switch sess.s.Solve(x) {
+		st, err := sess.s.SolveCtx(ctx, x)
+		if err != nil {
+			// Cancelled mid-close: leave the PO unresolved so a later call
+			// retries the universal solve.
+			return Verdict{}, err
+		}
+		switch st {
 		case sat.Unsat:
 			sess.poClosed[i] = true
 			sess.stats.ClosedPOs++
@@ -676,7 +691,11 @@ func (sess *Session) Verify(choice []int) (Verdict, error) {
 		}
 		sess.stats.AssumptionSolves++
 		mAssumptionSolves.Inc()
-		switch sess.s.Solve(append(assumptions[:nAss:nAss], x)...) {
+		st, err := sess.s.SolveCtx(ctx, append(assumptions[:nAss:nAss], x)...)
+		if err != nil {
+			return Verdict{}, err
+		}
+		switch st {
 		case sat.Unsat:
 			continue
 		case sat.Sat:
@@ -687,7 +706,7 @@ func (sess *Session) Verify(choice []int) (Verdict, error) {
 			sess.s.BacktrackAll()
 			return Verdict{Equivalent: false, Proved: true, Counterexample: cex, PO: sess.master.POs[i].Name}, nil
 		default:
-			return Verdict{}, fmt.Errorf("cec: SAT budget exhausted (%d conflicts)", sess.opts.MaxConflicts)
+			return Verdict{}, fmt.Errorf("%w (%d conflicts)", ErrBudgetExhausted, sess.opts.MaxConflicts)
 		}
 	}
 	return Verdict{Equivalent: true, Proved: true}, nil

@@ -8,6 +8,7 @@
 package constrain
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -81,6 +82,13 @@ const slackEps = 1e-9
 // again"). The loop stops as soon as the budget is met; it always
 // terminates because every round removes one modification.
 func Reactive(a *core.Analysis, start core.Assignment, opts Options) (*Result, error) {
+	return ReactiveCtx(context.Background(), a, start, opts)
+}
+
+// ReactiveCtx is Reactive with cooperative cancellation: the greedy loop
+// polls ctx at every round boundary (each round is one full candidate-trial
+// sweep) and returns the context error once it is done.
+func ReactiveCtx(ctx context.Context, a *core.Analysis, start core.Assignment, opts Options) (*Result, error) {
 	if opts.Library == nil {
 		return nil, fmt.Errorf("constrain: Options.Library is required")
 	}
@@ -145,7 +153,15 @@ func Reactive(a *core.Analysis, start core.Assignment, opts Options) (*Result, e
 		return wk.inc.Update(wk.w.ModAffected(m)...)
 	}
 
+	done := ctx.Done()
 	for {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		tm, err := sta.Analyze(w.C, opts.Library)
 		if err != nil {
 			return nil, err

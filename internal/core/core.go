@@ -22,6 +22,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -193,6 +194,13 @@ type Analysis struct {
 // examined as a potential primary gate; its deepest fanout-free fanin
 // becomes Y and its shallowest other input becomes the trigger X.
 func Analyze(c *circuit.Circuit, opts Options) (*Analysis, error) {
+	return AnalyzeCtx(context.Background(), c, opts)
+}
+
+// AnalyzeCtx is Analyze with cooperative cancellation: the primary-gate scan
+// polls ctx periodically and returns the context error once it is done, so a
+// daemon deadline interrupts even very large netlists promptly.
+func AnalyzeCtx(ctx context.Context, c *circuit.Circuit, opts Options) (*Analysis, error) {
 	if opts.Library == nil {
 		return nil, fmt.Errorf("core: Options.Library is required")
 	}
@@ -206,7 +214,15 @@ func Analyze(c *circuit.Circuit, opts Options) (*Analysis, error) {
 	claimed := make([]bool, len(c.Nodes)) // target gates already owned by a location
 
 	// Scan primary-gate candidates in topological order for determinism.
-	for _, p := range c.MustTopoOrder() {
+	done := ctx.Done()
+	for i, p := range c.MustTopoOrder() {
+		if done != nil && i%256 == 255 {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		nd := &c.Nodes[p]
 		if nd.IsPI {
 			continue

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cec"
@@ -83,19 +84,26 @@ func (v *Verifier) Incremental() bool { return v.sess != nil }
 // the master. Assignments containing Tampered entries cannot be verified
 // at assignment level; materialize the suspect netlist and use cec.Check.
 func (v *Verifier) Verify(asg Assignment) (cec.Verdict, error) {
+	return v.VerifyCtx(context.Background(), asg)
+}
+
+// VerifyCtx is Verify with cooperative cancellation: when ctx is done the
+// underlying SAT search stops at its next poll and the context error is
+// returned. The verifier stays usable afterwards.
+func (v *Verifier) VerifyCtx(ctx context.Context, asg Assignment) (cec.Verdict, error) {
 	choice, err := slotChoice(v.a, asg)
 	if err != nil {
 		return cec.Verdict{}, err
 	}
 	if v.sess != nil {
-		return v.sess.Verify(choice)
+		return v.sess.VerifyCtx(ctx, choice)
 	}
 	mSessionFallbacks.Inc()
 	inst, err := Embed(v.a, asg)
 	if err != nil {
 		return cec.Verdict{}, err
 	}
-	return cec.Check(v.a.Circuit, inst, cec.DefaultOptions())
+	return cec.CheckCtx(ctx, v.a.Circuit, inst, cec.DefaultOptions())
 }
 
 // SharedVerifier returns the analysis-wide verifier, building it on first

@@ -1,0 +1,325 @@
+// Package fault is the repository's deterministic fault-injection layer:
+// named injection points compiled into the hot paths of the store, the
+// analysis cache, the worker pool and the SAT search, each of which is a
+// single atomic load (a no-op) until a Plan is armed. Chaos tests and the
+// daemon's -faults flag arm a seedable Plan that decides — as a pure
+// function of (seed, point, hit number) — which hits fire, so a failing
+// chaos run replays bit-identically from its seed.
+//
+// A plan is described by a compact spec string:
+//
+//	point:key=value[,key=value...][;point:...]
+//
+// with per-point keys
+//
+//	p=F        fire with probability F ∈ (0,1] (default 1)
+//	every=N    fire only on every Nth hit
+//	after=N    skip the first N hits
+//	count=N    fire at most N times
+//	delay=D    stall duration for Stall points (e.g. 5ms)
+//
+// and the pseudo-point "seed:N" fixing the plan seed. Example:
+//
+//	store.write:p=0.5;store.fsync:delay=5ms,every=3;sat.budget:count=4;seed:42
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Injection counters: fires are plan-determined but hit ordering under
+// concurrent load is scheduling-dependent, so they are Nondet.
+var (
+	mHits  = obs.NewCounter("fault", "hits", obs.Nondet())
+	mFires = obs.NewCounter("fault", "fires", obs.Nondet())
+)
+
+// Point names one injection site. The wired-in points are listed below;
+// plans may also name ad-hoc points used by tests.
+type Point string
+
+// The injection points compiled into the stack.
+const (
+	// StoreWrite makes the durable store's atomic writes fail with a
+	// transient *Error before any byte reaches disk.
+	StoreWrite Point = "store.write"
+	// StoreFsync stalls the store's fsync by the rule's delay.
+	StoreFsync Point = "store.fsync"
+	// SATBudget makes sat.Solver.SolveCtx return Unknown immediately, as if
+	// the conflict budget had been exhausted.
+	SATBudget Point = "sat.budget"
+	// SATSlow stalls each of the solver's periodic context checks by the
+	// rule's delay, turning any search into a slow (but cancellable) one.
+	SATSlow Point = "sat.slow"
+	// PoolSaturate makes par.Pool.Run behave as if no worker slot ever
+	// frees up: the caller blocks until its context is done.
+	PoolSaturate Point = "pool.saturate"
+	// AnalysisSlow stalls the daemon's analysis-cache loader by the rule's
+	// delay before the analysis runs.
+	AnalysisSlow Point = "analysis.slow"
+)
+
+// Error is the error injected by an armed point. It is always transient:
+// retry layers treat it like a recoverable I/O error.
+type Error struct {
+	// Point is the site that fired.
+	Point Point
+}
+
+// Error implements error.
+func (e *Error) Error() string { return "fault: injected failure at " + string(e.Point) }
+
+// Transient marks the error as retryable.
+func (e *Error) Transient() bool { return true }
+
+// Rule is one point's firing policy; see the package comment for the spec
+// syntax it is parsed from.
+type Rule struct {
+	// P is the firing probability per eligible hit (0 means 1).
+	P float64
+	// Every fires only on hits whose per-point ordinal is a multiple of it
+	// (0 means every hit).
+	Every int64
+	// After skips the first After hits entirely.
+	After int64
+	// Count caps the number of fires (0 means unlimited).
+	Count int64
+	// Delay is the stall duration applied by Stall points.
+	Delay time.Duration
+}
+
+// ruleState is a Rule plus its mutable per-point counters.
+type ruleState struct {
+	Rule
+	hits  atomic.Int64
+	fires atomic.Int64
+}
+
+// Plan is an armed set of rules. Build one with NewPlan or Parse, then arm
+// it with Enable.
+type Plan struct {
+	seed  uint64
+	rules map[Point]*ruleState
+}
+
+// NewPlan builds a plan from explicit rules.
+func NewPlan(seed int64, rules map[Point]Rule) *Plan {
+	p := &Plan{seed: uint64(seed), rules: make(map[Point]*ruleState, len(rules))}
+	for pt, r := range rules {
+		p.rules[pt] = &ruleState{Rule: r}
+	}
+	return p
+}
+
+// Parse builds a plan from a spec string (see the package comment).
+func Parse(spec string) (*Plan, error) {
+	p := &Plan{rules: make(map[Point]*ruleState)}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, params, _ := strings.Cut(part, ":")
+		name = strings.TrimSpace(name)
+		if name == "seed" {
+			n, err := strconv.ParseInt(strings.TrimSpace(params), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad seed %q", params)
+			}
+			p.seed = uint64(n)
+			continue
+		}
+		rs := &ruleState{}
+		for _, kv := range strings.Split(params, ",") {
+			kv = strings.TrimSpace(kv)
+			if kv == "" {
+				continue
+			}
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("fault: rule %q: bad param %q (want key=value)", name, kv)
+			}
+			var err error
+			switch k {
+			case "p":
+				rs.P, err = strconv.ParseFloat(v, 64)
+				if err == nil && (rs.P <= 0 || rs.P > 1) {
+					err = fmt.Errorf("probability %v out of (0,1]", rs.P)
+				}
+			case "every":
+				rs.Every, err = strconv.ParseInt(v, 10, 64)
+			case "after":
+				rs.After, err = strconv.ParseInt(v, 10, 64)
+			case "count":
+				rs.Count, err = strconv.ParseInt(v, 10, 64)
+			case "delay":
+				rs.Delay, err = time.ParseDuration(v)
+			default:
+				err = fmt.Errorf("unknown key %q", k)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("fault: rule %q: param %q: %v", name, kv, err)
+			}
+		}
+		p.rules[Point(name)] = rs
+	}
+	return p, nil
+}
+
+// String renders the plan back to (normalised) spec form, for logs.
+func (p *Plan) String() string {
+	parts := make([]string, 0, len(p.rules)+1)
+	for pt, rs := range p.rules {
+		kv := make([]string, 0, 5)
+		if rs.P > 0 {
+			kv = append(kv, fmt.Sprintf("p=%g", rs.P))
+		}
+		if rs.Every > 0 {
+			kv = append(kv, fmt.Sprintf("every=%d", rs.Every))
+		}
+		if rs.After > 0 {
+			kv = append(kv, fmt.Sprintf("after=%d", rs.After))
+		}
+		if rs.Count > 0 {
+			kv = append(kv, fmt.Sprintf("count=%d", rs.Count))
+		}
+		if rs.Delay > 0 {
+			kv = append(kv, fmt.Sprintf("delay=%s", rs.Delay))
+		}
+		parts = append(parts, string(pt)+":"+strings.Join(kv, ","))
+	}
+	sort.Strings(parts)
+	if p.seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed:%d", p.seed))
+	}
+	return strings.Join(parts, ";")
+}
+
+// active holds the armed plan; nil means every injection point is a no-op.
+var active atomic.Pointer[Plan]
+
+// Enable arms the plan process-wide. Passing nil disarms (same as Disable).
+// Chaos tests must not run in parallel with each other: the armed plan is
+// global, exactly like the production store it perturbs.
+func Enable(p *Plan) { active.Store(p) }
+
+// Disable disarms every injection point.
+func Disable() { active.Store(nil) }
+
+// Enabled reports whether a plan is armed.
+func Enabled() bool { return active.Load() != nil }
+
+// splitmix64 is the deterministic per-hit hash: seed, point and hit ordinal
+// in, uniform uint64 out.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func pointHash(pt Point) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(pt); i++ {
+		h ^= uint64(pt[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// decide evaluates one hit of pt against the armed plan and returns the
+// matched rule when it fires.
+func decide(pt Point) (*ruleState, bool) {
+	p := active.Load()
+	if p == nil {
+		return nil, false
+	}
+	rs, ok := p.rules[pt]
+	if !ok {
+		return nil, false
+	}
+	mHits.Inc()
+	n := rs.hits.Add(1)
+	if n <= rs.After {
+		return nil, false
+	}
+	if rs.Every > 1 && (n-rs.After)%rs.Every != 0 {
+		return nil, false
+	}
+	if rs.P > 0 && rs.P < 1 {
+		u := splitmix64(p.seed ^ pointHash(pt) ^ uint64(n))
+		if float64(u)/math.MaxUint64 >= rs.P {
+			return nil, false
+		}
+	}
+	for {
+		f := rs.fires.Load()
+		if rs.Count > 0 && f >= rs.Count {
+			return nil, false
+		}
+		if rs.fires.CompareAndSwap(f, f+1) {
+			mFires.Inc()
+			return rs, true
+		}
+	}
+}
+
+// Hit reports whether point pt fires on this hit. The fast path (no plan
+// armed) is one atomic load.
+func Hit(pt Point) bool {
+	if active.Load() == nil {
+		return false
+	}
+	_, fired := decide(pt)
+	return fired
+}
+
+// Err returns an injected *Error when pt fires, else nil.
+func Err(pt Point) error {
+	if active.Load() == nil {
+		return nil
+	}
+	if _, fired := decide(pt); fired {
+		return &Error{Point: pt}
+	}
+	return nil
+}
+
+// Stall sleeps for the rule's delay when pt fires. It returns immediately
+// when no plan is armed or the point does not fire.
+func Stall(pt Point) {
+	if active.Load() == nil {
+		return
+	}
+	if rs, fired := decide(pt); fired && rs.Delay > 0 {
+		time.Sleep(rs.Delay)
+	}
+}
+
+// Fires returns how many times pt has fired under the armed plan (0 when
+// disarmed or unknown) — chaos tests assert against it.
+func Fires(pt Point) int64 {
+	p := active.Load()
+	if p == nil {
+		return 0
+	}
+	if rs, ok := p.rules[pt]; ok {
+		return rs.fires.Load()
+	}
+	return 0
+}
+
+// IsInjected reports whether err is (or wraps) an injected fault error.
+func IsInjected(err error) bool {
+	var fe *Error
+	return errors.As(err, &fe)
+}

@@ -1,0 +1,166 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func arm(t *testing.T, spec string) *Plan {
+	t.Helper()
+	p, err := Parse(spec)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", spec, err)
+	}
+	Enable(p)
+	t.Cleanup(Disable)
+	return p
+}
+
+// TestDisabledIsNoop: with no plan armed, every entry point is inert.
+func TestDisabledIsNoop(t *testing.T) {
+	Disable()
+	if Enabled() {
+		t.Fatal("Enabled() with no plan")
+	}
+	if Hit(StoreWrite) || Err(StoreWrite) != nil || Fires(StoreWrite) != 0 {
+		t.Fatal("disarmed point fired")
+	}
+	Stall(StoreFsync) // must return immediately
+}
+
+// TestEveryAfterCount: the ordinal-based keys fire exactly as specified.
+func TestEveryAfterCount(t *testing.T) {
+	arm(t, "x:every=3,after=2,count=2")
+	var fired []int
+	for i := 1; i <= 20; i++ {
+		if Hit("x") {
+			fired = append(fired, i)
+		}
+	}
+	// Hits 1-2 skipped; ordinals 3,6,9,... relative to after → absolute hits
+	// 5, 8 fire, then the count cap stops everything.
+	want := []int{5, 8}
+	if fmt.Sprint(fired) != fmt.Sprint(want) {
+		t.Fatalf("fired on hits %v, want %v", fired, want)
+	}
+	if Fires("x") != 2 {
+		t.Fatalf("Fires = %d, want 2", Fires("x"))
+	}
+}
+
+// TestProbabilityDeterministic: the same seed fires the same hit set; a
+// different seed (almost surely) differs; the rate is roughly honoured.
+func TestProbabilityDeterministic(t *testing.T) {
+	run := func(seed int64) []bool {
+		Enable(NewPlan(seed, map[Point]Rule{"y": {P: 0.5}}))
+		defer Disable()
+		out := make([]bool, 400)
+		for i := range out {
+			out[i] = Hit("y")
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	n := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+		if a[i] {
+			n++
+		}
+	}
+	if n < 120 || n > 280 {
+		t.Fatalf("p=0.5 fired %d/400 times", n)
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fire sets")
+	}
+}
+
+// TestErrAndTransience: injected errors unwrap as *Error and are transient.
+func TestErrAndTransience(t *testing.T) {
+	arm(t, "store.write:count=1")
+	err := Err(StoreWrite)
+	if err == nil {
+		t.Fatal("no error injected")
+	}
+	if !IsInjected(err) || !IsInjected(fmt.Errorf("wrapped: %w", err)) {
+		t.Fatal("IsInjected failed to recognise the injected error")
+	}
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Point != StoreWrite || !fe.Transient() {
+		t.Fatalf("unexpected error shape: %#v", err)
+	}
+	if Err(StoreWrite) != nil {
+		t.Fatal("count=1 fired twice")
+	}
+}
+
+// TestStallDelay: Stall sleeps for at least the configured delay.
+func TestStallDelay(t *testing.T) {
+	arm(t, "z:delay=20ms")
+	t0 := time.Now()
+	Stall("z")
+	if d := time.Since(t0); d < 15*time.Millisecond {
+		t.Fatalf("Stall returned after %v, want ≥ 20ms", d)
+	}
+}
+
+// TestParseErrors: malformed specs are rejected.
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"x:p=2", "x:p=0", "x:nope=1", "x:every", "seed:abc"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+	p, err := Parse("store.write:p=0.25;sat.budget:every=2;seed:9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.seed != 9 || len(p.rules) != 2 {
+		t.Fatalf("parsed plan %s wrong", p)
+	}
+	if p.String() == "" {
+		t.Fatal("String() empty")
+	}
+}
+
+// TestConcurrentHits: concurrent evaluation is race-free and respects the
+// fire cap (run under -race).
+func TestConcurrentHits(t *testing.T) {
+	arm(t, "c:count=10")
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < 100; i++ {
+				if Hit("c") {
+					n++
+				}
+			}
+			mu.Lock()
+			total += n
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if total != 10 {
+		t.Fatalf("count=10 cap fired %d times", total)
+	}
+}

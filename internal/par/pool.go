@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -15,6 +17,7 @@ var (
 	mPoolTasks    = obs.NewCounter("par", "pool_tasks")
 	mPoolRejected = obs.NewCounter("par", "pool_rejected", obs.Nondet())
 	gPoolInFlight = obs.NewGauge("par", "pool_in_flight", obs.Nondet())
+	gPoolWaiting  = obs.NewGauge("par", "pool_waiting", obs.Nondet())
 	gPoolWorkers  = obs.NewGauge("par", "pool_workers")
 )
 
@@ -36,6 +39,7 @@ var ErrPoolClosed = errors.New("par: pool closed")
 type Pool struct {
 	sem     chan struct{}
 	workers int
+	waiting atomic.Int64
 
 	mu     sync.Mutex
 	closed bool
@@ -57,10 +61,18 @@ func (p *Pool) Workers() int { return p.workers }
 // callers still waiting for a slot).
 func (p *Pool) InFlight() int { return len(p.sem) }
 
-// Run executes fn as soon as a slot is free and returns its error. It
-// returns ctx.Err() if the context is done before a slot frees up (the
-// daemon's per-request admission timeout), and ErrPoolClosed after Close.
-func (p *Pool) Run(ctx context.Context, fn func() error) error {
+// Waiting returns the number of callers queued for a slot right now — the
+// pool's queue depth, which the daemon's load shedding compares against its
+// bound before admitting a request.
+func (p *Pool) Waiting() int { return int(p.waiting.Load()) }
+
+// Run executes fn as soon as a slot is free and returns its error. The
+// task receives the caller's context so deadlines and disconnects propagate
+// into the work itself. Run returns ctx.Err() if the context is done before
+// a slot frees up (the daemon's per-request admission timeout) — or if it is
+// already done once the slot is acquired, in which case fn never runs — and
+// ErrPoolClosed after Close.
+func (p *Pool) Run(ctx context.Context, fn func(ctx context.Context) error) error {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -71,17 +83,38 @@ func (p *Pool) Run(ctx context.Context, fn func() error) error {
 	p.mu.Unlock()
 	defer p.wg.Done()
 
+	p.waiting.Add(1)
+	gPoolWaiting.Add(1)
+	if fault.Hit(fault.PoolSaturate) {
+		// Chaos mode: behave as if no slot ever frees — the caller blocks
+		// until its context is done, exactly like a saturated pool.
+		<-ctx.Done()
+		p.waiting.Add(-1)
+		gPoolWaiting.Add(-1)
+		mPoolRejected.Inc()
+		return ctx.Err()
+	}
 	select {
 	case p.sem <- struct{}{}:
+		p.waiting.Add(-1)
+		gPoolWaiting.Add(-1)
 	case <-ctx.Done():
+		p.waiting.Add(-1)
+		gPoolWaiting.Add(-1)
 		mPoolRejected.Inc()
 		return ctx.Err()
 	}
 	defer func() { <-p.sem }()
+	// A context that expired while we queued must not start work: the client
+	// is gone, so burning the slot would only delay live requests.
+	if err := ctx.Err(); err != nil {
+		mPoolRejected.Inc()
+		return err
+	}
 	mPoolTasks.Inc()
 	gPoolInFlight.Add(1)
 	defer gPoolInFlight.Add(-1)
-	return fn()
+	return fn(ctx)
 }
 
 // Close drains the pool: it rejects subsequent Run calls and blocks until

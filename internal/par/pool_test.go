@@ -20,7 +20,7 @@ func TestPoolBound(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			err := p.Run(context.Background(), func() error {
+			err := p.Run(context.Background(), func(context.Context) error {
 				n := running.Add(1)
 				for {
 					cur := peak.Load()
@@ -54,7 +54,7 @@ func TestPoolContextTimeout(t *testing.T) {
 	defer p.Close()
 	release := make(chan struct{})
 	started := make(chan struct{})
-	go p.Run(context.Background(), func() error {
+	go p.Run(context.Background(), func(context.Context) error {
 		close(started)
 		<-release
 		return nil
@@ -63,7 +63,7 @@ func TestPoolContextTimeout(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
 	defer cancel()
 	ran := false
-	err := p.Run(ctx, func() error { ran = true; return nil })
+	err := p.Run(ctx, func(context.Context) error { ran = true; return nil })
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Errorf("err = %v, want deadline exceeded", err)
 	}
@@ -78,7 +78,7 @@ func TestPoolCloseDrains(t *testing.T) {
 	p := NewPool(2)
 	var done atomic.Bool
 	started := make(chan struct{})
-	go p.Run(context.Background(), func() error {
+	go p.Run(context.Background(), func(context.Context) error {
 		close(started)
 		time.Sleep(20 * time.Millisecond)
 		done.Store(true)
@@ -89,10 +89,79 @@ func TestPoolCloseDrains(t *testing.T) {
 	if !done.Load() {
 		t.Error("Close returned before in-flight task finished")
 	}
-	if err := p.Run(context.Background(), func() error { return nil }); !errors.Is(err, ErrPoolClosed) {
+	if err := p.Run(context.Background(), func(context.Context) error { return nil }); !errors.Is(err, ErrPoolClosed) {
 		t.Errorf("Run after Close = %v, want ErrPoolClosed", err)
 	}
 	p.Close() // idempotent
+}
+
+// TestPoolSkipsCancelledTask: a task whose context is already dead when the
+// slot frees up never executes — the slot goes to live work instead.
+func TestPoolSkipsCancelledTask(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := p.Run(ctx, func(context.Context) error { ran = true; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Error("task ran with an already-cancelled context")
+	}
+}
+
+// TestPoolTaskSeesCallerContext: the context passed to Run reaches the task
+// body, so deadlines propagate into the work.
+func TestPoolTaskSeesCallerContext(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	type key struct{}
+	ctx := context.WithValue(context.Background(), key{}, "v")
+	err := p.Run(ctx, func(got context.Context) error {
+		if got.Value(key{}) != "v" {
+			t.Error("task context is not the caller's")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolWaiting: queue depth is observable while callers wait for a slot.
+func TestPoolWaiting(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go p.Run(context.Background(), func(context.Context) error {
+		close(started)
+		<-release
+		return nil
+	})
+	<-started
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Run(context.Background(), func(context.Context) error { return nil })
+		}()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Waiting() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("Waiting() = %d, want 3", p.Waiting())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if p.Waiting() != 0 {
+		t.Errorf("Waiting() = %d after drain, want 0", p.Waiting())
+	}
 }
 
 // TestPoolPropagatesError: fn's error comes back to the caller unchanged.
@@ -100,7 +169,7 @@ func TestPoolPropagatesError(t *testing.T) {
 	p := NewPool(1)
 	defer p.Close()
 	want := errors.New("boom")
-	if err := p.Run(context.Background(), func() error { return want }); !errors.Is(err, want) {
+	if err := p.Run(context.Background(), func(context.Context) error { return want }); !errors.Is(err, want) {
 		t.Errorf("err = %v, want %v", err, want)
 	}
 }

@@ -1,0 +1,113 @@
+package sat
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// TestSolveCtxDeadlineMidSearch: a deadline expiring mid-search on a hard
+// UNSAT instance (PHP is exponential for CDCL) returns promptly with the
+// context error, well inside the 100ms slot-release bound the daemon
+// promises.
+func TestSolveCtxDeadlineMidSearch(t *testing.T) {
+	s := pigeonhole(t, 12, 11)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	st, err := s.SolveCtx(ctx)
+	elapsed := time.Since(t0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("SolveCtx = (%v, %v), want deadline exceeded", st, err)
+	}
+	if st != Unknown {
+		t.Fatalf("status = %v, want Unknown", st)
+	}
+	// 50ms deadline + 100ms promptness bound.
+	if elapsed > 150*time.Millisecond {
+		t.Fatalf("SolveCtx returned %v after the deadline, want ≤ 100ms", elapsed-50*time.Millisecond)
+	}
+
+	// The solver stays usable after cancellation: a bounded re-solve takes
+	// the ordinary budget path and an easy formula still decides.
+	s.MaxConflicts = s.Conflicts() + 10
+	if st, err := s.SolveCtx(context.Background()); st != Unknown || err != nil {
+		t.Fatalf("budget re-solve = (%v, %v), want (Unknown, nil)", st, err)
+	}
+	easy := New()
+	x := easy.NewVar()
+	if err := easy.AddClause(x); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := easy.SolveCtx(context.Background()); st != Sat || err != nil {
+		t.Fatalf("fresh solve = (%v, %v), want (Sat, nil)", st, err)
+	}
+}
+
+// TestSolveCtxAlreadyCancelled: a dead context is refused at entry, before
+// any search work.
+func TestSolveCtxAlreadyCancelled(t *testing.T) {
+	s := New()
+	x := s.NewVar()
+	if err := s.AddClause(x); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if st, err := s.SolveCtx(ctx); st != Unknown || !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveCtx = (%v, %v), want (Unknown, Canceled)", st, err)
+	}
+	// The same solver still solves normally.
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("Solve after refused ctx = %v, want Sat", st)
+	}
+}
+
+// TestSolveCtxCancelKeepsAssumptionReuse: cancellation mid-solve must not
+// corrupt the assumption-prefix trail; later assumption solves agree with a
+// fresh solver.
+func TestSolveCtxCancelKeepsAssumptionReuse(t *testing.T) {
+	s := pigeonhole(t, 12, 11)
+	// A couple of extra free variables to use as assumptions.
+	a, b := s.NewVar(), s.NewVar()
+	if err := s.AddClause(a, b); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := s.SolveCtx(ctx, a); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want cancellation, got %v", err)
+	}
+	// Bounded assumption solves after the cancel still run and terminate.
+	s.MaxConflicts = s.Conflicts() + 50
+	if st, err := s.SolveCtx(context.Background(), a, -b); err != nil || st == Sat {
+		t.Fatalf("post-cancel assumption solve = (%v, %v): PHP cannot be Sat", st, err)
+	}
+}
+
+// TestSolveCtxFaultBudget: the sat.budget injection point makes SolveCtx
+// report Unknown without error — the same shape as MaxConflicts exhaustion,
+// which is what the serve layer degrades on.
+func TestSolveCtxFaultBudget(t *testing.T) {
+	p, err := fault.Parse("sat.budget:count=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Enable(p)
+	defer fault.Disable()
+	s := New()
+	x := s.NewVar()
+	if err := s.AddClause(x); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := s.SolveCtx(context.Background()); st != Unknown || err != nil {
+		t.Fatalf("injected budget = (%v, %v), want (Unknown, nil)", st, err)
+	}
+	// The fault fired once; the next solve is normal.
+	if st, err := s.SolveCtx(context.Background()); st != Sat || err != nil {
+		t.Fatalf("after fault = (%v, %v), want (Sat, nil)", st, err)
+	}
+}

@@ -9,10 +9,12 @@
 package sat
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -520,6 +522,31 @@ func luby(i int64) int64 {
 // literals asserted at the start of search). With assumptions, Unsat means
 // "unsatisfiable under these assumptions".
 func (s *Solver) Solve(assumptions ...int) Status {
+	st, _ := s.SolveCtx(context.Background(), assumptions...)
+	return st
+}
+
+// ctxCheckInterval is how many main-loop iterations run between context
+// polls. Each iteration is one propagate call plus a decision or conflict
+// (microseconds), so cancellation lands well inside the daemon's 100ms
+// slot-release bound even on the heaviest searches.
+const ctxCheckInterval = 128
+
+// SolveCtx is Solve with cooperative cancellation: the search loop polls
+// ctx every ctxCheckInterval iterations and, when ctx is done, undoes every
+// search assignment (the solver stays reusable) and returns Unknown along
+// with ctx.Err(). The error is nil for every other outcome, including a
+// MaxConflicts budget exhaustion, which still reports a bare Unknown.
+func (s *Solver) SolveCtx(ctx context.Context, assumptions ...int) (Status, error) {
+	if fault.Hit(fault.SATBudget) {
+		// Injected budget exhaustion: indistinguishable from MaxConflicts
+		// running out before the trail moved.
+		return Unknown, nil
+	}
+	if err := ctx.Err(); err != nil {
+		// Already-dead context: refuse before touching the trail at all.
+		return Unknown, err
+	}
 	d0, p0, c0 := s.decisions, s.propagations, s.conflicts
 	defer func() {
 		mSolves.Inc()
@@ -528,7 +555,7 @@ func (s *Solver) Solve(assumptions ...int) Status {
 		mConflicts.Add(s.conflicts - c0)
 	}()
 	if !s.ok {
-		return Unsat
+		return Unsat, nil
 	}
 	// Assert assumptions as pseudo-decisions.
 	assume := make([]lit, 0, len(assumptions))
@@ -541,7 +568,7 @@ func (s *Solver) Solve(assumptions ...int) Status {
 			v = -v
 		}
 		if v > s.nVars {
-			return Unsat
+			return Unsat, nil
 		}
 		assume = append(assume, mkLit(v-1, e < 0))
 	}
@@ -575,7 +602,7 @@ func (s *Solver) Solve(assumptions ...int) Status {
 	if conf := s.propagate(); conf != nil {
 		if s.decisionLevel() == 0 {
 			s.ok = false
-			return Unsat
+			return Unsat, nil
 		}
 		// Clauses were added against a reused trail; discard it and retry
 		// from scratch.
@@ -583,7 +610,7 @@ func (s *Solver) Solve(assumptions ...int) Status {
 		assumed, assumeLevels = 0, 0
 		if conf := s.propagate(); conf != nil {
 			s.ok = false
-			return Unsat
+			return Unsat, nil
 		}
 	}
 
@@ -591,8 +618,26 @@ func (s *Solver) Solve(assumptions ...int) Status {
 	confBudget := 100 * luby(restart)
 	confsAtRestart := int64(0)
 	maxLearnts := len(s.clauses)/3 + 500
+	done := ctx.Done()
 
-	for {
+	for iter := 0; ; iter++ {
+		// Poll on entry (iter 0) and then every ctxCheckInterval iterations:
+		// entry polling makes even solves that finish in a handful of
+		// iterations observe an armed sat.slow stall, so stacked tiny solves
+		// under a deadline stay cancellable between solves too.
+		if iter%ctxCheckInterval == 0 {
+			// Cooperative cancellation point (plus the sat.slow chaos stall,
+			// which turns any search into a slow but cancellable one).
+			fault.Stall(fault.SATSlow)
+			if done != nil {
+				select {
+				case <-done:
+					s.backtrack(0)
+					return Unknown, ctx.Err()
+				default:
+				}
+			}
+		}
 		conf := s.propagate()
 		if conf != nil {
 			s.conflicts++
@@ -605,10 +650,10 @@ func (s *Solver) Solve(assumptions ...int) Status {
 				// fully propagated, ready for prefix reuse by the next call.
 				if s.decisionLevel() == 0 {
 					s.ok = false
-					return Unsat
+					return Unsat, nil
 				}
 				s.backtrack(s.decisionLevel() - 1)
-				return Unsat
+				return Unsat, nil
 			}
 			learnt, bt := s.analyze(conf)
 			if bt < assumeLevels {
@@ -622,21 +667,21 @@ func (s *Solver) Solve(assumptions ...int) Status {
 			if len(learnt) == 1 {
 				if !s.enqueue(learnt[0], nil) {
 					s.ok = bt > 0 // under assumptions the formula itself may still be SAT
-					return Unsat
+					return Unsat, nil
 				}
 			} else {
 				c := &clause{lits: learnt, learnt: true, act: s.claInc}
 				s.learnts = append(s.learnts, c)
 				s.watch(c)
 				if !s.enqueue(learnt[0], c) {
-					return Unsat
+					return Unsat, nil
 				}
 			}
 			s.varInc /= 0.95
 			s.claInc /= 0.999
 			if s.MaxConflicts > 0 && s.conflicts >= s.MaxConflicts {
 				s.backtrack(0)
-				return Unknown
+				return Unknown, nil
 			}
 			continue
 		}
@@ -664,7 +709,7 @@ func (s *Solver) Solve(assumptions ...int) Status {
 			case valFalse:
 				// Refuted by propagation from earlier levels; the trail is
 				// consistent and stays in place for prefix reuse.
-				return Unsat
+				return Unsat, nil
 			}
 			s.trailLim = append(s.trailLim, len(s.trail))
 			s.assumeIdx = append(s.assumeIdx, assumed)
@@ -676,7 +721,7 @@ func (s *Solver) Solve(assumptions ...int) Status {
 
 		l, ok := s.pickBranch()
 		if !ok {
-			return Sat // all variables assigned
+			return Sat, nil // all variables assigned
 		}
 		s.decisions++
 		s.trailLim = append(s.trailLim, len(s.trail))

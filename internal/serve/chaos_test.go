@@ -1,0 +1,385 @@
+package serve
+
+// Chaos suite: the httptest daemon under injected faults (internal/fault).
+// These tests assert the PR's resilience contract: a request whose deadline
+// expires mid-SAT-search frees its worker slot promptly, acknowledged
+// issuances survive a crash/restart even when the store is flaky, degraded
+// verification is always labeled, overload sheds instead of queueing
+// without bound, and nothing leaks goroutines.
+//
+// The fault plan is process-global, so none of these tests may use
+// t.Parallel; each arms its plan through chaosFaults, which disarms on
+// cleanup.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// chaosFaults arms a fault plan for one test and disarms it on cleanup.
+func chaosFaults(t testing.TB, spec string) {
+	t.Helper()
+	p, err := fault.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Enable(p)
+	t.Cleanup(fault.Disable)
+}
+
+// rawIssue is issueCopy without the status assertion: chaos runs expect
+// some requests to fail, so the caller inspects status/headers/body itself.
+func rawIssue(t testing.TB, base, digest, buyer, query string) (int, http.Header, string) {
+	t.Helper()
+	url := fmt.Sprintf("%s/designs/%s/issue?buyer=%s%s", base, digest, buyer, query)
+	resp, err := http.Post(url, "text/plain", nil)
+	if err != nil {
+		t.Fatalf("issue %s: %v", buyer, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, resp.Header, string(body)
+}
+
+// assertNoGoroutineLeak polls until the goroutine count settles back to the
+// baseline (with slack for httptest connection teardown), dumping all
+// stacks if it never does.
+func assertNoGoroutineLeak(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		http.DefaultClient.CloseIdleConnections()
+		n := runtime.NumGoroutine()
+		if n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			m := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d live, baseline %d\n%s", n, baseline, buf[:m])
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestChaosDeadlineFreesSlot: a request whose deadline expires mid-SAT-
+// search comes back 504 and its worker slot is free within 100ms of the
+// response. The injected sat.slow stall guarantees the verify search is
+// still running when the deadline fires; the strict cancellation-latency
+// bound on an unstalled search is asserted in internal/sat's ctx tests.
+func TestChaosDeadlineFreesSlot(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Workers:          1,
+		RequestTimeout:   50 * time.Millisecond,
+		BreakerThreshold: 100, // keep SAT verification armed throughout
+	})
+	info, _ := uploadDesign(t, ts.URL, benchBytes(t, "c432"))
+	baseline := runtime.NumGoroutine()
+
+	// Build the shared verifier session outside any request, so the slow
+	// request spends its whole budget in cancellable SAT search rather than
+	// in (uncancellable, one-time) session construction.
+	d := s.lookupDesign(info.Digest)
+	a, err := s.analysis(context.Background(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SharedVerifier()
+
+	// Every SAT context poll stalls past the whole request deadline, so the
+	// very first poll of the verify search already finds ctx expired.
+	chaosFaults(t, "sat.slow:delay=60ms")
+	t0 := time.Now()
+	status, _, body := rawIssue(t, ts.URL, info.Digest, "slow", "&verify=1")
+	elapsed := time.Since(t0)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("stalled verify: status %d (%s), want 504", status, body)
+	}
+	// Bound: deadline + one injected 60ms stall + the 100ms promptness
+	// budget. Anything above means the search ran on past its deadline.
+	if elapsed > 250*time.Millisecond {
+		t.Fatalf("504 took %v, want prompt cancellation", elapsed)
+	}
+	// The slot must be free within 100ms of the response.
+	freeBy := time.Now().Add(100 * time.Millisecond)
+	for s.InFlight() != 0 {
+		if time.Now().After(freeBy) {
+			t.Fatalf("worker slot still held %d in-flight 100ms after the 504", s.InFlight())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The daemon keeps serving: with faults disarmed a plain issue succeeds.
+	fault.Disable()
+	if status, _, body := rawIssue(t, ts.URL, info.Digest, "after", ""); status != http.StatusOK {
+		t.Fatalf("issue after cancelled request: status %d (%s)", status, body)
+	}
+	assertNoGoroutineLeak(t, baseline)
+}
+
+// TestChaosIssuanceDurability: a concurrent issuance run under injected
+// store failures and SAT budget exhaustion loses no acknowledged issuance
+// across a restart, labels every acknowledged response's verification, and
+// leaks no goroutines.
+func TestChaosIssuanceDurability(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, Config{
+		StoreDir:         dir,
+		Workers:          4,
+		VerifyIssues:     true,
+		RetryBase:        time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Hour,
+		MaxQueueDepth:    -1, // no shedding: every buyer gets a definite answer
+	})
+	info, _ := uploadDesign(t, ts1.URL, benchBytes(t, "c432"))
+	baseline := runtime.NumGoroutine()
+
+	chaosFaults(t, "store.write:p=0.4;store.fsync:delay=2ms,every=3;sat.budget:every=2;seed:11")
+	const buyers = 24
+	type outcome struct {
+		buyer    string
+		status   int
+		verified string
+		body     string
+	}
+	results := make([]outcome, buyers)
+	var wg sync.WaitGroup
+	for i := 0; i < buyers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			buyer := fmt.Sprintf("chaos-%02d", i)
+			url := fmt.Sprintf("%s/designs/%s/issue?buyer=%s", ts1.URL, info.Digest, buyer)
+			resp, err := http.Post(url, "text/plain", nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			results[i] = outcome{buyer, resp.StatusCode, resp.Header.Get("X-Odcfp-Verified"), string(body)}
+		}(i)
+	}
+	wg.Wait()
+	// Fires reads the armed plan, so sample before disarming.
+	storeFires, budgetFires := fault.Fires(fault.StoreWrite), fault.Fires(fault.SATBudget)
+	fault.Disable()
+
+	var acked []string
+	degraded := 0
+	for _, r := range results {
+		switch r.status {
+		case http.StatusOK:
+			acked = append(acked, r.buyer)
+			switch r.verified {
+			case "equivalent":
+			case "degraded":
+				degraded++
+			default:
+				t.Errorf("%s acknowledged with verification label %q, want equivalent or degraded", r.buyer, r.verified)
+			}
+		case http.StatusServiceUnavailable:
+			// Store gave out after every retry — the issuance was NOT
+			// acknowledged, which is allowed, but only for the injected
+			// fault.
+			if !strings.Contains(r.body, "injected") {
+				t.Errorf("%s: unexpected 503: %s", r.buyer, r.body)
+			}
+		case http.StatusConflict:
+			// Random fingerprints can collide at c432's modest capacity; the
+			// buyer is simply not acknowledged. Any other conflict is a bug.
+			if !strings.Contains(r.body, "collision") {
+				t.Errorf("%s: unexpected 409: %s", r.buyer, r.body)
+			}
+		default:
+			t.Errorf("%s: unexpected status %d: %s", r.buyer, r.status, r.body)
+		}
+	}
+	if len(acked) == 0 {
+		t.Fatal("chaos run acknowledged no issuances at all")
+	}
+	if degraded == 0 {
+		t.Error("no response used degraded verification; sat.budget chaos was vacuous")
+	}
+	if storeFires == 0 {
+		t.Error("store.write fault never fired; chaos run was vacuous")
+	}
+	if budgetFires == 0 {
+		t.Error("sat.budget fault never fired; chaos run was vacuous")
+	}
+	t.Logf("chaos: %d/%d acknowledged, %d degraded, %d store faults, %d budget faults",
+		len(acked), buyers, degraded, storeFires, budgetFires)
+
+	// Restart on the same store: every acknowledged buyer must be present.
+	_, ts2 := newTestServer(t, Config{StoreDir: dir})
+	resp, err := http.Get(ts2.URL + "/designs/" + info.Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var infoResp struct {
+		Buyers []string `json:"buyers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&infoResp); err != nil {
+		t.Fatal(err)
+	}
+	have := make(map[string]bool, len(infoResp.Buyers))
+	for _, b := range infoResp.Buyers {
+		have[b] = true
+	}
+	for _, b := range acked {
+		if !have[b] {
+			t.Errorf("acknowledged issuance for %s lost across restart", b)
+		}
+	}
+
+	// Retry/breaker/degrade counters are visible in /metrics, and the run
+	// snapshot can be exported for the CI artifact.
+	snap := metricsSnapshot(t, ts1.URL)
+	for _, name := range []string{"serve.store_retries", "serve.breaker_trips", "serve.verify_degraded", "serve.shed_requests"} {
+		if _, ok := snap[name]; !ok {
+			t.Errorf("metric %s missing from /metrics", name)
+		}
+	}
+	if snap["serve.verify_degraded"] < int64(degraded) {
+		t.Errorf("serve.verify_degraded = %d, want >= %d observed degraded responses", snap["serve.verify_degraded"], degraded)
+	}
+	if out := os.Getenv("CHAOS_METRICS_OUT"); out != "" {
+		data, err := json.MarshalIndent(obs.Snapshot(false), "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	_ = s1
+	assertNoGoroutineLeak(t, baseline)
+}
+
+// metricsSnapshot fetches /metrics and indexes it by metric name.
+func metricsSnapshot(t testing.TB, base string) map[string]int64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snaps []obs.MetricSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snaps); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]int64, len(snaps))
+	for _, s := range snaps {
+		out[s.Name] = s.Value
+	}
+	return out
+}
+
+// TestChaosLoadShedding: once the pool's queue depth reaches the bound,
+// further requests are shed with 429 + Retry-After instead of queueing,
+// and the queued work still completes once the worker frees up.
+func TestChaosLoadShedding(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, MaxQueueDepth: 1, RequestTimeout: 5 * time.Second})
+	info, _ := uploadDesign(t, ts.URL, benchBytes(t, "c432"))
+
+	release := make(chan struct{})
+	s.testHook = func(kind string) {
+		if kind == "info" {
+			<-release
+		}
+	}
+	statuses := make(chan int, 2)
+	get := func() {
+		resp, err := http.Get(ts.URL + "/designs/" + info.Digest)
+		if err != nil {
+			t.Error(err)
+			statuses <- 0
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		statuses <- resp.StatusCode
+	}
+
+	// Occupy the single worker, then fill the queue to its bound of 1.
+	go get()
+	waitFor(t, "worker occupied", func() bool { return s.InFlight() == 1 })
+	go get()
+	waitFor(t, "queue filled", func() bool { return s.pool.Waiting() >= 1 })
+
+	// The next request must be shed immediately.
+	resp, err := http.Get(ts.URL + "/designs/" + info.Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded request: status %d (%s), want 429", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q, want \"1\"", got)
+	}
+
+	// Releasing the worker drains the queue; both admitted requests finish.
+	close(release)
+	for i := 0; i < 2; i++ {
+		if st := <-statuses; st != http.StatusOK {
+			t.Errorf("admitted request %d: status %d, want 200", i, st)
+		}
+	}
+	if snap := metricsSnapshot(t, ts.URL); snap["serve.shed_requests"] < 1 {
+		t.Errorf("serve.shed_requests = %d, want >= 1", snap["serve.shed_requests"])
+	}
+}
+
+// waitFor spins until cond holds, failing after 2s.
+func waitFor(t testing.TB, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestChaosPoolSaturate: the pool.saturate fault point simulates a pool
+// that never admits the request; the request times out with 504 instead of
+// hanging, bounded by the configured request deadline.
+func TestChaosPoolSaturate(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, RequestTimeout: 60 * time.Millisecond})
+	info, _ := uploadDesign(t, ts.URL, benchBytes(t, "c432"))
+	chaosFaults(t, "pool.saturate:every=1")
+	t0 := time.Now()
+	resp, err := http.Get(ts.URL + "/designs/" + info.Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	elapsed := time.Since(t0)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("saturated pool: status %d (%s), want 504", resp.StatusCode, body)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("saturated request took %v, want ~the 60ms deadline", elapsed)
+	}
+}

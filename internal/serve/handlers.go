@@ -139,11 +139,20 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error
 
 // withWorker admits fn to the bounded pool under the per-request timeout
 // and maps admission/execution failures onto HTTP statuses. fn writes the
-// success response itself.
+// success response itself. Before queueing, the request is shed outright
+// (429 + Retry-After) when the pool's queue depth has reached the
+// configured bound — better an instant retryable rejection than a slot in a
+// queue whose head already exceeds every deadline.
 func (s *Server) withWorker(w http.ResponseWriter, r *http.Request, kind string, fn func(ctx context.Context) error) {
+	if max := s.cfg.MaxQueueDepth; max > 0 && s.pool.Waiting() >= max {
+		mShed.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "server overloaded; retry later")
+		return
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	err := s.pool.Run(ctx, func() error {
+	err := s.pool.Run(ctx, func(ctx context.Context) error {
 		if s.testHook != nil {
 			s.testHook(kind)
 		}
@@ -155,7 +164,7 @@ func (s *Server) withWorker(w http.ResponseWriter, r *http.Request, kind string,
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 	case errors.Is(err, context.DeadlineExceeded):
 		mTimeouts.Inc()
-		writeError(w, http.StatusGatewayTimeout, "request timed out in admission queue")
+		writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
 	case errors.Is(err, context.Canceled):
 		writeError(w, http.StatusServiceUnavailable, "client went away")
 	default:
@@ -216,8 +225,17 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return apiErrorf(http.StatusBadRequest, "parsing %s netlist: %v", format, err)
 		}
-		a, err := analyzeUpload(c)
+		// Structural validation up front: a netlist that parses but is
+		// malformed (undriven inputs, combinational cycles, bad arities) gets
+		// a 400 with the diagnostic, not a late analysis failure.
+		if err := c.Validate(); err != nil {
+			return apiErrorf(http.StatusBadRequest, "invalid netlist: %v", err)
+		}
+		a, err := analyzeUpload(ctx, c)
 		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
 			return apiErrorf(http.StatusUnprocessableEntity, "analysis failed: %v", err)
 		}
 		digest := registry.DesignDigest(a)
@@ -232,11 +250,16 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 
 		if !existed {
-			if err := s.store.PutDesign(digest, d.meta, data); err != nil {
+			if err := s.retryStore(ctx, func() error {
+				return s.store.PutDesign(digest, d.meta, data)
+			}); err != nil {
 				s.mu.Lock()
 				delete(s.designs, digest)
 				gDesigns.Set(int64(len(s.designs)))
 				s.mu.Unlock()
+				if isTransient(err) {
+					return apiErrorf(http.StatusServiceUnavailable, "store unavailable: %v", err)
+				}
 				return err
 			}
 		}
@@ -289,7 +312,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.withWorker(w, r, "info", func(ctx context.Context) error {
-		a, err := s.analysis(d)
+		a, err := s.analysis(ctx, d)
 		if err != nil {
 			return err
 		}
@@ -344,7 +367,7 @@ func (s *Server) handleIssue(w http.ResponseWriter, r *http.Request) {
 	verify := s.cfg.VerifyIssues || r.URL.Query().Get("verify") == "1"
 
 	s.withWorker(w, r, "issue", func(ctx context.Context) error {
-		a, err := s.analysis(d)
+		a, err := s.analysis(ctx, d)
 		if err != nil {
 			return err
 		}
@@ -354,8 +377,13 @@ func (s *Server) handleIssue(w http.ResponseWriter, r *http.Request) {
 		if err == nil {
 			cp, err = issueLocked(reg, a, buyer)
 			if err == nil {
-				// Durability before acknowledgement.
-				err = s.store.SaveRegistry(d.digest, reg)
+				// Durability before acknowledgement; transient store errors
+				// (flaky disk, injected faults) are retried with backoff
+				// under d.mu so the durable file stays a superset of every
+				// acknowledged issuance.
+				err = s.retryStore(ctx, func() error {
+					return s.store.SaveRegistry(d.digest, reg)
+				})
 			}
 		}
 		d.mu.Unlock()
@@ -364,19 +392,21 @@ func (s *Server) handleIssue(w http.ResponseWriter, r *http.Request) {
 			if errors.As(err, &ae) {
 				return ae
 			}
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if isTransient(err) {
+				// The durable store gave out even after retries: nothing was
+				// acknowledged; the client should retry later.
+				return apiErrorf(http.StatusServiceUnavailable, "store unavailable: %v", err)
+			}
 			return apiErrorf(http.StatusConflict, "issue: %v", err)
 		}
+		verifyLabel := ""
 		if verify {
-			asg, err := a.AssignmentFromInt(cp.value)
+			verifyLabel, err = s.verifyIssued(ctx, a, cp)
 			if err != nil {
 				return err
-			}
-			verdict, err := a.SharedVerifier().Verify(asg)
-			if err != nil {
-				return fmt.Errorf("verifying issued copy: %w", err)
-			}
-			if !verdict.Equivalent {
-				return fmt.Errorf("issued copy NOT equivalent to master (PO %s)", verdict.PO)
 			}
 		}
 		var buf bytes.Buffer
@@ -389,8 +419,8 @@ func (s *Server) handleIssue(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Odcfp-Buyer", buyer)
 		w.Header().Set("X-Odcfp-Fingerprint", cp.value.String())
 		w.Header().Set("X-Odcfp-Format", format)
-		if verify {
-			w.Header().Set("X-Odcfp-Verified", "equivalent")
+		if verifyLabel != "" {
+			w.Header().Set("X-Odcfp-Verified", verifyLabel)
 		}
 		w.WriteHeader(http.StatusOK)
 		w.Write(buf.Bytes())
@@ -440,7 +470,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return apiErrorf(http.StatusBadRequest, "parsing %s suspect: %v", format, err)
 		}
-		a, err := s.analysis(d)
+		a, err := s.analysis(ctx, d)
 		if err != nil {
 			return err
 		}

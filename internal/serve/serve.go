@@ -45,6 +45,7 @@ import (
 	"repro/internal/cell"
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/registry"
@@ -85,6 +86,20 @@ type Config struct {
 	// master (shared incremental CEC session) before returning it. Clients
 	// can also request this per call with ?verify=1.
 	VerifyIssues bool
+	// RetryAttempts bounds tries for transient store errors (default 3).
+	RetryAttempts int
+	// RetryBase is the first backoff delay; later tries double it and add
+	// jitter (default 5ms).
+	RetryBase time.Duration
+	// BreakerThreshold is the consecutive SAT-verification failure count
+	// that trips the degraded-verification circuit breaker (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open before
+	// admitting a probe (default 30s).
+	BreakerCooldown time.Duration
+	// MaxQueueDepth sheds requests (429 + Retry-After) once this many
+	// callers queue for a worker slot (default 4×Workers; <0 disables).
+	MaxQueueDepth int
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +114,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 60 * time.Second
+	}
+	if c.RetryAttempts == 0 {
+		c.RetryAttempts = 3
+	}
+	if c.RetryBase == 0 {
+		c.RetryBase = 5 * time.Millisecond
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 30 * time.Second
+	}
+	if c.MaxQueueDepth == 0 {
+		c.MaxQueueDepth = 4 * c.Workers
 	}
 	return c
 }
@@ -118,10 +148,11 @@ type design struct {
 // store, worker pool and lifecycle around it. Create with New; serve
 // either via Serve/ListenAndServe or by mounting Handler in a test server.
 type Server struct {
-	cfg   Config
-	store *Store
-	cache *analysisCache
-	pool  *par.Pool
+	cfg     Config
+	store   *Store
+	cache   *analysisCache
+	pool    *par.Pool
+	breaker *breaker
 
 	mu      sync.Mutex
 	designs map[string]*design
@@ -150,6 +181,7 @@ func New(cfg Config) (*Server, error) {
 		store:   store,
 		cache:   newAnalysisCache(cfg.CacheSize),
 		pool:    par.NewPool(cfg.Workers),
+		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		designs: make(map[string]*design),
 	}
 	digests, err := store.Digests()
@@ -245,9 +277,11 @@ func (s *Server) lookupDesign(digest string) *design {
 
 // analysis returns the design's cached analysis, re-running the upload
 // path (parse stored bytes → sweep → analyze) on a cache miss and
-// verifying the recomputed digest still matches the stored one.
-func (s *Server) analysis(d *design) (*core.Analysis, error) {
+// verifying the recomputed digest still matches the stored one. ctx bounds
+// the (possibly shared, singleflight) load.
+func (s *Server) analysis(ctx context.Context, d *design) (*core.Analysis, error) {
 	return s.cache.getOrLoad(d.digest, func() (*core.Analysis, error) {
+		fault.Stall(fault.AnalysisSlow)
 		meta, raw, err := s.store.LoadDesign(d.digest)
 		if err != nil {
 			return nil, err
@@ -256,7 +290,7 @@ func (s *Server) analysis(d *design) (*core.Analysis, error) {
 		if err != nil {
 			return nil, fmt.Errorf("serve: stored design %s: %w", d.digest, err)
 		}
-		a, err := analyzeUpload(c)
+		a, err := analyzeUpload(ctx, c)
 		if err != nil {
 			return nil, fmt.Errorf("serve: stored design %s: %w", d.digest, err)
 		}
@@ -289,10 +323,11 @@ func (d *design) ensureRegistry(store *Store, a *core.Analysis) (*registry.Regis
 
 // analyzeUpload is the canonical upload pipeline: sweep dead logic, then
 // analyse with the default library and options — byte-identical to the
-// CLI's registry-facing commands, so daemon digests match odcfp's.
-func analyzeUpload(c *circuit.Circuit) (*core.Analysis, error) {
+// CLI's registry-facing commands, so daemon digests match odcfp's. ctx
+// cancels the scan (core.AnalyzeCtx).
+func analyzeUpload(ctx context.Context, c *circuit.Circuit) (*core.Analysis, error) {
 	swept, _ := c.Sweep()
-	return core.Analyze(swept, core.DefaultOptions(cell.Default()))
+	return core.AnalyzeCtx(ctx, swept, core.DefaultOptions(cell.Default()))
 }
 
 // parseNetlist decodes data in the given format: "bench", "blif" or

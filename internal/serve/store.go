@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/registry"
 )
@@ -78,8 +79,13 @@ func OpenStore(dir string) (*Store, error) {
 func (s *Store) Dir() string { return s.dir }
 
 // atomicWrite writes data to path via temp file + fsync + rename. The
-// destination is never truncated in place.
+// destination is never truncated in place. The fault points model a flaky
+// disk: store.write fails the whole write before any byte lands (transient,
+// so the serve layer's retry policy applies); store.fsync stalls the sync.
 func (s *Store) atomicWrite(path string, data []byte) error {
+	if err := fault.Err(fault.StoreWrite); err != nil {
+		return err
+	}
 	f, err := os.CreateTemp(s.dir, filepath.Base(path)+tmpMarker+"*")
 	if err != nil {
 		return err
@@ -90,6 +96,7 @@ func (s *Store) atomicWrite(path string, data []byte) error {
 		cleanup()
 		return err
 	}
+	fault.Stall(fault.StoreFsync)
 	if err := f.Sync(); err != nil {
 		cleanup()
 		return err
