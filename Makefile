@@ -31,16 +31,19 @@ chaos:
 		$(GO) test -race -count=1 -run 'TestChaos' ./internal/serve/
 
 # Daemon smoke: start odcfpd, run a concurrent loadgen burst, SIGTERM-drain,
-# restart on the same store and prove no issued fingerprint was lost
-# (scripts/serve_smoke.sh). The race-enabled service tests run first.
+# restart on the same store and prove no issued fingerprint was lost, then
+# drive /issue/batch and a durable async job end-to-end, requiring the batch
+# path to beat serial issue by ≥5× (scripts/serve_smoke.sh). The
+# race-enabled service tests run first.
 serve-smoke:
 	$(GO) test -race -count=1 ./internal/serve/...
-	GO=$(GO) scripts/serve_smoke.sh
+	GO=$(GO) MIN_SPEEDUP=5 scripts/serve_smoke.sh
 
 # Full-size service benchmark: ≥1000 mixed issue/trace requests over 8
-# concurrent clients with a mid-run restart; writes BENCH_serve.json.
+# concurrent clients with a mid-run restart, then a 4096-copy async batch
+# mint that must beat serial issue by ≥20×; writes BENCH_serve.json.
 bench-serve:
-	GO=$(GO) scripts/serve_smoke.sh 1000 8 BENCH_serve.json
+	GO=$(GO) MIN_SPEEDUP=20 scripts/serve_smoke.sh 1000 8 BENCH_serve.json 4096
 
 # Godoc lint: every package needs a package comment, every exported
 # declaration a doc comment (internal/tools/doccheck).
@@ -89,4 +92,4 @@ fuzz:
 # Seed corpora under internal/*/testdata/fuzz are committed — clean only
 # removes generated run artifacts, never fuzz seeds.
 clean:
-	rm -f BENCH_*.json runreport.json tables.md chaos-metrics.json
+	rm -f BENCH_*.json runreport.json tables.md chaos-metrics.json serve_smoke.json

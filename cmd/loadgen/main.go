@@ -7,6 +7,8 @@
 //	loadgen -addr 127.0.0.1:8341 [-bench c880 | -in design.bench]
 //	        [-n 1000] [-c 8] [-save DIR] [-out BENCH_serve.json]
 //	loadgen -addr 127.0.0.1:8341 -replay DIR [-out BENCH_serve.json]
+//	loadgen -addr 127.0.0.1:8341 -batch 64 [-async] [-n 1000]
+//	        [-serial 32] [-min-speedup 20] [-out BENCH_serve.json]
 //
 // The main mode uploads the design once, then issues a fingerprinted copy
 // per synthetic buyer and immediately traces it back, asserting the daemon
@@ -15,6 +17,14 @@
 // a later -replay run (typically against a restarted daemon) can trace the
 // saved copies and prove no acknowledged issuance was lost; replay results
 // are merged into the existing -out report under "restart".
+//
+// -batch benchmarks fleet-scale minting: a serial /issue baseline of
+// -serial copies, then -n copies through POST /issue/batch (-batch buyers
+// per request; with -async, one durable job polled via /jobs/{id}), merged
+// into the report under "batch" with the serial-vs-batch copies/sec
+// speedup. Shed (429) responses are absorbed by sleeping the server's
+// Retry-After (capped) before retrying, falling back to exponential
+// backoff when the header is absent.
 package main
 
 import (
@@ -27,6 +37,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -58,8 +69,24 @@ type report struct {
 	Issue     *latencyStat `json:"issue,omitempty"`
 	Trace     *latencyStat `json:"trace,omitempty"`
 	Cache     *cacheStat   `json:"cache,omitempty"`
+	Batch     *batchStat   `json:"batch,omitempty"`
 	Restart   *replayStat  `json:"restart,omitempty"`
 	Generated string       `json:"generated"`
+}
+
+// batchStat compares serial /issue minting against /issue/batch on the
+// same design: the headline number is Speedup (batch copies/sec over
+// serial copies/sec).
+type batchStat struct {
+	Copies       int     `json:"copies"`
+	BatchSize    int     `json:"batch_size"`
+	Async        bool    `json:"async,omitempty"`
+	WallMS       float64 `json:"wall_ms"`
+	CopiesPerSec float64 `json:"copies_per_sec"`
+	SerialCopies int     `json:"serial_copies"`
+	SerialWallMS float64 `json:"serial_wall_ms"`
+	SerialCPS    float64 `json:"serial_copies_per_sec"`
+	Speedup      float64 `json:"speedup"`
 }
 
 type latencyStat struct {
@@ -94,6 +121,10 @@ func run(args []string) error {
 	c := fs.Int("c", 8, "concurrent clients")
 	saveDir := fs.String("save", "", "save issued copies to this directory for -replay")
 	replayDir := fs.String("replay", "", "trace previously saved copies instead of generating load")
+	batch := fs.Int("batch", 0, "batch-benchmark mode: copies per /issue/batch request (0 = normal issue/trace load)")
+	asyncJob := fs.Bool("async", false, "with -batch: mint through a durable async job (202 + /jobs polling)")
+	serialN := fs.Int("serial", 32, "with -batch: serial /issue copies for the baseline rate")
+	minSpeedup := fs.Float64("min-speedup", 0, "with -batch: fail below this batch-vs-serial speedup (0 = report only)")
 	out := fs.String("out", "BENCH_serve.json", "JSON report path")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -102,12 +133,18 @@ func run(args []string) error {
 	if *replayDir != "" {
 		return replay(base, *replayDir, *out)
 	}
+	if *batch > 0 {
+		return batchBench(base, *benchName, *inFile, *format, *n, *batch, *serialN, *asyncJob, *minSpeedup, *out)
+	}
 	return generate(base, *benchName, *inFile, *format, *n, *c, *saveDir, *out)
 }
 
 // postRetry posts body to url, honoring 429 shed responses by backing off
 // and retrying: shedding is the daemon's flow control under overload, not a
-// request failure (README "Operating under overload and failure"). Each
+// request failure (README "Operating under overload and failure"). The
+// daemon's own Retry-After header sets the sleep when present (capped at
+// retryAfterCap — a server bug must not park the client for minutes);
+// without one the client falls back to its 25ms exponential backoff. Each
 // shed is counted in shed when non-nil. The final response body is
 // returned with the body already read and closed.
 func postRetry(c *http.Client, url, contentType string, body []byte, shed *atomic.Int64) (*http.Response, []byte, error) {
@@ -129,11 +166,29 @@ func postRetry(c *http.Client, url, contentType string, body []byte, shed *atomi
 		if shed != nil {
 			shed.Add(1)
 		}
-		time.Sleep(backoff)
+		time.Sleep(retryDelay(resp.Header.Get("Retry-After"), backoff))
 		if backoff < 400*time.Millisecond {
 			backoff *= 2
 		}
 	}
+}
+
+// retryAfterCap bounds how long a Retry-After header may park the client.
+const retryAfterCap = 5 * time.Second
+
+// retryDelay picks the shed-retry sleep: the server's Retry-After seconds
+// when the header parses (capped), else the client's own backoff.
+func retryDelay(header string, backoff time.Duration) time.Duration {
+	if header != "" {
+		if secs, err := strconv.Atoi(strings.TrimSpace(header)); err == nil && secs >= 0 {
+			d := time.Duration(secs) * time.Second
+			if d > retryAfterCap {
+				d = retryAfterCap
+			}
+			return d
+		}
+	}
+	return backoff
 }
 
 // upload posts the netlist and returns the design digest and name.
@@ -206,24 +261,27 @@ func percentiles(durs []time.Duration) *latencyStat {
 	}
 }
 
-func generate(base, benchName, inFile, format string, n, c int, saveDir, out string) error {
-	var netlist []byte
+// loadNetlist reads the upload payload: -in file bytes, or a rendered
+// suite circuit.
+func loadNetlist(benchName, inFile string) ([]byte, error) {
 	if inFile != "" {
-		b, err := os.ReadFile(inFile)
-		if err != nil {
-			return err
-		}
-		netlist = b
-	} else {
-		spec, err := bench.ByName(benchName)
-		if err != nil {
-			return err
-		}
-		var buf bytes.Buffer
-		if err := benchfmt.Write(&buf, spec.Build()); err != nil {
-			return err
-		}
-		netlist = buf.Bytes()
+		return os.ReadFile(inFile)
+	}
+	spec, err := bench.ByName(benchName)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := benchfmt.Write(&buf, spec.Build()); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func generate(base, benchName, inFile, format string, n, c int, saveDir, out string) error {
+	netlist, err := loadNetlist(benchName, inFile)
+	if err != nil {
+		return err
 	}
 	digest, design, err := upload(base, netlist, format)
 	if err != nil {
@@ -347,6 +405,195 @@ func hitRate(c *cacheStat) float64 {
 		return 0
 	}
 	return c.HitRate
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// batchBench measures fleet-scale minting on one design: a serial /issue
+// baseline (one copy per request, one registry fsync each) against
+// /issue/batch — or, with async, one durable job polled to completion —
+// then merges the copies/sec comparison into the report's "batch" section.
+func batchBench(base, benchName, inFile, format string, n, k, serialN int, async bool, minSpeedup float64, out string) error {
+	netlist, err := loadNetlist(benchName, inFile)
+	if err != nil {
+		return err
+	}
+	digest, design, err := upload(base, netlist, format)
+	if err != nil {
+		return err
+	}
+	httpClient := &http.Client{Timeout: 5 * time.Minute}
+
+	if serialN < 1 {
+		serialN = 1
+	}
+	t0 := time.Now()
+	for i := 0; i < serialN; i++ {
+		buyer := fmt.Sprintf("serial-%05d", i)
+		resp, body, err := postRetry(httpClient,
+			base+"/designs/"+digest+"/issue?buyer="+buyer, "text/plain", nil, nil)
+		if err != nil {
+			return fmt.Errorf("serial issue %s: %w", buyer, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("serial issue %s: %s: %s", buyer, resp.Status, body)
+		}
+	}
+	serialWall := time.Since(t0)
+
+	stat := &batchStat{
+		Copies: n, BatchSize: k, Async: async,
+		SerialCopies: serialN, SerialWallMS: ms(serialWall),
+		SerialCPS: float64(serialN) / serialWall.Seconds(),
+	}
+	t1 := time.Now()
+	if async {
+		err = mintAsync(httpClient, base, digest, n)
+	} else {
+		err = mintBatches(httpClient, base, digest, n, k)
+	}
+	if err != nil {
+		return err
+	}
+	wall := time.Since(t1)
+	stat.WallMS = ms(wall)
+	stat.CopiesPerSec = float64(n) / wall.Seconds()
+	if stat.SerialCPS > 0 {
+		stat.Speedup = stat.CopiesPerSec / stat.SerialCPS
+	}
+
+	if err := traceBatchSample(httpClient, base, digest); err != nil {
+		return err
+	}
+
+	rep := report{Design: design, Digest: digest, Generated: time.Now().UTC().Format(time.RFC3339)}
+	if prev, err := os.ReadFile(out); err == nil {
+		json.Unmarshal(prev, &rep)
+	}
+	rep.Batch = stat
+	if err := writeReport(out, rep); err != nil {
+		return err
+	}
+	fmt.Printf("loadgen: batch mode (async=%v): %d copies at %.1f copies/s vs %.1f serial — %.1fx\n",
+		async, n, stat.CopiesPerSec, stat.SerialCPS, stat.Speedup)
+	if minSpeedup > 0 && stat.Speedup < minSpeedup {
+		return fmt.Errorf("batch speedup %.1fx below required %.1fx", stat.Speedup, minSpeedup)
+	}
+	return nil
+}
+
+// mintBatches issues n copies through synchronous /issue/batch requests of
+// k buyers each, honoring sheds like every other request.
+func mintBatches(c *http.Client, base, digest string, n, k int) error {
+	for done := 0; done < n; {
+		m := k
+		if n-done < m {
+			m = n - done
+		}
+		buyers := make([]string, m)
+		for i := range buyers {
+			buyers[i] = fmt.Sprintf("batch-%06d", done+i)
+		}
+		body, err := json.Marshal(map[string]any{"buyers": buyers})
+		if err != nil {
+			return err
+		}
+		resp, rbody, err := postRetry(c,
+			base+"/designs/"+digest+"/issue/batch", "application/json", body, nil)
+		if err != nil {
+			return fmt.Errorf("batch issue at %d: %w", done, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("batch issue at %d: %s: %s", done, resp.Status, rbody)
+		}
+		var br struct {
+			Copies []struct {
+				Buyer string `json:"buyer"`
+			} `json:"copies"`
+		}
+		if err := json.Unmarshal(rbody, &br); err != nil {
+			return fmt.Errorf("batch response at %d: %w", done, err)
+		}
+		if len(br.Copies) != m {
+			return fmt.Errorf("batch at %d returned %d copies, want %d", done, len(br.Copies), m)
+		}
+		done += m
+	}
+	return nil
+}
+
+// mintAsync submits one durable job for n generated buyers and polls
+// /jobs/{id} until it completes.
+func mintAsync(c *http.Client, base, digest string, n int) error {
+	body, err := json.Marshal(map[string]any{"count": n, "prefix": "batch-", "async": true})
+	if err != nil {
+		return err
+	}
+	resp, rbody, err := postRetry(c, base+"/designs/"+digest+"/issue/batch", "application/json", body, nil)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("async batch submit: %s: %s", resp.Status, rbody)
+	}
+	var job struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(rbody, &job); err != nil || job.ID == "" {
+		return fmt.Errorf("async batch submit response: %v: %s", err, rbody)
+	}
+	for {
+		time.Sleep(25 * time.Millisecond)
+		resp, err := c.Get(base + "/jobs/" + job.ID)
+		if err != nil {
+			return err
+		}
+		var st struct {
+			State        string `json:"state"`
+			Acknowledged int    `json:"acknowledged"`
+			Error        string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("job poll: %w", err)
+		}
+		switch st.State {
+		case "done":
+			if st.Acknowledged != n {
+				return fmt.Errorf("job done with %d of %d acknowledged", st.Acknowledged, n)
+			}
+			return nil
+		case "failed":
+			return fmt.Errorf("job failed: %s", st.Error)
+		}
+	}
+}
+
+// traceBatchSample proves a batch-minted copy is real: re-fetch the first
+// buyer's copy via the idempotent /issue path and trace it back.
+func traceBatchSample(c *http.Client, base, digest string) error {
+	const buyer = "batch-000000"
+	resp, copyBody, err := postRetry(c,
+		base+"/designs/"+digest+"/issue?buyer="+buyer, "text/plain", nil, nil)
+	if err != nil {
+		return fmt.Errorf("refetch %s: %w", buyer, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("refetch %s: %s: %s", buyer, resp.Status, copyBody)
+	}
+	tresp, tbody, err := postRetry(c, base+"/designs/"+digest+"/trace", "text/plain", copyBody, nil)
+	if err != nil {
+		return fmt.Errorf("trace %s: %w", buyer, err)
+	}
+	var tr struct {
+		Exact string `json:"exact"`
+	}
+	if tresp.StatusCode != http.StatusOK || json.Unmarshal(tbody, &tr) != nil || tr.Exact != buyer {
+		return fmt.Errorf("batch sample trace: status %s, exact %q (want %q): %s",
+			tresp.Status, tr.Exact, buyer, tbody)
+	}
+	return nil
 }
 
 // replay traces every copy saved by a previous -save run against the (now

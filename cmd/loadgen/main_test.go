@@ -1,0 +1,30 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryDelay: the shed-retry sleep honors the server's Retry-After
+// seconds when present (capped), and falls back to the client backoff on a
+// missing or malformed header.
+func TestRetryDelay(t *testing.T) {
+	backoff := 40 * time.Millisecond
+	cases := []struct {
+		header string
+		want   time.Duration
+	}{
+		{"3", 3 * time.Second},
+		{" 1 ", time.Second},
+		{"0", 0},
+		{"", backoff},           // no header: client backoff
+		{"soon", backoff},       // HTTP-date or garbage: client backoff
+		{"-2", backoff},         // negative: client backoff
+		{"3600", retryAfterCap}, // absurd server value: capped
+	}
+	for _, c := range cases {
+		if got := retryDelay(c.header, backoff); got != c.want {
+			t.Errorf("retryDelay(%q) = %v, want %v", c.header, got, c.want)
+		}
+	}
+}

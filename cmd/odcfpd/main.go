@@ -8,7 +8,7 @@
 //	odcfpd -addr :8341 -store ./odcfpd-store [-cache 64] [-j N]
 //	       [-max-bytes 16777216] [-timeout 60s] [-verify] [-addr-file PATH]
 //	       [-retries 3] [-breaker 3] [-cooldown 30s] [-max-queue N]
-//	       [-faults SPEC]
+//	       [-batch-chunk 64] [-max-batch 256] [-faults SPEC]
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: the listener closes,
 // in-flight requests run to completion, then the process exits 0. With
@@ -56,6 +56,8 @@ func run(args []string) error {
 	breaker := fs.Int("breaker", 0, "consecutive SAT-verify failures tripping degraded mode (0 = default 3)")
 	cooldown := fs.Duration("cooldown", 0, "open-breaker cooldown before a probe (0 = default 30s)")
 	maxQueue := fs.Int("max-queue", 0, "shed requests beyond this pool queue depth (0 = default 4×workers, <0 = off)")
+	batchChunk := fs.Int("batch-chunk", 0, "copies per durable commit of a batch issue (0 = default 64)")
+	maxBatch := fs.Int("max-batch", 0, "max buyers in one synchronous batch request (0 = default 256)")
 	faults := fs.String("faults", "", "arm a fault-injection plan (chaos testing; see internal/fault)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,6 +82,8 @@ func run(args []string) error {
 		BreakerThreshold: *breaker,
 		BreakerCooldown:  *cooldown,
 		MaxQueueDepth:    *maxQueue,
+		BatchChunk:       *batchChunk,
+		MaxBatchBuyers:   *maxBatch,
 	})
 	if err != nil {
 		return err

@@ -14,6 +14,7 @@
 package registry
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -44,6 +45,24 @@ type Registry struct {
 	// access it directly while other goroutines use the registry; it is
 	// exported only for JSON serialisation.
 	Issued map[string]string `json:"issued"`
+
+	// byValue is the reverse index (decimal value → buyer) behind the
+	// collision check — built lazily under mu, never serialised. Without it
+	// every fresh reservation scans the whole record map, which turns
+	// fleet-scale batch minting quadratic.
+	byValue map[string]string
+}
+
+// valueIndex returns the reverse value→buyer index, building it from the
+// records on first use. The caller must hold mu for writing.
+func (r *Registry) valueIndex() map[string]string {
+	if r.byValue == nil {
+		r.byValue = make(map[string]string, len(r.Issued))
+		for buyer, val := range r.Issued {
+			r.byValue[val] = buyer
+		}
+	}
+	return r.byValue
 }
 
 // DesignDigest hashes the structural identity of the analysed design: the
@@ -120,18 +139,24 @@ func (r *Registry) reserve(buyer string, combos *big.Int) (value *big.Int, fresh
 		}
 		return v, false, nil
 	}
-	sum := sha256.Sum256([]byte("odcfp-issue:" + r.Digest + ":" + buyer))
-	value = new(big.Int).SetBytes(sum[:])
-	value.Mod(value, combos)
+	value = r.deriveValue(buyer, combos)
 	// Collision check against existing records.
 	dec := value.String()
-	for other, v := range r.Issued {
-		if v == dec {
-			return nil, false, fmt.Errorf("registry: fingerprint collision between %q and %q", buyer, other)
-		}
+	idx := r.valueIndex()
+	if other, ok := idx[dec]; ok {
+		return nil, false, fmt.Errorf("registry: fingerprint collision between %q and %q", buyer, other)
 	}
 	r.Issued[buyer] = dec
+	idx[dec] = buyer
 	return value, true, nil
+}
+
+// deriveValue is the deterministic buyer→fingerprint derivation: a keyed
+// hash of the buyer name reduced modulo the design's combination count.
+func (r *Registry) deriveValue(buyer string, combos *big.Int) *big.Int {
+	sum := sha256.Sum256([]byte("odcfp-issue:" + r.Digest + ":" + buyer))
+	value := new(big.Int).SetBytes(sum[:])
+	return value.Mod(value, combos)
 }
 
 // release drops a reservation made by reserve when the embed that followed
@@ -142,7 +167,155 @@ func (r *Registry) release(buyer string, fresh bool) {
 		return
 	}
 	r.mu.Lock()
+	r.deleteRecord(buyer)
+	r.mu.Unlock()
+}
+
+// deleteRecord drops a buyer's record and its reverse-index entry. The
+// caller must hold mu for writing.
+func (r *Registry) deleteRecord(buyer string) {
+	if val, ok := r.Issued[buyer]; ok && r.byValue != nil {
+		delete(r.byValue, val)
+	}
 	delete(r.Issued, buyer)
+}
+
+// BatchItem is one minted copy out of an IssueBatch call.
+type BatchItem struct {
+	// Buyer names the copy's recipient.
+	Buyer string
+	// Circuit is the fingerprinted netlist.
+	Circuit *circuit.Circuit
+	// Value is the embedded fingerprint (mixed-radix integer).
+	Value *big.Int
+	// Fresh reports whether this batch created the buyer's record (false:
+	// the buyer was already issued and the recorded value was re-minted).
+	Fresh bool
+}
+
+// IssueBatch mints copies for every buyer in one reservation: all values
+// are reserved up front — collision-checked against existing records and
+// against each other — before any embedding starts, then each copy is
+// embedded with a cancellation check per copy. On any failure (an embed
+// error, a duplicate buyer in the batch, or ctx dying between copies)
+// every reservation the batch created is released, so a partial failure
+// leaves the registry exactly as it was. Buyers already issued keep their
+// recorded value, making a retried batch idempotent copy-for-copy.
+//
+// The expensive per-copy embeds run outside the registry lock, so batches
+// for distinct designs — and interactive Issue calls — proceed
+// concurrently.
+func (r *Registry) IssueBatch(ctx context.Context, a *core.Analysis, buyers []string) ([]BatchItem, error) {
+	items, err := r.IssueBatchValues(ctx, a, buyers)
+	if err != nil {
+		return nil, err
+	}
+	for i := range items {
+		// Per-copy cancellation point: a dead context abandons the batch
+		// before the next embed and rolls back its reservations.
+		if err := ctx.Err(); err != nil {
+			r.ReleaseItems(items)
+			return nil, err
+		}
+		asg, err := a.AssignmentFromInt(items[i].Value)
+		if err != nil {
+			r.ReleaseItems(items)
+			return nil, err
+		}
+		cp, err := core.Embed(a, asg)
+		if err != nil {
+			r.ReleaseItems(items)
+			return nil, fmt.Errorf("registry: embedding copy for %q: %w", items[i].Buyer, err)
+		}
+		items[i].Circuit = cp
+	}
+	return items, nil
+}
+
+// IssueBatchValues is IssueBatch without the netlists: every buyer's
+// fingerprint value is reserved (or re-read, for buyers already issued)
+// atomically, but no copy is embedded — Circuit is nil on every item.
+// Because issuance is deterministic per buyer, a recorded value alone is a
+// complete acknowledgement: the copy it names can be materialized later,
+// byte-identically, by Issue. Fleet-scale async jobs run on this path,
+// paying the per-copy embed only when a buyer actually fetches.
+func (r *Registry) IssueBatchValues(ctx context.Context, a *core.Analysis, buyers []string) ([]BatchItem, error) {
+	if err := r.check(a); err != nil {
+		return nil, err
+	}
+	if len(buyers) == 0 {
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	combos := a.Combinations()
+	if combos.Sign() <= 0 || combos.Cmp(big.NewInt(1)) == 0 {
+		return nil, fmt.Errorf("registry: design has no fingerprint capacity")
+	}
+	return r.reserveBatch(buyers, combos)
+}
+
+// reserveBatch records a value for every buyer under one write lock,
+// rolling every new record back if any reservation fails.
+func (r *Registry) reserveBatch(buyers []string, combos *big.Int) ([]BatchItem, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	items := make([]BatchItem, len(buyers))
+	seen := make(map[string]bool, len(buyers))
+	var added []string
+	rollback := func() {
+		for _, b := range added {
+			r.deleteRecord(b)
+		}
+	}
+	for i, buyer := range buyers {
+		if buyer == "" {
+			rollback()
+			return nil, fmt.Errorf("registry: empty buyer name")
+		}
+		if seen[buyer] {
+			rollback()
+			return nil, fmt.Errorf("registry: duplicate buyer %q in batch", buyer)
+		}
+		seen[buyer] = true
+		items[i].Buyer = buyer
+		if prev, ok := r.Issued[buyer]; ok {
+			v, ok2 := new(big.Int).SetString(prev, 10)
+			if !ok2 {
+				rollback()
+				return nil, fmt.Errorf("registry: corrupt record for %q", buyer)
+			}
+			items[i].Value = v
+			continue
+		}
+		v := r.deriveValue(buyer, combos)
+		dec := v.String()
+		idx := r.valueIndex()
+		if other, ok := idx[dec]; ok {
+			rollback()
+			return nil, fmt.Errorf("registry: fingerprint collision between %q and %q", buyer, other)
+		}
+		r.Issued[buyer] = dec
+		idx[dec] = buyer
+		items[i].Value = v
+		items[i].Fresh = true
+		added = append(added, buyer)
+	}
+	return items, nil
+}
+
+// ReleaseItems drops the records IssueBatch created (Fresh items only —
+// pre-existing issuances are never touched). Callers use it when the step
+// after minting fails, e.g. the durable registry save, so the failed batch
+// leaves no trace.
+func (r *Registry) ReleaseItems(items []BatchItem) {
+	r.mu.Lock()
+	for i := range items {
+		if items[i].Fresh {
+			r.deleteRecord(items[i].Buyer)
+		}
+	}
 	r.mu.Unlock()
 }
 

@@ -2,6 +2,7 @@ package registry
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -9,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/benchfmt"
 	"repro/internal/cell"
 	"repro/internal/circuit"
 	"repro/internal/core"
@@ -229,5 +231,122 @@ func TestConcurrentIssueRace(t *testing.T) {
 		if err != nil || got != want {
 			t.Errorf("copy %d traced to %q (%v), want %q", i, got, err, want)
 		}
+	}
+}
+
+// TestIssueBatch: one call mints every buyer, agrees with the serial Issue
+// path, and re-batching is idempotent (recorded values, Fresh=false).
+func TestIssueBatch(t *testing.T) {
+	a := analyzed(t, "c880")
+	r := New(a)
+	serial, sv, err := r.Issue(a, "pre")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	buyers := []string{"a", "b", "c", "pre"}
+	items, err := r.IssueBatch(context.Background(), a, buyers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 4 {
+		t.Fatalf("got %d items, want 4", len(items))
+	}
+	for i, it := range items {
+		if it.Buyer != buyers[i] {
+			t.Errorf("item %d buyer %q, want %q", i, it.Buyer, buyers[i])
+		}
+		got, err := r.TraceExact(a, it.Circuit.Clone())
+		if err != nil || got != it.Buyer {
+			t.Errorf("batch copy for %q traced to %q (%v)", it.Buyer, got, err)
+		}
+	}
+	// The pre-issued buyer was re-minted, not re-reserved.
+	pre := items[3]
+	if pre.Fresh {
+		t.Error("pre-issued buyer marked Fresh in batch")
+	}
+	if pre.Value.Cmp(sv) != 0 {
+		t.Errorf("batch re-mint value %s, want serial %s", pre.Value, sv)
+	}
+	var sb, bb bytes.Buffer
+	if err := benchfmt.Write(&sb, serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := benchfmt.Write(&bb, pre.Circuit); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != bb.String() {
+		t.Error("batch re-mint differs from serial copy")
+	}
+
+	// Re-batching the whole list is idempotent.
+	again, err := r.IssueBatch(context.Background(), a, buyers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range again {
+		if again[i].Fresh {
+			t.Errorf("re-batch item %d marked Fresh", i)
+		}
+		if again[i].Value.Cmp(items[i].Value) != 0 {
+			t.Errorf("re-batch value for %q changed", again[i].Buyer)
+		}
+	}
+	if got := len(r.Buyers()); got != 4 {
+		t.Errorf("registry holds %d buyers, want 4", got)
+	}
+}
+
+// TestIssueBatchValidation: duplicate and empty buyer names reject the
+// whole batch before any record is created.
+func TestIssueBatchValidation(t *testing.T) {
+	a := analyzed(t, "c880")
+	r := New(a)
+	if _, err := r.IssueBatch(context.Background(), a, []string{"x", "x"}); err == nil {
+		t.Error("duplicate buyers accepted")
+	}
+	if _, err := r.IssueBatch(context.Background(), a, []string{"x", ""}); err == nil {
+		t.Error("empty buyer accepted")
+	}
+	if got := len(r.Buyers()); got != 0 {
+		t.Errorf("rejected batch left %d records behind", got)
+	}
+}
+
+// TestIssueBatchCancellation: a context cancelled mid-batch returns an
+// error and releases every fresh reservation, leaving pre-existing records
+// untouched.
+func TestIssueBatchCancellation(t *testing.T) {
+	a := analyzed(t, "c880")
+	r := New(a)
+	if _, _, err := r.Issue(a, "keep"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.IssueBatch(ctx, a, []string{"keep", "n1", "n2"}); err == nil {
+		t.Fatal("cancelled batch succeeded")
+	}
+	if got := r.Buyers(); len(got) != 1 || got[0] != "keep" {
+		t.Errorf("after cancelled batch Buyers = %v, want [keep]", got)
+	}
+}
+
+// TestReleaseItems keeps non-fresh records: releasing a failed batch must
+// never delete a buyer who was issued before the batch started.
+func TestReleaseItems(t *testing.T) {
+	a := analyzed(t, "c880")
+	r := New(a)
+	if _, _, err := r.Issue(a, "old"); err != nil {
+		t.Fatal(err)
+	}
+	items, err := r.IssueBatch(context.Background(), a, []string{"old", "new"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.ReleaseItems(items)
+	if got := r.Buyers(); len(got) != 1 || got[0] != "old" {
+		t.Errorf("after release Buyers = %v, want [old]", got)
 	}
 }

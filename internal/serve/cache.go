@@ -2,6 +2,7 @@ package serve
 
 import (
 	"container/list"
+	"context"
 	"sync"
 
 	"repro/internal/core"
@@ -10,12 +11,16 @@ import (
 
 // Cache metrics. Hit/miss/eviction order depends on request interleaving
 // under concurrent load, so they are Nondet for deterministic snapshots;
-// the size gauge is an instantaneous reading.
+// the size gauge is an instantaneous reading. cache_misses counts actual
+// loader runs — exactly one per singleflight — while cache_flight_waits
+// counts the callers that joined an already-in-flight load, so
+// hits/(hits+misses) is a true cache-hit rate under any concurrency.
 var (
-	mCacheHits      = obs.NewCounter("serve", "cache_hits", obs.Nondet())
-	mCacheMisses    = obs.NewCounter("serve", "cache_misses", obs.Nondet())
-	mCacheEvictions = obs.NewCounter("serve", "cache_evictions", obs.Nondet())
-	gCacheSize      = obs.NewGauge("serve", "cache_size", obs.Nondet())
+	mCacheHits        = obs.NewCounter("serve", "cache_hits", obs.Nondet())
+	mCacheMisses      = obs.NewCounter("serve", "cache_misses", obs.Nondet())
+	mCacheFlightWaits = obs.NewCounter("serve", "cache_flight_waits", obs.Nondet())
+	mCacheEvictions   = obs.NewCounter("serve", "cache_evictions", obs.Nondet())
+	gCacheSize        = obs.NewGauge("serve", "cache_size", obs.Nondet())
 )
 
 // analysisCache is an LRU of core.Analysis keyed by design digest — the
@@ -109,7 +114,17 @@ func (c *analysisCache) len() int {
 // getOrLoad returns the cached analysis or runs load once per digest,
 // sharing the result (and error) with every concurrent caller. Successful
 // loads are inserted into the cache; errors are not cached.
-func (c *analysisCache) getOrLoad(digest string, load func() (*core.Analysis, error)) (*core.Analysis, error) {
+//
+// The load runs in its own goroutine, detached from any one caller's
+// context: ctx only bounds how long THIS caller waits for the shared
+// result. A caller whose context dies mid-flight gets its own ctx error
+// back while the load keeps running for the surviving waiters (and for the
+// cache) — one impatient client cancelling must not fail a stampede of
+// healthy ones, so the loader itself must not capture a request context
+// (the serve layer gives it a detached deadline instead). The singleflight
+// still guarantees at most one load per digest is ever in flight, so the
+// detached goroutine cannot pile up.
+func (c *analysisCache) getOrLoad(ctx context.Context, digest string, load func() (*core.Analysis, error)) (*core.Analysis, error) {
 	c.mu.Lock()
 	if el, ok := c.items[digest]; ok {
 		c.ll.MoveToFront(el)
@@ -118,23 +133,31 @@ func (c *analysisCache) getOrLoad(digest string, load func() (*core.Analysis, er
 		c.mu.Unlock()
 		return a, nil
 	}
-	mCacheMisses.Inc()
-	if f, ok := c.flight[digest]; ok {
-		c.mu.Unlock()
-		<-f.done
-		return f.a, f.err
+	f, inFlight := c.flight[digest]
+	if inFlight {
+		mCacheFlightWaits.Inc()
+	} else {
+		// One miss per actual load, not per waiter that joined it.
+		mCacheMisses.Inc()
+		f = &flightCall{done: make(chan struct{})}
+		c.flight[digest] = f
+		go func() {
+			f.a, f.err = load()
+			c.mu.Lock()
+			delete(c.flight, digest)
+			if f.err == nil {
+				c.addLocked(digest, f.a)
+			}
+			c.mu.Unlock()
+			close(f.done)
+		}()
 	}
-	f := &flightCall{done: make(chan struct{})}
-	c.flight[digest] = f
 	c.mu.Unlock()
 
-	f.a, f.err = load()
-	c.mu.Lock()
-	delete(c.flight, digest)
-	if f.err == nil {
-		c.addLocked(digest, f.a)
+	select {
+	case <-f.done:
+		return f.a, f.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	}
-	c.mu.Unlock()
-	close(f.done)
-	return f.a, f.err
 }

@@ -1,11 +1,13 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 )
@@ -57,7 +59,7 @@ func TestCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			a, err := c.getOrLoad("dig", load)
+			a, err := c.getOrLoad(context.Background(), "dig", load)
 			if err != nil {
 				t.Error(err)
 			}
@@ -82,6 +84,134 @@ func TestCacheSingleflight(t *testing.T) {
 	}
 }
 
+// TestCacheCancelledOriginatorDoesNotFailWaiters is the singleflight
+// cancellation-leakage regression test: the caller that started a load
+// cancels mid-flight and must fail alone — the load keeps running and every
+// healthy waiter still receives the analysis. Pre-fix, the load ran under
+// the originating request's goroutine and context, so the originator could
+// not abandon it and its cancellation error was handed to every waiter.
+func TestCacheCancelledOriginatorDoesNotFailWaiters(t *testing.T) {
+	c := newAnalysisCache(4)
+	var loads atomic.Int64
+	gate := make(chan struct{})
+	want := new(core.Analysis)
+	load := func() (*core.Analysis, error) {
+		loads.Add(1)
+		<-gate
+		return want, nil
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	origDone := make(chan error, 1)
+	go func() {
+		_, err := c.getOrLoad(ctx, "dig", load)
+		origDone <- err
+	}()
+	waitFor(t, "loader start", func() bool { return loads.Load() == 1 })
+
+	// A healthy waiter joins the in-flight load.
+	waiterDone := make(chan error, 1)
+	var got *core.Analysis
+	go func() {
+		a, err := c.getOrLoad(context.Background(), "dig", load)
+		got = a
+		waiterDone <- err
+	}()
+	waitFor(t, "waiter join", func() bool { return mCacheFlightWaits.Value() > 0 || len(waiterDone) > 0 })
+
+	// The originator gives up while the load is still running: it must get
+	// its own ctx error back promptly, not block until the load finishes.
+	cancel()
+	select {
+	case err := <-origDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled originator err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled originator still blocked on the load")
+	}
+
+	// The load completes for the surviving waiter and lands in the cache.
+	close(gate)
+	select {
+	case err := <-waiterDone:
+		if err != nil {
+			t.Fatalf("healthy waiter err = %v (originator's cancellation leaked)", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never completed")
+	}
+	if got != want {
+		t.Fatalf("waiter got %p, want %p", got, want)
+	}
+	if n := loads.Load(); n != 1 {
+		t.Errorf("loader ran %d times, want 1", n)
+	}
+	if c.get("dig") != want {
+		t.Error("analysis missing from cache after cancelled originator")
+	}
+}
+
+// TestCacheMissCountedOncePerLoad is the miss-inflation regression test:
+// one actual load must record exactly one cache miss no matter how many
+// callers joined it; the joiners are counted as flight waits instead.
+func TestCacheMissCountedOncePerLoad(t *testing.T) {
+	c := newAnalysisCache(4)
+	misses0 := mCacheMisses.Value()
+	waits0 := mCacheFlightWaits.Value()
+	hits0 := mCacheHits.Value()
+
+	var loads atomic.Int64
+	gate := make(chan struct{})
+	load := func() (*core.Analysis, error) {
+		loads.Add(1)
+		<-gate
+		return new(core.Analysis), nil
+	}
+	const joiners = 7
+	first := make(chan error, 1)
+	go func() {
+		_, err := c.getOrLoad(context.Background(), "dig", load)
+		first <- err
+	}()
+	waitFor(t, "loader start", func() bool { return loads.Load() == 1 })
+	var wg sync.WaitGroup
+	for i := 0; i < joiners; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.getOrLoad(context.Background(), "dig", load); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	// Every joiner must have joined the flight before it completes, so the
+	// accounting below is exact.
+	waitFor(t, "joiners in flight", func() bool { return mCacheFlightWaits.Value()-waits0 == joiners })
+	close(gate)
+	wg.Wait()
+	if err := <-first; err != nil {
+		t.Fatal(err)
+	}
+
+	if d := mCacheMisses.Value() - misses0; d != 1 {
+		t.Errorf("cache_misses += %d for one load with %d joiners, want 1", d, joiners)
+	}
+	if d := mCacheFlightWaits.Value() - waits0; d != joiners {
+		t.Errorf("cache_flight_waits += %d, want %d", d, joiners)
+	}
+	if d := mCacheHits.Value() - hits0; d != 0 {
+		t.Errorf("cache_hits += %d during the load, want 0", d)
+	}
+	// A post-load lookup is a plain hit.
+	if c.get("dig") == nil {
+		t.Fatal("analysis not cached")
+	}
+	if d := mCacheHits.Value() - hits0; d != 1 {
+		t.Errorf("cache_hits += %d after one hit, want 1", d)
+	}
+}
+
 func TestCacheLoadErrorNotCached(t *testing.T) {
 	c := newAnalysisCache(4)
 	boom := errors.New("boom")
@@ -93,13 +223,13 @@ func TestCacheLoadErrorNotCached(t *testing.T) {
 		}
 		return new(core.Analysis), nil
 	}
-	if _, err := c.getOrLoad("d", load); !errors.Is(err, boom) {
+	if _, err := c.getOrLoad(context.Background(), "d", load); !errors.Is(err, boom) {
 		t.Fatalf("first load err = %v, want boom", err)
 	}
 	if c.len() != 0 {
 		t.Fatal("error result was cached")
 	}
-	a, err := c.getOrLoad("d", load)
+	a, err := c.getOrLoad(context.Background(), "d", load)
 	if err != nil || a == nil {
 		t.Fatalf("second load = %p, %v", a, err)
 	}
@@ -130,7 +260,7 @@ func TestCacheConcurrentMixed(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
 				d := fmt.Sprintf("d%d", (g+i)%6) // more digests than capacity
-				if _, err := c.getOrLoad(d, func() (*core.Analysis, error) {
+				if _, err := c.getOrLoad(context.Background(), d, func() (*core.Analysis, error) {
 					return new(core.Analysis), nil
 				}); err != nil {
 					t.Error(err)

@@ -383,3 +383,168 @@ func TestChaosPoolSaturate(t *testing.T) {
 		t.Fatalf("saturated request took %v, want ~the 60ms deadline", elapsed)
 	}
 }
+
+// TestChaosBatchKillMidJob kills the daemon at the worst instant of an
+// async batch — one chunk acknowledged, the next chunk's copies durable in
+// the registry but not yet listed in the job record — and asserts the
+// restarted daemon resumes the job to completion with every acknowledged
+// copy intact: nothing lost, nothing duplicated, fingerprints unchanged.
+func TestChaosBatchKillMidJob(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, Config{StoreDir: dir, BatchChunk: 4})
+	info, _ := uploadDesign(t, ts1.URL, benchBytes(t, "c432"))
+	baseline := runtime.NumGoroutine()
+
+	// Let chunk 1 commit fully, then freeze the runner right after chunk 2
+	// hits the registry — before the job record acknowledges it.
+	mintedChunks := 0
+	blocked := make(chan struct{})
+	release := make(chan struct{})
+	s1.testHook = func(kind string) {
+		if kind != "job-chunk-minted" {
+			return
+		}
+		mintedChunks++
+		if mintedChunks == 2 {
+			close(blocked)
+			<-release
+		}
+	}
+
+	const total = 12 // 3 chunks of 4
+	body := strings.NewReader(`{"count": 12, "prefix": "kill-"}`)
+	resp, err := http.Post(ts1.URL+"/designs/"+info.Digest+"/issue/batch?async=1", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit: status %d: %s", resp.StatusCode, sub)
+	}
+	var job jobStatus
+	if err := json.Unmarshal(sub, &job); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case <-blocked:
+	case <-time.After(10 * time.Second):
+		t.Fatal("runner never reached chunk 2")
+	}
+
+	// Frozen state: the job record acknowledges exactly chunk 1.
+	st := pollJobOnce(t, ts1.URL, job.ID)
+	if st.Acknowledged != 4 {
+		t.Fatalf("pre-kill acknowledged = %d, want 4", st.Acknowledged)
+	}
+
+	// The runner holds no worker slot while frozen: interactive issuance
+	// still goes through (the anti-starvation contract).
+	if status, _, _ := rawIssue(t, ts1.URL, info.Digest, "walk-in", ""); status != http.StatusOK {
+		t.Fatalf("interactive issue starved behind frozen batch: status %d", status)
+	}
+
+	// Record the durable fingerprints of chunks 1+2 (idempotent re-fetch).
+	preFP := make(map[string]string, 8)
+	for i := 0; i < 8; i++ {
+		buyer := fmt.Sprintf("kill-%05d", i)
+		status, hdr, body := rawIssue(t, ts1.URL, info.Digest, buyer, "")
+		if status != http.StatusOK {
+			t.Fatalf("pre-kill fetch of %s: status %d: %s", buyer, status, body)
+		}
+		preFP[buyer] = hdr.Get("X-Odcfp-Fingerprint")
+	}
+
+	// Kill the daemon mid-batch: the runner dies inside the frozen window.
+	resumed0 := mJobsResumed.Value()
+	s1.runnerCancel()
+	close(release)
+	select {
+	case <-s1.runnerDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("runner did not die after cancel")
+	}
+
+	// Restart over the same store: the interrupted job is resumed and
+	// driven to done.
+	_, ts2 := newTestServer(t, Config{StoreDir: dir, BatchChunk: 4})
+	if d := mJobsResumed.Value() - resumed0; d != 1 {
+		t.Errorf("jobs_resumed += %d across restart, want 1", d)
+	}
+	final := pollJob(t, ts2.URL, job.ID)
+	if final.State != JobDone {
+		t.Fatalf("resumed job state %q (%s), want done", final.State, final.Error)
+	}
+	if final.Acknowledged != total || final.Remaining != 0 {
+		t.Fatalf("resumed job acknowledged %d/%d", final.Acknowledged, final.Total)
+	}
+
+	// No acknowledged copy lost, none duplicated, none diverged.
+	seen := make(map[string]int, total)
+	for _, b := range final.Done {
+		seen[b]++
+	}
+	for i := 0; i < total; i++ {
+		buyer := fmt.Sprintf("kill-%05d", i)
+		if seen[buyer] != 1 {
+			t.Errorf("%s acknowledged %d times, want exactly once", buyer, seen[buyer])
+		}
+		status, hdr, body := rawIssue(t, ts2.URL, info.Digest, buyer, "")
+		if status != http.StatusOK {
+			t.Errorf("post-resume fetch of %s: status %d: %s", buyer, status, body)
+			continue
+		}
+		if want, ok := preFP[buyer]; ok && hdr.Get("X-Odcfp-Fingerprint") != want {
+			t.Errorf("%s fingerprint changed across kill/resume: %s -> %s",
+				buyer, want, hdr.Get("X-Odcfp-Fingerprint"))
+		}
+	}
+	if len(seen) != total {
+		t.Errorf("done list names %d distinct buyers, want %d", len(seen), total)
+	}
+
+	// The registry itself holds each batch buyer exactly once.
+	dresp, err := http.Get(ts2.URL + "/designs/" + info.Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dresp.Body.Close()
+	var dinfo struct {
+		Buyers []string `json:"buyers"`
+	}
+	if err := json.NewDecoder(dresp.Body).Decode(&dinfo); err != nil {
+		t.Fatal(err)
+	}
+	count := make(map[string]int)
+	for _, b := range dinfo.Buyers {
+		if strings.HasPrefix(b, "kill-") {
+			count[b]++
+		}
+	}
+	if len(count) != total {
+		t.Errorf("registry holds %d kill- buyers, want %d", len(count), total)
+	}
+	for b, n := range count {
+		if n != 1 {
+			t.Errorf("registry holds %s %d times", b, n)
+		}
+	}
+
+	assertNoGoroutineLeak(t, baseline)
+}
+
+// pollJobOnce fetches a job's status once (no waiting).
+func pollJobOnce(t testing.TB, base, id string) jobStatus {
+	t.Helper()
+	resp, err := http.Get(base + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}

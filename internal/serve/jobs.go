@@ -1,0 +1,595 @@
+package serve
+
+// This file is the fleet-scale issuance path: POST /issue/batch mints k
+// copies in one request — one cached analysis, one shared cec.Session for
+// every verify, one registry fsync per chunk instead of per copy — and its
+// async mode turns the same work into a durable job (202 + /jobs/{id}
+// polling) that survives daemon restarts. The durability contract mirrors
+// the registry store's: a copy counts as acknowledged only once the
+// registry holding its fingerprint AND the job record listing it as done
+// have both been written with the temp-file+fsync+rename discipline, in
+// that order. A crash between the two writes re-runs the chunk on resume;
+// because issuance is deterministic per buyer (registry.IssueBatch reuses
+// recorded values), the re-run mints byte-identical copies — an
+// acknowledged copy is never lost and never duplicated.
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/registry"
+)
+
+// Batch/job metrics. Submission and copy counts are workload-determined;
+// resumes and failures depend on crash/fault timing.
+var (
+	mBatchRequests = obs.NewCounter("serve", "batch_requests")
+	mBatchCopies   = obs.NewCounter("serve", "batch_copies")
+	mJobsSubmitted = obs.NewCounter("serve", "jobs_submitted")
+	mJobsCompleted = obs.NewCounter("serve", "jobs_completed", obs.Nondet())
+	mJobsFailed    = obs.NewCounter("serve", "jobs_failed", obs.Nondet())
+	mJobsResumed   = obs.NewCounter("serve", "jobs_resumed", obs.Nondet())
+)
+
+// Job states. A queued or running job resumes after a restart; done and
+// failed are terminal (failed keeps its acknowledged prefix).
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// BatchIssueRequest is the JSON body of POST /designs/{digest}/issue/batch.
+// Buyers may be listed explicitly, or generated as Prefix+index with Count.
+type BatchIssueRequest struct {
+	// Buyers lists the recipients, one copy each (no duplicates).
+	Buyers []string `json:"buyers,omitempty"`
+	// Count generates Count buyers named Prefix%05d when Buyers is empty.
+	Count int `json:"count,omitempty"`
+	// Prefix is the generated-buyer name prefix (default "buyer-").
+	Prefix string `json:"prefix,omitempty"`
+	// Verify CEC-proves every copy before acknowledgement (also ?verify=1).
+	Verify bool `json:"verify,omitempty"`
+	// Format picks the netlist encoding of synchronous responses.
+	Format string `json:"format,omitempty"`
+	// Async runs the batch as a durable job: 202 + job id (also ?async=1).
+	Async bool `json:"async,omitempty"`
+}
+
+// BatchCopy is one minted copy in a synchronous batch response.
+type BatchCopy struct {
+	// Buyer names the recipient.
+	Buyer string `json:"buyer"`
+	// Fingerprint is the embedded value (decimal).
+	Fingerprint string `json:"fingerprint"`
+	// Verified is "equivalent", "degraded" or "" (verification off).
+	Verified string `json:"verified,omitempty"`
+	// Netlist is the fingerprinted copy in the response format.
+	Netlist string `json:"netlist"`
+}
+
+// BatchIssueResponse is the JSON result of a synchronous batch issue.
+type BatchIssueResponse struct {
+	// Digest echoes the design digest.
+	Digest string `json:"digest"`
+	// Format is the netlist encoding of every copy.
+	Format string `json:"format"`
+	// Copies carries the minted copies in request order.
+	Copies []BatchCopy `json:"copies"`
+}
+
+// JobRecord is the durable state of one async issuance job — persisted to
+// the store before the 202 leaves the server and after every chunk commit,
+// and served (as a jobStatus view) from GET /jobs/{id}.
+type JobRecord struct {
+	// ID is the job's handle (fixed-width hex).
+	ID string `json:"id"`
+	// Digest is the design being issued.
+	Digest string `json:"digest"`
+	// Buyers is the full recipient list, in issue order.
+	Buyers []string `json:"buyers"`
+	// Verify CEC-proves each copy before it is acknowledged.
+	Verify bool `json:"verify"`
+	// State is one of JobQueued, JobRunning, JobDone, JobFailed.
+	State string `json:"state"`
+	// Done lists acknowledged buyers: their fingerprints are durable and
+	// each copy is re-fetchable, byte-identically, via /issue.
+	Done []string `json:"done"`
+	// Error explains a JobFailed state.
+	Error string `json:"error,omitempty"`
+	// Created and Updated are RFC3339 timestamps.
+	Created string `json:"created"`
+	Updated string `json:"updated"`
+}
+
+// jobStatus is the polling view of a JobRecord: counts always, full buyer
+// lists only on request (a 10⁵-copy job's lists dwarf the poll loop).
+type jobStatus struct {
+	ID           string   `json:"id"`
+	Digest       string   `json:"digest"`
+	State        string   `json:"state"`
+	Verify       bool     `json:"verify"`
+	Total        int      `json:"total"`
+	Acknowledged int      `json:"acknowledged"`
+	Remaining    int      `json:"remaining"`
+	Error        string   `json:"error,omitempty"`
+	Created      string   `json:"created"`
+	Updated      string   `json:"updated"`
+	Buyers       []string `json:"buyers,omitempty"`
+	Done         []string `json:"done,omitempty"`
+}
+
+// newJobID returns a fresh random job handle.
+func newJobID() (string, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// rfc3339Now is the job timestamp format.
+func rfc3339Now() string { return time.Now().UTC().Format(time.RFC3339) }
+
+// statusView renders a record snapshot; the caller holds jobMu (or owns
+// the record exclusively).
+func statusView(rec *JobRecord, withLists bool) jobStatus {
+	st := jobStatus{
+		ID: rec.ID, Digest: rec.Digest, State: rec.State, Verify: rec.Verify,
+		Total: len(rec.Buyers), Acknowledged: len(rec.Done),
+		Remaining: len(rec.Buyers) - len(rec.Done),
+		Error:     rec.Error, Created: rec.Created, Updated: rec.Updated,
+	}
+	if withLists {
+		st.Buyers = append([]string(nil), rec.Buyers...)
+		st.Done = append([]string(nil), rec.Done...)
+	}
+	return st
+}
+
+// loadJobs reloads persisted job records at startup; interrupted jobs
+// (queued or running) are counted as resumed and re-run by the runner.
+func (s *Server) loadJobs() error {
+	recs, err := s.store.LoadJobs()
+	if err != nil {
+		return err
+	}
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	for _, rec := range recs {
+		s.jobs[rec.ID] = rec
+		if rec.State == JobQueued || rec.State == JobRunning {
+			mJobsResumed.Inc()
+		}
+	}
+	return nil
+}
+
+// wakeRunner nudges the job runner without blocking.
+func (s *Server) wakeRunner() {
+	select {
+	case s.jobWake <- struct{}{}:
+	default:
+	}
+}
+
+// batchBuyers expands and validates the request's recipient list.
+func batchBuyers(req *BatchIssueRequest) ([]string, error) {
+	buyers := req.Buyers
+	if len(buyers) == 0 {
+		if req.Count <= 0 {
+			return nil, fmt.Errorf("batch needs a non-empty buyers list or a positive count")
+		}
+		prefix := req.Prefix
+		if prefix == "" {
+			prefix = "buyer-"
+		}
+		buyers = make([]string, req.Count)
+		for i := range buyers {
+			buyers[i] = fmt.Sprintf("%s%05d", prefix, i)
+		}
+		return buyers, nil
+	}
+	seen := make(map[string]bool, len(buyers))
+	for _, b := range buyers {
+		if b == "" {
+			return nil, fmt.Errorf("empty buyer name in batch")
+		}
+		if seen[b] {
+			return nil, fmt.Errorf("duplicate buyer %q in batch", b)
+		}
+		seen[b] = true
+	}
+	return buyers, nil
+}
+
+// issuedCopy pairs a minted batch item with its verification label.
+type issuedCopy struct {
+	item     registry.BatchItem
+	verified string
+}
+
+// issueChunk mints one chunk of buyers: a single batch reservation under
+// the design lock, optional per-copy verification on the shared
+// incremental session, then one durable registry save. On any failure —
+// embed, verify, cancellation, or the store giving out — the reservations
+// this chunk created are released, so nothing half-minted survives; the
+// caller sees either a fully durable chunk or an error.
+//
+// With materialize false (and verify off) no netlist is embedded at all:
+// the reserved values are themselves complete acknowledgements, and each
+// copy is materialized deterministically when its buyer fetches it. Async
+// jobs run this way — it is what makes fleet-scale minting an order of
+// magnitude faster than the per-copy serial path.
+func (s *Server) issueChunk(ctx context.Context, d *design, a *core.Analysis, buyers []string, verify, materialize bool) ([]issuedCopy, error) {
+	materialize = materialize || verify
+	d.mu.Lock()
+	reg, err := d.ensureRegistry(s.store, a)
+	var items []registry.BatchItem
+	if err == nil {
+		if materialize {
+			items, err = reg.IssueBatch(ctx, a, buyers)
+		} else {
+			items, err = reg.IssueBatchValues(ctx, a, buyers)
+		}
+	}
+	d.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]issuedCopy, len(items))
+	for i := range items {
+		out[i].item = items[i]
+		if !verify {
+			continue
+		}
+		label, verr := s.verifyIssued(ctx, a, &circuitAndValue{ckt: items[i].Circuit, value: items[i].Value})
+		if verr != nil {
+			reg.ReleaseItems(items)
+			return nil, verr
+		}
+		out[i].verified = label
+	}
+	// Durability before acknowledgement: one fsynced registry write covers
+	// the whole chunk — the amortization that makes batch minting fast.
+	d.mu.Lock()
+	err = s.retryStore(ctx, func() error {
+		return s.store.SaveRegistry(d.digest, reg)
+	})
+	d.mu.Unlock()
+	if err != nil {
+		reg.ReleaseItems(items)
+		return nil, err
+	}
+	mBatchCopies.Add(int64(len(items)))
+	mIssues.Add(int64(len(items)))
+	return out, nil
+}
+
+// handleBatchIssue implements POST /designs/{digest}/issue/batch. The
+// synchronous form (≤ MaxBatchBuyers copies) returns every netlist inline;
+// ?async=1 (any size) durably enqueues a job and returns 202 + its status.
+func (s *Server) handleBatchIssue(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	d := s.lookupDesign(digest)
+	if d == nil {
+		writeError(w, http.StatusNotFound, "unknown design "+digest)
+		return
+	}
+	data, err := s.readBody(w, r)
+	if err != nil {
+		var ae *apiError
+		errors.As(err, &ae)
+		writeError(w, ae.status, ae.msg)
+		return
+	}
+	var req BatchIssueRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "batch request body must be JSON {\"buyers\": [...]} or {\"count\": N}")
+		return
+	}
+	buyers, err := batchBuyers(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	q := r.URL.Query()
+	verify := s.cfg.VerifyIssues || req.Verify || q.Get("verify") == "1"
+	async := req.Async || q.Get("async") == "1"
+	mBatchRequests.Inc()
+
+	if async {
+		s.submitJob(w, r, d, buyers, verify)
+		return
+	}
+	if len(buyers) > s.cfg.MaxBatchBuyers {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf(
+			"synchronous batch capped at %d buyers (got %d); use ?async=1", s.cfg.MaxBatchBuyers, len(buyers)))
+		return
+	}
+	format := outputFormat(q.Get("format"), d.meta.Format)
+	if req.Format != "" {
+		format = req.Format
+	}
+	s.withWorker(w, r, "batch", func(ctx context.Context) error {
+		a, err := s.analysis(ctx, d)
+		if err != nil {
+			return err
+		}
+		resp := BatchIssueResponse{Digest: d.digest, Format: format}
+		// Chunked commits: each chunk is durable before the next starts, so
+		// a mid-batch failure loses only the unacknowledged tail — and a
+		// client retry re-mints identical copies (issuance is deterministic
+		// per buyer), never duplicates.
+		for len(buyers) > 0 {
+			n := min(s.cfg.BatchChunk, len(buyers))
+			copies, err := s.issueChunk(ctx, d, a, buyers[:n], verify, true)
+			if err != nil {
+				return batchIssueError(ctx, err)
+			}
+			for i := range copies {
+				enc, err := encodeNetlist(format, copies[i].item.Circuit)
+				if err != nil {
+					return err
+				}
+				resp.Copies = append(resp.Copies, BatchCopy{
+					Buyer:       copies[i].item.Buyer,
+					Fingerprint: copies[i].item.Value.String(),
+					Verified:    copies[i].verified,
+					Netlist:     enc,
+				})
+			}
+			buyers = buyers[n:]
+		}
+		w.Header().Set("X-Odcfp-Digest", d.digest)
+		writeJSON(w, http.StatusOK, resp)
+		return nil
+	})
+}
+
+// batchIssueError maps an issueChunk failure onto the HTTP statuses the
+// single-issue path uses.
+func batchIssueError(ctx context.Context, err error) error {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	if isTransient(err) {
+		return apiErrorf(http.StatusServiceUnavailable, "store unavailable: %v", err)
+	}
+	return apiErrorf(http.StatusConflict, "batch issue: %v", err)
+}
+
+// encodeNetlist renders c in format as a string.
+func encodeNetlist(format string, c *circuit.Circuit) (string, error) {
+	var buf bytes.Buffer
+	if err := writeNetlist(&buf, format, c); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
+}
+
+// submitJob durably enqueues an async issuance job and answers 202. The
+// record hits disk before the response, so a 202 is itself an
+// acknowledgement: the job survives any restart from this point on.
+func (s *Server) submitJob(w http.ResponseWriter, r *http.Request, d *design, buyers []string, verify bool) {
+	id, err := newJobID()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	now := rfc3339Now()
+	rec := &JobRecord{
+		ID: id, Digest: d.digest, Buyers: buyers, Verify: verify,
+		State: JobQueued, Created: now, Updated: now,
+	}
+	if err := s.retryStore(r.Context(), func() error { return s.store.PutJob(rec) }); err != nil {
+		if isTransient(err) {
+			writeError(w, http.StatusServiceUnavailable, "store unavailable: "+err.Error())
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.jobMu.Lock()
+	s.jobs[id] = rec
+	st := statusView(rec, false)
+	s.jobMu.Unlock()
+	mJobsSubmitted.Inc()
+	s.wakeRunner()
+	w.Header().Set("Location", "/jobs/"+id)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// handleJobStatus implements GET /jobs/{id}; ?buyers=1 includes the full
+// buyer and acknowledged lists.
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.jobMu.Lock()
+	rec, ok := s.jobs[id]
+	var st jobStatus
+	if ok {
+		st = statusView(rec, r.URL.Query().Get("buyers") == "1")
+	}
+	s.jobMu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job "+id)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleJobList implements GET /jobs: every job's status, sorted by
+// creation time then id.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	s.jobMu.Lock()
+	out := make([]jobStatus, 0, len(s.jobs))
+	for _, rec := range s.jobs {
+		out = append(out, statusView(rec, false))
+	}
+	s.jobMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Created != out[j].Created {
+			return out[i].Created < out[j].Created
+		}
+		return out[i].ID < out[j].ID
+	})
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+// nextJob picks the oldest runnable job (queued, or running — i.e.
+// interrupted by a restart) and marks it running. Returns nil when idle.
+func (s *Server) nextJob() *JobRecord {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	var pick *JobRecord
+	for _, rec := range s.jobs {
+		if rec.State != JobQueued && rec.State != JobRunning {
+			continue
+		}
+		if pick == nil || rec.Created < pick.Created ||
+			(rec.Created == pick.Created && rec.ID < pick.ID) {
+			pick = rec
+		}
+	}
+	if pick != nil {
+		pick.State = JobRunning
+	}
+	return pick
+}
+
+// runJobs is the background job runner. It processes one job at a time,
+// chunk by chunk, taking a worker-pool slot per chunk and releasing it
+// between chunks — so interactive /issue and /trace requests interleave
+// with a running mega-batch instead of starving behind it. When the
+// runner's context dies (Shutdown), the current chunk is cancelled
+// mid-copy; the job's durable state is untouched since its last commit and
+// the next daemon over the same store resumes it.
+func (s *Server) runJobs(ctx context.Context) {
+	defer close(s.runnerDone)
+	for {
+		rec := s.nextJob()
+		if rec == nil {
+			select {
+			case <-ctx.Done():
+				return
+			case <-s.jobWake:
+				continue
+			}
+		}
+		s.processJob(ctx, rec)
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// commitJob persists the record's current state; the caller must not hold
+// jobMu (commitJob snapshots under it).
+func (s *Server) commitJob(ctx context.Context, rec *JobRecord) error {
+	s.jobMu.Lock()
+	rec.Updated = rfc3339Now()
+	snap := *rec
+	snap.Buyers = append([]string(nil), rec.Buyers...)
+	snap.Done = append([]string(nil), rec.Done...)
+	s.jobMu.Unlock()
+	return s.retryStore(ctx, func() error { return s.store.PutJob(&snap) })
+}
+
+// failJob marks the job failed (keeping its acknowledged prefix) and
+// persists the terminal state.
+func (s *Server) failJob(ctx context.Context, rec *JobRecord, err error) {
+	s.jobMu.Lock()
+	rec.State = JobFailed
+	rec.Error = err.Error()
+	s.jobMu.Unlock()
+	mJobsFailed.Inc()
+	s.commitJob(ctx, rec)
+}
+
+// processJob runs one job to a terminal state or until ctx dies. Chunks
+// follow the acknowledged order: issue + verify + durable registry save
+// (issueChunk), then the job record's done list is extended and persisted.
+// A crash between those two writes re-runs the chunk deterministically on
+// resume, so acknowledged copies are never lost or duplicated.
+func (s *Server) processJob(ctx context.Context, rec *JobRecord) {
+	d := s.lookupDesign(rec.Digest)
+	if d == nil {
+		s.failJob(ctx, rec, fmt.Errorf("unknown design %s", rec.Digest))
+		return
+	}
+	s.jobMu.Lock()
+	buyers := append([]string(nil), rec.Buyers...)
+	done := len(rec.Done)
+	verify := rec.Verify
+	s.jobMu.Unlock()
+
+	for done < len(buyers) {
+		if ctx.Err() != nil {
+			return // shutdown: resume from the durable state next start
+		}
+		n := min(s.cfg.BatchChunk, len(buyers)-done)
+		chunk := buyers[done : done+n]
+		cctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		err := s.pool.Run(cctx, func(ctx context.Context) error {
+			a, err := s.analysis(ctx, d)
+			if err != nil {
+				return err
+			}
+			_, err = s.issueChunk(ctx, d, a, chunk, verify, false)
+			return err
+		})
+		cancel()
+		if err == nil && s.testHook != nil {
+			// The chunk's copies are durable in the registry but the job
+			// record does not list them yet — the window chaos tests target.
+			s.testHook("job-chunk-minted")
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				return // shutdown mid-chunk: nothing new was acknowledged
+			}
+			// A chunk deadline on a live daemon is a real failure (the
+			// chunk is sized to fit well inside RequestTimeout), as is a
+			// non-transient store or embed error.
+			s.failJob(ctx, rec, fmt.Errorf("chunk at copy %d: %w", done, err))
+			return
+		}
+		s.jobMu.Lock()
+		rec.Done = append(rec.Done, chunk...)
+		s.jobMu.Unlock()
+		done += n
+		if err := s.commitJob(ctx, rec); err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			// The copies are durable in the registry but the job record
+			// could not say so; resume will re-run them idempotently.
+			s.failJob(ctx, rec, fmt.Errorf("persisting job progress: %w", err))
+			return
+		}
+		if s.testHook != nil {
+			s.testHook("job-chunk")
+		}
+	}
+	s.jobMu.Lock()
+	rec.State = JobDone
+	s.jobMu.Unlock()
+	mJobsCompleted.Inc()
+	s.commitJob(ctx, rec)
+}

@@ -22,7 +22,14 @@
 //	GET  /designs                 list stored designs
 //	GET  /designs/{digest}        one design's analysis + registry summary
 //	POST /designs/{digest}/issue  mint a fingerprinted copy for a buyer
+//	POST /designs/{digest}/issue/batch
+//	                              mint copies for many buyers in one call,
+//	                              synchronously or (?async=1) as a durable
+//	                              202+job, amortizing one analysis, one CEC
+//	                              session and chunked registry fsyncs
 //	POST /designs/{digest}/trace  score a suspect copy against the registry
+//	GET  /jobs                    list async issuance jobs
+//	GET  /jobs/{id}               one job's progress (acknowledged buyers)
 //	GET  /healthz                 liveness + drain state
 //	GET  /metrics                 obs metric snapshot (JSON)
 package serve
@@ -100,6 +107,14 @@ type Config struct {
 	// MaxQueueDepth sheds requests (429 + Retry-After) once this many
 	// callers queue for a worker slot (default 4×Workers; <0 disables).
 	MaxQueueDepth int
+	// BatchChunk is how many copies a batch issue commits per durable
+	// registry+job write (default 64). Larger chunks amortize fsyncs
+	// harder; smaller ones bound the work re-done after a crash.
+	BatchChunk int
+	// MaxBatchBuyers caps the buyers of one synchronous batch request
+	// (default 256); larger batches must use the async job mode, whose
+	// runner yields its worker slot between chunks.
+	MaxBatchBuyers int
 }
 
 func (c Config) withDefaults() Config {
@@ -130,6 +145,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxQueueDepth == 0 {
 		c.MaxQueueDepth = 4 * c.Workers
 	}
+	if c.BatchChunk <= 0 {
+		c.BatchChunk = 64
+	}
+	if c.MaxBatchBuyers <= 0 {
+		c.MaxBatchBuyers = 256
+	}
 	return c
 }
 
@@ -157,11 +178,21 @@ type Server struct {
 	mu      sync.Mutex
 	designs map[string]*design
 
+	// Async issuance jobs (jobs.go): records mirror the durable job files;
+	// jobWake nudges the runner goroutine, runnerCancel kills it.
+	jobMu        sync.Mutex
+	jobs         map[string]*JobRecord
+	jobWake      chan struct{}
+	runnerCancel context.CancelFunc
+	runnerDone   chan struct{}
+
 	draining atomic.Bool
 	httpSrv  *http.Server
 
 	// testHook, when non-nil (tests only), runs while the request holds a
-	// worker slot, keyed by request kind ("issue", "trace", "upload").
+	// worker slot, keyed by request kind ("issue", "trace", "upload") —
+	// the job runner also fires it with "job-chunk" after each durable
+	// chunk commit.
 	testHook func(kind string)
 }
 
@@ -183,6 +214,8 @@ func New(cfg Config) (*Server, error) {
 		pool:    par.NewPool(cfg.Workers),
 		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		designs: make(map[string]*design),
+		jobs:    make(map[string]*JobRecord),
+		jobWake: make(chan struct{}, 1),
 	}
 	digests, err := store.Digests()
 	if err != nil {
@@ -196,10 +229,17 @@ func New(cfg Config) (*Server, error) {
 		s.designs[dg] = &design{digest: dg, meta: meta}
 	}
 	gDesigns.Set(int64(len(s.designs)))
+	if err := s.loadJobs(); err != nil {
+		return nil, err
+	}
 	s.httpSrv = &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	runnerCtx, cancel := context.WithCancel(context.Background())
+	s.runnerCancel = cancel
+	s.runnerDone = make(chan struct{})
+	go s.runJobs(runnerCtx)
 	return s, nil
 }
 
@@ -210,7 +250,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /designs", s.handleList)
 	mux.HandleFunc("GET /designs/{digest}", s.handleInfo)
 	mux.HandleFunc("POST /designs/{digest}/issue", s.handleIssue)
+	mux.HandleFunc("POST /designs/{digest}/issue/batch", s.handleBatchIssue)
 	mux.HandleFunc("POST /designs/{digest}/trace", s.handleTrace)
+	mux.HandleFunc("GET /jobs", s.handleJobList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s.instrument(mux)
@@ -249,11 +292,15 @@ func (s *Server) ListenAndServe(addr string) error {
 }
 
 // Shutdown drains the daemon gracefully: the listener closes, in-flight
-// requests run to completion (bounded by ctx), then the worker pool is
-// closed. Safe to call even when Serve was never started.
+// requests run to completion (bounded by ctx), the job runner stops at its
+// next chunk boundary (unfinished jobs stay durable and resume on the next
+// New over the same store), then the worker pool is closed. Safe to call
+// even when Serve was never started.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	err := s.httpSrv.Shutdown(ctx)
+	s.runnerCancel()
+	<-s.runnerDone
 	s.pool.Close()
 	return err
 }
@@ -278,9 +325,14 @@ func (s *Server) lookupDesign(digest string) *design {
 // analysis returns the design's cached analysis, re-running the upload
 // path (parse stored bytes → sweep → analyze) on a cache miss and
 // verifying the recomputed digest still matches the stored one. ctx bounds
-// the (possibly shared, singleflight) load.
+// only how long this caller waits: the load itself runs detached under its
+// own RequestTimeout deadline, so a caller that cancels mid-flight fails
+// alone — the (singleflight-shared) analysis still completes for every
+// other waiter and lands in the cache.
 func (s *Server) analysis(ctx context.Context, d *design) (*core.Analysis, error) {
-	return s.cache.getOrLoad(d.digest, func() (*core.Analysis, error) {
+	return s.cache.getOrLoad(ctx, d.digest, func() (*core.Analysis, error) {
+		lctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
+		defer cancel()
 		fault.Stall(fault.AnalysisSlow)
 		meta, raw, err := s.store.LoadDesign(d.digest)
 		if err != nil {
@@ -290,7 +342,7 @@ func (s *Server) analysis(ctx context.Context, d *design) (*core.Analysis, error
 		if err != nil {
 			return nil, fmt.Errorf("serve: stored design %s: %w", d.digest, err)
 		}
-		a, err := analyzeUpload(ctx, c)
+		a, err := analyzeUpload(lctx, c)
 		if err != nil {
 			return nil, fmt.Errorf("serve: stored design %s: %w", d.digest, err)
 		}

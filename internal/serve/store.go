@@ -246,6 +246,92 @@ func (s *Store) SaveRegistry(digest string, r *registry.Registry) error {
 	return nil
 }
 
+// jobPrefix and jobSuffix frame the durable file of one async issuance job.
+const (
+	jobPrefix = "job-"
+	jobSuffix = ".json"
+)
+
+func (s *Store) jobPath(id string) string {
+	return filepath.Join(s.dir, jobPrefix+id+jobSuffix)
+}
+
+// validJobID rejects ids that could escape the store directory; real ids
+// are fixed-width lowercase hex (newJobID).
+func validJobID(id string) bool {
+	if len(id) != 16 {
+		return false
+	}
+	for _, c := range id {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// PutJob durably persists one async issuance job record with the same
+// temp-file+fsync+rename discipline as every other store write, so a
+// restarted daemon only ever observes a complete old or complete new job
+// state — the invariant that makes "acknowledged" in a job's done list
+// crash-proof.
+func (s *Store) PutJob(rec *JobRecord) error {
+	if !validJobID(rec.ID) {
+		return fmt.Errorf("serve: store: invalid job id %q", rec.ID)
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if err := s.atomicWrite(s.jobPath(rec.ID), append(b, '\n')); err != nil {
+		return fmt.Errorf("serve: store job %s: %w", rec.ID, err)
+	}
+	return nil
+}
+
+// LoadJobs reads every persisted job record, sorted by id.
+func (s *Store) LoadJobs() ([]*JobRecord, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: store: %w", err)
+	}
+	var out []*JobRecord
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, jobPrefix) || !strings.HasSuffix(name, jobSuffix) ||
+			strings.Contains(name, tmpMarker) {
+			continue
+		}
+		id := strings.TrimSuffix(strings.TrimPrefix(name, jobPrefix), jobSuffix)
+		if !validJobID(id) {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(s.dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("serve: store: %w", err)
+		}
+		rec := new(JobRecord)
+		if err := json.Unmarshal(b, rec); err != nil {
+			return nil, fmt.Errorf("serve: store: job %s: %w", id, err)
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// DeleteJob removes a job record (finished jobs only — callers enforce
+// that). A missing file is not an error.
+func (s *Store) DeleteJob(id string) error {
+	if !validJobID(id) {
+		return fmt.Errorf("serve: store: invalid job id %q", id)
+	}
+	if err := os.Remove(s.jobPath(id)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("serve: store: %w", err)
+	}
+	return nil
+}
+
 // LoadRegistry reads the design's registry, validating it against the
 // analysis. A missing registry file is not an error: it returns a fresh
 // empty registry (the design was stored but nothing issued yet).

@@ -7,15 +7,22 @@
 #   3. SIGTERM the daemon and require a clean (exit 0) graceful drain
 #   4. restart the daemon on the same store and replay the saved copies,
 #      proving no acknowledged issuance was lost across the restart
+#   5. exercise POST /issue/batch synchronously, then benchmark fleet-scale
+#      minting through a durable async job, recording the serial-vs-batch
+#      copies/sec comparison in the report's "batch" section
 #
-# Usage: scripts/serve_smoke.sh [requests] [clients] [out.json]
-# Defaults are sized for CI (fast); the BENCH_serve.json in the repo was
-# produced with `scripts/serve_smoke.sh 1000 8 BENCH_serve.json`.
+# Usage: scripts/serve_smoke.sh [requests] [clients] [out.json] [batch-copies]
+# MIN_SPEEDUP=K fails the run if the async batch path is not K× faster than
+# serial issue. Defaults are sized for CI (fast); the BENCH_serve.json in
+# the repo was produced with
+# `MIN_SPEEDUP=20 scripts/serve_smoke.sh 1000 8 BENCH_serve.json 4096`.
 set -eu
 
 N=${1:-200}
 C=${2:-8}
 OUT=${3:-serve_smoke.json}
+BN=${4:-1024}
+MIN_SPEEDUP=${MIN_SPEEDUP:-0}
 
 GO=${GO:-go}
 WORK=$(mktemp -d)
@@ -61,6 +68,13 @@ DPID=
 echo "serve-smoke: phase 2 — restart and replay saved copies"
 start_daemon
 "$WORK/loadgen" -addr "$ADDR" -replay "$COPIES" -out "$OUT"
+
+echo "serve-smoke: phase 3 — synchronous /issue/batch"
+"$WORK/loadgen" -addr "$ADDR" -n 256 -batch 64 -serial 8 -out "$WORK/batch_sync.json"
+
+echo "serve-smoke: phase 4 — async batch job ($BN copies)"
+"$WORK/loadgen" -addr "$ADDR" -n "$BN" -batch 64 -async -serial 32 \
+    -min-speedup "$MIN_SPEEDUP" -out "$OUT"
 
 kill -TERM "$DPID"
 wait "$DPID" || { echo "serve-smoke: daemon exited non-zero after replay"; cat "$LOG"; exit 1; }
