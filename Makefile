@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-verify bench-serve serve-smoke chaos experiments reproduce doccheck fuzz cover ci clean
+.PHONY: all build test vet bench bench-analyze bench-analyze-smoke bench-verify bench-serve serve-smoke chaos experiments reproduce doccheck fuzz cover ci clean
 
 all: build vet test
 
@@ -20,6 +20,7 @@ ci: doccheck
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/verilog/
 	$(MAKE) chaos
 	$(MAKE) serve-smoke
+	$(MAKE) bench-analyze-smoke
 
 # Chaos smoke: the daemon's fault-injection suite (DESIGN.md §10) under the
 # race detector — injected store failures, SAT stalls and budget exhaustion,
@@ -79,6 +80,18 @@ bench:
 # and fails below a 3× speedup or on any verdict mismatch.
 bench-verify:
 	$(GO) run ./cmd/benchverify
+
+# Analysis-core baseline: packed Analyze vs the reference baseline scan, plus
+# post-Embed incremental re-analysis vs a full re-analysis; writes
+# BENCH_analyze.json and fails below 10× cold / 5× incremental on c7552.
+bench-analyze:
+	$(GO) run ./cmd/benchanalyze -min-cold 10 -min-incr 5
+
+# CI smoke variant: the two smaller circuits only, with the cold gate relaxed
+# to 3× (and a 2× incremental floor) so shared CI runners don't flake; the
+# full gates above run on dedicated hardware.
+bench-analyze-smoke:
+	$(GO) run ./cmd/benchanalyze -circuits c880,c5315 -min-cold 3 -min-incr 2
 
 cover:
 	$(GO) test -cover ./...

@@ -69,9 +69,19 @@ type report struct {
 	Issue     *latencyStat `json:"issue,omitempty"`
 	Trace     *latencyStat `json:"trace,omitempty"`
 	Cache     *cacheStat   `json:"cache,omitempty"`
+	Analyze   *analyzeStat `json:"analyze_secs,omitempty"`
 	Batch     *batchStat   `json:"batch,omitempty"`
 	Restart   *replayStat  `json:"restart,omitempty"`
 	Generated string       `json:"generated"`
+}
+
+// analyzeStat summarizes the daemon's serve.analyze_secs histogram: how many
+// analyses ran during the load and how much wall time they took (the
+// histogram stores microseconds; this report converts).
+type analyzeStat struct {
+	Count     int64   `json:"count"`
+	TotalSecs float64 `json:"total_secs"`
+	MeanMS    float64 `json:"mean_ms"`
 }
 
 // batchStat compares serial /issue minting against /issue/batch on the
@@ -216,33 +226,44 @@ func upload(base string, netlist []byte, format string) (digest, design string, 
 	return info.Digest, info.Design, nil
 }
 
-// scrapeCache reads the daemon's analysis-cache counters from /metrics.
-func scrapeCache(base string) (*cacheStat, error) {
+// scrapeCache reads the daemon's analysis-cache counters and analyze-latency
+// histogram from /metrics.
+func scrapeCache(base string) (*cacheStat, *analyzeStat, error) {
 	resp, err := http.Get(base + "/metrics")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer resp.Body.Close()
 	var metrics []struct {
 		Name  string `json:"name"`
 		Value int64  `json:"value"`
+		Count int64  `json:"count"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cs := &cacheStat{}
+	var as *analyzeStat
 	for _, m := range metrics {
 		switch m.Name {
 		case "serve.cache_hits":
 			cs.Hits = m.Value
 		case "serve.cache_misses":
 			cs.Misses = m.Value
+		case "serve.analyze_secs":
+			if m.Count > 0 {
+				as = &analyzeStat{
+					Count:     m.Count,
+					TotalSecs: float64(m.Value) / 1e6,
+					MeanMS:    float64(m.Value) / float64(m.Count) / 1e3,
+				}
+			}
 		}
 	}
 	if total := cs.Hits + cs.Misses; total > 0 {
 		cs.HitRate = float64(cs.Hits) / float64(total)
 	}
-	return cs, nil
+	return cs, as, nil
 }
 
 func percentiles(durs []time.Duration) *latencyStat {
@@ -371,7 +392,7 @@ func generate(base, benchName, inFile, format string, n, c int, saveDir, out str
 	wg.Wait()
 	wall := time.Since(start)
 
-	cache, err := scrapeCache(base)
+	cache, analyze, err := scrapeCache(base)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: metrics scrape failed: %v\n", err)
 	}
@@ -387,6 +408,7 @@ func generate(base, benchName, inFile, format string, n, c int, saveDir, out str
 		Issue:     percentiles(issueLat),
 		Trace:     percentiles(traceLat),
 		Cache:     cache,
+		Analyze:   analyze,
 		Generated: time.Now().UTC().Format(time.RFC3339),
 	}
 	if err := writeReport(out, rep); err != nil {
@@ -642,7 +664,7 @@ func replay(base, dir, out string) error {
 		}
 	}
 	stat.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
-	if cs, err := scrapeCache(base); err == nil {
+	if cs, _, err := scrapeCache(base); err == nil {
 		stat.HitRate = cs.HitRate
 	}
 

@@ -8,7 +8,7 @@
 //	odcfpd -addr :8341 -store ./odcfpd-store [-cache 64] [-j N]
 //	       [-max-bytes 16777216] [-timeout 60s] [-verify] [-addr-file PATH]
 //	       [-retries 3] [-breaker 3] [-cooldown 30s] [-max-queue N]
-//	       [-batch-chunk 64] [-max-batch 256] [-faults SPEC]
+//	       [-batch-chunk 64] [-max-batch 256] [-faults SPEC] [-pprof ADDR]
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: the listener closes,
 // in-flight requests run to completion, then the process exits 0. With
@@ -18,6 +18,10 @@
 // -faults arms the internal/fault injection plan (chaos testing only; see
 // that package for the spec syntax, e.g.
 // "store.write:p=0.3;sat.slow:delay=5ms;seed:42").
+//
+// -pprof starts a net/http/pprof listener on a separate address (e.g.
+// "localhost:6060"), for profiling analysis and fraiging hot spots in the
+// running daemon. It is off by default and should not be exposed publicly.
 package main
 
 import (
@@ -25,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -59,8 +65,29 @@ func run(args []string) error {
 	batchChunk := fs.Int("batch-chunk", 0, "copies per durable commit of a batch issue (0 = default 64)")
 	maxBatch := fs.Int("max-batch", 0, "max buyers in one synchronous batch request (0 = default 256)")
 	faults := fs.String("faults", "", "arm a fault-injection plan (chaos testing; see internal/fault)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (off when empty; keep private)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		// The profiler gets its own mux and listener so the debug surface
+		// never shares a port with the public API.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Fprintf(os.Stderr, "odcfpd: pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "odcfpd: pprof server stopped: %v\n", err)
+			}
+		}()
 	}
 	if *faults != "" {
 		plan, err := fault.Parse(*faults)

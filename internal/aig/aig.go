@@ -220,10 +220,48 @@ func (g *AIG) XorN(refs []Ref) Ref {
 
 // FromCircuit decomposes a gate-level circuit into an AIG (strashed).
 func FromCircuit(c *circuit.Circuit) (*AIG, error) {
+	g, _, err := FromCircuitRefs(c)
+	return g, err
+}
+
+// FromCircuitRefs is FromCircuit, additionally returning the edge computing
+// each circuit node (indexed by NodeID). Two circuit nodes mapping to the
+// same Ref node — in either phase — are functionally identical (strash is
+// sound), which is what the fraiging pre-pass in internal/cec merges on.
+func FromCircuitRefs(c *circuit.Circuit) (*AIG, []Ref, error) {
 	g := New(c.Name)
+	ref, err := FoldInto(g, c, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, po := range c.POs {
+		g.AddPO(po.Name, ref[po.Driver])
+	}
+	return g, ref, nil
+}
+
+// FoldInto strashes c's logic into an existing AIG and returns the edge
+// computing each circuit node. Primary inputs resolve through piRef by name:
+// an existing entry is reused, a missing one is created and recorded (nil
+// means every PI is fresh). Folding two circuits over the same piRef map
+// builds a shared miter AIG in which any cone the two circuits compute
+// identically — up to complement — lands on the same node, which is how the
+// one-shot equivalence check discharges structurally-similar miters before
+// SAT. No primary outputs are declared; callers resolve outputs through the
+// returned refs.
+func FoldInto(g *AIG, c *circuit.Circuit, piRef map[string]Ref) ([]Ref, error) {
 	ref := make([]Ref, len(c.Nodes))
 	for _, pi := range c.PIs {
-		ref[pi] = g.AddPI(c.Nodes[pi].Name)
+		name := c.Nodes[pi].Name
+		if r, ok := piRef[name]; ok {
+			ref[pi] = r
+			continue
+		}
+		r := g.AddPI(name)
+		if piRef != nil {
+			piRef[name] = r
+		}
+		ref[pi] = r
 	}
 	order, err := c.TopoOrder()
 	if err != nil {
@@ -263,10 +301,7 @@ func FromCircuit(c *circuit.Circuit) (*AIG, error) {
 			return nil, fmt.Errorf("aig: unsupported kind %v at %q", nd.Kind, nd.Name)
 		}
 	}
-	for _, po := range c.POs {
-		g.AddPO(po.Name, ref[po.Driver])
-	}
-	return g, nil
+	return ref, nil
 }
 
 // ToCircuit lowers the AIG to an AND2/INV gate-level netlist. Only nodes

@@ -1,0 +1,49 @@
+package aig_test
+
+// External test package: it exercises the AIG round trip with the full CEC
+// proof engine, which itself builds on this package (fraiging), so the
+// import must not cycle through an internal test.
+
+import (
+	"testing"
+
+	"repro/internal/aig"
+	"repro/internal/bench"
+	"repro/internal/cec"
+)
+
+// TestRoundTripCECAllBenchmarks: for every committed benchmark, the
+// Circuit → AIG → Circuit round trip is proof-equivalent to the original —
+// not just under random simulation (TestFromCircuitBench) but with a SAT
+// certificate. This is the soundness foundation the analysis core rests on:
+// odc streams masked fractions from the AIG, and cec merges miter nodes that
+// strash to the same AIG node, so the decomposition must preserve every
+// function exactly.
+func TestRoundTripCECAllBenchmarks(t *testing.T) {
+	specs := append(bench.Suite(), bench.Extras()...)
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			if testing.Short() && spec.Name != "c432" && spec.Name != "c880" {
+				t.Skip("short mode: large benchmark")
+			}
+			c := spec.Build()
+			g, err := aig.FromCircuit(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := g.ToCircuit()
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := cec.Check(c, back, cec.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !v.Equivalent || !v.Proved {
+				t.Fatalf("round trip not proof-equivalent: equivalent=%v proved=%v PO=%s",
+					v.Equivalent, v.Proved, v.PO)
+			}
+		})
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/aig"
 	"repro/internal/circuit"
 	"repro/internal/logic"
 	"repro/internal/obs"
@@ -251,6 +252,111 @@ func CheckCtx(ctx context.Context, a, b *circuit.Circuit, opts Options) (Verdict
 		}
 	}
 
+	// Shared-AIG miter: strash both circuits into one AIG over name-shared
+	// primary inputs, so any cone the two sides compute identically — up to
+	// complement — collapses onto one node before CNF exists. Outputs whose
+	// edges coincide are proved equal by construction and never encoded; a
+	// fully-collapsing miter (e.g. a resynthesis round trip) is discharged
+	// with no SAT call at all. Gate-level Tseitin remains as the fallback
+	// for circuits the AIG cannot express.
+	g := aig.New("miter")
+	piRef := make(map[string]aig.Ref, len(a.PIs))
+	ra, errA := aig.FoldInto(g, a, piRef)
+	rb, errB := aig.FoldInto(g, b, piRef)
+	if errA != nil || errB != nil {
+		return checkTseitin(ctx, a, b, opts)
+	}
+
+	s := sat.New()
+	s.MaxConflicts = opts.MaxConflicts
+	lits, err := encodeAIG(s, g)
+	if err != nil {
+		return Verdict{}, err
+	}
+	// Miter: or over outputs of (outA ⊕ outB) must be satisfiable for
+	// inequivalence.
+	diff := make([]int, 0, len(a.POs))
+	for i := range a.POs {
+		la := lits.lit(ra[a.POs[i].Driver])
+		lb := lits.lit(rb[b.POs[i].Driver])
+		if la == lb {
+			continue // same AIG edge: equal by construction
+		}
+		x := s.NewVar()
+		if err := encodeXor2(s, x, la, lb); err != nil {
+			return Verdict{}, err
+		}
+		diff = append(diff, x)
+	}
+	if len(diff) == 0 {
+		return Verdict{Equivalent: true, Proved: true}, nil
+	}
+	if err := s.AddClause(diff...); err != nil {
+		return Verdict{}, err
+	}
+	st, err := s.SolveCtx(ctx)
+	if err != nil {
+		return Verdict{}, err
+	}
+	switch st {
+	case sat.Unsat:
+		return Verdict{Equivalent: true, Proved: true}, nil
+	case sat.Sat:
+		cex := make([]bool, len(a.PIs))
+		for i, pi := range a.PIs {
+			cex[i] = s.Value(lits.lit(piRef[a.Nodes[pi].Name]))
+		}
+		po := findDifferingPO(a, b, cex)
+		return Verdict{Equivalent: false, Proved: true, Counterexample: cex, PO: po}, nil
+	default:
+		return Verdict{}, fmt.Errorf("%w (%d conflicts)", ErrBudgetExhausted, opts.MaxConflicts)
+	}
+}
+
+// aigLits maps AIG nodes to solver variables; lit resolves an edge to a
+// signed literal.
+type aigLits struct{ vars []int }
+
+func (l aigLits) lit(r aig.Ref) int {
+	v := l.vars[r.Node()]
+	if r.Compl() {
+		return -v
+	}
+	return v
+}
+
+// encodeAIG lowers an AIG into CNF: one variable per node, the constant node
+// asserted true, and three clauses per AND (v ↔ l0 ∧ l1). Primary inputs get
+// free variables.
+func encodeAIG(s *sat.Solver, g *aig.AIG) (aigLits, error) {
+	p := g.Pack()
+	lits := aigLits{vars: make([]int, p.NumNodes())}
+	for i := range lits.vars {
+		lits.vars[i] = s.NewVar()
+	}
+	if err := s.AddClause(lits.vars[0]); err != nil {
+		return aigLits{}, err
+	}
+	for i := 0; i < p.NumAnds(); i++ {
+		n, f0, f1 := p.And(i)
+		v, l0, l1 := lits.vars[n], lits.lit(f0), lits.lit(f1)
+		if err := s.AddClause(-v, l0); err != nil {
+			return aigLits{}, err
+		}
+		if err := s.AddClause(-v, l1); err != nil {
+			return aigLits{}, err
+		}
+		if err := s.AddClause(v, -l0, -l1); err != nil {
+			return aigLits{}, err
+		}
+	}
+	return lits, nil
+}
+
+// checkTseitin is the gate-level SAT phase of CheckCtx, used when a miter
+// side cannot be decomposed into an AIG. The simulation pre-pass has already
+// run.
+func checkTseitin(ctx context.Context, a, b *circuit.Circuit, opts Options) (Verdict, error) {
 	s := sat.New()
 	s.MaxConflicts = opts.MaxConflicts
 	piVars := make(map[string]int, len(a.PIs))
@@ -265,8 +371,6 @@ func CheckCtx(ctx context.Context, a, b *circuit.Circuit, opts Options) (Verdict
 	if err != nil {
 		return Verdict{}, err
 	}
-	// Miter: or over outputs of (outA ⊕ outB) must be satisfiable for
-	// inequivalence.
 	diff := make([]int, 0, len(a.POs))
 	for i := range a.POs {
 		x := s.NewVar()
@@ -297,15 +401,25 @@ func CheckCtx(ctx context.Context, a, b *circuit.Circuit, opts Options) (Verdict
 	}
 }
 
-// findDifferingPO replays a counterexample to name a differing output.
+// findDifferingPO replays a counterexample to name a differing output. The
+// replay runs a single-word pass of the packed AIG kernel (aig.View.EvalPOs)
+// instead of building a throwaway gate-level simulation engine per side; the
+// scalar evaluator remains as the fallback for non-decomposable circuits.
 func findDifferingPO(a, b *circuit.Circuit, cex []bool) string {
-	oa, err := sim.EvalOne(a, cex)
-	if err != nil {
-		return ""
-	}
-	ob, err := sim.EvalOne(b, cex)
-	if err != nil {
-		return ""
+	var oa, ob []bool
+	va, errA := aig.ViewFor(a)
+	vb, errB := aig.ViewFor(b)
+	if errA == nil && errB == nil {
+		oa = va.EvalPOs(cex, nil)
+		ob = vb.EvalPOs(cex, nil)
+	} else {
+		var err error
+		if oa, err = sim.EvalOne(a, cex); err != nil {
+			return ""
+		}
+		if ob, err = sim.EvalOne(b, cex); err != nil {
+			return ""
+		}
 	}
 	for i := range oa {
 		if oa[i] != ob[i] {

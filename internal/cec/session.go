@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/aig"
 	"repro/internal/circuit"
 	"repro/internal/logic"
 	"repro/internal/obs"
@@ -15,14 +16,15 @@ import (
 )
 
 // Observability counters (internal/obs), aggregated across every session
-// and one-shot check in the process. Miter size before SAT sweeping is
-// miter_vars + nodes_merged (each merge avoided one variable); after
-// sweeping it is miter_vars.
+// and one-shot check in the process. Miter size before fraiging and SAT
+// sweeping is miter_vars + nodes_fraiged + nodes_merged (each merge avoided
+// one variable); after them it is miter_vars.
 var (
 	mSessions         = obs.NewCounter("cec", "sessions_built")
 	mMiterVars        = obs.NewCounter("cec", "miter_vars")
 	mMiterClauses     = obs.NewCounter("cec", "miter_clauses")
 	mNodesHashed      = obs.NewCounter("cec", "nodes_hashed")
+	mNodesFraiged     = obs.NewCounter("cec", "nodes_fraiged")
 	mNodesMerged      = obs.NewCounter("cec", "nodes_merged")
 	mSweepSolves      = obs.NewCounter("cec", "sweep_solves")
 	mVerifies         = obs.NewCounter("cec", "session_verifies")
@@ -71,6 +73,7 @@ type SessionStats struct {
 	Vars        int // solver variables allocated
 	Clauses     int // problem clauses added
 	Hashed      int // nodes deduplicated by structural hashing
+	Fraiged     int // nodes aliased to AIG-identical earlier encodings (no SAT)
 	Merged      int // nodes merged by simulation-guided SAT sweeping
 	SweepSolves int // bounded equivalence queries attempted by sweeping
 	Verifies    int // Verify calls served
@@ -115,6 +118,18 @@ type Session struct {
 	act     [][]int // activation variable per slot, per option
 	diffPO  []int   // per PO: XOR-difference variable, 0 when unaffected
 	trivial bool    // no slot reaches any PO: always equivalent
+
+	// Retained build products for cone-local universal closing: the union
+	// topological order, the affected-region mask, and the slot index per
+	// slot gate.
+	order    []circuit.NodeID
+	affected []bool
+	slotOf   map[circuit.NodeID]int
+
+	// SAT work done by cone-local closing solvers, folded into the
+	// verify-phase totals by Stats (the shared solver's counters cannot see
+	// the throwaway per-cone solvers).
+	coneDec, coneProp, coneConf int64
 
 	// Per diff PO, lazily resolved universal verdicts. A PO is closed once
 	// Solve(diffPO) with ALL activation variables free returns Unsat: no
@@ -266,6 +281,38 @@ type sweepEntry struct {
 	node  circuit.NodeID
 	v     int // signed representative literal
 	phase bool
+}
+
+// newSweeperAIG computes the same signatures as newSweeper from the packed
+// word-parallel AIG kernel: each circuit node's stream is its AIG edge's
+// positive-phase stream XOR the edge mask, which is bit-identical to the
+// gate-level engine's values on the same vectors, so buckets — and therefore
+// merge behaviour — are unchanged.
+func newSweeperAIG(v *aig.View, nWords int, seed int64) *sweeper {
+	c := v.C
+	vec := sim.Random(len(c.PIs), nWords, seed)
+	sw := &sweeper{
+		sig:     make([][]uint64, len(c.Nodes)),
+		phase:   make([]bool, len(c.Nodes)),
+		buckets: make(map[uint64][]sweepEntry),
+	}
+	v.WithSim(vec.Words, nWords, func(val []uint64) {
+		for id := range c.Nodes {
+			words, mask := v.P.Stream(val, nWords, v.Refs[id])
+			canon := make([]uint64, nWords)
+			for w := range canon {
+				canon[w] = words[w] ^ mask
+			}
+			if nWords > 0 && canon[0]&1 == 1 {
+				for i := range canon {
+					canon[i] = ^canon[i]
+				}
+				sw.phase[id] = true
+			}
+			sw.sig[id] = canon
+		}
+	})
+	return sw
 }
 
 // newSweeper simulates the master on random vectors and canonicalizes each
@@ -440,15 +487,36 @@ func (sess *Session) build() error {
 		}
 	}
 
+	// Fraig pre-pass: decompose the master into its strashed AIG once. Two
+	// circuit nodes whose edges address the same AIG node compute, by the
+	// soundness of structural hashing, the same function (up to the edges'
+	// complement bits), so the second one can alias the first one's solver
+	// literal — the same merge SAT sweeping buys with two bounded solves,
+	// obtained here for free and proved by construction rather than search.
+	// fraigRep maps AIG node index → the signed literal of its positive
+	// phase. Circuits the AIG cannot express fall back to hash+sweep alone.
+	var fraigRefs []aig.Ref
+	var fraigRep map[int]int
+	var view *aig.View
+	if v, err := aig.ViewFor(c); err == nil {
+		view = v
+		fraigRefs = v.Refs
+		fraigRep = make(map[int]int, len(c.Nodes))
+	}
+
 	var sw *sweeper
 	if sess.opts.SimWords > 0 {
-		sw, err = newSweeper(c, sess.opts.SimWords, sess.opts.Seed)
-		if err != nil {
-			return err
+		if view != nil {
+			sw = newSweeperAIG(view, sess.opts.SimWords, sess.opts.Seed)
+		} else {
+			sw, err = newSweeper(c, sess.opts.SimWords, sess.opts.Seed)
+			if err != nil {
+				return err
+			}
 		}
 	}
 
-	// Master side, with structural hashing and SAT sweeping.
+	// Master side, with fraiging, structural hashing and SAT sweeping.
 	table := make(map[string]int, 2*len(c.Nodes))
 	keyBuf := make([]byte, 0, 64)
 	nodeVar := make([]int, len(c.Nodes))
@@ -464,6 +532,9 @@ func (sess *Session) build() error {
 			v := sess.s.NewVar()
 			nodeVar[id] = v
 			sess.piVars[piIndex[id]] = v
+			if fraigRep != nil {
+				fraigRep[fraigRefs[id].Node()] = v
+			}
 			// Register the PI as a sweep representative (so buffers of a
 			// PI can merge into it); never attempt to merge PIs themselves,
 			// as a free input is equivalent to no prior function.
@@ -473,6 +544,22 @@ func (sess *Session) build() error {
 			}
 			continue
 		}
+		// Fraig alias: an already-encoded node computes the same AIG node, so
+		// this node is its (possibly complemented) literal; no clauses needed.
+		// The constant node (index 0) is excluded — it has no variable to
+		// alias and constant-function gates encode fine below.
+		if fraigRep != nil {
+			if n := fraigRefs[id].Node(); n != 0 {
+				if rep, ok := fraigRep[n]; ok {
+					if fraigRefs[id].Compl() {
+						rep = -rep
+					}
+					nodeVar[id] = rep
+					sess.stats.Fraiged++
+					continue
+				}
+			}
+		}
 		in = in[:0]
 		for _, f := range nd.Fanin {
 			in = append(in, nodeVar[f])
@@ -481,17 +568,26 @@ func (sess *Session) build() error {
 		if v, ok := table[string(keyBuf)]; ok {
 			sess.stats.Hashed++
 			nodeVar[id] = v
-			continue
+		} else {
+			v = sess.s.NewVar()
+			if err := encodeGate(sess.s, nd.Kind, v, in); err != nil {
+				return fmt.Errorf("cec: master node %q: %w", nd.Name, err)
+			}
+			table[string(keyBuf)] = v
+			if sw != nil {
+				v = sess.trySweep(sw, id, v)
+			}
+			nodeVar[id] = v
 		}
-		v := sess.s.NewVar()
-		if err := encodeGate(sess.s, nd.Kind, v, in); err != nil {
-			return fmt.Errorf("cec: master node %q: %w", nd.Name, err)
+		if fraigRep != nil {
+			if n := fraigRefs[id].Node(); n != 0 {
+				rep := nodeVar[id]
+				if fraigRefs[id].Compl() {
+					rep = -rep
+				}
+				fraigRep[n] = rep
+			}
 		}
-		table[string(keyBuf)] = v
-		if sw != nil {
-			v = sess.trySweep(sw, id, v)
-		}
-		nodeVar[id] = v
 	}
 
 	// Instance side: only the affected region is re-encoded; everything
@@ -592,6 +688,7 @@ func (sess *Session) build() error {
 	sess.trivial = trivial
 	sess.poClosed = make([]bool, len(c.POs))
 	sess.poOpen = make([]bool, len(c.POs))
+	sess.order, sess.affected, sess.slotOf = order, affected, slotOf
 	sess.stats.Vars = sess.s.NumVars()
 	sess.stats.Clauses = sess.s.NumClauses()
 	// Freeze the build-phase SAT work and zero the solver counters, so the
@@ -603,6 +700,7 @@ func (sess *Session) build() error {
 	mMiterVars.Add(int64(sess.stats.Vars))
 	mMiterClauses.Add(int64(sess.stats.Clauses))
 	mNodesHashed.Add(int64(sess.stats.Hashed))
+	mNodesFraiged.Add(int64(sess.stats.Fraiged))
 	mNodesMerged.Add(int64(sess.stats.Merged))
 	mSweepSolves.Add(int64(sess.stats.SweepSolves))
 	return nil
@@ -659,14 +757,19 @@ func (sess *Session) VerifyCtx(ctx context.Context, choice []int) (Verdict, erro
 	// there subsumes all choices, so the cone never needs solving again —
 	// for a sound catalogue the first Verify closes every PO and later calls
 	// return without touching the solver. A Sat or budget-exhausted outcome
-	// marks the PO open; only open POs pay a per-choice solve below.
+	// marks the PO open; only open POs pay a per-choice solve below. Each
+	// closing runs on a throwaway cone-local miter (closeCone) rather than
+	// inside the session formula, so the search never leaves the PO's own
+	// fanin cone; remaining tracks the conflict budget it consumes, and the
+	// shared solver's allowance shrinks to whatever is left.
+	remaining := sess.opts.MaxConflicts
 	for i, x := range sess.diffPO {
 		if x == 0 || sess.poClosed[i] || sess.poOpen[i] {
 			continue
 		}
 		sess.stats.UniversalSolves++
 		mUniversalSolves.Inc()
-		st, err := sess.s.SolveCtx(ctx, x)
+		st, err := sess.closeCone(ctx, i, &remaining)
 		if err != nil {
 			// Cancelled mid-close: leave the PO unresolved so a later call
 			// retries the universal solve.
@@ -680,6 +783,15 @@ func (sess *Session) VerifyCtx(ctx context.Context, choice []int) (Verdict, erro
 		default:
 			sess.poOpen[i] = true
 		}
+	}
+	if sess.opts.MaxConflicts > 0 {
+		m := sess.s.Conflicts() + remaining
+		if m < 1 {
+			// Cone closings spent the whole allowance: any further search
+			// must stop at its first conflict.
+			m = 1
+		}
+		sess.s.MaxConflicts = m
 	}
 	// Per-choice pass over the open POs, output-split: each solve assumes
 	// the activation literals plus one difference variable. Learned clauses
@@ -712,6 +824,165 @@ func (sess *Session) VerifyCtx(ctx context.Context, choice []int) (Verdict, erro
 	return Verdict{Equivalent: true, Proved: true}, nil
 }
 
+// closeCone runs one universal closing solve on a throwaway cone-local
+// miter: a fresh solver encodes only the transitive fanin cone of the PO's
+// driver — master side, instrumented instance side, and the activation
+// structure of the slots inside it — instead of assuming the difference
+// variable inside the full session formula. Both formulas encode the same
+// Boolean functions over the same cone, so Unsat here proves the PO
+// unreachable under every activation combination exactly as the global
+// solve would, while the search space shrinks from every variable in the
+// miter to the cone's few dozen. Sat likewise transfers: a cone model
+// extends to a full-circuit model by evaluating the remaining gates in
+// topological order, so the PO really is open. When the session carries a
+// conflict budget, the solve is bounded by *remaining and its consumption
+// is deducted.
+func (sess *Session) closeCone(ctx context.Context, po int, remaining *int64) (sat.Status, error) {
+	c := sess.master
+	d := c.POs[po].Driver
+	// Cone membership over the union graph: master fanin edges plus, for
+	// slot gates, their option literal reads (an instance gate reads its
+	// literals from the instance netlist).
+	inCone := make([]bool, len(c.Nodes))
+	stack := append(make([]circuit.NodeID, 0, 64), d)
+	inCone[d] = true
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, f := range c.Nodes[n].Fanin {
+			if !inCone[f] {
+				inCone[f] = true
+				stack = append(stack, f)
+			}
+		}
+		if si, ok := sess.slotOf[n]; ok {
+			for _, m := range sess.slots[si].Options {
+				for _, l := range m.Lits {
+					if !inCone[l.Node] {
+						inCone[l.Node] = true
+						stack = append(stack, l.Node)
+					}
+				}
+			}
+		}
+	}
+
+	s := sat.New()
+	if sess.opts.MaxConflicts > 0 {
+		if *remaining < 1 {
+			return sat.Unknown, nil
+		}
+		s.MaxConflicts = *remaining
+	}
+	defer func() {
+		dec, prop, conf := s.Stats()
+		sess.coneDec += dec
+		sess.coneProp += prop
+		sess.coneConf += conf
+		*remaining -= conf
+	}()
+
+	// Master side of the cone, in the union topological order (which also
+	// respects literal edges, so every variable a slot gate reads exists by
+	// the time the gate is encoded).
+	mv := make([]int, len(c.Nodes))
+	iv2 := make([]int, len(c.Nodes))
+	ivOf := func(f circuit.NodeID) int {
+		if sess.affected[f] {
+			return iv2[f]
+		}
+		return mv[f]
+	}
+	in := make([]int, 0, 8)
+	for _, id := range sess.order {
+		if !inCone[id] {
+			continue
+		}
+		nd := &c.Nodes[id]
+		if nd.IsPI {
+			mv[id] = s.NewVar()
+			continue
+		}
+		in = in[:0]
+		for _, f := range nd.Fanin {
+			in = append(in, mv[f])
+		}
+		v := s.NewVar()
+		if err := encodeGate(s, nd.Kind, v, in); err != nil {
+			return sat.Unknown, fmt.Errorf("cec: cone master node %q: %w", nd.Name, err)
+		}
+		mv[id] = v
+	}
+
+	// Instance side: only affected cone nodes re-encode; everything else
+	// shares the master's cone variables. Activation variables are fresh and
+	// unconstrained — exactly the all-activations-free universal query.
+	for _, id := range sess.order {
+		if !inCone[id] || !sess.affected[id] {
+			continue
+		}
+		nd := &c.Nodes[id]
+		in = in[:0]
+		for _, f := range nd.Fanin {
+			in = append(in, ivOf(f))
+		}
+		si, isSlot := sess.slotOf[id]
+		if !isSlot {
+			v := s.NewVar()
+			if err := encodeGate(s, nd.Kind, v, in); err != nil {
+				return sat.Unknown, fmt.Errorf("cec: cone instance node %q: %w", nd.Name, err)
+			}
+			iv2[id] = v
+			continue
+		}
+		sl := &sess.slots[si]
+		base := s.NewVar()
+		if err := encodeGate(s, nd.Kind, base, in); err != nil {
+			return sat.Unknown, fmt.Errorf("cec: cone slot gate %q: %w", nd.Name, err)
+		}
+		o := s.NewVar()
+		iv2[id] = o
+		acts := make([]int, len(sl.Options))
+		for vi, m := range sl.Options {
+			optIn := append(make([]int, 0, len(in)+len(m.Lits)), in...)
+			for _, l := range m.Lits {
+				lv := ivOf(l.Node)
+				if l.Neg {
+					lv = -lv
+				}
+				optIn = append(optIn, lv)
+			}
+			ov := s.NewVar()
+			if err := encodeGate(s, m.Kind, ov, optIn); err != nil {
+				return sat.Unknown, fmt.Errorf("cec: cone slot gate %q option %d: %w", nd.Name, vi, err)
+			}
+			a := s.NewVar()
+			acts[vi] = a
+			if err := s.AddClause(-a, -o, ov); err != nil {
+				return sat.Unknown, err
+			}
+			if err := s.AddClause(-a, o, -ov); err != nil {
+				return sat.Unknown, err
+			}
+		}
+		cl := make([]int, 0, len(acts)+2)
+		cl = append(cl, acts...)
+		if err := s.AddClause(append(cl, -o, base)...); err != nil {
+			return sat.Unknown, err
+		}
+		cl = cl[:len(acts)]
+		if err := s.AddClause(append(cl, o, -base)...); err != nil {
+			return sat.Unknown, err
+		}
+	}
+
+	x := s.NewVar()
+	if err := encodeXor2(s, x, mv[d], ivOf(d)); err != nil {
+		return sat.Unknown, err
+	}
+	return s.SolveCtx(ctx, x)
+}
+
 // Slots returns the number of slots the session was built with.
 func (sess *Session) Slots() int { return len(sess.slots) }
 
@@ -725,5 +996,8 @@ func (sess *Session) Stats() SessionStats {
 	st.Vars = sess.s.NumVars()
 	st.Clauses = sess.s.NumClauses()
 	st.Decisions, st.Propagations, st.Conflicts = sess.s.Stats()
+	st.Decisions += sess.coneDec
+	st.Propagations += sess.coneProp
+	st.Conflicts += sess.coneConf
 	return st
 }

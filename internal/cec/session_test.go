@@ -337,10 +337,14 @@ func TestSessionStatsAndSweeping(t *testing.T) {
 	if st.Hashed == 0 {
 		t.Error("structural hashing found no duplicates in a duplicated circuit")
 	}
-	// N1 = NAND(A,B) is the complement of X1 = AND(A,B): the sweeper should
-	// at least attempt (and here prove) the antivalence merge.
-	if st.Merged == 0 {
-		t.Error("SAT sweeping merged nothing despite an antivalent pair")
+	// X2 duplicates X1 and N1 = NAND(A,B) is the complement of X1 = AND(A,B):
+	// both strash onto X1's AIG node, so the fraig pre-pass aliases them with
+	// no SAT at all — sweeping never even sees them.
+	if st.Fraiged < 2 {
+		t.Errorf("Fraiged = %d, want ≥2 (duplicate + antivalent pair)", st.Fraiged)
+	}
+	if st.SweepSolves != 0 {
+		t.Errorf("SweepSolves = %d: fraiging should have pre-empted sweeping here", st.SweepSolves)
 	}
 	if _, err := sess.Verify([]int{0}); err != nil {
 		t.Fatal(err)

@@ -66,6 +66,24 @@ type Circuit struct {
 	topo        []NodeID
 	topoVersion uint64
 	topoValid   bool
+
+	// validVersion memoizes the last Version() at which Validate succeeded;
+	// a matching version makes Validate O(1). Failures are never cached.
+	validVersion uint64
+	validValid   bool
+
+	// levels memoizes Levels() per version, like topo above. The cached
+	// slice is shared with callers and must be treated as read-only.
+	levels        []int
+	levelsVersion uint64
+	levelsValid   bool
+
+	// sinks/poDrv memoize the packed sink-count and PO-driver arrays that
+	// back ScanView, per version like topo above; shared read-only.
+	sinks        []int32
+	poDrv        []bool
+	sinksVersion uint64
+	sinksValid   bool
 }
 
 // Version returns a counter that increases on every netlist mutation
@@ -442,6 +460,18 @@ func (c *Circuit) Clone() *Circuit {
 		topo:        c.topo,
 		topoVersion: c.topoVersion,
 		topoValid:   c.topoValid,
+
+		validVersion: c.validVersion,
+		validValid:   c.validValid,
+
+		levels:        c.levels,
+		levelsVersion: c.levelsVersion,
+		levelsValid:   c.levelsValid,
+
+		sinks:        c.sinks,
+		poDrv:        c.poDrv,
+		sinksVersion: c.sinksVersion,
+		sinksValid:   c.sinksValid,
 	}
 	for i := range c.Nodes {
 		n := c.Nodes[i]

@@ -77,7 +77,13 @@ func (c *Circuit) Acyclic() bool {
 // Levels returns, for every node, its logic level: 0 for PIs and constants,
 // 1 + max(level of fanin) for gates. This is the "depth" used by the paper's
 // Fig. 6 heuristic (choose the deepest FFC fanin, the shallowest trigger).
+//
+// The schedule is memoized per Version like TopoOrder; the returned slice is
+// shared across callers and must be treated as read-only.
 func (c *Circuit) Levels() []int {
+	if c.levelsValid && c.levelsVersion == c.version {
+		return c.levels
+	}
 	levels := make([]int, len(c.Nodes))
 	for _, id := range c.MustTopoOrder() {
 		nd := &c.Nodes[id]
@@ -89,6 +95,9 @@ func (c *Circuit) Levels() []int {
 		}
 		levels[id] = l
 	}
+	c.levels = levels
+	c.levelsVersion = c.version
+	c.levelsValid = true
 	return levels
 }
 

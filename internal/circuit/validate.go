@@ -1,30 +1,55 @@
 package circuit
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Validate checks structural well-formedness: unique non-empty names, legal
 // kinds and arities, in-range fanin references, fanout bookkeeping consistent
 // with fanin lists, no PI with fanin, at least one PI and one PO, and
 // acyclicity. It returns the first problem found.
+//
+// A successful validation is memoized per Version: re-validating an
+// unchanged netlist is O(1), so analysis entry points may call Validate
+// defensively without re-paying the full structural walk. Any mutation
+// invalidates the memo.
 func (c *Circuit) Validate() error {
+	if c.validValid && c.validVersion == c.version {
+		return nil
+	}
+	if err := c.validateUncached(); err != nil {
+		return err
+	}
+	c.validValid = true
+	c.validVersion = c.version
+	return nil
+}
+
+func (c *Circuit) validateUncached() error {
 	if len(c.PIs) == 0 {
 		return fmt.Errorf("circuit %s: no primary inputs", c.Name)
 	}
 	if len(c.POs) == 0 {
 		return fmt.Errorf("circuit %s: no primary outputs", c.Name)
 	}
-	names := make(map[string]NodeID, len(c.Nodes))
+	// Names: the index must be a bijection between the n node slots and n
+	// distinct non-empty names whose entries point at matching nodes. One
+	// linear map iteration proves it — n distinct keys, each mapping to an
+	// in-range node whose Name equals the key, forces every node to carry a
+	// unique indexed name — without hashing any string.
+	if len(c.byName) != len(c.Nodes) {
+		return fmt.Errorf("circuit %s: name index has %d entries for %d nodes", c.Name, len(c.byName), len(c.Nodes))
+	}
+	for name, id := range c.byName {
+		if id < 0 || int(id) >= len(c.Nodes) || c.Nodes[id].Name != name {
+			return fmt.Errorf("circuit %s: name index stale for %q", c.Name, name)
+		}
+	}
 	for i := range c.Nodes {
 		nd := &c.Nodes[i]
 		if nd.Name == "" {
 			return fmt.Errorf("circuit %s: node %d has empty name", c.Name, i)
-		}
-		if prev, dup := names[nd.Name]; dup {
-			return fmt.Errorf("circuit %s: nodes %d and %d share name %q", c.Name, prev, i, nd.Name)
-		}
-		names[nd.Name] = NodeID(i)
-		if got, ok := c.byName[nd.Name]; !ok || got != NodeID(i) {
-			return fmt.Errorf("circuit %s: name index stale for %q", c.Name, nd.Name)
 		}
 		if nd.IsPI {
 			if len(nd.Fanin) != 0 {
@@ -38,15 +63,15 @@ func (c *Circuit) Validate() error {
 		if err := checkArity(nd.Kind, len(nd.Fanin)); err != nil {
 			return fmt.Errorf("circuit %s: gate %q: %w", c.Name, nd.Name, err)
 		}
-		seen := make(map[NodeID]bool, len(nd.Fanin))
-		for _, f := range nd.Fanin {
+		for j, f := range nd.Fanin {
 			if f < 0 || int(f) >= len(c.Nodes) {
 				return fmt.Errorf("circuit %s: gate %q: fanin %d out of range", c.Name, nd.Name, f)
 			}
-			if seen[f] {
-				return fmt.Errorf("circuit %s: gate %q: duplicate fanin %q", c.Name, nd.Name, c.Nodes[f].Name)
+			for _, g := range nd.Fanin[:j] {
+				if g == f {
+					return fmt.Errorf("circuit %s: gate %q: duplicate fanin %q", c.Name, nd.Name, c.Nodes[f].Name)
+				}
 			}
-			seen[f] = true
 		}
 	}
 	// PI list consistency.
@@ -69,33 +94,69 @@ func (c *Circuit) Validate() error {
 			return fmt.Errorf("circuit %s: PO %q driver out of range", c.Name, po.Name)
 		}
 	}
-	// Fanout lists must mirror fanin lists exactly (as multisets).
-	type edge struct{ src, sink NodeID }
-	faninEdges := make(map[edge]int)
+	// Fanout lists must mirror fanin lists exactly (as multisets). Both edge
+	// directions are flattened into per-source buckets and compared sorted —
+	// O(E log maxFanout) with no map traffic.
+	n := len(c.Nodes)
+	counts := make([]int32, n)
+	total := 0
 	for i := range c.Nodes {
 		for _, f := range c.Nodes[i].Fanin {
-			faninEdges[edge{f, NodeID(i)}]++
+			counts[f]++
+			total++
 		}
 	}
-	fanoutEdges := make(map[edge]int)
+	starts := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		starts[i+1] = starts[i] + counts[i]
+	}
+	sinks := make([]NodeID, total) // fanin-side edges bucketed by source
+	fill := append([]int32(nil), starts[:n]...)
 	for i := range c.Nodes {
-		for _, s := range c.Nodes[i].fanout {
-			fanoutEdges[edge{NodeID(i), s}]++
+		for _, f := range c.Nodes[i].Fanin {
+			sinks[fill[f]] = NodeID(i)
+			fill[f]++
 		}
 	}
-	if len(faninEdges) != len(fanoutEdges) {
-		return fmt.Errorf("circuit %s: fanout bookkeeping inconsistent (%d fanin edges, %d fanout edges)", c.Name, len(faninEdges), len(fanoutEdges))
-	}
-	for e, n := range faninEdges {
-		if fanoutEdges[e] != n {
-			return fmt.Errorf("circuit %s: edge %q->%q count mismatch (fanin %d, fanout %d)",
-				c.Name, c.Nodes[e.src].Name, c.Nodes[e.sink].Name, n, fanoutEdges[e])
+	var scratch []NodeID
+	for i := range c.Nodes {
+		want := sinks[starts[i]:starts[i+1]]
+		got := c.Nodes[i].fanout
+		if len(want) != len(got) {
+			return fmt.Errorf("circuit %s: fanout bookkeeping inconsistent at %q (%d fanin edges, %d fanout edges)",
+				c.Name, c.Nodes[i].Name, len(want), len(got))
+		}
+		if len(got) == 0 {
+			continue
+		}
+		scratch = append(scratch[:0], got...)
+		sortNodeIDs(want) // in-place: bucket order is scratch anyway
+		sortNodeIDs(scratch)
+		for j := range want {
+			if want[j] != scratch[j] {
+				return fmt.Errorf("circuit %s: edge %q->%q count mismatch between fanin and fanout lists",
+					c.Name, c.Nodes[i].Name, c.Nodes[want[j]].Name)
+			}
 		}
 	}
 	if _, err := c.TopoOrder(); err != nil {
 		return err
 	}
 	return nil
+}
+
+// sortNodeIDs sorts a small NodeID slice: insertion sort for the common
+// few-sink case, sort.Slice beyond that.
+func sortNodeIDs(s []NodeID) {
+	if len(s) <= 16 {
+		for i := 1; i < len(s); i++ {
+			for j := i; j > 0 && s[j] < s[j-1]; j-- {
+				s[j], s[j-1] = s[j-1], s[j]
+			}
+		}
+		return
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
 }
 
 // Sweep removes gates that cannot reach any primary output, compacting node

@@ -24,7 +24,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"sort"
 	"sync"
 
 	"repro/internal/cell"
@@ -187,6 +186,111 @@ type Analysis struct {
 	// verifier lazily holds the shared incremental verifier (verify.go).
 	verifyMu sync.Mutex
 	verifier *Verifier
+
+	// Incremental re-analysis state (incremental.go): the circuit version the
+	// scan ran at, packed per-node observations, and per-primary outcomes with
+	// their dependency footprints. AnalyzeBaseline leaves these nil.
+	version    uint64
+	sinkCount  []int32          // per node: fanout gates + POs driven
+	poDriver   []bool           // per node: drives a PO
+	claimOwner []int32          // per node: claiming location index, or -1
+	prim       []primScan       // per node: scan outcome at this primary
+	coneBuf    []circuit.NodeID // MFFC cone scratch, reused across primaries
+	footBuf    []circuit.NodeID // MFFC examined-set scratch
+	// foots records, per primary, the MFFC dependency footprint of its scan:
+	// cone nodes plus every rejected cone-candidate examined. Only full scans
+	// populate it (incremental results leave it nil and fall back to a full
+	// scan when used as the base of a further incremental pass); dropping it
+	// from incremental results roughly halves their allocation footprint.
+	foots [][]circuit.NodeID
+	// hasCell densely caches Options.Library.Has per (kind, fanin).
+	hasCell [logic.NumKinds][]bool
+
+	// footMu guards the lazily built reverse dependency index (footIndex):
+	// for every node, the primaries whose scan outcome depends on it. Built on
+	// the first incremental re-analysis from this result and reused after.
+	footMu     sync.Mutex
+	footStarts []int32
+	footPrims  []int32
+
+	// Chunked arenas and scratch buffers for the scan's result slices. The
+	// hot loop produces tens of thousands of tiny Lit/Variant/Target slices;
+	// carving them out of shared chunks instead of individual allocations is
+	// one of the packed path's main wins. Arena chunks are never reallocated
+	// in place, so handed-out sub-slices (capacity-clamped) stay valid.
+	litArena  arena[Lit]
+	varArena  arena[Variant]
+	tgtArena  arena[Target]
+	nodeArena arena[circuit.NodeID]
+	varBuf    []Variant // variantsFor scratch
+	rrBuf     []Variant // rerouteVariants scratch
+	tgtBuf    []Target  // locationAt target scratch
+}
+
+// arena hands out capacity-clamped sub-slices of large shared chunks. A
+// chunk is abandoned (still referenced by its sub-slices, never reused) once
+// the next request no longer fits. Chunks grow geometrically from 64 to 4096
+// elements: a full scan quickly reaches large chunks, while an incremental
+// re-analysis that recomputes a single cone allocates only a small one.
+type arena[T any] struct {
+	cur  []T
+	next int // capacity of the next chunk
+}
+
+func (ar *arena[T]) alloc(n int) []T {
+	if n > cap(ar.cur)-len(ar.cur) {
+		sz := ar.next
+		if sz < 64 {
+			sz = 64
+		}
+		if sz < n {
+			sz = n
+		}
+		ar.cur = make([]T, 0, sz)
+		if sz < 4096 {
+			ar.next = sz * 2
+		}
+	}
+	lo := len(ar.cur)
+	ar.cur = ar.cur[:lo+n]
+	return ar.cur[lo : lo+n : lo+n]
+}
+
+// clone copies s into the arena.
+func (ar *arena[T]) clone(s []T) []T {
+	out := ar.alloc(len(s))
+	copy(out, s)
+	return out
+}
+
+// lit1 and lit2 build arena-backed literal slices.
+func (a *Analysis) lit1(l Lit) []Lit {
+	s := a.litArena.alloc(1)
+	s[0] = l
+	return s
+}
+
+func (a *Analysis) lit2(l0, l1 Lit) []Lit {
+	s := a.litArena.alloc(2)
+	s[0], s[1] = l0, l1
+	return s
+}
+
+// Outcome of scanning one primary-gate candidate.
+const (
+	primSkip    uint8 = iota // not a candidate at scan time (PI / no local ODC)
+	primNoLoc                // candidate, but no location was produced
+	primLocated              // produced Locations[loc]
+)
+
+// primScan records what the primary-gate scan decided at one node, so
+// incremental re-analysis can replay the decision without recomputing it when
+// none of its dependencies (Analysis.foots) changed. Kept pointer-free and
+// small: one is allocated per node on every analysis.
+type primScan struct {
+	outcome uint8
+	locAt   int32 // len(Locations) when this primary was scanned
+	loc     int32 // location index when outcome == primLocated
 }
 
 // Analyze scans the circuit and returns all fingerprint locations with their
@@ -200,6 +304,12 @@ func Analyze(c *circuit.Circuit, opts Options) (*Analysis, error) {
 // AnalyzeCtx is Analyze with cooperative cancellation: the primary-gate scan
 // polls ctx periodically and returns the context error once it is done, so a
 // daemon deadline interrupts even very large netlists promptly.
+//
+// The scan runs on a packed circuit.ScanView (flat sink counts, PO-driver
+// mask, allocation-free MFFC) and records per-primary outcomes with their
+// dependency footprints, enabling AnalyzeIncremental after small edits. The
+// produced locations are bit-for-bit identical to AnalyzeBaseline, the
+// retained pre-packing implementation (TestAnalyzeMatchesBaseline).
 func AnalyzeCtx(ctx context.Context, c *circuit.Circuit, opts Options) (*Analysis, error) {
 	if opts.Library == nil {
 		return nil, fmt.Errorf("core: Options.Library is required")
@@ -210,11 +320,24 @@ func AnalyzeCtx(ctx context.Context, c *circuit.Circuit, opts Options) (*Analysi
 	sp := obs.Start("core.analyze")
 	defer sp.End()
 	mAnalyses.Inc()
-	a := &Analysis{Circuit: c, Options: opts, levels: c.Levels()}
-	claimed := make([]bool, len(c.Nodes)) // target gates already owned by a location
+	view := circuit.NewScanView(c)
+	defer view.Release()
+	a := newAnalysis(c, opts, view)
+	a.foots = make([][]circuit.NodeID, len(c.Nodes))
+	// A full scan fills large arenas and finds locations at a few percent of
+	// the gate count; sizing up front avoids append-growth garbage (the
+	// incremental path keeps the small geometric chunks instead).
+	a.Locations = make([]Location, 0, len(c.Nodes)/16+8)
+	a.litArena.next = 4096
+	a.varArena.next = 4096
+	a.tgtArena.next = 4096
+	a.nodeArena.next = 4096
 
 	// Scan primary-gate candidates in topological order for determinism.
+	// Counters are batched locally: one atomic per gate is measurable at
+	// this loop's per-node cost.
 	done := ctx.Done()
+	var checks int64
 	for i, p := range c.MustTopoOrder() {
 		if done != nil && i%256 == 255 {
 			select {
@@ -227,27 +350,76 @@ func AnalyzeCtx(ctx context.Context, c *circuit.Circuit, opts Options) (*Analysi
 		if nd.IsPI {
 			continue
 		}
+		checks++
 		// Criterion 4 precondition: primary gate has non-zero local ODC.
-		mODCChecks.Inc()
 		if !odc.HasLocalODC(nd.Kind, len(nd.Fanin)) {
 			continue
 		}
-		loc, ok := a.locationAt(p, claimed)
-		if !ok {
-			continue
-		}
-		for _, t := range loc.Targets {
-			claimed[t.Gate] = true
-		}
-		a.Locations = append(a.Locations, loc)
+		a.recordPrimary(view, p)
 	}
+	mODCChecks.Add(checks)
 	mLocationsFound.Add(int64(a.NumLocations()))
 	mTargetsFound.Add(int64(a.TotalTargets()))
+	if len(a.Locations) == 0 {
+		a.Locations = nil // a fingerprint-free circuit reports no list at all
+	}
 	return a, nil
 }
 
-// locationAt attempts to build a location with primary gate p.
-func (a *Analysis) locationAt(p circuit.NodeID, claimed []bool) (Location, bool) {
+// newAnalysis prepares an empty analysis with the packed per-node state the
+// scan and later incremental re-analyses need.
+func newAnalysis(c *circuit.Circuit, opts Options, view *circuit.ScanView) *Analysis {
+	n := len(c.Nodes)
+	a := &Analysis{
+		Circuit:    c,
+		Options:    opts,
+		levels:     c.Levels(),
+		version:    c.Version(),
+		sinkCount:  view.SinkCounts(),
+		poDriver:   view.PODrivers(),
+		claimOwner: make([]int32, n),
+		prim:       make([]primScan, n),
+	}
+	for i := range a.claimOwner {
+		a.claimOwner[i] = -1
+	}
+	for k := range a.hasCell {
+		kind := logic.Kind(k)
+		t := make([]bool, opts.Library.MaxFanin(kind)+1)
+		for w := range t {
+			t[w] = opts.Library.Has(kind, w)
+		}
+		a.hasCell[k] = t
+	}
+	return a
+}
+
+// recordPrimary runs locationAt for an established candidate primary p and
+// records the outcome, its footprint, and any claimed targets.
+func (a *Analysis) recordPrimary(view *circuit.ScanView, p circuit.NodeID) {
+	ps := &a.prim[p]
+	ps.locAt = int32(len(a.Locations))
+	a.footBuf = a.footBuf[:0]
+	loc, ok := a.locationAt(view, p)
+	if a.foots != nil {
+		a.foots[p] = a.nodeArena.clone(a.footBuf)
+	}
+	if !ok {
+		ps.outcome = primNoLoc
+		return
+	}
+	ps.outcome = primLocated
+	ps.loc = int32(len(a.Locations))
+	for _, t := range loc.Targets {
+		a.claimOwner[t.Gate] = ps.loc
+	}
+	a.Locations = append(a.Locations, loc)
+}
+
+// locationAt attempts to build a location with primary gate p. The MFFC walk
+// appends the examined nodes to the a.footBuf scratch as a side effect (the
+// caller snapshots them into a.prim[p].foot).
+func (a *Analysis) locationAt(view *circuit.ScanView, p circuit.NodeID) (Location, bool) {
 	c := a.Circuit
 	nd := &c.Nodes[p]
 	cv, _ := nd.Kind.ControllingValue()
@@ -263,7 +435,7 @@ func (a *Analysis) locationAt(p circuit.NodeID, claimed []bool) (Location, bool)
 		if fn.Kind == logic.Const0 || fn.Kind == logic.Const1 {
 			continue
 		}
-		if c.FanoutCount(f) != 1 {
+		if view.SinkCount(f) != 1 {
 			continue
 		}
 		if yPin < 0 || a.levels[f] > a.levels[nd.Fanin[yPin]] {
@@ -304,7 +476,8 @@ func (a *Analysis) locationAt(p circuit.NodeID, claimed []bool) (Location, bool)
 	}
 	x := nd.Fanin[xPin]
 
-	cone := c.FFC(y)
+	a.coneBuf = view.AppendMFFC(y, a.coneBuf[:0], &a.footBuf)
+	cone := a.nodeArena.clone(a.coneBuf)
 	loc := Location{
 		Primary:      p,
 		FFCRoot:      y,
@@ -316,8 +489,9 @@ func (a *Analysis) locationAt(p circuit.NodeID, claimed []bool) (Location, bool)
 	}
 
 	// Criterion 3: enumerate modifiable cone gates.
+	targets := a.tgtBuf[:0]
 	for _, g := range cone {
-		if claimed[g] {
+		if a.claimOwner[g] >= 0 {
 			continue
 		}
 		gd := &c.Nodes[g]
@@ -331,19 +505,30 @@ func (a *Analysis) locationAt(p circuit.NodeID, claimed []bool) (Location, bool)
 		if len(variants) == 0 {
 			continue
 		}
-		loc.Targets = append(loc.Targets, Target{Gate: g, Variants: variants})
+		targets = append(targets, Target{Gate: g, Variants: variants})
 	}
-	if len(loc.Targets) == 0 {
+	a.tgtBuf = targets[:0]
+	if len(targets) == 0 {
 		return Location{}, false
 	}
 	// Deepest target first: the canonical pick of §IV-A ("the input gate
-	// within the fan out free cone, which had the highest depth").
-	sort.SliceStable(loc.Targets, func(i, j int) bool {
-		return a.levels[loc.Targets[i].Gate] > a.levels[loc.Targets[j].Gate]
-	})
-	if m := a.Options.MaxTargetsPerLocation; m > 0 && len(loc.Targets) > m {
-		loc.Targets = loc.Targets[:m]
+	// within the fan out free cone, which had the highest depth"). Insertion
+	// sort is stable, so ties keep cone order exactly like the baseline's
+	// sort.SliceStable.
+	for i := 1; i < len(targets); i++ {
+		t := targets[i]
+		lv := a.levels[t.Gate]
+		j := i
+		for j > 0 && a.levels[targets[j-1].Gate] < lv {
+			targets[j] = targets[j-1]
+			j--
+		}
+		targets[j] = t
 	}
+	if m := a.Options.MaxTargetsPerLocation; m > 0 && len(targets) > m {
+		targets = targets[:m]
+	}
+	loc.Targets = a.tgtArena.clone(targets)
 	return loc, true
 }
 

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/obs"
+	"repro/internal/odc"
+)
+
+// Incremental re-analysis counters.
+var (
+	mIncrAnalyses   = obs.NewCounter("core", "incremental_analyses")
+	mIncrReused     = obs.NewCounter("core", "incremental_reused")
+	mIncrRecomputed = obs.NewCounter("core", "incremental_recomputed")
+)
+
+// AnalyzeIncremental re-derives the fingerprint analysis of c — a mutated
+// descendant of prev.Circuit with the same stable node-ID space — by reusing
+// prev's per-primary outcomes wherever the edit provably cannot have changed
+// them, and re-running the scan only at primaries whose dependencies moved.
+// The result is exactly what Analyze(c, prev.Options) returns (asserted by
+// TestIncrementalMatchesFull), but after a typical Embed touching one
+// fanout-free cone only the dirtied cones are re-derived.
+//
+// The caller's contract on dirty: it must contain every node whose Kind,
+// IsPI flag, fanin list or fanout list changed between prev.Circuit and c
+// (Working.ModAffected returns exactly this set per modification; new nodes
+// appended after prev are dirty implicitly). Purely derived changes — logic
+// levels, sink counts, PO-driver flags — are detected internally by diffing
+// against prev's recorded arrays, so callers never need to compute
+// transitive fanout closures.
+//
+// A reused location shares its Cone/Targets slices with prev: an Analysis is
+// immutable after construction, which makes sharing safe. If prev carries no
+// incremental state (it came from AnalyzeBaseline), the call falls back to a
+// full AnalyzeCtx.
+func AnalyzeIncremental(ctx context.Context, prev *Analysis, c *circuit.Circuit, dirty []circuit.NodeID) (*Analysis, error) {
+	if prev == nil {
+		return nil, fmt.Errorf("core: AnalyzeIncremental requires a previous analysis")
+	}
+	if prev.prim == nil || prev.foots == nil {
+		// prev carries no replayable state: it came from AnalyzeBaseline, or
+		// it is itself an incremental result (those drop their footprints).
+		return AnalyzeCtx(ctx, c, prev.Options)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid circuit: %w", err)
+	}
+	if len(c.Nodes) < len(prev.prim) {
+		return nil, fmt.Errorf("core: AnalyzeIncremental: circuit shrank from %d to %d nodes (node IDs must be stable)",
+			len(prev.prim), len(c.Nodes))
+	}
+	sp := obs.Start("core.analyze_incremental")
+	defer sp.End()
+	mIncrAnalyses.Inc()
+
+	view := circuit.NewScanView(c)
+	defer view.Release()
+	a := newAnalysis(c, prev.Options, view)
+	// The new location list ends up within an edit of the previous one;
+	// pre-sizing avoids repeated growth during replay.
+	a.Locations = make([]Location, 0, len(prev.Locations)+4)
+
+	// Invalidate primaries through prev's reverse dependency index: a primary
+	// must be rescanned iff a node it depends on — itself, a fanin, or a node
+	// of its MFFC footprint — is in the dirty closure. The closure is the
+	// caller-reported structural edits, every node whose derived observations
+	// (level, sink count, PO-driver flag) differ from prev, and every node
+	// appended since prev (new nodes appear in no recorded footprint, and any
+	// old node they now touch changed structurally, so they need no index
+	// entries of their own).
+	starts, prims := prev.footIndex()
+	nPrev := len(prev.prim)
+	invalid := make([]bool, nPrev)
+	markDirty := func(d circuit.NodeID) {
+		if d < 0 || int(d) >= nPrev {
+			return
+		}
+		for _, p := range prims[starts[d]:starts[d+1]] {
+			invalid[p] = true
+		}
+	}
+	for _, id := range dirty {
+		markDirty(id)
+	}
+
+	// Beyond structural dirt, a replayed outcome depends on the claimed-gate
+	// state its scan observed: locationAt skips targets claimed by earlier
+	// locations. During replay the claimed state matches what prev saw at the
+	// same point — replayed locations claim exactly what prev's did — until a
+	// recompute claims a different gate set than prev's outcome at that
+	// primary (or a primary prev located is no longer ODC-eligible). Every
+	// gate whose claimed status diverges then invalidates, through the same
+	// reverse index, the primaries whose scan can observe it: a claim check
+	// only ever reads gates of the primary's own cone, which the footprint
+	// contains. Marking is sticky and only affects primaries later in topo
+	// order, so replay stays unconditional for valid primaries.
+	done := ctx.Done()
+	var checks, reused, recomputed int64
+	for i, p := range c.MustTopoOrder() {
+		if done != nil && i%256 == 255 {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
+		// Derived-observation diff, fused into the scan: every footprint node
+		// of a primary lies on its fanin side and is therefore visited before
+		// it, so marking here still precedes any reuse decision that could
+		// observe the change.
+		if int(p) < nPrev &&
+			(a.levels[p] != prev.levels[p] ||
+				a.sinkCount[p] != prev.sinkCount[p] ||
+				a.poDriver[p] != prev.poDriver[p]) {
+			markDirty(p)
+		}
+		nd := &c.Nodes[p]
+		if nd.IsPI {
+			continue
+		}
+		checks++
+		if !odc.HasLocalODC(nd.Kind, len(nd.Fanin)) {
+			// If prev located here, the claims its location made never
+			// materialize in this replay.
+			if int(p) < nPrev {
+				if ps := &prev.prim[p]; ps.outcome == primLocated {
+					for _, t := range prev.Locations[ps.loc].Targets {
+						if a.claimOwner[t.Gate] < 0 {
+							markDirty(t.Gate)
+						}
+					}
+				}
+			}
+			continue
+		}
+		if int(p) < nPrev && !invalid[p] {
+			if ps := &prev.prim[p]; ps.outcome != primSkip {
+				a.replay(prev, ps, p)
+				reused++
+				continue
+			}
+		}
+		recomputed++
+		before := len(a.Locations)
+		a.recordPrimary(view, p)
+		// Diff the gates this recompute claimed against what prev's outcome
+		// claimed from this point on; every divergence invalidates the
+		// not-yet-replayed primaries that can observe it.
+		var tNew, tPrev []Target
+		var psLocAt int32
+		if len(a.Locations) != before {
+			tNew = a.Locations[before].Targets
+		}
+		if int(p) < nPrev {
+			if ps := &prev.prim[p]; ps.outcome == primLocated {
+				tPrev = prev.Locations[ps.loc].Targets
+				psLocAt = ps.locAt
+			} else {
+				psLocAt = ps.locAt
+			}
+		}
+		for _, t := range tPrev {
+			if a.claimOwner[t.Gate] < 0 {
+				markDirty(t.Gate) // prev claimed it here; this replay does not
+			}
+		}
+		for _, t := range tNew {
+			if int(t.Gate) >= nPrev {
+				continue // a new gate appears in no recorded footprint
+			}
+			if int(p) >= nPrev {
+				markDirty(t.Gate) // no prev outcome to compare against
+				continue
+			}
+			prevClaimed := false
+			if o := prev.claimOwner[t.Gate]; o >= 0 && o < psLocAt {
+				prevClaimed = true // already claimed when prev scanned here
+			}
+			for _, u := range tPrev {
+				if u.Gate == t.Gate {
+					prevClaimed = true // prev's outcome here claimed it too
+				}
+			}
+			if !prevClaimed {
+				markDirty(t.Gate)
+			}
+		}
+	}
+	mODCChecks.Add(checks)
+	mIncrReused.Add(reused)
+	mIncrRecomputed.Add(recomputed)
+	if len(a.Locations) == 0 {
+		a.Locations = nil // match Analyze, which never allocates an empty list
+	}
+	return a, nil
+}
+
+// footIndex lazily builds (and then reuses) the reverse dependency index over
+// this analysis's recorded footprints, in CSR form: footPrims lists, for each
+// node d, the primaries whose scan outcome depends on d — d is the primary
+// itself, one of its fanins, or a member of its MFFC footprint. Index slots
+// are footPrims[footStarts[d]:footStarts[d+1]].
+func (a *Analysis) footIndex() ([]int32, []int32) {
+	a.footMu.Lock()
+	defer a.footMu.Unlock()
+	if a.footStarts != nil {
+		return a.footStarts, a.footPrims
+	}
+	n := len(a.prim)
+	counts := make([]int32, n+1)
+	deps := func(p int, f func(circuit.NodeID)) {
+		f(circuit.NodeID(p))
+		for _, fn := range a.Circuit.Nodes[p].Fanin {
+			f(fn)
+		}
+		for _, nd := range a.foots[p] {
+			f(nd)
+		}
+	}
+	for p := range a.prim {
+		if a.prim[p].outcome == primSkip {
+			continue
+		}
+		deps(p, func(d circuit.NodeID) { counts[d+1]++ })
+	}
+	starts := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		starts[i+1] = starts[i] + counts[i+1]
+	}
+	prims := make([]int32, starts[n])
+	fill := append([]int32(nil), starts[:n]...)
+	for p := range a.prim {
+		if a.prim[p].outcome == primSkip {
+			continue
+		}
+		deps(p, func(d circuit.NodeID) {
+			prims[fill[d]] = int32(p)
+			fill[d]++
+		})
+	}
+	a.footStarts, a.footPrims = starts, prims
+	return starts, prims
+}
+
+// replay copies prev's scan outcome at one primary into a. The caller has
+// already established, through the reverse dependency index, that neither the
+// structure the outcome depends on nor the claimed status of any gate its
+// scan can observe has changed, so the previous outcome transfers verbatim; a
+// replayed location shares its Cone/Targets slices with prev.
+func (a *Analysis) replay(prev *Analysis, ps *primScan, p circuit.NodeID) {
+	np := &a.prim[p]
+	np.locAt = int32(len(a.Locations))
+	if ps.outcome == primNoLoc {
+		np.outcome = primNoLoc
+		return
+	}
+	loc := prev.Locations[ps.loc]
+	np.outcome = primLocated
+	np.loc = int32(len(a.Locations))
+	for _, t := range loc.Targets {
+		a.claimOwner[t.Gate] = np.loc
+	}
+	a.Locations = append(a.Locations, loc)
+}
+
+// Dirty returns the union of ModAffected over all modifications: every node
+// whose kind, fanin list or fanout set differs between the analysed master
+// and the current working netlist — the dirty set AnalyzeIncremental needs.
+func (w *Working) Dirty() []circuit.NodeID {
+	seen := make([]bool, len(w.C.Nodes))
+	var out []circuit.NodeID
+	for m := range w.Mods {
+		for _, id := range w.ModAffected(m) {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// Reanalyze runs AnalyzeIncremental on the working netlist against the
+// analysis it was created from, re-deriving only the cones the applied
+// modifications touched.
+func (w *Working) Reanalyze(ctx context.Context) (*Analysis, error) {
+	return AnalyzeIncremental(ctx, w.Analysis, w.C, w.Dirty())
+}

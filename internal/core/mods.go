@@ -36,33 +36,37 @@ func litNeg(baseVal, identity bool) bool { return baseVal != identity }
 // loc, applying library-width and duplicate-pin feasibility checks.
 func (a *Analysis) variantsFor(loc Location, g circuit.NodeID) []Variant {
 	c := a.Circuit
-	lib := a.Options.Library
 	gd := &c.Nodes[g]
 	cv := loc.TriggerValue
 	nonTrigger := !cv // value of X under which the cone must be unchanged
 
-	var out []Variant
+	out := a.varBuf[:0]
 	addIfFeasible := func(v Variant) {
-		// Width check: the modified gate needs a library cell.
+		// Width check: the modified gate needs a library cell. The dense
+		// hasCell table mirrors lib.Has; the per-variant map lookup was hot
+		// in the scan profile.
 		newFanin := len(gd.Fanin) + len(v.Lits)
-		if !lib.Has(v.NewGateKind, newFanin) {
+		if ht := a.hasCell[v.NewGateKind]; newFanin >= len(ht) || !ht[newFanin] {
 			return
 		}
 		// Duplicate-pin check: non-inverted literals must not repeat an
 		// existing fanin or each other (inverted literals become fresh
-		// inverter nodes, which can never collide).
-		seen := make(map[circuit.NodeID]bool, len(gd.Fanin))
-		for _, f := range gd.Fanin {
-			seen[f] = true
-		}
-		for _, l := range v.Lits {
+		// inverter nodes, which can never collide). Fanin lists are
+		// library-width bounded, so linear scans beat a map here.
+		for k, l := range v.Lits {
 			if l.Neg {
 				continue
 			}
-			if seen[l.Node] {
-				return
+			for _, f := range gd.Fanin {
+				if f == l.Node {
+					return
+				}
 			}
-			seen[l.Node] = true
+			for _, m := range v.Lits[:k] {
+				if !m.Neg && m.Node == l.Node {
+					return
+				}
+			}
 		}
 		// Self-reference check: a literal must not be the target itself
 		// (cannot happen for the trigger, which lies outside the cone, but
@@ -81,7 +85,7 @@ func (a *Analysis) variantsFor(loc Location, g circuit.NodeID) []Variant {
 		base := Variant{
 			Kind:        AddLiteral,
 			NewGateKind: gd.Kind,
-			Lits:        []Lit{{Node: loc.Trigger, Neg: litNeg(nonTrigger, id)}},
+			Lits:        a.lit1(Lit{Node: loc.Trigger, Neg: litNeg(nonTrigger, id)}),
 		}
 		addIfFeasible(base)
 		if a.Options.AllowReroute {
@@ -94,32 +98,34 @@ func (a *Analysis) variantsFor(loc Location, g circuit.NodeID) []Variant {
 		addIfFeasible(Variant{
 			Kind:        ConvertSingle,
 			NewGateKind: logic.Nand,
-			Lits:        []Lit{{Node: loc.Trigger, Neg: litNeg(nonTrigger, true)}},
+			Lits:        a.lit1(Lit{Node: loc.Trigger, Neg: litNeg(nonTrigger, true)}),
 		})
 		// INV(a) → NOR(a, L) with L = 0 at non-trigger.
 		addIfFeasible(Variant{
 			Kind:        ConvertSingle,
 			NewGateKind: logic.Nor,
-			Lits:        []Lit{{Node: loc.Trigger, Neg: litNeg(nonTrigger, false)}},
+			Lits:        a.lit1(Lit{Node: loc.Trigger, Neg: litNeg(nonTrigger, false)}),
 		})
 	case gd.Kind == logic.Buf:
 		addIfFeasible(Variant{
 			Kind:        ConvertSingle,
 			NewGateKind: logic.And,
-			Lits:        []Lit{{Node: loc.Trigger, Neg: litNeg(nonTrigger, true)}},
+			Lits:        a.lit1(Lit{Node: loc.Trigger, Neg: litNeg(nonTrigger, true)}),
 		})
 		addIfFeasible(Variant{
 			Kind:        ConvertSingle,
 			NewGateKind: logic.Or,
-			Lits:        []Lit{{Node: loc.Trigger, Neg: litNeg(nonTrigger, false)}},
+			Lits:        a.lit1(Lit{Node: loc.Trigger, Neg: litNeg(nonTrigger, false)}),
 		})
 	}
-	return out
+	a.varBuf = out[:0]
+	return a.varArena.clone(out)
 }
 
 // rerouteVariants builds the Fig. 5 alternatives: literals drawn from the
 // inputs of the trigger's driver gate T, valid when X = ¬cv forces all of
-// T's inputs to a known value.
+// T's inputs to a known value. The returned slice is scratch, valid until
+// the next call; callers copy what they keep.
 func (a *Analysis) rerouteVariants(loc Location, targetKind logic.Kind, targetIdentity bool) []Variant {
 	c := a.Circuit
 	t := loc.Trigger
@@ -148,13 +154,13 @@ func (a *Analysis) rerouteVariants(loc Location, targetKind logic.Kind, targetId
 	}
 	neg := litNeg(forcedInput, targetIdentity)
 	ins := tn.Fanin
-	var out []Variant
+	out := a.rrBuf[:0]
 	// Singles, then pairs: n + n(n−1)/2 = n(n+1)/2 variants (§III-C).
 	for i, u := range ins {
 		out = append(out, Variant{
 			Kind:        Reroute,
 			NewGateKind: targetKind,
-			Lits:        []Lit{{Node: u, Neg: neg}},
+			Lits:        a.lit1(Lit{Node: u, Neg: neg}),
 		})
 		for _, w := range ins[i+1:] {
 			if w == u {
@@ -163,9 +169,10 @@ func (a *Analysis) rerouteVariants(loc Location, targetKind logic.Kind, targetId
 			out = append(out, Variant{
 				Kind:        Reroute,
 				NewGateKind: targetKind,
-				Lits:        []Lit{{Node: u, Neg: neg}, {Node: w, Neg: neg}},
+				Lits:        a.lit2(Lit{Node: u, Neg: neg}, Lit{Node: w, Neg: neg}),
 			})
 		}
 	}
+	a.rrBuf = out
 	return out
 }

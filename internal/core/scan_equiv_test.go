@@ -1,0 +1,191 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cell"
+	"repro/internal/circuit"
+)
+
+// allSpecs returns the full committed benchmark corpus (Table II suite plus
+// the large extras).
+func allSpecs() []bench.Spec {
+	return append(bench.Suite(), bench.Extras()...)
+}
+
+// optionSets covers the analysis knobs the scan branches on.
+func optionSets() map[string]Options {
+	lib := cell.Default()
+	return map[string]Options{
+		"default":    DefaultOptions(lib),
+		"no-reroute": {Library: lib, AllowConvert: true},
+		"no-convert": {Library: lib, AllowReroute: true},
+		"one-target": {Library: lib, AllowConvert: true, AllowReroute: true, MaxTargetsPerLocation: 1},
+		"deepest":    {Library: lib, AllowConvert: true, AllowReroute: true, Trigger: DeepestTrigger},
+	}
+}
+
+// TestAnalyzeMatchesBaseline proves the packed-view scan reproduces the
+// retained pre-packing implementation bit for bit — same locations, cones,
+// targets and variants in the same order — on every committed benchmark and
+// across every option combination.
+func TestAnalyzeMatchesBaseline(t *testing.T) {
+	for _, spec := range allSpecs() {
+		c := spec.Build()
+		for name, opts := range optionSets() {
+			fast, err := Analyze(c, opts)
+			if err != nil {
+				t.Fatalf("%s/%s: Analyze: %v", spec.Name, name, err)
+			}
+			base, err := AnalyzeBaseline(c, opts)
+			if err != nil {
+				t.Fatalf("%s/%s: AnalyzeBaseline: %v", spec.Name, name, err)
+			}
+			if !reflect.DeepEqual(fast.Locations, base.Locations) {
+				t.Errorf("%s/%s: packed scan diverges from baseline (%d vs %d locations)",
+					spec.Name, name, len(fast.Locations), len(base.Locations))
+			}
+		}
+	}
+}
+
+// TestAnalyzeGoldenLocations pins the exact location count and the first
+// primary-gate IDs of the packed scan on c432/c880/c5315 so a regression in
+// either scan implementation cannot slip through as a consistent pair.
+func TestAnalyzeGoldenLocations(t *testing.T) {
+	golden := map[string]struct {
+		locations int
+		first     []circuit.NodeID
+	}{
+		"c432":  {7, []circuit.NodeID{44, 45, 46, 47}},
+		"c880":  {82, []circuit.NodeID{200, 201, 202, 203}},
+		"c5315": {582, []circuit.NodeID{1212, 1213, 1214, 1215}},
+	}
+	for name, want := range golden {
+		spec, err := bench.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := spec.Build()
+		a, err := Analyze(c, DefaultOptions(cell.Default()))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		base, err := AnalyzeBaseline(c, DefaultOptions(cell.Default()))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var primaries []circuit.NodeID
+		for i := range a.Locations {
+			primaries = append(primaries, a.Locations[i].Primary)
+		}
+		var basePrimaries []circuit.NodeID
+		for i := range base.Locations {
+			basePrimaries = append(basePrimaries, base.Locations[i].Primary)
+		}
+		if !reflect.DeepEqual(primaries, basePrimaries) {
+			t.Errorf("%s: primary-gate IDs diverge between packed scan and baseline", name)
+		}
+		if len(a.Locations) != want.locations {
+			t.Errorf("%s: %d locations, want %d", name, len(a.Locations), want.locations)
+		}
+		if len(primaries) < len(want.first) || !reflect.DeepEqual(primaries[:len(want.first)], want.first) {
+			t.Errorf("%s: first primaries %v, want %v", name, primaries[:min(len(primaries), 4)], want.first)
+		}
+	}
+}
+
+// TestIncrementalMatchesFull embeds fingerprints into every benchmark and
+// checks AnalyzeIncremental on the working netlist equals a from-scratch
+// Analyze of the same netlist — for a single modification, the full
+// assignment, and after toggling mods (chained reuse through a second
+// incremental pass).
+func TestIncrementalMatchesFull(t *testing.T) {
+	ctx := context.Background()
+	opts := DefaultOptions(cell.Default())
+	for _, spec := range allSpecs() {
+		if testing.Short() && spec.Name != "c432" && spec.Name != "c880" {
+			continue
+		}
+		c := spec.Build()
+		a, err := Analyze(c, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if len(a.Locations) == 0 {
+			continue
+		}
+
+		check := func(label string, w *Working) {
+			t.Helper()
+			inc, err := w.Reanalyze(ctx)
+			if err != nil {
+				t.Fatalf("%s/%s: Reanalyze: %v", spec.Name, label, err)
+			}
+			full, err := Analyze(w.C, opts)
+			if err != nil {
+				t.Fatalf("%s/%s: full Analyze: %v", spec.Name, label, err)
+			}
+			if !reflect.DeepEqual(inc.Locations, full.Locations) {
+				t.Errorf("%s/%s: incremental analysis diverges from full (%d vs %d locations)",
+					spec.Name, label, len(inc.Locations), len(full.Locations))
+			}
+		}
+
+		// Single modification: the canonical variant at the first location.
+		single := EmptyAssignment(a)
+		single[0][0] = 0
+		w, err := NewWorking(a, single)
+		if err != nil {
+			t.Fatalf("%s: NewWorking(single): %v", spec.Name, err)
+		}
+		check("single", w)
+
+		// Full assignment: one modification per location.
+		w, err = NewWorking(a, FullAssignment(a))
+		if err != nil {
+			t.Fatalf("%s: NewWorking(full): %v", spec.Name, err)
+		}
+		check("full", w)
+
+		// Toggling: disable half the mods (parks inverters, reverts gates).
+		for m := 0; m < len(w.Mods); m += 2 {
+			if err := w.Disable(m); err != nil {
+				t.Fatalf("%s: Disable(%d): %v", spec.Name, m, err)
+			}
+		}
+		check("toggled", w)
+
+		// No modifications at all: everything must be reused verbatim.
+		w, err = NewWorking(a, EmptyAssignment(a))
+		if err != nil {
+			t.Fatalf("%s: NewWorking(empty): %v", spec.Name, err)
+		}
+		check("empty", w)
+	}
+}
+
+// TestIncrementalBaselineFallback checks that a baseline analysis (no
+// incremental state) silently falls back to a full scan.
+func TestIncrementalBaselineFallback(t *testing.T) {
+	spec, err := bench.ByName("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := spec.Build()
+	opts := DefaultOptions(cell.Default())
+	base, err := AnalyzeBaseline(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := AnalyzeIncremental(context.Background(), base, c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(inc.Locations, base.Locations) {
+		t.Error("fallback incremental analysis diverges from baseline")
+	}
+}

@@ -20,7 +20,9 @@ package odc
 
 import (
 	"fmt"
+	"math/bits"
 
+	"repro/internal/aig"
 	"repro/internal/circuit"
 	"repro/internal/logic"
 	"repro/internal/sim"
@@ -143,10 +145,64 @@ func Stats(c *circuit.Circuit) ObservabilityStats {
 // conditions exist almost everywhere in any combinational circuit". The
 // return value maps gate NodeID → fraction of patterns with the pin masked
 // (only gates with non-trivial local ODCs appear).
-// Stimulus and simulation storage come from sim.SharedRandom and the shared
-// sim.Engine, so repeated calls with the same circuit/seed/shape reuse both.
+//
+// Stimulus comes from sim.SharedRandom and simulation runs on the packed
+// AIG kernel (aig.ViewFor), so repeated calls with the same
+// circuit/seed/shape reuse both the vectors and the decomposition. The AIG
+// computes the same Boolean function per node, so the fractions are
+// bit-identical to the gate-level engine's; if the circuit cannot be
+// decomposed (exotic gate kind), the gate-level engine path is used
+// instead.
 func MaskedFraction(c *circuit.Circuit, nWords int, seed int64) (map[circuit.NodeID]float64, error) {
 	vec := sim.SharedRandom(len(c.PIs), nWords, seed)
+	if v, err := aig.ViewFor(c); err == nil {
+		return maskedFractionAIG(c, v, vec, nWords), nil
+	}
+	return maskedFractionEngine(c, vec, nWords)
+}
+
+// maskedFractionAIG tallies pin-0 masked fractions from the word-parallel
+// AIG kernel: each masker pin's value stream is read through its AIG edge
+// with an XOR mask folding together the edge complement and the gate's
+// controlling-value polarity, so the inner loop is mask-or-popcount with no
+// branches.
+func maskedFractionAIG(c *circuit.Circuit, v *aig.View, vec *sim.Vectors, nWords int) map[circuit.NodeID]float64 {
+	out := make(map[circuit.NodeID]float64)
+	totalBits := float64(nWords * 64)
+	any := make([]uint64, nWords)
+	v.WithSim(vec.Words, nWords, func(val []uint64) {
+		for i := range c.Nodes {
+			nd := &c.Nodes[i]
+			if nd.IsPI || !HasLocalODC(nd.Kind, len(nd.Fanin)) {
+				continue
+			}
+			cv, _ := nd.Kind.ControllingValue()
+			// Pin 0's ODC condition: any other pin at the controlling value.
+			for w := range any {
+				any[w] = 0
+			}
+			for p := 1; p < len(nd.Fanin); p++ {
+				words, mask := v.P.Stream(val, nWords, v.Refs[nd.Fanin[p]])
+				if !cv {
+					mask = ^mask
+				}
+				for w := 0; w < nWords; w++ {
+					any[w] |= words[w] ^ mask
+				}
+			}
+			masked := 0
+			for _, a := range any {
+				masked += bits.OnesCount64(a)
+			}
+			out[circuit.NodeID(i)] = float64(masked) / totalBits
+		}
+	})
+	return out
+}
+
+// maskedFractionEngine is the gate-level fallback, running on the shared
+// sim.Engine.
+func maskedFractionEngine(c *circuit.Circuit, vec *sim.Vectors, nWords int) (map[circuit.NodeID]float64, error) {
 	eng, err := sim.EngineFor(c)
 	if err != nil {
 		return nil, err
@@ -160,7 +216,6 @@ func MaskedFraction(c *circuit.Circuit, nWords int, seed int64) (map[circuit.Nod
 				continue
 			}
 			cv, _ := nd.Kind.ControllingValue()
-			// Pin 0's ODC condition: any other pin at the controlling value.
 			masked := 0
 			for w := 0; w < nWords; w++ {
 				var any uint64
@@ -171,7 +226,7 @@ func MaskedFraction(c *circuit.Circuit, nWords int, seed int64) (map[circuit.Nod
 					}
 					any |= v
 				}
-				masked += popcount(any)
+				masked += bits.OnesCount64(any)
 			}
 			out[circuit.NodeID(i)] = float64(masked) / totalBits
 		}
@@ -181,13 +236,4 @@ func MaskedFraction(c *circuit.Circuit, nWords int, seed int64) (map[circuit.Nod
 		return nil, err
 	}
 	return out, nil
-}
-
-func popcount(x uint64) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
-	}
-	return n
 }

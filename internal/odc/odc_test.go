@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/bench"
 	"repro/internal/circuit"
 	"repro/internal/logic"
 	"repro/internal/sim"
@@ -277,5 +278,33 @@ func TestMaskedFraction(t *testing.T) {
 	}
 	if f := mf2[o]; f < 0.85 || f > 0.90 {
 		t.Errorf("OR4 masked fraction %.3f, want ≈0.875", f)
+	}
+}
+
+// TestMaskedFractionAIGMatchesEngine: the packed-AIG fast path and the
+// gate-level engine fallback produce bit-identical fractions — the AIG
+// computes the same function per node on the same shared stimulus.
+func TestMaskedFractionAIGMatchesEngine(t *testing.T) {
+	spec, err := bench.ByName("c880")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := spec.Build()
+	const nWords, seed = 16, 11
+	fast, err := MaskedFraction(c, nWords, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := maskedFractionEngine(c, sim.SharedRandom(len(c.PIs), nWords, seed), nWords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fast) != len(slow) {
+		t.Fatalf("map sizes differ: AIG %d, engine %d", len(fast), len(slow))
+	}
+	for id, f := range fast {
+		if s, ok := slow[id]; !ok || s != f {
+			t.Fatalf("node %d: AIG %.17g, engine %.17g", id, f, s)
+		}
 	}
 }

@@ -70,6 +70,11 @@ var (
 	mTraces    = obs.NewCounter("serve", "traces")
 	mTimeouts  = obs.NewCounter("serve", "request_timeouts", obs.Nondet())
 	hLatencyNS = obs.NewHistogram("serve", "request_ns", obs.Nondet())
+	// hAnalyzeUS records the latency of each completed analysis (the
+	// daemon's dominant unit of compute) in microseconds; the exported name
+	// keeps the seconds-oriented spelling, and consumers such as the loadgen
+	// report convert the sum back to wall seconds.
+	hAnalyzeUS = obs.NewHistogram("serve", "analyze_secs", obs.Nondet())
 	gInFlight  = obs.NewGauge("serve", "inflight", obs.Nondet())
 	gDesigns   = obs.NewGauge("serve", "designs")
 )
@@ -379,7 +384,12 @@ func (d *design) ensureRegistry(store *Store, a *core.Analysis) (*registry.Regis
 // cancels the scan (core.AnalyzeCtx).
 func analyzeUpload(ctx context.Context, c *circuit.Circuit) (*core.Analysis, error) {
 	swept, _ := c.Sweep()
-	return core.AnalyzeCtx(ctx, swept, core.DefaultOptions(cell.Default()))
+	start := time.Now()
+	a, err := core.AnalyzeCtx(ctx, swept, core.DefaultOptions(cell.Default()))
+	if err == nil {
+		hAnalyzeUS.Observe(time.Since(start).Microseconds())
+	}
+	return a, err
 }
 
 // parseNetlist decodes data in the given format: "bench", "blif" or
