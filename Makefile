@@ -2,13 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-analyze bench-analyze-smoke bench-verify bench-serve serve-smoke chaos experiments reproduce doccheck fuzz cover ci clean
+.PHONY: all build test vet bench bench-analyze bench-analyze-smoke bench-verify bench-serve bench-serve-cluster serve-smoke cluster-smoke chaos experiments reproduce doccheck fuzz cover ci clean
 
 all: build vet test
 
 # Everything the CI workflow runs: formatting, vet, doc lint, build, the
 # full race-enabled test suite, a short fuzz pass over the three netlist
-# parsers, and the fault-injected chaos smoke.
+# parsers, the fault-injected chaos smoke, and the daemon and cluster
+# process-level smokes.
 ci: doccheck
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
@@ -20,6 +21,7 @@ ci: doccheck
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/verilog/
 	$(MAKE) chaos
 	$(MAKE) serve-smoke
+	$(MAKE) cluster-smoke
 	$(MAKE) bench-analyze-smoke
 
 # Chaos smoke: the daemon's fault-injection suite (DESIGN.md §10) under the
@@ -45,6 +47,20 @@ serve-smoke:
 # mint that must beat serial issue by ≥20×; writes BENCH_serve.json.
 bench-serve:
 	GO=$(GO) MIN_SPEEDUP=20 scripts/serve_smoke.sh 1000 8 BENCH_serve.json 4096
+
+# Cluster smoke: three odcfpd replicas on loopback, a mixed issue/trace load
+# across all of them, kill -9 one replica mid-run, then require zero failures
+# and full registry convergence on the survivors (scripts/cluster_smoke.sh).
+cluster-smoke:
+	GO=$(GO) scripts/cluster_smoke.sh 400 8 cluster_smoke.json
+
+# Cluster benchmark: the BENCH_serve.json `cluster` section. Measures a
+# single-node baseline on mature registries (20k preseeded copies per design,
+# where the snapshot store pays an O(n) rewrite per issuance), then the same
+# load over 4 replicas on the O(1)-append WAL store; fails below a 3× scale.
+bench-serve-cluster:
+	GO=$(GO) KILL=0 REPLICAS=4 DESIGNS=4 PRESEED=20000 MIN_SCALE=3 \
+		scripts/cluster_smoke.sh 2000 16 BENCH_serve.json
 
 # Godoc lint: every package needs a package comment, every exported
 # declaration a doc comment (internal/tools/doccheck).
@@ -105,4 +121,4 @@ fuzz:
 # Seed corpora under internal/*/testdata/fuzz are committed — clean only
 # removes generated run artifacts, never fuzz seeds.
 clean:
-	rm -f BENCH_*.json runreport.json tables.md chaos-metrics.json serve_smoke.json
+	rm -f BENCH_*.json runreport.json tables.md chaos-metrics.json serve_smoke.json cluster_smoke.json

@@ -1,14 +1,16 @@
 // Command loadgen drives concurrent issue/trace traffic against an odcfpd
-// daemon and records throughput, latency percentiles and the daemon's
-// analysis-cache hit rate to a JSON report (BENCH_serve.json).
+// daemon — or a cluster of them — and records throughput, latency
+// percentiles and the daemon's analysis-cache hit rate to a JSON report
+// (BENCH_serve.json).
 //
 // Usage:
 //
 //	loadgen -addr 127.0.0.1:8341 [-bench c880 | -in design.bench]
-//	        [-n 1000] [-c 8] [-save DIR] [-out BENCH_serve.json]
+//	        [-n 1000] [-c 8] [-designs 1] [-save DIR] [-out BENCH_serve.json]
 //	loadgen -addr 127.0.0.1:8341 -replay DIR [-out BENCH_serve.json]
 //	loadgen -addr 127.0.0.1:8341 -batch 64 [-async] [-n 1000]
 //	        [-serial 32] [-min-speedup 20] [-out BENCH_serve.json]
+//	loadgen -addr HOST:P1,HOST:P2,HOST:P3 [-designs 8] [-min-scale 3]
 //
 // The main mode uploads the design once, then issues a fingerprinted copy
 // per synthetic buyer and immediately traces it back, asserting the daemon
@@ -17,6 +19,30 @@
 // a later -replay run (typically against a restarted daemon) can trace the
 // saved copies and prove no acknowledged issuance was lost; replay results
 // are merged into the existing -out report under "restart".
+//
+// -addr accepts a comma-separated endpoint list: requests round-robin
+// across the replicas and fail over to the next endpoint when a node is
+// unreachable, so a mid-run node kill shows up as failovers rather than
+// failures. Design-scoped requests additionally pin each digest to the
+// replica named by the last response's X-Odcfp-Node header — after the
+// first hop the client talks straight to the design's leader, the way a
+// topology-aware cluster client would, and the pin is dropped the moment
+// that node stops answering. Each response's node header is tallied into a
+// per-replica request count, and the run is merged into the report under
+// "cluster" with the aggregate-vs-baseline RPS scale (the baseline is
+// -baseline-rps when given, else the top-level rps already in the report,
+// i.e. an earlier single-node run); -min-scale fails the run below a
+// required scale. -designs K uploads K variants of the circuit under
+// distinct names (distinct digests), which spreads the keyspace across a
+// cluster's leaders.
+//
+// -preseed N matures every design before the clock starts: one async batch
+// job per design mints N seed copies, so the timed run measures a registry
+// that already carries a realistic record count instead of an empty one.
+// This is where the storage architectures separate: the single-node store
+// rewrites the design's whole registry snapshot on every issuance (linear
+// in records issued so far), while cluster replicas append a fixed-size
+// WAL frame.
 //
 // -batch benchmarks fleet-scale minting: a serial /issue baseline of
 // -serial copies, then -n copies through POST /issue/batch (-batch buyers
@@ -33,6 +59,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -72,6 +99,7 @@ type report struct {
 	Analyze   *analyzeStat `json:"analyze_secs,omitempty"`
 	Batch     *batchStat   `json:"batch,omitempty"`
 	Restart   *replayStat  `json:"restart,omitempty"`
+	Cluster   *clusterStat `json:"cluster,omitempty"`
 	Generated string       `json:"generated"`
 }
 
@@ -99,6 +127,28 @@ type batchStat struct {
 	Speedup      float64 `json:"speedup"`
 }
 
+// clusterStat records a multi-endpoint run: aggregate throughput across
+// every replica, how the requests spread over them (from the X-Odcfp-Node
+// response header), and the scale factor against the single-node baseline
+// rps already present in the report.
+type clusterStat struct {
+	Endpoints   int            `json:"endpoints"`
+	Designs     int            `json:"designs"`
+	Preseed     int            `json:"preseed,omitempty"`
+	Clients     int            `json:"clients"`
+	Requests    int            `json:"requests"`
+	Failures    int            `json:"failures"`
+	Failovers   int            `json:"failovers,omitempty"`
+	Shed        int            `json:"shed,omitempty"`
+	WallMS      float64        `json:"wall_ms"`
+	RPS         float64        `json:"rps"`
+	BaselineRPS float64        `json:"baseline_rps,omitempty"`
+	Scale       float64        `json:"scale,omitempty"`
+	Issue       *latencyStat   `json:"issue,omitempty"`
+	Trace       *latencyStat   `json:"trace,omitempty"`
+	PerNode     map[string]int `json:"per_node,omitempty"`
+}
+
 type latencyStat struct {
 	Count int     `json:"count"`
 	P50MS float64 `json:"p50_ms"`
@@ -123,51 +173,169 @@ type replayStat struct {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
-	addr := fs.String("addr", "127.0.0.1:8341", "daemon address host:port")
+	addr := fs.String("addr", "127.0.0.1:8341", "daemon address host:port, or a comma-separated list of cluster replicas")
 	benchName := fs.String("bench", "c880", "suite circuit to upload (ignored with -in)")
 	inFile := fs.String("in", "", "netlist file to upload instead of a suite circuit")
 	format := fs.String("format", "", "netlist format of -in (default: sniffed by the daemon)")
 	n := fs.Int("n", 1000, "total requests (each buyer costs one issue and one trace)")
 	c := fs.Int("c", 8, "concurrent clients")
+	designs := fs.Int("designs", 1, "upload this many renamed variants of the circuit (distinct digests; spreads cluster leaders)")
 	saveDir := fs.String("save", "", "save issued copies to this directory for -replay")
 	replayDir := fs.String("replay", "", "trace previously saved copies instead of generating load")
 	batch := fs.Int("batch", 0, "batch-benchmark mode: copies per /issue/batch request (0 = normal issue/trace load)")
 	asyncJob := fs.Bool("async", false, "with -batch: mint through a durable async job (202 + /jobs polling)")
 	serialN := fs.Int("serial", 32, "with -batch: serial /issue copies for the baseline rate")
 	minSpeedup := fs.Float64("min-speedup", 0, "with -batch: fail below this batch-vs-serial speedup (0 = report only)")
+	minScale := fs.Float64("min-scale", 0, "multi-endpoint: fail below this aggregate-vs-baseline RPS scale (0 = report only)")
+	preseed := fs.Int("preseed", 0, "mint this many seed copies per design (async batch job) before the timed run")
+	baselineRPS := fs.Float64("baseline-rps", 0, "multi-endpoint: single-node baseline rps for the scale factor (0 = top-level rps in the report)")
 	out := fs.String("out", "BENCH_serve.json", "JSON report path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	base := "http://" + *addr
+	p := newPool(strings.Split(*addr, ","), 2*time.Minute)
 	if *replayDir != "" {
-		return replay(base, *replayDir, *out)
+		return replay(p, *replayDir, *out)
 	}
 	if *batch > 0 {
-		return batchBench(base, *benchName, *inFile, *format, *n, *batch, *serialN, *asyncJob, *minSpeedup, *out)
+		p.client.Timeout = 5 * time.Minute
+		return batchBench(p, *benchName, *inFile, *format, *n, *batch, *serialN, *asyncJob, *minSpeedup, *out)
 	}
-	return generate(base, *benchName, *inFile, *format, *n, *c, *saveDir, *out)
+	if *designs < 1 {
+		*designs = 1
+	}
+	if *saveDir != "" && *designs > 1 {
+		return fmt.Errorf("-save supports a single design (got -designs %d)", *designs)
+	}
+	return generate(p, genConfig{
+		BenchName: *benchName, InFile: *inFile, Format: *format,
+		N: *n, C: *c, Designs: *designs, Preseed: *preseed,
+		SaveDir: *saveDir, Out: *out,
+		MinScale: *minScale, BaselineRPS: *baselineRPS,
+	})
 }
 
-// postRetry posts body to url, honoring 429 shed responses by backing off
-// and retrying: shedding is the daemon's flow control under overload, not a
+// genConfig bundles the knobs of the main issue/trace load mode.
+type genConfig struct {
+	BenchName, InFile, Format string
+	N, C, Designs, Preseed    int
+	SaveDir, Out              string
+	MinScale, BaselineRPS     float64
+}
+
+// pool routes requests across the configured endpoints: round-robin to
+// spread load, with failover to the next endpoint when a node is
+// unreachable (connection refused, mid-request kill), so a cluster client
+// survives the loss of any replica it was not forced to. Design-scoped
+// requests pin each digest to the node the cluster reports as its server
+// (X-Odcfp-Node), which routes steady-state traffic straight to the
+// design's leader; a transport error drops the pin and re-enters rotation.
+// Replica identity is tallied from each response's node header for the
+// per-node breakdown in the report.
+type pool struct {
+	bases     []string
+	client    *http.Client
+	next      atomic.Int64
+	failovers atomic.Int64
+	sticky    sync.Map // digest → base URL of the node last seen serving it
+
+	mu      sync.Mutex
+	perNode map[string]int
+}
+
+func newPool(addrs []string, timeout time.Duration) *pool {
+	p := &pool{
+		client:  &http.Client{Timeout: timeout},
+		perNode: make(map[string]int),
+	}
+	for _, a := range addrs {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		if !strings.Contains(a, "://") {
+			a = "http://" + a
+		}
+		p.bases = append(p.bases, strings.TrimRight(a, "/"))
+	}
+	return p
+}
+
+func (p *pool) clustered() bool { return len(p.bases) > 1 }
+
+// pick rotates through the endpoints; skip offsets past a just-failed one.
+func (p *pool) pick(skip int) string {
+	i := p.next.Add(1) - 1
+	return p.bases[(int(i)+skip)%len(p.bases)]
+}
+
+func (p *pool) note(resp *http.Response) {
+	node := resp.Header.Get("X-Odcfp-Node")
+	if node == "" {
+		return
+	}
+	p.mu.Lock()
+	p.perNode[node]++
+	p.mu.Unlock()
+}
+
+func (p *pool) nodeCounts() map[string]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.perNode) == 0 {
+		return nil
+	}
+	m := make(map[string]int, len(p.perNode))
+	for k, v := range p.perNode {
+		m[k] = v
+	}
+	return m
+}
+
+// post sends path to an endpoint, absorbing 429 sheds by backing off and
+// retrying: shedding is the daemon's flow control under overload, not a
 // request failure (README "Operating under overload and failure"). The
 // daemon's own Retry-After header sets the sleep when present (capped at
 // retryAfterCap — a server bug must not park the client for minutes);
 // without one the client falls back to its 25ms exponential backoff. Each
-// shed is counted in shed when non-nil. The final response body is
-// returned with the body already read and closed.
-func postRetry(c *http.Client, url, contentType string, body []byte, shed *atomic.Int64) (*http.Response, []byte, error) {
+// shed is counted in shed when non-nil.
+//
+// key is the design digest for design-scoped requests ("" otherwise): a
+// keyed request prefers the node pinned for that digest, and every
+// response re-pins the key to the node that actually served it. With
+// multiple endpoints a transport error drops the pin, fails over to the
+// next replica and retries instead of surfacing; with one endpoint it is
+// returned at once, as before. The final response is returned with the
+// body already read and closed.
+func (p *pool) post(key, path, contentType string, body []byte, shed *atomic.Int64) (*http.Response, []byte, error) {
 	backoff := 25 * time.Millisecond
+	skip := 0
 	for attempt := 0; ; attempt++ {
 		var rd io.Reader
 		if body != nil {
 			rd = bytes.NewReader(body)
 		}
-		resp, err := c.Post(url, contentType, rd)
+		base, pinned := p.target(key, skip)
+		resp, err := p.client.Post(base+path, contentType, rd)
 		if err != nil {
-			return nil, nil, err
+			if pinned {
+				p.sticky.Delete(key)
+			}
+			if !p.clustered() || attempt >= 50 {
+				return nil, nil, err
+			}
+			p.failovers.Add(1)
+			if !pinned {
+				skip++
+			}
+			time.Sleep(backoff)
+			if backoff < 400*time.Millisecond {
+				backoff *= 2
+			}
+			continue
 		}
+		p.note(resp)
+		p.pin(key, resp)
 		b, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusTooManyRequests || attempt >= 50 {
@@ -180,6 +348,48 @@ func postRetry(c *http.Client, url, contentType string, body []byte, shed *atomi
 		if backoff < 400*time.Millisecond {
 			backoff *= 2
 		}
+	}
+}
+
+// target picks the endpoint for one attempt: the node pinned for key when
+// one is known, else the next endpoint in rotation (skip offsets past
+// just-failed ones).
+func (p *pool) target(key string, skip int) (base string, pinned bool) {
+	if key != "" && p.clustered() {
+		if v, ok := p.sticky.Load(key); ok {
+			return v.(string), true
+		}
+	}
+	return p.pick(skip), false
+}
+
+// pin remembers which node served a keyed request, straightening future
+// requests for the same design into a single hop.
+func (p *pool) pin(key string, resp *http.Response) {
+	if key == "" || !p.clustered() {
+		return
+	}
+	if node := resp.Header.Get("X-Odcfp-Node"); node != "" {
+		p.sticky.Store(key, node)
+	}
+}
+
+// get fetches path from a rotating endpoint with the same failover rule
+// as post (no shed handling: the daemon never sheds GETs).
+func (p *pool) get(path string) (*http.Response, error) {
+	skip := 0
+	for attempt := 0; ; attempt++ {
+		resp, err := p.client.Get(p.pick(skip) + path)
+		if err != nil {
+			if !p.clustered() || attempt >= 3 {
+				return nil, err
+			}
+			p.failovers.Add(1)
+			skip++
+			continue
+		}
+		p.note(resp)
+		return resp, nil
 	}
 }
 
@@ -202,17 +412,15 @@ func retryDelay(header string, backoff time.Duration) time.Duration {
 }
 
 // upload posts the netlist and returns the design digest and name.
-func upload(base string, netlist []byte, format string) (digest, design string, err error) {
-	url := base + "/designs"
+func upload(p *pool, netlist []byte, format string) (digest, design string, err error) {
+	path := "/designs"
 	if format != "" {
-		url += "?format=" + format
+		path += "?format=" + format
 	}
-	resp, err := http.Post(url, "text/plain", bytes.NewReader(netlist))
+	resp, body, err := p.post("", path, "text/plain", netlist, nil)
 	if err != nil {
 		return "", "", err
 	}
-	defer resp.Body.Close()
-	body, _ := io.ReadAll(resp.Body)
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
 		return "", "", fmt.Errorf("upload: %s: %s", resp.Status, body)
 	}
@@ -228,8 +436,8 @@ func upload(base string, netlist []byte, format string) (digest, design string, 
 
 // scrapeCache reads the daemon's analysis-cache counters and analyze-latency
 // histogram from /metrics.
-func scrapeCache(base string) (*cacheStat, *analyzeStat, error) {
-	resp, err := http.Get(base + "/metrics")
+func scrapeCache(p *pool) (*cacheStat, *analyzeStat, error) {
+	resp, err := p.get("/metrics")
 	if err != nil {
 		return nil, nil, err
 	}
@@ -266,19 +474,62 @@ func scrapeCache(base string) (*cacheStat, *analyzeStat, error) {
 	return cs, as, nil
 }
 
-func percentiles(durs []time.Duration) *latencyStat {
-	if len(durs) == 0 {
+// reservoirCap bounds latency memory: 4096 uniform samples give stable
+// p99 estimates while a 10M-request run costs the same memory as a 1k one.
+const reservoirCap = 4096
+
+// reservoir is a fixed-size uniform latency sample (algorithm R): each of
+// the count observations has equal probability cap/count of being in the
+// sample, so percentiles computed over it are unbiased estimates no
+// matter how long the run. The max is tracked exactly — tail latency is
+// the number operators page on, and a sampled max would understate it.
+type reservoir struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	count   int
+	max     time.Duration
+	samples []time.Duration
+}
+
+func newReservoir() *reservoir {
+	return &reservoir{
+		rng:     rand.New(rand.NewSource(1)),
+		samples: make([]time.Duration, 0, reservoirCap),
+	}
+}
+
+func (r *reservoir) add(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.count++
+	if d > r.max {
+		r.max = d
+	}
+	if len(r.samples) < reservoirCap {
+		r.samples = append(r.samples, d)
+		return
+	}
+	if j := r.rng.Intn(r.count); j < reservoirCap {
+		r.samples[j] = d
+	}
+}
+
+func (r *reservoir) stat() *latencyStat {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.count == 0 {
 		return nil
 	}
+	durs := append([]time.Duration(nil), r.samples...)
 	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
 	at := func(q float64) float64 {
 		i := int(q * float64(len(durs)-1))
 		return float64(durs[i]) / float64(time.Millisecond)
 	}
 	return &latencyStat{
-		Count: len(durs),
+		Count: r.count,
 		P50MS: at(0.50), P95MS: at(0.95), P99MS: at(0.99),
-		MaxMS: float64(durs[len(durs)-1]) / float64(time.Millisecond),
+		MaxMS: float64(r.max) / float64(time.Millisecond),
 	}
 }
 
@@ -299,36 +550,71 @@ func loadNetlist(benchName, inFile string) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-func generate(base, benchName, inFile, format string, n, c int, saveDir, out string) error {
-	netlist, err := loadNetlist(benchName, inFile)
+// renameVariant derives the k-th distinct-digest variant of a netlist by
+// prepending a "# name-vK" comment: the parser takes the circuit name from
+// the first comment line and the name is part of the design digest, so the
+// variants shard onto different cluster leaders while the logic — and every
+// issued fingerprint position — stays identical.
+func renameVariant(netlist []byte, baseName string, k int) []byte {
+	if k == 0 {
+		return netlist
+	}
+	header := fmt.Sprintf("# %s-v%d\n", baseName, k)
+	return append([]byte(header), netlist...)
+}
+
+func generate(p *pool, cfg genConfig) error {
+	netlist, err := loadNetlist(cfg.BenchName, cfg.InFile)
 	if err != nil {
 		return err
 	}
-	digest, design, err := upload(base, netlist, format)
-	if err != nil {
-		return err
+	baseName := cfg.BenchName
+	if cfg.InFile != "" {
+		baseName = strings.TrimSuffix(filepath.Base(cfg.InFile), filepath.Ext(cfg.InFile))
 	}
-	if saveDir != "" {
-		if err := os.MkdirAll(saveDir, 0o755); err != nil {
+	nDesigns := cfg.Designs
+	digests := make([]string, nDesigns)
+	design := ""
+	for k := 0; k < nDesigns; k++ {
+		dg, name, err := upload(p, renameVariant(netlist, baseName, k), cfg.Format)
+		if err != nil {
+			return fmt.Errorf("upload variant %d: %w", k, err)
+		}
+		digests[k] = dg
+		if k == 0 {
+			design = name
+		}
+	}
+	if cfg.SaveDir != "" {
+		if err := os.MkdirAll(cfg.SaveDir, 0o755); err != nil {
 			return err
 		}
-		if err := os.WriteFile(filepath.Join(saveDir, "digest"), []byte(digest+"\n"), 0o644); err != nil {
+		if err := os.WriteFile(filepath.Join(cfg.SaveDir, "digest"), []byte(digests[0]+"\n"), 0o644); err != nil {
 			return err
 		}
+	}
+	if cfg.Preseed > 0 {
+		t0 := time.Now()
+		for _, dg := range digests {
+			if err := mintAsync(p, dg, "seed-", cfg.Preseed); err != nil {
+				return fmt.Errorf("preseed %s: %w", dg, err)
+			}
+		}
+		fmt.Printf("loadgen: preseeded %d designs with %d copies each in %.1fs\n",
+			nDesigns, cfg.Preseed, time.Since(t0).Seconds())
 	}
 
-	buyers := n / 2 // each buyer = one issue + one trace
+	c := cfg.C
+	buyers := cfg.N / 2 // each buyer = one issue + one trace
 	if buyers < 1 {
 		buyers = 1
 	}
 	var (
-		mu         sync.Mutex
-		issueLat   []time.Duration
-		traceLat   []time.Duration
-		failures   atomic.Int64
-		shed       atomic.Int64
-		nextBuyer  atomic.Int64
-		httpClient = &http.Client{Timeout: 2 * time.Minute}
+		issueLat  = newReservoir()
+		traceLat  = newReservoir()
+		failures  atomic.Int64
+		shed      atomic.Int64
+		nextBuyer atomic.Int64
 	)
 	fail := func(f string, args ...any) {
 		failures.Add(1)
@@ -346,9 +632,10 @@ func generate(base, benchName, inFile, format string, n, c int, saveDir, out str
 					return
 				}
 				buyer := fmt.Sprintf("buyer-%05d", i)
+				digest := digests[int(i)%nDesigns]
 				t0 := time.Now()
-				resp, body, err := postRetry(httpClient,
-					base+"/designs/"+digest+"/issue?buyer="+buyer, "text/plain", nil, &shed)
+				resp, body, err := p.post(digest,
+					"/designs/"+digest+"/issue?buyer="+buyer, "text/plain", nil, &shed)
 				if err != nil {
 					fail("issue %s: %v", buyer, err)
 					continue
@@ -358,14 +645,14 @@ func generate(base, benchName, inFile, format string, n, c int, saveDir, out str
 					fail("issue %s: %s: %s", buyer, resp.Status, body)
 					continue
 				}
-				if saveDir != "" {
-					if err := os.WriteFile(filepath.Join(saveDir, buyer+".bench"), body, 0o644); err != nil {
+				if cfg.SaveDir != "" {
+					if err := os.WriteFile(filepath.Join(cfg.SaveDir, buyer+".bench"), body, 0o644); err != nil {
 						fail("save %s: %v", buyer, err)
 					}
 				}
 				t1 := time.Now()
-				tresp, tbody, err := postRetry(httpClient,
-					base+"/designs/"+digest+"/trace", "text/plain", body, &shed)
+				tresp, tbody, err := p.post(digest,
+					"/designs/"+digest+"/trace", "text/plain", body, &shed)
 				if err != nil {
 					fail("trace %s: %v", buyer, err)
 					continue
@@ -382,42 +669,107 @@ func generate(base, benchName, inFile, format string, n, c int, saveDir, out str
 					fail("trace %s: got %q (%v)", buyer, tr.Exact, err)
 					continue
 				}
-				mu.Lock()
-				issueLat = append(issueLat, dIssue)
-				traceLat = append(traceLat, dTrace)
-				mu.Unlock()
+				issueLat.add(dIssue)
+				traceLat.add(dTrace)
 			}
 		}()
 	}
 	wg.Wait()
 	wall := time.Since(start)
 
-	cache, analyze, err := scrapeCache(base)
+	cache, analyze, err := scrapeCache(p)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: metrics scrape failed: %v\n", err)
 	}
+	rps := float64(2*buyers) / wall.Seconds()
+	if p.clustered() {
+		return writeClusterReport(p, cfg.Out, &clusterStat{
+			Endpoints: len(p.bases),
+			Designs:   nDesigns,
+			Preseed:   cfg.Preseed,
+			Clients:   c,
+			Requests:  2 * buyers,
+			Failures:  int(failures.Load()),
+			Failovers: int(p.failovers.Load()),
+			Shed:      int(shed.Load()),
+			WallMS:    ms(wall),
+			RPS:       rps,
+			Issue:     issueLat.stat(),
+			Trace:     traceLat.stat(),
+			PerNode:   p.nodeCounts(),
+		}, cfg.MinScale, cfg.BaselineRPS)
+	}
 	rep := report{
 		Design:    design,
-		Digest:    digest,
+		Digest:    digests[0],
 		Clients:   c,
 		Requests:  2 * buyers,
 		Failures:  int(failures.Load()),
 		Shed:      int(shed.Load()),
-		WallMS:    float64(wall) / float64(time.Millisecond),
-		RPS:       float64(2*buyers) / wall.Seconds(),
-		Issue:     percentiles(issueLat),
-		Trace:     percentiles(traceLat),
+		WallMS:    ms(wall),
+		RPS:       rps,
+		Issue:     issueLat.stat(),
+		Trace:     traceLat.stat(),
 		Cache:     cache,
 		Analyze:   analyze,
 		Generated: time.Now().UTC().Format(time.RFC3339),
 	}
-	if err := writeReport(out, rep); err != nil {
+	// A fresh single-node run replaces the top-level numbers but keeps the
+	// sections other modes merged in earlier — rerunning the main load must
+	// not wipe a batch, restart or cluster result out of the report.
+	if prev, err := os.ReadFile(cfg.Out); err == nil {
+		var old report
+		if json.Unmarshal(prev, &old) == nil {
+			rep.Batch, rep.Restart, rep.Cluster = old.Batch, old.Restart, old.Cluster
+		}
+	}
+	if err := writeReport(cfg.Out, rep); err != nil {
 		return err
 	}
 	fmt.Printf("loadgen: %d requests, %d clients, %d failures, %d shed, %.1f req/s, cache hit rate %.4f\n",
 		rep.Requests, c, rep.Failures, rep.Shed, rep.RPS, hitRate(cache))
 	if rep.Failures > 0 {
 		return fmt.Errorf("%d requests failed", rep.Failures)
+	}
+	return nil
+}
+
+// writeClusterReport merges a multi-endpoint run into the existing report
+// under "cluster", computing the scale factor against the single-node
+// baseline — baselineRPS when the caller measured one out-of-band, else
+// the top-level rps the report already holds — and fails the run when the
+// scale misses minScale or any request failed outright.
+func writeClusterReport(p *pool, out string, cs *clusterStat, minScale, baselineRPS float64) error {
+	rep := report{Generated: time.Now().UTC().Format(time.RFC3339)}
+	if prev, err := os.ReadFile(out); err == nil {
+		json.Unmarshal(prev, &rep)
+		rep.Generated = time.Now().UTC().Format(time.RFC3339)
+	}
+	if baselineRPS == 0 {
+		baselineRPS = rep.RPS
+	}
+	if baselineRPS > 0 {
+		cs.BaselineRPS = baselineRPS
+		cs.Scale = cs.RPS / baselineRPS
+	}
+	rep.Cluster = cs
+	if err := writeReport(out, rep); err != nil {
+		return err
+	}
+	fmt.Printf("loadgen: cluster: %d endpoints, %d designs, %d requests, %d failures, %d failovers, %.1f req/s",
+		cs.Endpoints, cs.Designs, cs.Requests, cs.Failures, cs.Failovers, cs.RPS)
+	if cs.Scale > 0 {
+		fmt.Printf(" (%.2fx baseline %.1f)", cs.Scale, cs.BaselineRPS)
+	}
+	fmt.Println()
+	for node, cnt := range cs.PerNode {
+		fmt.Printf("loadgen:   %-28s %d requests\n", node, cnt)
+	}
+	if cs.Failures > 0 {
+		return fmt.Errorf("%d requests failed", cs.Failures)
+	}
+	if minScale > 0 && cs.Scale < minScale {
+		return fmt.Errorf("cluster scale %.2fx below required %.2fx", cs.Scale, minScale)
 	}
 	return nil
 }
@@ -432,19 +784,18 @@ func hitRate(c *cacheStat) float64 {
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 // batchBench measures fleet-scale minting on one design: a serial /issue
-// baseline (one copy per request, one registry fsync each) against
+// baseline (one copy per request, one registry commit each) against
 // /issue/batch — or, with async, one durable job polled to completion —
 // then merges the copies/sec comparison into the report's "batch" section.
-func batchBench(base, benchName, inFile, format string, n, k, serialN int, async bool, minSpeedup float64, out string) error {
+func batchBench(p *pool, benchName, inFile, format string, n, k, serialN int, async bool, minSpeedup float64, out string) error {
 	netlist, err := loadNetlist(benchName, inFile)
 	if err != nil {
 		return err
 	}
-	digest, design, err := upload(base, netlist, format)
+	digest, design, err := upload(p, netlist, format)
 	if err != nil {
 		return err
 	}
-	httpClient := &http.Client{Timeout: 5 * time.Minute}
 
 	if serialN < 1 {
 		serialN = 1
@@ -452,8 +803,8 @@ func batchBench(base, benchName, inFile, format string, n, k, serialN int, async
 	t0 := time.Now()
 	for i := 0; i < serialN; i++ {
 		buyer := fmt.Sprintf("serial-%05d", i)
-		resp, body, err := postRetry(httpClient,
-			base+"/designs/"+digest+"/issue?buyer="+buyer, "text/plain", nil, nil)
+		resp, body, err := p.post(digest,
+			"/designs/"+digest+"/issue?buyer="+buyer, "text/plain", nil, nil)
 		if err != nil {
 			return fmt.Errorf("serial issue %s: %w", buyer, err)
 		}
@@ -470,9 +821,9 @@ func batchBench(base, benchName, inFile, format string, n, k, serialN int, async
 	}
 	t1 := time.Now()
 	if async {
-		err = mintAsync(httpClient, base, digest, n)
+		err = mintAsync(p, digest, "batch-", n)
 	} else {
-		err = mintBatches(httpClient, base, digest, n, k)
+		err = mintBatches(p, digest, n, k)
 	}
 	if err != nil {
 		return err
@@ -484,7 +835,7 @@ func batchBench(base, benchName, inFile, format string, n, k, serialN int, async
 		stat.Speedup = stat.CopiesPerSec / stat.SerialCPS
 	}
 
-	if err := traceBatchSample(httpClient, base, digest); err != nil {
+	if err := traceBatchSample(p, digest); err != nil {
 		return err
 	}
 
@@ -506,7 +857,7 @@ func batchBench(base, benchName, inFile, format string, n, k, serialN int, async
 
 // mintBatches issues n copies through synchronous /issue/batch requests of
 // k buyers each, honoring sheds like every other request.
-func mintBatches(c *http.Client, base, digest string, n, k int) error {
+func mintBatches(p *pool, digest string, n, k int) error {
 	for done := 0; done < n; {
 		m := k
 		if n-done < m {
@@ -520,8 +871,8 @@ func mintBatches(c *http.Client, base, digest string, n, k int) error {
 		if err != nil {
 			return err
 		}
-		resp, rbody, err := postRetry(c,
-			base+"/designs/"+digest+"/issue/batch", "application/json", body, nil)
+		resp, rbody, err := p.post(digest,
+			"/designs/"+digest+"/issue/batch", "application/json", body, nil)
 		if err != nil {
 			return fmt.Errorf("batch issue at %d: %w", done, err)
 		}
@@ -544,14 +895,17 @@ func mintBatches(c *http.Client, base, digest string, n, k int) error {
 	return nil
 }
 
-// mintAsync submits one durable job for n generated buyers and polls
-// /jobs/{id} until it completes.
-func mintAsync(c *http.Client, base, digest string, n int) error {
-	body, err := json.Marshal(map[string]any{"count": n, "prefix": "batch-", "async": true})
+// mintAsync submits one durable job for n generated buyers (named
+// prefix+index) and polls /jobs/{id} until it completes. Job state lives on
+// the node that accepted the job, so the poll goes straight to the node the
+// 202 response names (X-Odcfp-Node) rather than rotating the pool — on a
+// cluster, any other replica would not know the job.
+func mintAsync(p *pool, digest, prefix string, n int) error {
+	body, err := json.Marshal(map[string]any{"count": n, "prefix": prefix, "async": true})
 	if err != nil {
 		return err
 	}
-	resp, rbody, err := postRetry(c, base+"/designs/"+digest+"/issue/batch", "application/json", body, nil)
+	resp, rbody, err := p.post(digest, "/designs/"+digest+"/issue/batch", "application/json", body, nil)
 	if err != nil {
 		return err
 	}
@@ -564,9 +918,15 @@ func mintAsync(c *http.Client, base, digest string, n int) error {
 	if err := json.Unmarshal(rbody, &job); err != nil || job.ID == "" {
 		return fmt.Errorf("async batch submit response: %v: %s", err, rbody)
 	}
+	jobBase := resp.Header.Get("X-Odcfp-Node")
 	for {
 		time.Sleep(25 * time.Millisecond)
-		resp, err := c.Get(base + "/jobs/" + job.ID)
+		var resp *http.Response
+		if jobBase != "" {
+			resp, err = p.client.Get(jobBase + "/jobs/" + job.ID)
+		} else {
+			resp, err = p.get("/jobs/" + job.ID)
+		}
 		if err != nil {
 			return err
 		}
@@ -594,17 +954,17 @@ func mintAsync(c *http.Client, base, digest string, n int) error {
 
 // traceBatchSample proves a batch-minted copy is real: re-fetch the first
 // buyer's copy via the idempotent /issue path and trace it back.
-func traceBatchSample(c *http.Client, base, digest string) error {
+func traceBatchSample(p *pool, digest string) error {
 	const buyer = "batch-000000"
-	resp, copyBody, err := postRetry(c,
-		base+"/designs/"+digest+"/issue?buyer="+buyer, "text/plain", nil, nil)
+	resp, copyBody, err := p.post(digest,
+		"/designs/"+digest+"/issue?buyer="+buyer, "text/plain", nil, nil)
 	if err != nil {
 		return fmt.Errorf("refetch %s: %w", buyer, err)
 	}
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("refetch %s: %s: %s", buyer, resp.Status, copyBody)
 	}
-	tresp, tbody, err := postRetry(c, base+"/designs/"+digest+"/trace", "text/plain", copyBody, nil)
+	tresp, tbody, err := p.post(digest, "/designs/"+digest+"/trace", "text/plain", copyBody, nil)
 	if err != nil {
 		return fmt.Errorf("trace %s: %w", buyer, err)
 	}
@@ -620,7 +980,7 @@ func traceBatchSample(c *http.Client, base, digest string) error {
 
 // replay traces every copy saved by a previous -save run against the (now
 // restarted) daemon and merges the outcome into the report at out.
-func replay(base, dir, out string) error {
+func replay(p *pool, dir, out string) error {
 	dg, err := os.ReadFile(filepath.Join(dir, "digest"))
 	if err != nil {
 		return fmt.Errorf("replay: %w (was the first run started with -save?)", err)
@@ -630,7 +990,6 @@ func replay(base, dir, out string) error {
 	if err != nil {
 		return err
 	}
-	httpClient := &http.Client{Timeout: 2 * time.Minute}
 	stat := replayStat{}
 	start := time.Now()
 	for _, e := range entries {
@@ -643,7 +1002,7 @@ func replay(base, dir, out string) error {
 		if err != nil {
 			return err
 		}
-		resp, tbody, err := postRetry(httpClient, base+"/designs/"+digest+"/trace", "text/plain", body, nil)
+		resp, tbody, err := p.post(digest, "/designs/"+digest+"/trace", "text/plain", body, nil)
 		if err != nil {
 			stat.Failures++
 			fmt.Fprintf(os.Stderr, "loadgen: replay trace %s: %v\n", buyer, err)
@@ -664,7 +1023,7 @@ func replay(base, dir, out string) error {
 		}
 	}
 	stat.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
-	if cs, _, err := scrapeCache(base); err == nil {
+	if cs, _, err := scrapeCache(p); err == nil {
 		stat.HitRate = cs.HitRate
 	}
 

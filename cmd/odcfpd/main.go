@@ -9,11 +9,20 @@
 //	       [-max-bytes 16777216] [-timeout 60s] [-verify] [-addr-file PATH]
 //	       [-retries 3] [-breaker 3] [-cooldown 30s] [-max-queue N]
 //	       [-batch-chunk 64] [-max-batch 256] [-faults SPEC] [-pprof ADDR]
+//	       [-cluster URL,URL,... -node URL [-rf 2]]
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: the listener closes,
 // in-flight requests run to completion, then the process exits 0. With
 // -addr-file the actual listen address (useful with ":0") is written to the
 // given path once the listener is bound.
+//
+// -cluster runs the daemon as one replica of an odcfpd cluster: the flag
+// lists every replica's advertised base URL (this node's included), -node
+// names this node's own URL from that list, and -rf sets the write quorum
+// (an issuance acknowledges only after rf replicas hold its record durably
+// in their WALs). Every replica routes design-scoped requests to the
+// design's leader, so clients may talk to any of them. See OPERATIONS.md
+// for the deployment runbook and DESIGN.md §13 for the protocol.
 //
 // -faults arms the internal/fault injection plan (chaos testing only; see
 // that package for the spec syntax, e.g.
@@ -33,6 +42,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -66,8 +76,25 @@ func run(args []string) error {
 	maxBatch := fs.Int("max-batch", 0, "max buyers in one synchronous batch request (0 = default 256)")
 	faults := fs.String("faults", "", "arm a fault-injection plan (chaos testing; see internal/fault)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (off when empty; keep private)")
+	cluster := fs.String("cluster", "", "comma-separated base URLs of every cluster replica (this node included); empty = single-node")
+	node := fs.String("node", "", "this node's advertised base URL (required with -cluster; must appear in it)")
+	rf := fs.Int("rf", 0, "replication factor: replicas that must hold a record durably before it is acknowledged (0 = default 2)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var clusterCfg *serve.ClusterConfig
+	if *cluster != "" {
+		nodes := strings.Split(*cluster, ",")
+		for i := range nodes {
+			nodes[i] = strings.TrimRight(strings.TrimSpace(nodes[i]), "/")
+		}
+		clusterCfg = &serve.ClusterConfig{
+			Self:              strings.TrimRight(strings.TrimSpace(*node), "/"),
+			Nodes:             nodes,
+			ReplicationFactor: *rf,
+		}
+	} else if *node != "" || *rf != 0 {
+		return fmt.Errorf("-node and -rf require -cluster")
 	}
 	if *pprofAddr != "" {
 		pln, err := net.Listen("tcp", *pprofAddr)
@@ -111,6 +138,7 @@ func run(args []string) error {
 		MaxQueueDepth:    *maxQueue,
 		BatchChunk:       *batchChunk,
 		MaxBatchBuyers:   *maxBatch,
+		Cluster:          clusterCfg,
 	})
 	if err != nil {
 		return err
@@ -129,6 +157,10 @@ func run(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "odcfpd: listening on %s (store %s, %d designs loaded)\n",
 		bound, *store, srv.NumDesigns())
+	if clusterCfg != nil {
+		fmt.Fprintf(os.Stderr, "odcfpd: cluster node %s of %d replicas (rf=%d)\n",
+			clusterCfg.Self, len(clusterCfg.Nodes), clusterCfg.ReplicationFactor)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

@@ -1,5 +1,6 @@
-// Collusion attack and tracing (paper §III-E): three buyers pool their
-// differently fingerprinted instances, diff the layouts, and rewire every
+// Command collusion demonstrates the collusion attack and tracing (paper
+// §III-E): three buyers pool their differently fingerprinted instances,
+// diff the layouts, and rewire every
 // site where the copies disagree. The vendor's score-based tracer still
 // implicates exactly the colluders, because the coalition cannot detect —
 // and therefore cannot erase — the locations where all of its members

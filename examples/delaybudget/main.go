@@ -1,5 +1,6 @@
-// Delay-budget sweep (paper §III-D / Table III / Fig. 7): fingerprint the
-// c6288-class multiplier fully, then prune with the reactive heuristic at a
+// Command delaybudget runs a delay-budget sweep (paper §III-D / Table III /
+// Fig. 7): fingerprint the c6288-class multiplier fully, then prune with
+// the reactive heuristic at a
 // range of delay budgets and compare against the proactive heuristic,
 // printing the capacity/overhead trade-off curve.
 //

@@ -1,5 +1,6 @@
-// Production-line scenario combining the paper's §I two-step flow with its
-// §III-E watermark+fingerprint protection and §V error-correcting-code
+// Command fabline runs a production-line scenario combining the paper's §I
+// two-step flow with its §III-E watermark+fingerprint protection and §V
+// error-correcting-code
 // proposal:
 //
 //  1. The designer analyses the IP, plans a keyed watermark, and fabricates

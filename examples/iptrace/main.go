@@ -1,5 +1,6 @@
-// IP-market scenario: a vendor sells the same ALU core to several SoC
-// integrators, giving each a distinct ODC fingerprint. When a netlist leaks,
+// Command iptrace plays out an IP-market scenario: a vendor sells the same
+// ALU core to several SoC integrators, giving each a distinct ODC
+// fingerprint. When a netlist leaks,
 // the vendor extracts the surviving fingerprint and identifies the leaker.
 //
 // Run with: go run ./examples/iptrace

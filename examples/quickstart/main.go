@@ -1,5 +1,6 @@
-// Quickstart: fingerprint the paper's own motivational circuit (Fig. 1,
-// F = (A·B)·(C+D)) and a 16-bit adder, prove the copies are functionally
+// Command quickstart is exactly that: fingerprint the paper's own
+// motivational circuit (Fig. 1, F = (A·B)·(C+D)) and a 16-bit adder, prove
+// the copies are functionally
 // identical, and recover the embedded fingerprints.
 //
 // Run with: go run ./examples/quickstart

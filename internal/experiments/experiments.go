@@ -103,9 +103,10 @@ func (m *nanMean) mean() float64 {
 	return m.sum / float64(m.n)
 }
 
-// Averages of the overhead columns (the paper's "Avg Change" row). NaN
-// entries are skipped per column — mirroring the N/A guard pct() applies at
-// display time — instead of propagating into the average.
+// AverageOverheads returns the averages of the overhead columns (the
+// paper's "Avg Change" row). NaN entries are skipped per column —
+// mirroring the N/A guard pct() applies at display time — instead of
+// propagating into the average.
 func AverageOverheads(rows []Table2Row) (area, delay, power float64) {
 	var a, d, p nanMean
 	for _, r := range rows {

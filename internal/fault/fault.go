@@ -66,6 +66,11 @@ const (
 	// AnalysisSlow stalls the daemon's analysis-cache loader by the rule's
 	// delay before the analysis runs.
 	AnalysisSlow Point = "analysis.slow"
+	// ReplWindow stalls the replicated registry store between a record's
+	// local WAL append and its replication acks — the window where a record
+	// is durable on the coordinator but not yet acknowledged. Chaos tests
+	// widen it to land a node kill inside.
+	ReplWindow Point = "repl.window"
 )
 
 // Error is the error injected by an armed point. It is always transient:

@@ -305,6 +305,37 @@ func (r *Registry) reserveBatch(buyers []string, combos *big.Int) ([]BatchItem, 
 	return items, nil
 }
 
+// Adopt installs an externally persisted issuance record — the replicated
+// store's WAL-replay and peer-catch-up path. Adopting a record identical to
+// an existing one is a no-op; a different value for an already recorded
+// buyer, a value colliding with another buyer's, or a non-decimal value is
+// corruption and errors without mutating the registry. Because issuance is
+// deterministic per (digest, buyer), adopted records are byte-identical to
+// the ones local issuance would have derived.
+func (r *Registry) Adopt(buyer, value string) error {
+	if buyer == "" {
+		return fmt.Errorf("registry: empty buyer name")
+	}
+	if _, ok := new(big.Int).SetString(value, 10); !ok {
+		return fmt.Errorf("registry: adopting corrupt value for %q", buyer)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.Issued[buyer]; ok {
+		if prev != value {
+			return fmt.Errorf("registry: adopting conflicting record for %q", buyer)
+		}
+		return nil
+	}
+	idx := r.valueIndex()
+	if other, ok := idx[value]; ok && other != buyer {
+		return fmt.Errorf("registry: fingerprint collision between %q and %q", buyer, other)
+	}
+	r.Issued[buyer] = value
+	idx[value] = buyer
+	return nil
+}
+
 // ReleaseItems drops the records IssueBatch created (Fresh items only —
 // pre-existing issuances are never touched). Callers use it when the step
 // after minting fails, e.g. the durable registry save, so the failed batch

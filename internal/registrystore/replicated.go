@@ -1,0 +1,335 @@
+package registrystore
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/registry"
+)
+
+// defaultAckTimeout bounds one peer replication attempt. Stragglers keep
+// replicating in the background under this deadline after the quorum ack.
+const defaultAckTimeout = 5 * time.Second
+
+// Transport carries replication traffic to one peer node. The serving
+// layer implements it over the cluster HTTP endpoints; tests implement it
+// in-process.
+type Transport interface {
+	// Replicate delivers recs for the design to node, telling it the
+	// sender's committed record total, and returns the peer's own total
+	// after it has durably appended. A peer total below the sender's means
+	// the peer lacks records the sender holds (it was down or restarted);
+	// the sender responds by re-sending its full record list. A peer total
+	// above means the sender is behind and should Fetch.
+	Replicate(ctx context.Context, node, digest string, recs []Record, total uint64) (peerTotal uint64, err error)
+
+	// Fetch returns the peer's full committed record list for the design.
+	Fetch(ctx context.Context, node, digest string) ([]Record, error)
+}
+
+// ReplicatedConfig configures a replicated store node.
+type ReplicatedConfig struct {
+	// Dir is the WAL directory (one segment file per design digest).
+	Dir string
+	// Self is this node's id; it must appear in Nodes.
+	Self string
+	// Nodes is the full replica set, self included.
+	Nodes []string
+	// W is the write quorum including self: Append acknowledges once W
+	// replicas hold the records durably. 0 means 2, capped at len(Nodes).
+	W int
+	// Transport reaches the peers. Required when Nodes has peers.
+	Transport Transport
+	// AckTimeout bounds each peer replication attempt (0 means 5s).
+	AckTimeout time.Duration
+}
+
+// Replicated is the cluster Store: every Append lands in the local WAL
+// (group-committed fsync), then replicates synchronously to the peer
+// replicas, acknowledging once W nodes hold the records durably. Because
+// fingerprint values are deterministic per (digest, buyer) and WAL appends
+// dedup by buyer, replicas converge by record union — re-sends, races and
+// restarts can only ever grow a segment toward the same set, never fork it
+// (DESIGN.md §13).
+type Replicated struct {
+	wal        *WAL
+	self       string
+	peers      []string
+	w          int
+	tr         Transport
+	ackTimeout time.Duration
+
+	bg     context.Context // parent of every background replication ctx
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// quorumError reports an Append that could not reach its write quorum. It
+// is transient: the records are durable locally and re-appending is
+// idempotent, so the retry layer may simply try again.
+type quorumError struct {
+	acks, want int
+	last       error
+}
+
+// Error implements error.
+func (e *quorumError) Error() string {
+	return fmt.Sprintf("registrystore: replication quorum not reached (%d/%d durable): %v", e.acks, e.want, e.last)
+}
+
+// Transient marks the error as retryable.
+func (e *quorumError) Transient() bool { return true }
+
+// Unwrap exposes the last peer error.
+func (e *quorumError) Unwrap() error { return e.last }
+
+// OpenReplicated opens the node's WAL and prepares replication to the
+// configured peers.
+func OpenReplicated(cfg ReplicatedConfig) (*Replicated, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("registrystore: replicated: empty node id")
+	}
+	var peers []string
+	self := false
+	for _, n := range cfg.Nodes {
+		if n == cfg.Self {
+			self = true
+			continue
+		}
+		if n != "" {
+			peers = append(peers, n)
+		}
+	}
+	if !self {
+		return nil, fmt.Errorf("registrystore: replicated: node %q not in replica set %v", cfg.Self, cfg.Nodes)
+	}
+	if len(peers) > 0 && cfg.Transport == nil {
+		return nil, fmt.Errorf("registrystore: replicated: no transport for peers %v", peers)
+	}
+	w := cfg.W
+	if w == 0 {
+		w = 2
+	}
+	if max := len(peers) + 1; w > max {
+		w = max
+	}
+	if w < 1 {
+		return nil, fmt.Errorf("registrystore: replicated: write quorum %d < 1", cfg.W)
+	}
+	wal, err := OpenWAL(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	ackTimeout := cfg.AckTimeout
+	if ackTimeout <= 0 {
+		ackTimeout = defaultAckTimeout
+	}
+	bg, cancel := context.WithCancel(context.Background())
+	return &Replicated{
+		wal: wal, self: cfg.Self, peers: peers, w: w,
+		tr: cfg.Transport, ackTimeout: ackTimeout,
+		bg: bg, cancel: cancel,
+	}, nil
+}
+
+// Load rebuilds the design's registry by replaying its WAL segment.
+func (r *Replicated) Load(digest string, a *core.Analysis) (*registry.Registry, uint64, error) {
+	if got := registry.DesignDigest(a); got != digest {
+		return nil, 0, fmt.Errorf("registrystore: replicated: design digest mismatch (want %s, analysis %s)", digest, got)
+	}
+	reg := registry.New(a)
+	for _, rec := range r.wal.Records(digest) {
+		if err := reg.Adopt(rec.Buyer, rec.Value); err != nil {
+			return nil, 0, fmt.Errorf("registrystore: replicated: replaying %s: %w", digest, err)
+		}
+	}
+	mLoads.Inc()
+	return reg, r.wal.Total(digest), nil
+}
+
+// Append makes recs durable locally (group-committed WAL fsync), then
+// replicates them to every peer, returning once W replicas hold them. On a
+// quorum failure the records remain durable locally — a superset of the
+// acknowledged set is always allowed, and a retried Append re-sends them
+// idempotently. Stragglers past the quorum keep replicating in the
+// background, bounded by AckTimeout.
+func (r *Replicated) Append(ctx context.Context, digest string, reg *registry.Registry, recs []Record) (uint64, error) {
+	added, total, err := r.wal.Append(digest, recs)
+	if err != nil {
+		return 0, err
+	}
+	mAppends.Inc()
+	if added > 0 {
+		// The replication window: locally durable, not yet peer-acked.
+		// Chaos plans stall here to land a node kill inside it.
+		fault.Stall(fault.ReplWindow)
+	}
+	need := r.w - 1 // remote acks required beyond self
+	if len(r.peers) == 0 {
+		return total, nil
+	}
+	results := make(chan error, len(r.peers))
+	for _, p := range r.peers {
+		r.goPeer(func(node string) error { return r.replicateTo(node, digest, recs, total) }, p, results)
+	}
+	acks, fails := 0, 0
+	var last error
+	for acks < need && fails < len(r.peers)-need+1 {
+		select {
+		case err := <-results:
+			if err == nil {
+				acks++
+			} else {
+				fails++
+				last = err
+			}
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+	}
+	if acks >= need {
+		return total, nil
+	}
+	return 0, &quorumError{acks: acks + 1, want: r.w, last: last}
+}
+
+// goPeer runs fn(node) on a tracked goroutine, delivering its error to
+// results (which must have capacity for it).
+func (r *Replicated) goPeer(fn func(string) error, node string, results chan<- error) {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		results <- fn(node)
+	}()
+}
+
+// replicateTo delivers one append to a peer, re-sending the full record
+// list when the peer turns out to be behind, and scheduling a background
+// pull when the peer is ahead.
+func (r *Replicated) replicateTo(node, digest string, recs []Record, total uint64) error {
+	ctx, cancel := context.WithTimeout(r.bg, r.ackTimeout)
+	defer cancel()
+	pt, err := r.tr.Replicate(ctx, node, digest, recs, total)
+	if err == nil && pt < total {
+		// The peer lacks records we hold (it restarted or missed appends):
+		// stream our full list — appends dedup, so this is a pure catch-up.
+		mCatchups.Inc()
+		pt, err = r.tr.Replicate(ctx, node, digest, r.wal.Records(digest), total)
+	}
+	if err != nil {
+		mReplErrors.Inc()
+		return err
+	}
+	mReplAcks.Inc()
+	if pt > total {
+		// The peer holds records we lack: pull them off the ack path.
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			r.pull(node, digest)
+		}()
+	}
+	return nil
+}
+
+// pull fetches a peer's record list and unions it into the local WAL.
+func (r *Replicated) pull(node, digest string) {
+	ctx, cancel := context.WithTimeout(r.bg, r.ackTimeout)
+	defer cancel()
+	recs, err := r.tr.Fetch(ctx, node, digest)
+	if err != nil {
+		mReplErrors.Inc()
+		return
+	}
+	if len(recs) == 0 {
+		return
+	}
+	if _, _, err := r.wal.Append(digest, recs); err != nil {
+		mReplErrors.Inc()
+		return
+	}
+	mCatchups.Inc()
+}
+
+// Sync pulls every peer's records for the given digests and unions them
+// locally — the restarted-follower catch-up path, run in the background at
+// daemon startup. Per-peer failures are skipped (a dead peer must not block
+// recovery); the first local append error aborts.
+func (r *Replicated) Sync(ctx context.Context, digests []string) (adopted int, err error) {
+	seen := make(map[string]bool, len(digests)+len(r.wal.Digests()))
+	all := append(append([]string(nil), digests...), r.wal.Digests()...)
+	for _, digest := range all {
+		if seen[digest] || !validDigest(digest) {
+			continue
+		}
+		seen[digest] = true
+		for _, node := range r.peers {
+			if err := ctx.Err(); err != nil {
+				return adopted, err
+			}
+			pctx, cancel := context.WithTimeout(ctx, r.ackTimeout)
+			recs, ferr := r.tr.Fetch(pctx, node, digest)
+			cancel()
+			if ferr != nil {
+				mReplErrors.Inc()
+				continue
+			}
+			if len(recs) == 0 {
+				continue
+			}
+			added, _, aerr := r.wal.Append(digest, recs)
+			if aerr != nil {
+				return adopted, aerr
+			}
+			adopted += added
+		}
+	}
+	if adopted > 0 {
+		mCatchups.Inc()
+	}
+	return adopted, nil
+}
+
+// ApplyReplica durably appends records replicated from a peer and returns
+// this node's resulting total for the design — the peer compares it with
+// its own to decide whether a catch-up stream is needed. Appends dedup by
+// buyer, so replays and races converge by union.
+func (r *Replicated) ApplyReplica(digest string, recs []Record) (total uint64, err error) {
+	_, total, err = r.wal.Append(digest, recs)
+	return total, err
+}
+
+// Records returns the design's committed records in append order — the
+// serving side of a peer's Fetch.
+func (r *Replicated) Records(digest string) []Record { return r.wal.Records(digest) }
+
+// Total returns the design's committed record count.
+func (r *Replicated) Total(digest string) uint64 { return r.wal.Total(digest) }
+
+// Digests lists every design with a WAL segment.
+func (r *Replicated) Digests() []string { return r.wal.Digests() }
+
+// Seq is the design's committed record count: a replicating peer's append
+// moves it, telling the serving layer its in-memory registry is stale.
+func (r *Replicated) Seq(digest string) uint64 { return r.wal.Total(digest) }
+
+// Close stops background replication and closes the WAL.
+func (r *Replicated) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.mu.Unlock()
+	r.cancel()
+	r.wg.Wait()
+	return r.wal.Close()
+}

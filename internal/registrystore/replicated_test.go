@@ -1,0 +1,233 @@
+package registrystore
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+const replTestDigest = "ffeeddccbbaa99887766554433221100"
+
+// fakeTransport backs each peer with a real WAL, so replication tests
+// exercise the same union/dedup semantics the HTTP transport reaches.
+type fakeTransport struct {
+	mu    sync.Mutex
+	peers map[string]*WAL
+	down  map[string]bool
+	// fullSends counts Replicate calls per node whose record list was
+	// longer than one append's worth — the catch-up re-send signature.
+	sends map[string][]int
+}
+
+func newFakeTransport(t *testing.T, nodes ...string) *fakeTransport {
+	ft := &fakeTransport{
+		peers: make(map[string]*WAL),
+		down:  make(map[string]bool),
+		sends: make(map[string][]int),
+	}
+	for _, n := range nodes {
+		w, err := OpenWAL(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { w.Close() })
+		ft.peers[n] = w
+	}
+	return ft
+}
+
+func (ft *fakeTransport) setDown(node string, down bool) {
+	ft.mu.Lock()
+	ft.down[node] = down
+	ft.mu.Unlock()
+}
+
+func (ft *fakeTransport) Replicate(ctx context.Context, node, digest string, recs []Record, total uint64) (uint64, error) {
+	ft.mu.Lock()
+	down := ft.down[node]
+	ft.sends[node] = append(ft.sends[node], len(recs))
+	w := ft.peers[node]
+	ft.mu.Unlock()
+	if down {
+		return 0, errors.New("peer down")
+	}
+	_, pt, err := w.Append(digest, recs)
+	return pt, err
+}
+
+func (ft *fakeTransport) Fetch(ctx context.Context, node, digest string) ([]Record, error) {
+	ft.mu.Lock()
+	down := ft.down[node]
+	w := ft.peers[node]
+	ft.mu.Unlock()
+	if down {
+		return nil, errors.New("peer down")
+	}
+	return w.Records(digest), nil
+}
+
+func openTestReplicated(t *testing.T, ft *fakeTransport, self string, nodes []string, w int) *Replicated {
+	t.Helper()
+	r, err := OpenReplicated(ReplicatedConfig{
+		Dir: t.TempDir(), Self: self, Nodes: nodes, W: w,
+		Transport: ft, AckTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestReplicatedQuorumAck: a W=2 append over three nodes acknowledges and
+// every peer — not just the quorum — ends up holding the records.
+func TestReplicatedQuorumAck(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3"}
+	ft := newFakeTransport(t, "n2", "n3")
+	r := openTestReplicated(t, ft, "n1", nodes, 2)
+
+	recs := []Record{{Buyer: "alice", Value: "101"}, {Buyer: "bob", Value: "202"}}
+	total, err := r.Append(context.Background(), replTestDigest, nil, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 2 || r.Total(replTestDigest) != 2 {
+		t.Fatalf("total = %d (local %d), want 2", total, r.Total(replTestDigest))
+	}
+	// The quorum covers self + one peer; stragglers catch up in the
+	// background under the ack timeout.
+	for _, n := range []string{"n2", "n3"} {
+		waitFor(t, n+" replication", func() bool { return ft.peers[n].Total(replTestDigest) == 2 })
+	}
+}
+
+// TestReplicatedQuorumFailure: with every peer down a W=2 append fails with
+// a transient error (the serve retry loop may re-drive it), but the records
+// stay durable locally — an acknowledged superset is always legal.
+func TestReplicatedQuorumFailure(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3"}
+	ft := newFakeTransport(t, "n2", "n3")
+	ft.setDown("n2", true)
+	ft.setDown("n3", true)
+	r := openTestReplicated(t, ft, "n1", nodes, 2)
+
+	recs := []Record{{Buyer: "alice", Value: "101"}}
+	_, err := r.Append(context.Background(), replTestDigest, nil, recs)
+	if err == nil {
+		t.Fatal("append with all peers down reached its quorum")
+	}
+	var tr interface{ Transient() bool }
+	if !errors.As(err, &tr) || !tr.Transient() {
+		t.Fatalf("quorum failure %v is not transient", err)
+	}
+	if r.Total(replTestDigest) != 1 {
+		t.Fatalf("local total = %d, want 1 (locally durable despite quorum failure)", r.Total(replTestDigest))
+	}
+
+	// Peers recover; the retried append is idempotent and now acknowledges.
+	ft.setDown("n2", false)
+	ft.setDown("n3", false)
+	total, err := r.Append(context.Background(), replTestDigest, nil, recs)
+	if err != nil || total != 1 {
+		t.Fatalf("retried append: total=%d err=%v", total, err)
+	}
+}
+
+// TestReplicatedCatchupResend: a peer that missed earlier appends (it
+// restarted empty) acks with a lower total; the sender responds by
+// re-sending its full record list in the same ack window, so the peer is
+// complete before the append even returns.
+func TestReplicatedCatchupResend(t *testing.T) {
+	nodes := []string{"n1", "n2"}
+	ft := newFakeTransport(t, "n2")
+	r := openTestReplicated(t, ft, "n1", nodes, 2)
+
+	// Seed history the peer never saw (as if it was down for two appends).
+	if _, _, err := r.wal.Append(replTestDigest, []Record{
+		{Buyer: "old-1", Value: "1"}, {Buyer: "old-2", Value: "2"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	total, err := r.Append(context.Background(), replTestDigest, nil,
+		[]Record{{Buyer: "new-3", Value: "3"}})
+	if err != nil || total != 3 {
+		t.Fatalf("append: total=%d err=%v", total, err)
+	}
+	waitFor(t, "peer catch-up", func() bool { return ft.peers["n2"].Total(replTestDigest) == 3 })
+	got := ft.peers["n2"].Records(replTestDigest)
+	want := map[string]string{"old-1": "1", "old-2": "2", "new-3": "3"}
+	for _, rec := range got {
+		if want[rec.Buyer] != rec.Value {
+			t.Fatalf("peer record %+v unexpected (all: %v)", rec, got)
+		}
+		delete(want, rec.Buyer)
+	}
+	if len(want) != 0 {
+		t.Fatalf("peer missing records %v after catch-up", want)
+	}
+}
+
+// TestReplicatedPullWhenBehind: a peer's ack reveals it holds records this
+// node lacks; the node pulls them in the background and the segments
+// converge by union.
+func TestReplicatedPullWhenBehind(t *testing.T) {
+	nodes := []string{"n1", "n2"}
+	ft := newFakeTransport(t, "n2")
+	r := openTestReplicated(t, ft, "n1", nodes, 2)
+
+	// The peer already holds three records this node never saw.
+	if _, _, err := ft.peers["n2"].Append(replTestDigest, []Record{
+		{Buyer: "p-1", Value: "1"}, {Buyer: "p-2", Value: "2"}, {Buyer: "p-3", Value: "3"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := r.Append(context.Background(), replTestDigest, nil,
+		[]Record{{Buyer: "mine", Value: "9"}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "behind-pull union", func() bool { return r.Total(replTestDigest) == 4 })
+}
+
+// TestReplicatedSyncAdopts: startup Sync pulls a digest's records from the
+// peers — the restarted-follower path — and skips dead peers rather than
+// blocking recovery.
+func TestReplicatedSyncAdopts(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3"}
+	ft := newFakeTransport(t, "n2", "n3")
+	ft.setDown("n3", true)
+	r := openTestReplicated(t, ft, "n1", nodes, 2)
+
+	if _, _, err := ft.peers["n2"].Append(replTestDigest, []Record{
+		{Buyer: "s-1", Value: "1"}, {Buyer: "s-2", Value: "2"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	adopted, err := r.Sync(context.Background(), []string{replTestDigest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adopted != 2 || r.Total(replTestDigest) != 2 {
+		t.Fatalf("Sync adopted %d (local total %d), want 2", adopted, r.Total(replTestDigest))
+	}
+	// A second sync is a no-op: everything dedups.
+	adopted, err = r.Sync(context.Background(), []string{replTestDigest})
+	if err != nil || adopted != 0 {
+		t.Fatalf("second Sync adopted %d err=%v, want 0, nil", adopted, err)
+	}
+}

@@ -1,0 +1,106 @@
+package registrystore
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// ringVnodes is how many virtual points each node claims on the hash
+// circle. 64 keeps the expected per-node share within a few percent of
+// 1/N for the small replica sets odcfpd clusters run (3–8 nodes).
+const ringVnodes = 64
+
+// Ring is a consistent-hash ring over a replica set: it maps a design
+// digest to a stable preference order of nodes, the first being the
+// design's leader. Every node builds the ring from the same peer list, so
+// all replicas agree on each design's leader without coordination; when a
+// node is unreachable its successor in the order takes over (the caller
+// decides liveness — the ring is a pure function).
+type Ring struct {
+	points []ringPoint
+	nodes  []string
+}
+
+type ringPoint struct {
+	hash uint64
+	node int // index into nodes
+}
+
+// NewRing builds a ring over the node names. Order and duplicates in the
+// input do not matter: names are deduplicated and the ring is a pure
+// function of the resulting set.
+func NewRing(nodes []string) *Ring {
+	seen := make(map[string]bool, len(nodes))
+	r := &Ring{}
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		r.nodes = append(r.nodes, n)
+	}
+	sort.Strings(r.nodes)
+	for i, n := range r.nodes {
+		for v := 0; v < ringVnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(n, v), node: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].node < r.points[b].node
+	})
+	return r
+}
+
+// ringHash places one virtual point: a truncated SHA-256 of the node name
+// and vnode ordinal (v < 0 hashes a bare key for lookups).
+func ringHash(key string, v int) uint64 {
+	h := sha256.New()
+	h.Write([]byte("odcfp-ring:"))
+	h.Write([]byte(key))
+	if v >= 0 {
+		var buf [4]byte
+		binary.BigEndian.PutUint32(buf[:], uint32(v))
+		h.Write(buf[:])
+	}
+	return binary.BigEndian.Uint64(h.Sum(nil))
+}
+
+// Nodes returns the ring's node set, sorted.
+func (r *Ring) Nodes() []string {
+	return append([]string(nil), r.nodes...)
+}
+
+// Order returns every node in the key's preference order: the node owning
+// the first ring point at or after the key's hash leads, and each later
+// entry is the next distinct node walking clockwise. Callers take the first
+// live entry as the key's effective leader.
+func (r *Ring) Order(key string) []string {
+	if len(r.nodes) == 0 {
+		return nil
+	}
+	kh := ringHash(key, -1)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= kh })
+	out := make([]string, 0, len(r.nodes))
+	taken := make([]bool, len(r.nodes))
+	for i := 0; i < len(r.points) && len(out) < len(r.nodes); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !taken[p.node] {
+			taken[p.node] = true
+			out = append(out, r.nodes[p.node])
+		}
+	}
+	return out
+}
+
+// Leader returns the key's first-preference node.
+func (r *Ring) Leader(key string) string {
+	o := r.Order(key)
+	if len(o) == 0 {
+		return ""
+	}
+	return o[0]
+}

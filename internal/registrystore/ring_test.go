@@ -1,0 +1,83 @@
+package registrystore
+
+import (
+	"fmt"
+	"testing"
+)
+
+var ringTestNodes = []string{
+	"http://127.0.0.1:9001",
+	"http://127.0.0.1:9002",
+	"http://127.0.0.1:9003",
+	"http://127.0.0.1:9004",
+}
+
+// TestRingDeterministic: every replica builds the ring from its own copy of
+// the peer list, possibly in a different order — they must all agree on
+// each design's leader and full preference order.
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing(ringTestNodes)
+	shuffled := []string{ringTestNodes[2], ringTestNodes[0], ringTestNodes[3], ringTestNodes[1]}
+	b := NewRing(append(shuffled, ringTestNodes[0])) // duplicate entries are ignored too
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("%032x", i)
+		ao, bo := a.Order(key), b.Order(key)
+		if len(ao) != len(ringTestNodes) || len(bo) != len(ringTestNodes) {
+			t.Fatalf("key %s: order lengths %d, %d", key, len(ao), len(bo))
+		}
+		seen := map[string]bool{}
+		for j := range ao {
+			if ao[j] != bo[j] {
+				t.Fatalf("key %s: orders diverge at %d: %v vs %v", key, j, ao, bo)
+			}
+			if seen[ao[j]] {
+				t.Fatalf("key %s: duplicate node in order %v", key, ao)
+			}
+			seen[ao[j]] = true
+		}
+	}
+}
+
+// TestRingBalance: leadership spreads over the replica set — with 64
+// vnodes per node no replica should lead a grossly disproportionate share.
+func TestRingBalance(t *testing.T) {
+	r := NewRing(ringTestNodes)
+	counts := map[string]int{}
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		counts[r.Leader(fmt.Sprintf("%032x", i))]++
+	}
+	for _, n := range ringTestNodes {
+		share := float64(counts[n]) / keys
+		if share < 0.10 || share > 0.45 {
+			t.Errorf("node %s leads %.1f%% of keys (counts %v)", n, 100*share, counts)
+		}
+	}
+}
+
+// TestRingFailoverStability: removing one node from the set only promotes
+// that node's successors — every surviving node keeps its relative position
+// in each key's preference order, so a node death reshuffles nothing else.
+func TestRingFailoverStability(t *testing.T) {
+	full := NewRing(ringTestNodes)
+	dead := ringTestNodes[1]
+	reduced := NewRing([]string{ringTestNodes[0], ringTestNodes[2], ringTestNodes[3]})
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("%032x", i)
+		want := make([]string, 0, 3)
+		for _, n := range full.Order(key) {
+			if n != dead {
+				want = append(want, n)
+			}
+		}
+		got := reduced.Order(key)
+		if len(got) != len(want) {
+			t.Fatalf("key %s: reduced order %v, want %v", key, got, want)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("key %s: reduced order %v, want full-minus-dead %v", key, got, want)
+			}
+		}
+	}
+}

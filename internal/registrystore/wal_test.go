@@ -1,0 +1,277 @@
+package registrystore
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+const walTestDigest = "00112233445566778899aabbccddeeff"
+
+// walRecords generates n deterministic pseudo-random records: varied buyer
+// and value lengths exercise the frame length fields.
+func walRecords(n int) []Record {
+	rng := rand.New(rand.NewSource(7))
+	recs := make([]Record, n)
+	for i := range recs {
+		pad := make([]byte, rng.Intn(40))
+		for j := range pad {
+			pad[j] = 'a' + byte(rng.Intn(26))
+		}
+		recs[i] = Record{
+			Buyer: fmt.Sprintf("buyer-%03d-%s", i, pad),
+			Value: fmt.Sprintf("%d", rng.Uint64()),
+		}
+	}
+	return recs
+}
+
+// TestWALAppendReopenReplay: append N records one at a time, reopen the
+// directory, and the replay yields exactly the N records in append order —
+// the round-trip property the registry rebuild depends on.
+func TestWALAppendReopenReplay(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := walRecords(100)
+	for i, rec := range want {
+		added, total, err := w.Append(walTestDigest, []Record{rec})
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if added != 1 || total != uint64(i+1) {
+			t.Fatalf("append %d: added=%d total=%d, want 1, %d", i, added, total, i+1)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	got := w2.Records(walTestDigest)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if ds := w2.Digests(); len(ds) != 1 || ds[0] != walTestDigest {
+		t.Errorf("Digests = %v", ds)
+	}
+}
+
+// TestWALIdempotentAndConflict: re-appending a committed record is a free
+// no-op, a batch dedups against committed records, and the same buyer with
+// a different value is rejected without touching the segment.
+func TestWALIdempotentAndConflict(t *testing.T) {
+	w, err := OpenWAL(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, _, err := w.Append(walTestDigest, []Record{{Buyer: "a", Value: "1"}}); err != nil {
+		t.Fatal(err)
+	}
+	added, total, err := w.Append(walTestDigest, []Record{{Buyer: "a", Value: "1"}})
+	if err != nil || added != 0 || total != 1 {
+		t.Fatalf("duplicate append: added=%d total=%d err=%v, want 0, 1, nil", added, total, err)
+	}
+	added, total, err = w.Append(walTestDigest, []Record{{Buyer: "a", Value: "1"}, {Buyer: "b", Value: "2"}})
+	if err != nil || added != 1 || total != 2 {
+		t.Fatalf("mixed batch: added=%d total=%d err=%v, want 1, 2, nil", added, total, err)
+	}
+	if _, _, err := w.Append(walTestDigest, []Record{{Buyer: "a", Value: "999"}}); err == nil {
+		t.Fatal("conflicting value for a committed buyer was accepted")
+	}
+	if got := w.Records(walTestDigest); len(got) != 2 {
+		t.Fatalf("conflict mutated the segment: %v", got)
+	}
+}
+
+// TestWALTornTailTruncated: a crash mid-write leaves a partial (or
+// CRC-corrupt) final frame; reopening truncates exactly the torn frame and
+// keeps every record before it.
+func TestWALTornTailTruncated(t *testing.T) {
+	for name, corrupt := range map[string]func(path string, t *testing.T){
+		// Partial frame: only half the bytes of the next frame made it out.
+		"partial": func(path string, t *testing.T) {
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			frame, err := encodeFrame(3, Record{Buyer: "torn", Value: "12345"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write(frame[:len(frame)/2]); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+		},
+		// Bit rot in the last complete frame: the CRC catches it and the
+		// whole frame is cut.
+		"crc": func(path string, t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)-1] ^= 0x40
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			w, err := OpenWAL(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := walRecords(3)
+			if _, _, err := w.Append(walTestDigest, want); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			path := filepath.Join(dir, walTestDigest+walSuffix)
+			clean, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			corrupt(path, t)
+
+			truncsBefore := mWALTruncs.Value()
+			w2, err := OpenWAL(dir)
+			if err != nil {
+				t.Fatalf("reopen after torn tail: %v", err)
+			}
+			defer w2.Close()
+			if mWALTruncs.Value() == truncsBefore {
+				t.Error("torn tail did not count a truncation")
+			}
+			got := w2.Records(walTestDigest)
+			survivors := 3
+			if name == "crc" {
+				survivors = 2 // the corrupted final frame is gone
+			}
+			if len(got) != survivors {
+				t.Fatalf("replayed %d records, want %d", len(got), survivors)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+				}
+			}
+			// The file is physically trimmed, and appending after recovery
+			// lands at a clean offset.
+			st, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if name == "partial" && st.Size() != clean.Size() {
+				t.Errorf("file size after recovery = %d, want %d", st.Size(), clean.Size())
+			}
+			if _, total, err := w2.Append(walTestDigest, []Record{{Buyer: "after", Value: "1"}}); err != nil || total != uint64(survivors+1) {
+				t.Fatalf("append after recovery: total=%d err=%v", total, err)
+			}
+		})
+	}
+}
+
+// TestWALGroupCommit: concurrent appends to one segment share fsyncs. A
+// stalled fsync (fault injection) holds the first flush open while the
+// remaining appends queue behind it, so the fsync count comes out well
+// below the append count.
+func TestWALGroupCommit(t *testing.T) {
+	plan, err := fault.Parse("store.fsync:delay=2ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Enable(plan)
+	t.Cleanup(fault.Disable)
+
+	w, err := OpenWAL(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	const appends = 32
+	before := mWALFsyncs.Value()
+	var wg sync.WaitGroup
+	for i := 0; i < appends; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec := Record{Buyer: fmt.Sprintf("gc-%02d", i), Value: fmt.Sprintf("%d", i)}
+			if _, _, err := w.Append(walTestDigest, []Record{rec}); err != nil {
+				t.Errorf("append %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	fsyncs := mWALFsyncs.Value() - before
+	if w.Total(walTestDigest) != appends {
+		t.Fatalf("Total = %d, want %d", w.Total(walTestDigest), appends)
+	}
+	if fsyncs >= appends {
+		t.Errorf("%d fsyncs for %d concurrent appends — group commit did not batch", fsyncs, appends)
+	}
+}
+
+// TestWALFailedFlushRecovers: a failed write commits nothing — no records,
+// no false durability — and the segment stays usable: dropping the fault
+// and retrying the same append succeeds and survives a reopen. This is the
+// invariant the serve layer's transient-error retry loop depends on.
+func TestWALFailedFlushRecovers(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := fault.Parse("store.write:p=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Enable(plan)
+	rec := Record{Buyer: "retry-me", Value: "42"}
+	if _, _, err := w.Append(walTestDigest, []Record{rec}); err == nil {
+		fault.Disable()
+		t.Fatal("append under store.write:p=1 succeeded")
+	}
+	if total := w.Total(walTestDigest); total != 0 {
+		fault.Disable()
+		t.Fatalf("failed append left %d committed records", total)
+	}
+	fault.Disable()
+	added, total, err := w.Append(walTestDigest, []Record{rec})
+	if err != nil || added != 1 || total != 1 {
+		t.Fatalf("retry after fault: added=%d total=%d err=%v", added, total, err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if got := w2.Records(walTestDigest); len(got) != 1 || got[0] != rec {
+		t.Fatalf("replay after retry = %v, want [%+v]", got, rec)
+	}
+}

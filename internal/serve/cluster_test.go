@@ -1,0 +1,270 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// startTestCluster boots n cluster replicas on loopback listeners. The
+// listeners are bound before any server is built so every replica knows the
+// full URL set up front (the ring is a pure function of it). kill[i]
+// severs node i abruptly — listener closed, live connections cut, no drain
+// — approximating a process kill as closely as one process allows; the
+// graceful cleanup still runs at test end.
+func startTestCluster(t *testing.T, n int) (bases []string, servers []*Server, kill []func()) {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	bases = make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		bases[i] = "http://" + ln.Addr().String()
+	}
+	servers = make([]*Server, n)
+	kill = make([]func(), n)
+	for i := range servers {
+		s, err := New(Config{
+			StoreDir: t.TempDir(),
+			Cluster: &ClusterConfig{
+				Self: bases[i], Nodes: bases,
+				ReplicationFactor: 2, AckTimeout: 2 * time.Second,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewUnstartedServer(s.Handler())
+		ts.Listener.Close()
+		ts.Listener = lns[i]
+		ts.Start()
+		servers[i] = s
+
+		var hardOnce sync.Once
+		ln := lns[i]
+		kill[i] = func() {
+			hardOnce.Do(func() {
+				ln.Close()
+				ts.CloseClientConnections()
+			})
+		}
+		srv, killFn := s, kill[i]
+		t.Cleanup(func() {
+			killFn()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		})
+	}
+	return bases, servers, kill
+}
+
+// issueVia mints buyer's copy through one specific replica, returning the
+// copy bytes, fingerprint and which node ultimately served the request.
+func issueVia(t testing.TB, base, digest, buyer string) (body []byte, fp, node string, err error) {
+	t.Helper()
+	resp, err := http.Post(base+"/designs/"+digest+"/issue?buyer="+buyer, "text/plain", nil)
+	if err != nil {
+		return nil, "", "", err
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", "", fmt.Errorf("issue %s via %s: status %d: %s", buyer, base, resp.StatusCode, b)
+	}
+	return b, resp.Header.Get("X-Odcfp-Fingerprint"), resp.Header.Get(nodeHeader), nil
+}
+
+// clusterTotals reads one replica's per-design committed record counts.
+func clusterTotals(t testing.TB, base string) map[string]uint64 {
+	t.Helper()
+	resp, err := http.Get(base + "/cluster/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Self   string            `json:"self"`
+		Totals map[string]uint64 `json:"totals"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st.Totals
+}
+
+// TestClusterRouteAndConverge: any replica accepts any request — uploads
+// broadcast, issues and traces route to the design's leader, re-issues are
+// idempotent across entry points — and every node's registry converges to
+// the full record set.
+func TestClusterRouteAndConverge(t *testing.T) {
+	bases, _, _ := startTestCluster(t, 3)
+	netlist := benchBytes(t, "c880")
+	info, _ := uploadDesign(t, bases[0], netlist)
+
+	const buyers = 6
+	fps := make(map[string]string, buyers)
+	copies := make(map[string][]byte, buyers)
+	served := ""
+	for i := 0; i < buyers; i++ {
+		buyer := fmt.Sprintf("cbuyer-%02d", i)
+		body, fp, node, err := issueVia(t, bases[i%3], info.Digest, buyer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp == "" || node == "" {
+			t.Fatalf("issue %s: fingerprint %q node %q", buyer, fp, node)
+		}
+		if served == "" {
+			served = node
+		} else if node != served {
+			t.Errorf("issue %s served by %s, others by %s — one leader per design", buyer, node, served)
+		}
+		fps[buyer] = fp
+		copies[buyer] = body
+	}
+	seen := map[string]string{}
+	for buyer, fp := range fps {
+		if other, dup := seen[fp]; dup {
+			t.Errorf("%s and %s share fingerprint %s", buyer, other, fp)
+		}
+		seen[fp] = buyer
+	}
+
+	// Idempotent re-issue through every entry point: same value.
+	for _, base := range bases {
+		_, fp, _, err := issueVia(t, base, info.Digest, "cbuyer-00")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp != fps["cbuyer-00"] {
+			t.Errorf("re-issue via %s changed fingerprint %s → %s", base, fps["cbuyer-00"], fp)
+		}
+	}
+
+	// A copy traces back through any replica.
+	for _, base := range bases {
+		tr := traceSuspect(t, base, info.Digest, copies["cbuyer-03"], "")
+		if tr.Exact != "cbuyer-03" {
+			t.Errorf("trace via %s = %q, want cbuyer-03", base, tr.Exact)
+		}
+	}
+
+	// Every replica's WAL converges to all records (stragglers replicate
+	// past the quorum in the background).
+	deadline := time.Now().Add(10 * time.Second)
+	for _, base := range bases {
+		for {
+			if got := clusterTotals(t, base)[info.Digest]; got == buyers {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("node %s totals = %v, want %s:%d",
+					base, clusterTotals(t, base), info.Digest, buyers)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+// TestChaosClusterKillNode: the durability acceptance test for cluster
+// mode. With the replication window widened by fault injection, the
+// design's leader is severed abruptly mid-load; every issuance that was
+// acknowledged (HTTP 200) before or after the kill must remain traceable
+// from both survivors, and the survivors' registries must converge.
+// Run under -race in CI.
+func TestChaosClusterKillNode(t *testing.T) {
+	plan, err := fault.Parse("repl.window:delay=3ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Enable(plan)
+	t.Cleanup(fault.Disable)
+
+	bases, servers, kill := startTestCluster(t, 3)
+	netlist := benchBytes(t, "c880")
+	info, _ := uploadDesign(t, bases[0], netlist)
+
+	leaderURL := servers[0].cluster.ring.Leader(info.Digest)
+	leaderIdx := -1
+	var survivors []int
+	for i, b := range bases {
+		if b == leaderURL {
+			leaderIdx = i
+		} else {
+			survivors = append(survivors, i)
+		}
+	}
+	if leaderIdx < 0 {
+		t.Fatalf("leader %s not in %v", leaderURL, bases)
+	}
+
+	const buyers = 18
+	const killAfter = 6
+	acked := make(map[string][]byte)
+	for i := 0; i < buyers; i++ {
+		if i == killAfter {
+			kill[leaderIdx]()
+		}
+		buyer := fmt.Sprintf("kbuyer-%02d", i)
+		// Clients only ever talk to the survivors; the cluster routes
+		// around the dead leader (breaker + preference order). One retry
+		// absorbs the request unlucky enough to be mid-forward at the kill.
+		var lastErr error
+		for attempt := 0; attempt < 3; attempt++ {
+			body, _, _, err := issueVia(t, bases[survivors[(i+attempt)%2]], info.Digest, buyer)
+			if err == nil {
+				acked[buyer] = body
+				lastErr = nil
+				break
+			}
+			lastErr = err
+			time.Sleep(50 * time.Millisecond)
+		}
+		if lastErr != nil {
+			t.Logf("issue %s never acknowledged (allowed): %v", buyer, lastErr)
+		}
+	}
+	if len(acked) < killAfter {
+		t.Fatalf("only %d issuances acknowledged, expected at least the %d pre-kill ones", len(acked), killAfter)
+	}
+	post := len(acked) - killAfter
+	if post <= 0 {
+		t.Fatalf("no issuance acknowledged after the leader kill — failover never engaged")
+	}
+
+	// Converge the survivors the way a restarted follower would: union
+	// each other's records. Then both must agree and hold every ack.
+	for _, i := range survivors {
+		if _, err := servers[i].cluster.store.Sync(context.Background(), []string{info.Digest}); err != nil {
+			t.Fatalf("survivor %d sync: %v", i, err)
+		}
+	}
+	t0, t1 := clusterTotals(t, bases[survivors[0]])[info.Digest], clusterTotals(t, bases[survivors[1]])[info.Digest]
+	if t0 != t1 || t0 < uint64(len(acked)) {
+		t.Fatalf("survivor totals %d, %d — want equal and ≥ %d acknowledged", t0, t1, len(acked))
+	}
+
+	// Zero acknowledged losses: every acked copy traces exactly from both
+	// survivors.
+	for buyer, body := range acked {
+		for _, i := range survivors {
+			tr := traceSuspect(t, bases[i], info.Digest, body, "")
+			if tr.Exact != buyer {
+				t.Errorf("acknowledged %s traced to %q via survivor %d — issuance lost", buyer, tr.Exact, i)
+			}
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/registry"
+	"repro/internal/registrystore"
 )
 
 // DesignInfo is the JSON summary of one analysed design.
@@ -262,6 +263,9 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 				}
 				return err
 			}
+			// Cluster replicas learn new designs eagerly (background push);
+			// routed requests that outrun the push adopt the bytes on miss.
+			s.broadcastDesign(digest, d.meta, data)
 		}
 		s.cache.add(digest, a)
 		mUploads.Inc()
@@ -305,10 +309,8 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 
 // handleInfo implements GET /designs/{digest}.
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
-	digest := r.PathValue("digest")
-	d := s.lookupDesign(digest)
+	d := s.routeDesign(w, r)
 	if d == nil {
-		writeError(w, http.StatusNotFound, "unknown design "+digest)
 		return
 	}
 	s.withWorker(w, r, "info", func(ctx context.Context) error {
@@ -338,13 +340,12 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 
 // handleIssue implements POST /designs/{digest}/issue: mint (or re-mint,
 // idempotently) the buyer's fingerprinted copy and stream it back as a
-// netlist. The registry is durably saved before the copy leaves the
-// server, so an acknowledged issuance always survives a restart.
+// netlist. The fresh record is durable in the registry store — W-replica
+// durable in cluster mode — before the copy leaves the server, so an
+// acknowledged issuance always survives a restart.
 func (s *Server) handleIssue(w http.ResponseWriter, r *http.Request) {
-	digest := r.PathValue("digest")
-	d := s.lookupDesign(digest)
+	d := s.routeDesign(w, r)
 	if d == nil {
-		writeError(w, http.StatusNotFound, "unknown design "+digest)
 		return
 	}
 	buyer := r.URL.Query().Get("buyer")
@@ -372,19 +373,16 @@ func (s *Server) handleIssue(w http.ResponseWriter, r *http.Request) {
 			return err
 		}
 		d.mu.Lock()
-		reg, err := d.ensureRegistry(s.store, a)
+		reg, err := s.ensureRegistryLocked(d, a)
 		var cp *circuitAndValue
 		if err == nil {
-			cp, err = issueLocked(reg, a, buyer)
-			if err == nil {
-				// Durability before acknowledgement; transient store errors
-				// (flaky disk, injected faults) are retried with backoff
-				// under d.mu so the durable file stays a superset of every
-				// acknowledged issuance.
-				err = s.retryStore(ctx, func() error {
-					return s.store.SaveRegistry(d.digest, reg)
-				})
-			}
+			// Durability before acknowledgement: the fresh record must be
+			// appended through the registry store (transient failures —
+			// flaky disk, injected faults, a lost replication quorum — are
+			// retried with backoff) before the copy is returned. A failed
+			// append releases the reservation, so nothing half-issued
+			// survives in memory; re-appending after a retry is idempotent.
+			cp, err = s.issueOne(ctx, d, reg, a, buyer)
 		}
 		d.mu.Unlock()
 		if err != nil {
@@ -433,10 +431,8 @@ func (s *Server) handleIssue(w http.ResponseWriter, r *http.Request) {
 // copies) and, with ?scores=1, the full marking-assumption score table
 // plus the implicated coalition.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
-	digest := r.PathValue("digest")
-	d := s.lookupDesign(digest)
+	d := s.routeDesign(w, r)
 	if d == nil {
-		writeError(w, http.StatusNotFound, "unknown design "+digest)
 		return
 	}
 	data, err := s.readBody(w, r)
@@ -481,6 +477,21 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		resp := TraceResponse{Digest: d.digest}
 		if exact, err := reg.TraceExact(a, suspect); err == nil {
 			resp.Exact = exact
+		}
+		if resp.Exact == "" && s.cluster != nil {
+			// Read repair: a copy acknowledged by a now-dead leader may not
+			// have replicated here yet. A miss is cheap and rare, so pull the
+			// digest's records from the peers once and re-match before
+			// answering "unknown".
+			if adopted, _ := s.cluster.store.Sync(ctx, []string{d.digest}); adopted > 0 {
+				mTraceRepairs.Inc()
+				if reg2, err := s.registryOf(d, a); err == nil {
+					reg = reg2
+					if exact, err := reg.TraceExact(a, suspect); err == nil {
+						resp.Exact = exact
+					}
+				}
+			}
 		}
 		if wantScores {
 			scores, err := reg.TraceScores(a, suspect)
@@ -535,11 +546,44 @@ type circuitAndValue struct {
 	value *big.Int
 }
 
-// issueLocked mints the buyer's copy; the caller holds d.mu.
-func issueLocked(reg *registry.Registry, a *core.Analysis, buyer string) (*circuitAndValue, error) {
-	ckt, value, err := reg.Issue(a, buyer)
+// issueOne mints (or re-mints, idempotently) one buyer's copy and appends
+// any fresh record through the registry store; the caller holds d.mu. A
+// failed append releases the reservation so the registry matches the
+// durable record set exactly.
+func (s *Server) issueOne(ctx context.Context, d *design, reg *registry.Registry, a *core.Analysis, buyer string) (*circuitAndValue, error) {
+	items, err := reg.IssueBatch(ctx, a, []string{buyer})
 	if err != nil {
 		return nil, err
 	}
-	return &circuitAndValue{ckt: ckt, value: value}, nil
+	if err := s.appendRecords(ctx, d, reg, items); err != nil {
+		reg.ReleaseItems(items)
+		return nil, err
+	}
+	return &circuitAndValue{ckt: items[0].Circuit, value: items[0].Value}, nil
+}
+
+// appendRecords persists the fresh records among items through the registry
+// store, retrying transient failures with backoff; the caller holds d.mu.
+// Re-issues (no fresh records) return immediately — the records are already
+// durable, so an idempotent mint is a pure read. The design's registry
+// sequence advances only when d.reg is still the registry the records were
+// reserved in; otherwise a reload already superseded it and the next
+// ensureRegistryLocked picks the appended records up from the store.
+func (s *Server) appendRecords(ctx context.Context, d *design, reg *registry.Registry, items []registry.BatchItem) error {
+	recs := make([]registrystore.Record, 0, len(items))
+	for i := range items {
+		if items[i].Fresh {
+			recs = append(recs, registrystore.Record{Buyer: items[i].Buyer, Value: items[i].Value.String()})
+		}
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	return s.retryStore(ctx, func() error {
+		seq, err := s.regstore.Append(ctx, d.digest, reg, recs)
+		if err == nil && d.reg == reg {
+			d.regSeq = seq
+		}
+		return err
+	})
 }

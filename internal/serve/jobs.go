@@ -236,7 +236,7 @@ type issuedCopy struct {
 func (s *Server) issueChunk(ctx context.Context, d *design, a *core.Analysis, buyers []string, verify, materialize bool) ([]issuedCopy, error) {
 	materialize = materialize || verify
 	d.mu.Lock()
-	reg, err := d.ensureRegistry(s.store, a)
+	reg, err := s.ensureRegistryLocked(d, a)
 	var items []registry.BatchItem
 	if err == nil {
 		if materialize {
@@ -262,12 +262,11 @@ func (s *Server) issueChunk(ctx context.Context, d *design, a *core.Analysis, bu
 		}
 		out[i].verified = label
 	}
-	// Durability before acknowledgement: one fsynced registry write covers
-	// the whole chunk — the amortization that makes batch minting fast.
+	// Durability before acknowledgement: one append — one fsynced WAL write
+	// or registry snapshot — covers the whole chunk, the amortization that
+	// makes batch minting fast.
 	d.mu.Lock()
-	err = s.retryStore(ctx, func() error {
-		return s.store.SaveRegistry(d.digest, reg)
-	})
+	err = s.appendRecords(ctx, d, reg, items)
 	d.mu.Unlock()
 	if err != nil {
 		reg.ReleaseItems(items)
@@ -282,10 +281,8 @@ func (s *Server) issueChunk(ctx context.Context, d *design, a *core.Analysis, bu
 // synchronous form (≤ MaxBatchBuyers copies) returns every netlist inline;
 // ?async=1 (any size) durably enqueues a job and returns 202 + its status.
 func (s *Server) handleBatchIssue(w http.ResponseWriter, r *http.Request) {
-	digest := r.PathValue("digest")
-	d := s.lookupDesign(digest)
+	d := s.routeDesign(w, r)
 	if d == nil {
-		writeError(w, http.StatusNotFound, "unknown design "+digest)
 		return
 	}
 	data, err := s.readBody(w, r)
@@ -428,6 +425,11 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	s.jobMu.Unlock()
 	if !ok {
+		// Jobs live on the replica that accepted them; in cluster mode an
+		// unknown id may belong to a peer — probe before answering 404.
+		if s.probeJobPeers(w, r) {
+			return
+		}
 		writeError(w, http.StatusNotFound, "unknown job "+id)
 		return
 	}

@@ -56,6 +56,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/registry"
+	"repro/internal/registrystore"
 	"repro/internal/techmap"
 	"repro/internal/verilog"
 )
@@ -120,6 +121,11 @@ type Config struct {
 	// (default 256); larger batches must use the async job mode, whose
 	// runner yields its worker slot between chunks.
 	MaxBatchBuyers int
+	// Cluster, when non-nil, runs this daemon as one replica of an odcfpd
+	// cluster: the issuance registry moves from per-design JSON snapshots to
+	// a replicated WAL, and design-scoped requests are routed to each
+	// design's leader (cluster.go). Nil is the single-node daemon.
+	Cluster *ClusterConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -160,25 +166,31 @@ func (c Config) withDefaults() Config {
 }
 
 // design is the server's per-digest state. The registry is loaded lazily
-// and mu serialises issue+persist so the durable file is always a superset
-// of every acknowledged issuance.
+// and mu serialises issue+persist so the durable record set is always a
+// superset of every acknowledged issuance. regSeq is the registry store's
+// sequence number the in-memory registry was loaded at (or last appended
+// at); when the store has moved past it — a replicating peer appended —
+// the registry is reloaded before its next use.
 type design struct {
 	digest string
 	meta   DesignMeta
 
-	mu  sync.Mutex
-	reg *registry.Registry
+	mu     sync.Mutex
+	reg    *registry.Registry
+	regSeq uint64
 }
 
 // Server is the fingerprinting daemon: an http.Handler plus the cache,
 // store, worker pool and lifecycle around it. Create with New; serve
 // either via Serve/ListenAndServe or by mounting Handler in a test server.
 type Server struct {
-	cfg     Config
-	store   *Store
-	cache   *analysisCache
-	pool    *par.Pool
-	breaker *breaker
+	cfg      Config
+	store    *Store
+	regstore registrystore.Store
+	cluster  *clusterState // nil when not clustered
+	cache    *analysisCache
+	pool     *par.Pool
+	breaker  *breaker
 
 	mu      sync.Mutex
 	designs map[string]*design
@@ -190,6 +202,11 @@ type Server struct {
 	jobWake      chan struct{}
 	runnerCancel context.CancelFunc
 	runnerDone   chan struct{}
+
+	// bgCtx parents background cluster work (design broadcasts, startup
+	// catch-up); it is the job runner's context, cancelled at Shutdown.
+	bgCtx    context.Context
+	syncDone chan struct{} // closed when startup cluster catch-up finishes
 
 	draining atomic.Bool
 	httpSrv  *http.Server
@@ -222,6 +239,9 @@ func New(cfg Config) (*Server, error) {
 		jobs:    make(map[string]*JobRecord),
 		jobWake: make(chan struct{}, 1),
 	}
+	if err := s.openRegistryStore(); err != nil {
+		return nil, err
+	}
 	digests, err := store.Digests()
 	if err != nil {
 		return nil, err
@@ -244,7 +264,9 @@ func New(cfg Config) (*Server, error) {
 	runnerCtx, cancel := context.WithCancel(context.Background())
 	s.runnerCancel = cancel
 	s.runnerDone = make(chan struct{})
+	s.bgCtx = runnerCtx
 	go s.runJobs(runnerCtx)
+	s.startClusterSync(runnerCtx)
 	return s, nil
 }
 
@@ -261,16 +283,31 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cluster != nil {
+		// Peer-to-peer endpoints (cluster.go). They bypass the worker pool:
+		// replication is fsync-bound, and a follower that needed a worker
+		// slot to ack could deadlock against a leader waiting in one.
+		mux.HandleFunc("POST /cluster/replicate/{digest}", s.handleReplicate)
+		mux.HandleFunc("GET /cluster/registry/{digest}", s.handleRegistryFetch)
+		mux.HandleFunc("PUT /cluster/designs/{digest}", s.handleDesignPush)
+		mux.HandleFunc("GET /cluster/designs/{digest}", s.handleDesignFetch)
+		mux.HandleFunc("GET /cluster/status", s.handleClusterStatus)
+	}
 	return s.instrument(mux)
 }
 
 // instrument wraps the mux with the request counter, in-flight gauge and
-// latency histogram.
+// latency histogram. Clustered daemons also stamp every response with the
+// node that served it, so clients (and loadgen's shard-balance report) can
+// see where routed work actually landed.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		mRequests.Inc()
 		gInFlight.Add(1)
 		defer gInFlight.Add(-1)
+		if s.cluster != nil {
+			w.Header().Set(nodeHeader, s.cluster.cfg.Self)
+		}
 		t0 := time.Now()
 		next.ServeHTTP(w, r)
 		hLatencyNS.Observe(int64(time.Since(t0)))
@@ -306,7 +343,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.httpSrv.Shutdown(ctx)
 	s.runnerCancel()
 	<-s.runnerDone
+	if s.syncDone != nil {
+		<-s.syncDone
+	}
+	if s.cluster != nil {
+		s.cluster.wg.Wait()
+	}
 	s.pool.Close()
+	if cerr := s.regstore.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
 	return err
 }
 
@@ -362,19 +408,22 @@ func (s *Server) analysis(ctx context.Context, d *design) (*core.Analysis, error
 func (s *Server) registryOf(d *design, a *core.Analysis) (*registry.Registry, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.ensureRegistry(s.store, a)
+	return s.ensureRegistryLocked(d, a)
 }
 
-// ensureRegistry loads or creates the registry; the caller must hold d.mu.
-func (d *design) ensureRegistry(store *Store, a *core.Analysis) (*registry.Registry, error) {
-	if d.reg != nil {
+// ensureRegistryLocked loads or creates the registry; the caller must hold
+// d.mu. A registry whose load-time sequence number the store has moved past
+// — a replicating peer appended records this process has not seen — is
+// reloaded, so reads on a follower converge to the replicated record set.
+func (s *Server) ensureRegistryLocked(d *design, a *core.Analysis) (*registry.Registry, error) {
+	if d.reg != nil && s.regstore.Seq(d.digest) == d.regSeq {
 		return d.reg, nil
 	}
-	r, err := store.LoadRegistry(d.digest, a)
+	r, seq, err := s.regstore.Load(d.digest, a)
 	if err != nil {
 		return nil, err
 	}
-	d.reg = r
+	d.reg, d.regSeq = r, seq
 	return r, nil
 }
 

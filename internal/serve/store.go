@@ -8,10 +8,8 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/obs"
-	"repro/internal/registry"
 )
 
 // Store metrics: saves/loads are workload-determined; recovered temp files
@@ -36,12 +34,14 @@ type DesignMeta struct {
 	Format string `json:"format"`
 }
 
-// Store is the daemon's durable state, rooted at one directory. Per design
-// digest it holds three files:
+// Store is the daemon's durable state apart from issuance registries
+// (which live in a registrystore.Store — JSON snapshots in this same
+// directory for the single-node daemon, a replicated WAL in cluster mode).
+// Per design digest it holds two files, plus one file per async job:
 //
 //	<digest>.design        raw uploaded netlist bytes, verbatim
 //	<digest>.meta.json     DesignMeta (format + name)
-//	<digest>.registry.json the registry.Registry of issued fingerprints
+//	job-<id>.json          one async issuance job's durable state
 //
 // Every write is crash-safe: content goes to a temp file in the same
 // directory, is fsynced, then renamed over the destination (and the
@@ -120,9 +120,6 @@ func (s *Store) atomicWrite(path string, data []byte) error {
 
 func (s *Store) designPath(digest string) string { return filepath.Join(s.dir, digest+".design") }
 func (s *Store) metaPath(digest string) string   { return filepath.Join(s.dir, digest+".meta.json") }
-func (s *Store) registryPath(digest string) string {
-	return filepath.Join(s.dir, digest+".registry.json")
-}
 
 // validDigest rejects digests that could escape the store directory; real
 // digests are fixed-width lowercase hex (registry.DesignDigest).
@@ -228,24 +225,6 @@ func (s *Store) Digests() ([]string, error) {
 	return out, nil
 }
 
-// SaveRegistry durably persists the design's registry. The JSON is
-// serialised by registry.Save (a point-in-time snapshot under the
-// registry's read lock) and written atomically, satisfying the
-// crash-safety contract that no restart observes a torn registry.
-func (s *Store) SaveRegistry(digest string, r *registry.Registry) error {
-	if !validDigest(digest) {
-		return fmt.Errorf("serve: store: invalid digest %q", digest)
-	}
-	var b strings.Builder
-	if err := r.Save(&b); err != nil {
-		return err
-	}
-	if err := s.atomicWrite(s.registryPath(digest), []byte(b.String())); err != nil {
-		return fmt.Errorf("serve: store registry %s: %w", digest, err)
-	}
-	return nil
-}
-
 // jobPrefix and jobSuffix frame the durable file of one async issuance job.
 const (
 	jobPrefix = "job-"
@@ -330,27 +309,4 @@ func (s *Store) DeleteJob(id string) error {
 		return fmt.Errorf("serve: store: %w", err)
 	}
 	return nil
-}
-
-// LoadRegistry reads the design's registry, validating it against the
-// analysis. A missing registry file is not an error: it returns a fresh
-// empty registry (the design was stored but nothing issued yet).
-func (s *Store) LoadRegistry(digest string, a *core.Analysis) (*registry.Registry, error) {
-	if !validDigest(digest) {
-		return nil, fmt.Errorf("serve: store: invalid digest %q", digest)
-	}
-	f, err := os.Open(s.registryPath(digest))
-	if os.IsNotExist(err) {
-		return registry.New(a), nil
-	}
-	if err != nil {
-		return nil, fmt.Errorf("serve: store: %w", err)
-	}
-	defer f.Close()
-	r, err := registry.Load(f, a)
-	if err != nil {
-		return nil, fmt.Errorf("serve: store: registry %s: %w", digest, err)
-	}
-	mStoreLoads.Inc()
-	return r, nil
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/cell"
 	"repro/internal/core"
 	"repro/internal/registry"
+	"repro/internal/registrystore"
 )
 
 const testDigest = "0123456789abcdef0123456789abcdef"
@@ -134,18 +136,20 @@ func TestStoreTornWriteRecovery(t *testing.T) {
 	}
 }
 
-// TestStoreRegistryRoundTrip: an issued fingerprint persists through
-// SaveRegistry/LoadRegistry, and a missing registry file yields a fresh
-// empty registry rather than an error.
+// TestStoreRegistryRoundTrip: an issued fingerprint persists through the
+// local registry store (registrystore.Local shares the design store's
+// directory and snapshot format), and a design with no records yields a
+// fresh empty registry rather than an error.
 func TestStoreRegistryRoundTrip(t *testing.T) {
-	st, err := OpenStore(t.TempDir())
+	dir := t.TempDir()
+	st, err := registrystore.OpenLocal(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	a := analyzed(t, "c880")
 	digest := registry.DesignDigest(a)
 
-	empty, err := st.LoadRegistry(digest, a)
+	empty, seq0, err := st.Load(digest, a)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,10 +161,16 @@ func TestStoreRegistryRoundTrip(t *testing.T) {
 	if _, _, err := r.Issue(a, "alice"); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.SaveRegistry(digest, r); err != nil {
+	val, _ := r.Value("alice")
+	seq, err := st.Append(context.Background(), digest, r,
+		[]registrystore.Record{{Buyer: "alice", Value: val}})
+	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := st.LoadRegistry(digest, a)
+	if seq == seq0 {
+		t.Errorf("Append did not move the sequence (still %d)", seq)
+	}
+	r2, _, err := st.Load(digest, a)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,8 +1,12 @@
 // Command doccheck lints godoc coverage: every package must open with a
-// package doc comment, and every exported top-level declaration (func,
-// method, type, const/var group) must carry one. `make doccheck` runs it
-// over the whole module and fails CI on any gap, so the documentation
-// audit cannot rot.
+// package doc comment (beginning "Package <name>", or "Command <name>"
+// for a main package), and every exported top-level declaration (func,
+// method, type, const/var group) must carry one. Doc comments on exported
+// funcs and types must begin with the identifier they document (an
+// optional leading article — "A", "An", "The" — is allowed), so godoc
+// renders them as complete sentences. `make doccheck` runs it over the
+// whole module and fails CI on any gap, so the documentation audit
+// cannot rot.
 //
 //	go run ./internal/tools/doccheck .
 //
@@ -69,9 +73,8 @@ func main() {
 	}
 	sort.Strings(dirs)
 	for _, dir := range dirs {
-		if !hasPackageDoc(pkgFiles[dir]) {
-			violations = append(violations,
-				fmt.Sprintf("%s: package %s has no package doc comment", dir, pkgFiles[dir][0].Name.Name))
+		if v := checkPackageDoc(dir, pkgFiles[dir]); v != "" {
+			violations = append(violations, v)
 		}
 	}
 
@@ -96,13 +99,48 @@ func generated(f *ast.File) bool {
 	return false
 }
 
-func hasPackageDoc(files []*ast.File) bool {
+// checkPackageDoc requires one file in the package to open with a doc
+// comment whose first word is "Package" ("Command" for a main package),
+// the godoc convention that makes the package index read as prose.
+func checkPackageDoc(dir string, files []*ast.File) string {
+	name := files[0].Name.Name
 	for _, f := range files {
-		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
-			return true
+		if f.Doc == nil {
+			continue
+		}
+		text := strings.TrimSpace(f.Doc.Text())
+		if text == "" {
+			continue
+		}
+		want := "Package "
+		if name == "main" {
+			want = "Command "
+		}
+		if !strings.HasPrefix(text, want) {
+			return fmt.Sprintf("%s: package %s doc comment should start with %q", dir, name, want+"...")
+		}
+		return ""
+	}
+	return fmt.Sprintf("%s: package %s has no package doc comment", dir, name)
+}
+
+// nameFirst reports whether a doc comment opens with the documented
+// identifier, optionally after an article ("A", "An", "The") — golint's
+// rule, so godoc entries read as sentences about their subject.
+func nameFirst(doc, name string) bool {
+	text := strings.TrimSpace(doc)
+	for _, article := range []string{"A ", "An ", "The "} {
+		if strings.HasPrefix(text, article) {
+			text = text[len(article):]
+			break
 		}
 	}
-	return false
+	return strings.HasPrefix(text, name) &&
+		(len(text) == len(name) || !isWordChar(text[len(name)]))
+}
+
+func isWordChar(b byte) bool {
+	return b == '_' || 'a' <= b && b <= 'z' || 'A' <= b && b <= 'Z' || '0' <= b && b <= '9'
 }
 
 // checkDecl reports exported top-level declarations without a doc comment.
@@ -114,14 +152,37 @@ func checkDecl(fset *token.FileSet, decl ast.Decl) []string {
 		p := fset.Position(pos)
 		out = append(out, fmt.Sprintf("%s:%d: exported %s %s is undocumented", p.Filename, p.Line, kind, name))
 	}
+	misnamed := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: doc comment on %s %s should start with %q",
+			p.Filename, p.Line, kind, name, name))
+	}
 	switch d := decl.(type) {
 	case *ast.FuncDecl:
-		if d.Name.IsExported() && d.Doc == nil {
+		if !d.Name.IsExported() {
+			return nil
+		}
+		if d.Doc == nil {
 			flag(d.Pos(), "func", d.Name.Name)
+		} else if !nameFirst(d.Doc.Text(), d.Name.Name) {
+			misnamed(d.Pos(), "func", d.Name.Name)
 		}
 	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			s, ok := spec.(*ast.TypeSpec)
+			if !ok || !s.Name.IsExported() {
+				continue
+			}
+			doc := s.Doc
+			if doc == nil && len(d.Specs) == 1 {
+				doc = d.Doc
+			}
+			if doc != nil && !nameFirst(doc.Text(), s.Name.Name) {
+				misnamed(s.Pos(), "type", s.Name.Name)
+			}
+		}
 		if d.Doc != nil {
-			return nil
+			return out
 		}
 		for _, spec := range d.Specs {
 			switch s := spec.(type) {

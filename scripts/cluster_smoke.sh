@@ -1,0 +1,181 @@
+#!/bin/sh
+# cluster_smoke.sh — end-to-end test of odcfpd cluster mode against real
+# processes (the in-process equivalent lives in internal/serve/cluster_test.go):
+#
+#   1. optionally (MIN_SCALE > 0) measure a single-node baseline first: one
+#      daemon, same designs and preseed, loadgen writes the top-level report
+#   2. start REPLICAS daemons on loopback as one cluster (-cluster/-node/-rf)
+#   3. drive a mixed issue/trace load across every replica; each issued copy
+#      is traced back inline, so every acknowledgement is verified
+#   4. with KILL=1, `kill -9` one replica mid-run: the load must finish with
+#      zero failures — acknowledged issuances keep tracing from survivors
+#   5. poll /cluster/status?sync=1 on every survivor until their per-design
+#      totals agree and sum to exactly the records issued (convergence, and
+#      no acknowledged record lost)
+#   6. SIGTERM the survivors and require a clean (exit 0) drain
+#
+# Usage: scripts/cluster_smoke.sh [requests] [clients] [out.json]
+# Env knobs:
+#   REPLICAS  cluster size                              (default 3)
+#   RF        replication factor / write quorum         (default 2)
+#   DESIGNS   design variants, spread over the leaders  (default 3)
+#   PRESEED   per-design seed copies minted before the  (default 0)
+#             timed run — matures the registries so the
+#             baseline pays its per-issue snapshot rewrite
+#   KILL      1 = kill -9 one replica mid-run           (default 1)
+#   MIN_SCALE fail below this cluster-vs-baseline RPS   (default 0 = off)
+#             scale; > 0 also enables the baseline phase
+#   BASE_PORT first replica port                        (default 18520)
+#
+# CI runs the defaults (fast, kill enabled). The BENCH_serve.json `cluster`
+# section in the repo was produced with
+# `KILL=0 REPLICAS=4 DESIGNS=4 PRESEED=20000 MIN_SCALE=3 scripts/cluster_smoke.sh 2000 16 BENCH_serve.json`.
+set -eu
+
+N=${1:-400}
+C=${2:-8}
+OUT=${3:-cluster_smoke.json}
+REPLICAS=${REPLICAS:-3}
+RF=${RF:-2}
+DESIGNS=${DESIGNS:-3}
+PRESEED=${PRESEED:-0}
+KILL=${KILL:-1}
+MIN_SCALE=${MIN_SCALE:-0}
+BASE_PORT=${BASE_PORT:-18520}
+
+GO=${GO:-go}
+WORK=$(mktemp -d)
+LOG="$WORK/daemon.log"
+PIDS=""
+
+cleanup() {
+    for pid in $PIDS; do kill -9 "$pid" 2>/dev/null || true; done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "cluster-smoke: building binaries"
+$GO build -o "$WORK/odcfpd" ./cmd/odcfpd
+$GO build -o "$WORK/loadgen" ./cmd/loadgen
+
+# start_node PORT STORE [extra flags...] — boots one daemon and waits for it
+# to bind; appends its pid to PIDS.
+start_node() {
+    port=$1; store=$2; shift 2
+    addrfile="$WORK/addr.$port"
+    rm -f "$addrfile"
+    "$WORK/odcfpd" -addr "127.0.0.1:$port" -store "$store" -addr-file "$addrfile" \
+        -max-batch 8192 -batch-chunk 8192 "$@" >>"$LOG" 2>&1 &
+    pid=$!
+    PIDS="$PIDS $pid"
+    for _ in $(seq 1 100); do
+        [ -s "$addrfile" ] && return 0
+        kill -0 "$pid" 2>/dev/null || { echo "cluster-smoke: daemon on :$port died at startup"; cat "$LOG"; exit 1; }
+        sleep 0.1
+    done
+    echo "cluster-smoke: daemon on :$port never bound"; cat "$LOG"; exit 1
+}
+
+BASELINE_RPS=0
+if [ "$MIN_SCALE" != "0" ]; then
+    echo "cluster-smoke: baseline — single node, $DESIGNS designs, preseed $PRESEED, $N requests"
+    start_node "$BASE_PORT" "$WORK/base-store"
+    "$WORK/loadgen" -addr "127.0.0.1:$BASE_PORT" -designs "$DESIGNS" -preseed "$PRESEED" \
+        -n "$N" -c "$C" -out "$WORK/base.json"
+    BASELINE_RPS=$(sed -n 's/^  "rps": \([0-9.]*\),*$/\1/p' "$WORK/base.json" | head -1)
+    [ -n "$BASELINE_RPS" ] || { echo "cluster-smoke: no rps in baseline report"; exit 1; }
+    base_pid=${PIDS# }
+    kill -TERM "$base_pid"
+    wait "$base_pid" || { echo "cluster-smoke: baseline daemon exited non-zero"; cat "$LOG"; exit 1; }
+    PIDS=""
+    echo "cluster-smoke: baseline $BASELINE_RPS req/s"
+fi
+
+NODES=""
+i=0
+while [ "$i" -lt "$REPLICAS" ]; do
+    port=$((BASE_PORT + 1 + i))
+    NODES="$NODES${NODES:+,}http://127.0.0.1:$port"
+    i=$((i + 1))
+done
+
+echo "cluster-smoke: starting $REPLICAS replicas (rf=$RF): $NODES"
+i=0
+for node in $(echo "$NODES" | tr ',' ' '); do
+    port=$((BASE_PORT + 1 + i))
+    start_node "$port" "$WORK/store-$i" -cluster "$NODES" -node "$node" -rf "$RF"
+    i=$((i + 1))
+done
+set -- $PIDS
+VICTIM_PID=$(eval echo \${$REPLICAS})
+
+ADDRS=$(echo "$NODES" | sed 's|http://||g')
+echo "cluster-smoke: load — $N requests, $C clients, $DESIGNS designs, preseed $PRESEED"
+if [ "$KILL" = "1" ]; then
+    "$WORK/loadgen" -addr "$ADDRS" -designs "$DESIGNS" -preseed "$PRESEED" \
+        -n "$N" -c "$C" -min-scale "$MIN_SCALE" -baseline-rps "$BASELINE_RPS" -out "$OUT" &
+    LPID=$!
+    sleep 0.5
+    if kill -0 "$LPID" 2>/dev/null; then
+        echo "cluster-smoke: kill -9 replica $REPLICAS (pid $VICTIM_PID) mid-run"
+    else
+        echo "cluster-smoke: warning: load finished before the kill"
+    fi
+    kill -9 "$VICTIM_PID"
+    wait "$LPID" || { echo "cluster-smoke: load failed after node kill"; exit 1; }
+else
+    "$WORK/loadgen" -addr "$ADDRS" -designs "$DESIGNS" -preseed "$PRESEED" \
+        -n "$N" -c "$C" -min-scale "$MIN_SCALE" -baseline-rps "$BASELINE_RPS" -out "$OUT"
+fi
+
+# Convergence: every survivor must report identical per-design totals whose
+# sum is exactly the distinct records issued (seeds + one per buyer) —
+# acknowledged issuances converged to every live replica, none lost, none
+# duplicated. ?sync=1 makes each poll an anti-entropy pull, so a straggler
+# that lost its fan-out source to the kill still converges.
+EXPECT=$((DESIGNS * PRESEED + N / 2))
+SURVIVORS=$REPLICAS
+[ "$KILL" = "1" ] && SURVIVORS=$((REPLICAS - 1))
+echo "cluster-smoke: awaiting convergence on $SURVIVORS survivors ($EXPECT records)"
+tries=0
+while :; do
+    agreed=""
+    ok=1
+    i=0
+    while [ "$i" -lt "$SURVIVORS" ]; do
+        port=$((BASE_PORT + 1 + i))
+        totals=$(curl -sf "http://127.0.0.1:$port/cluster/status?sync=1" \
+            | tr -d ' \n\t' | grep -o '"totals":{[^}]*}' || true)
+        sum=$(echo "$totals" | grep -o ':[0-9]*' | tr -d ':' | awk '{s+=$1} END{print s+0}')
+        if [ -z "$totals" ] || [ "$sum" != "$EXPECT" ]; then ok=0; fi
+        if [ -z "$agreed" ]; then agreed=$totals
+        elif [ "$totals" != "$agreed" ]; then ok=0; fi
+        i=$((i + 1))
+    done
+    [ "$ok" = "1" ] && break
+    tries=$((tries + 1))
+    if [ "$tries" -gt 60 ]; then
+        echo "cluster-smoke: survivors never converged (want sum $EXPECT)"
+        i=0
+        while [ "$i" -lt "$SURVIVORS" ]; do
+            port=$((BASE_PORT + 1 + i))
+            curl -s "http://127.0.0.1:$port/cluster/status" || true; echo
+            i=$((i + 1))
+        done
+        exit 1
+    fi
+    sleep 0.25
+done
+echo "cluster-smoke: registries converged: $agreed"
+
+echo "cluster-smoke: draining survivors with SIGTERM"
+i=0
+for pid in $PIDS; do
+    i=$((i + 1))
+    [ "$KILL" = "1" ] && [ "$i" = "$REPLICAS" ] && continue
+    kill -TERM "$pid"
+    wait "$pid" || { echo "cluster-smoke: replica $i exited non-zero"; cat "$LOG"; exit 1; }
+done
+PIDS=""
+
+echo "cluster-smoke: OK (report: $OUT)"
