@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-analyze bench-analyze-smoke bench-verify bench-serve bench-serve-cluster serve-smoke cluster-smoke chaos experiments reproduce doccheck fuzz cover ci clean
+.PHONY: all build test vet bench bench-analyze bench-analyze-smoke bench-attack bench-verify bench-serve bench-serve-cluster serve-smoke cluster-smoke attack-smoke chaos experiments reproduce doccheck fuzz cover ci clean
 
 all: build vet test
 
 # Everything the CI workflow runs: formatting, vet, doc lint, build, the
 # full race-enabled test suite, a short fuzz pass over the three netlist
-# parsers, the fault-injected chaos smoke, and the daemon and cluster
-# process-level smokes.
+# parsers and the red-team spec reader, the fault-injected chaos smoke, the
+# daemon and cluster process-level smokes, and the red-team attack smoke.
 ci: doccheck
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
@@ -19,9 +19,11 @@ ci: doccheck
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/blif/
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/benchfmt/
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/verilog/
+	$(GO) test -fuzz=FuzzParseSpec -fuzztime=10s ./internal/redteam/
 	$(MAKE) chaos
 	$(MAKE) serve-smoke
 	$(MAKE) cluster-smoke
+	$(MAKE) attack-smoke
 	$(MAKE) bench-analyze-smoke
 
 # Chaos smoke: the daemon's fault-injection suite (DESIGN.md §10) under the
@@ -47,6 +49,20 @@ serve-smoke:
 # mint that must beat serial issue by ≥20×; writes BENCH_serve.json.
 bench-serve:
 	GO=$(GO) MIN_SPEEDUP=20 scripts/serve_smoke.sh 1000 8 BENCH_serve.json 4096
+
+# Red-team smoke: the security-evaluation gates on c432 only — DIP-loop
+# IO-indistinguishability certificate, hardening must cut bits-recovered,
+# and a live 3-coalition trace against an in-process daemon must keep the
+# coalition implicated without accusing innocents (cmd/attackbench -smoke).
+attack-smoke:
+	$(GO) run ./cmd/attackbench -smoke -o BENCH_attack.json
+
+# Full red-team benchmark over c432/c880/c1355 with the default campaign
+# spec: per-circuit bits-recovered vs fingerprint size, unhardened and
+# hardened, DIP certificates, and live coalition-trace outcomes for every
+# merge strategy; writes BENCH_attack.json (EXPERIMENTS.md security section).
+bench-attack:
+	$(GO) run ./cmd/attackbench -o BENCH_attack.json
 
 # Cluster smoke: three odcfpd replicas on loopback, a mixed issue/trace load
 # across all of them, kill -9 one replica mid-run, then require zero failures
@@ -112,11 +128,13 @@ bench-analyze-smoke:
 cover:
 	$(GO) test -cover ./...
 
-# Short fuzz session over the three netlist parsers.
+# Short fuzz session over the three netlist parsers and the red-team
+# campaign-spec reader.
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/blif/
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/verilog/
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/benchfmt/
+	$(GO) test -fuzz=FuzzParseSpec -fuzztime=30s ./internal/redteam/
 
 # Seed corpora under internal/*/testdata/fuzz are committed — clean only
 # removes generated run artifacts, never fuzz seeds.

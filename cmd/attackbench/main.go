@@ -1,0 +1,539 @@
+// Command attackbench red-teams the fingerprinting scheme end to end and
+// writes a machine-readable security evaluation (BENCH_attack.json).
+//
+// Per circuit it runs two phases:
+//
+//  1. Local removal attack (internal/redteam.Attack): a coalition of K
+//     fingerprinted copies is attacked twice — unhardened, to establish
+//     the baseline conflict cost C and the bits-recovered count, then
+//     hardened with opaque-predicate decoys under a conflict budget of
+//     2C+1000. The benchmark gates on the hardening knob actually working:
+//     the hardened attack must recover strictly fewer fingerprint bits.
+//     The unhardened run also records the DIP-loop certificate (key bits,
+//     DIP count, UNSAT ⇒ IO-indistinguishability).
+//
+//  2. Live coalition trace (internal/serve): an in-process daemon on a
+//     loopback listener issues real fingerprinted copies; the benchmark
+//     decodes the X-Odcfp-Fingerprint values to pick a coalition that
+//     shares at least one modified slot, merges the copies under each
+//     configured strategy, and POSTs the forged netlist to /trace?scores=1.
+//     Gates: the shared slot survives (no full removal), somebody is
+//     implicated, no innocent buyer ever is, and under the intersect merge —
+//     the strategy for which the marking assumption is theorem-exact — every
+//     colluder is implicated.
+//
+// Any gate failure is listed in the JSON and makes the process exit 1, so
+// `make attack-smoke` turns the paper's security claims into CI assertions.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/big"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/benchfmt"
+	"repro/internal/cell"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/redteam"
+	"repro/internal/serve"
+)
+
+// AttackSummary flattens one redteam.Attack run plus its evaluation.
+type AttackSummary struct {
+	Candidates          int     `json:"candidates"`
+	KeyBits             int     `json:"key_bits"`
+	DIPs                int     `json:"dips"`
+	DIPConflicts        int64   `json:"dip_conflicts"`
+	IOIndistinguishable bool    `json:"io_indistinguishable"`
+	DIPBudgetExhausted  bool    `json:"dip_budget_exhausted"`
+	StripConflicts      int64   `json:"strip_conflicts"`
+	BudgetExhausted     bool    `json:"budget_exhausted"`
+	FingerprintBits     int     `json:"fingerprint_bits"`
+	BitsRecovered       int     `json:"bits_recovered"`
+	FalseStrips         int     `json:"false_strips"`
+	Unresolved          int     `json:"unresolved"`
+	Subset              bool    `json:"subset"`
+	ElapsedMS           float64 `json:"elapsed_ms"`
+}
+
+// CoalitionRun is one live merge-and-trace outcome.
+type CoalitionRun struct {
+	Strategy      string   `json:"strategy"`
+	Buyers        []string `json:"buyers"`
+	SharedSlot    bool     `json:"shared_slot"`
+	DetectedSites int      `json:"detected_sites"`
+	Threshold     float64  `json:"threshold"`
+	Implicated    []string `json:"implicated"`
+	FullRemoval   bool     `json:"full_removal"`
+	AccusedHeader string   `json:"accused_header"`
+}
+
+// CircuitResult is the full evaluation of one benchmark circuit.
+type CircuitResult struct {
+	Circuit       string         `json:"circuit"`
+	Gates         int            `json:"gates"`
+	Locations     int            `json:"locations"`
+	Window        int            `json:"window"`
+	CoalitionSize int            `json:"coalition_size"`
+	Unhardened    AttackSummary  `json:"unhardened"`
+	HardenBudget  int64          `json:"harden_budget"`
+	Hardened      AttackSummary  `json:"hardened"`
+	Coalition     []CoalitionRun `json:"coalition"`
+	Failures      []string       `json:"failures,omitempty"`
+}
+
+// Benchmark is the top-level BENCH_attack.json document.
+type Benchmark struct {
+	GeneratedAt string          `json:"generated_at"`
+	Spec        string          `json:"spec"`
+	Smoke       bool            `json:"smoke"`
+	Circuits    []CircuitResult `json:"circuits"`
+	Failures    int             `json:"failures"`
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "attackbench:", err)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		circuits  = flag.String("circuits", "c432,c880,c1355", "comma-separated benchmark circuits")
+		specPath  = flag.String("spec", "", "campaign spec file (redteam spec format; default built-in)")
+		out       = flag.String("o", "BENCH_attack.json", "output JSON path")
+		smoke     = flag.Bool("smoke", false, "CI smoke mode: c432 only, trimmed budgets")
+		window    = flag.Int("window", 24, "max fingerprint bits embedded per copy in the local attack")
+		threshold = flag.Float64("threshold", 0.4, "live-trace accusation threshold")
+	)
+	flag.Parse()
+
+	sp := redteam.DefaultSpec()
+	if *specPath != "" {
+		src, err := os.ReadFile(*specPath)
+		if err != nil {
+			fail(err)
+		}
+		if sp, err = redteam.ParseSpec(string(src)); err != nil {
+			fail(err)
+		}
+	}
+	names := strings.Split(*circuits, ",")
+	if *smoke {
+		names = []string{"c432"}
+		// Keep the smoke run fast: one DIP certificate solve is enough,
+		// and a tighter DIP budget bounds the hardened keyed proof.
+		if sp.DIPBudget > 50000 {
+			sp.DIPBudget = 50000
+		}
+	}
+
+	doc := Benchmark{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Spec:        sp.String(),
+		Smoke:       *smoke,
+	}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		res, err := runCircuit(name, sp, *window, *threshold)
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", name, err))
+		}
+		doc.Failures += len(res.Failures)
+		doc.Circuits = append(doc.Circuits, *res)
+		fmt.Printf("%-8s unhardened %d/%d bits  hardened %d/%d bits (budget %d)  dips=%d indist=%v  coalition runs=%d  failures=%d\n",
+			name, res.Unhardened.BitsRecovered, res.Unhardened.FingerprintBits,
+			res.Hardened.BitsRecovered, res.Hardened.FingerprintBits, res.HardenBudget,
+			res.Unhardened.DIPs, res.Unhardened.IOIndistinguishable,
+			len(res.Coalition), len(res.Failures))
+	}
+
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+	if doc.Failures > 0 {
+		for _, c := range doc.Circuits {
+			for _, f := range c.Failures {
+				fmt.Fprintf(os.Stderr, "GATE FAILED %s: %s\n", c.Circuit, f)
+			}
+		}
+		os.Exit(1)
+	}
+}
+
+func runCircuit(name string, sp redteam.Spec, window int, threshold float64) (*CircuitResult, error) {
+	spec, err := bench.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	master := spec.Build()
+	a, err := core.Analyze(master, core.DefaultOptions(cell.Default()))
+	if err != nil {
+		return nil, err
+	}
+	res := &CircuitResult{
+		Circuit:       name,
+		Gates:         len(master.Nodes) - len(master.PIs),
+		Locations:     len(a.Locations),
+		CoalitionSize: sp.K,
+	}
+	gate := func(format string, args ...any) {
+		res.Failures = append(res.Failures, fmt.Sprintf(format, args...))
+	}
+
+	// ---- Phase 1: local removal attack, unhardened then hardened. ----
+	w := a.BitCapacity()
+	if window > 0 && w > window {
+		w = window
+	}
+	res.Window = w
+	asgs := coalitionBits(a, w, sp.K, sp.Seed)
+	unCopies := make([]*circuit.Circuit, len(asgs))
+	for i, asg := range asgs {
+		if unCopies[i], err = core.Embed(a, asg); err != nil {
+			return nil, err
+		}
+	}
+	repU, err := redteam.Attack(unCopies, sp.AttackOptions())
+	if err != nil {
+		return nil, err
+	}
+	evU := redteam.Evaluate(a, asgs[0], repU)
+	res.Unhardened = summarize(repU, evU)
+	if !evU.Subset || len(evU.FalseStrips) > 0 {
+		gate("unhardened attack stripped non-fingerprint sites: %v", evU.FalseStrips)
+	}
+	if evU.BitsRecovered == 0 {
+		gate("unhardened attack recovered no bits (%d candidates)", len(repU.Candidates))
+	}
+	if repU.KeyBits > 0 && !repU.IOIndistinguishable && !repU.DIPBudgetExhausted {
+		gate("DIP loop found %d distinguishing inputs on function-preserving mods", repU.DIPs)
+	}
+
+	// Hardened rerun: the attacker gets twice the unhardened proof effort
+	// plus slack, so any recovery drop is the decoys' doing, not starvation
+	// by an arbitrarily tiny budget.
+	budget := sp.TotalBudget
+	if budget == 0 {
+		budget = 2*repU.StripConflicts + 1000
+	}
+	res.HardenBudget = budget
+	hOpts := sp.AttackOptions()
+	hOpts.TotalBudget = budget
+	hCopies := make([]*circuit.Circuit, len(asgs))
+	for i, asg := range asgs {
+		ho := sp.HardenOptions()
+		ho.Seed = ho.Seed + int64(i)*101 // distinct decoys per buyer
+		cp, decoys, err := core.EmbedHardened(a, asg, ho)
+		if err != nil {
+			return nil, err
+		}
+		if len(decoys) == 0 {
+			return nil, fmt.Errorf("hardening inserted no decoys")
+		}
+		hCopies[i] = cp
+	}
+	repH, err := redteam.Attack(hCopies, hOpts)
+	if err != nil {
+		return nil, err
+	}
+	evH := redteam.Evaluate(a, asgs[0], repH)
+	res.Hardened = summarize(repH, evH)
+	if evH.BitsRecovered >= evU.BitsRecovered {
+		gate("hardening did not reduce recovery: %d/%d hardened vs %d/%d unhardened",
+			evH.BitsRecovered, evH.FingerprintBits, evU.BitsRecovered, evU.FingerprintBits)
+	}
+
+	// ---- Phase 2: live coalition attack against the daemon. ----
+	runs, err := liveCoalition(a, master, name, sp, threshold, gate)
+	if err != nil {
+		return nil, err
+	}
+	res.Coalition = runs
+	return res, nil
+}
+
+// coalitionBits deals K deterministic pseudo-random fingerprints over the
+// first w locations. Copy 0 always owns bit 0 and copy 1 always lacks it, so
+// at least one slot differs and the recovery gate is meaningful.
+func coalitionBits(a *core.Analysis, w, k int, seed int64) []core.Assignment {
+	rng := rand.New(rand.NewSource(seed*7919 + 17))
+	asgs := make([]core.Assignment, k)
+	for i := range asgs {
+		bits := make([]bool, a.BitCapacity())
+		for j := 0; j < w; j++ {
+			bits[j] = rng.Intn(2) == 0
+		}
+		bits[0] = i == 0
+		asg, err := a.AssignmentFromBits(bits)
+		if err != nil {
+			fail(err)
+		}
+		asgs[i] = asg
+	}
+	return asgs
+}
+
+func summarize(rep *redteam.AttackReport, ev *redteam.Evaluation) AttackSummary {
+	return AttackSummary{
+		Candidates:          len(rep.Candidates),
+		KeyBits:             rep.KeyBits,
+		DIPs:                rep.DIPs,
+		DIPConflicts:        rep.DIPConflicts,
+		IOIndistinguishable: rep.IOIndistinguishable,
+		DIPBudgetExhausted:  rep.DIPBudgetExhausted,
+		StripConflicts:      rep.StripConflicts,
+		BudgetExhausted:     rep.BudgetExhausted,
+		FingerprintBits:     ev.FingerprintBits,
+		BitsRecovered:       ev.BitsRecovered,
+		FalseStrips:         len(ev.FalseStrips),
+		Unresolved:          ev.Unresolved,
+		Subset:              ev.Subset,
+		ElapsedMS:           float64(rep.Elapsed.Microseconds()) / 1000,
+	}
+}
+
+// liveCoalition spins up a real daemon on a loopback listener, buys enough
+// copies to assemble a coalition sharing a modified slot, merges them under
+// each strategy and traces the forged result.
+func liveCoalition(a *core.Analysis, master *circuit.Circuit, name string, sp redteam.Spec, threshold float64, gate func(string, ...any)) ([]CoalitionRun, error) {
+	storeDir, err := os.MkdirTemp("", "attackbench-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(storeDir)
+	srv, err := serve.New(serve.Config{StoreDir: storeDir})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	base := "http://" + ln.Addr().String()
+
+	var netlist bytes.Buffer
+	if err := benchfmt.Write(&netlist, master); err != nil {
+		return nil, err
+	}
+	digest, err := upload(base, netlist.Bytes())
+	if err != nil {
+		return nil, err
+	}
+
+	// Issue buyers until some K of them agree on a modified slot (the
+	// fingerprints are the server's own — hash-derived, so this terminates
+	// deterministically for a given design).
+	type buyer struct {
+		name string
+		c    *circuit.Circuit
+		asg  core.Assignment
+	}
+	var buyers []buyer
+	var coalition []int
+	sharedSlot := false
+	maxBuyers := 8 * sp.K
+	for n := 0; len(coalition) == 0 && n < maxBuyers; n++ {
+		bn := fmt.Sprintf("buyer%02d", n)
+		body, fp, err := issue(base, digest, bn)
+		if err != nil {
+			return nil, err
+		}
+		c, err := benchfmt.Parse(bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		value, ok := new(big.Int).SetString(fp, 10)
+		if !ok {
+			return nil, fmt.Errorf("bad fingerprint header %q", fp)
+		}
+		asg, err := a.AssignmentFromInt(value)
+		if err != nil {
+			return nil, err
+		}
+		buyers = append(buyers, buyer{bn, c, asg})
+		asgs := make([]core.Assignment, len(buyers))
+		for i := range buyers {
+			asgs[i] = buyers[i].asg
+		}
+		coalition = findSharedSlot(asgs, sp.K)
+	}
+	if len(coalition) == 0 {
+		// Fall back to the first K buyers; the survival gates are skipped
+		// because full removal is then a legitimate outcome.
+		for i := 0; i < sp.K && i < len(buyers); i++ {
+			coalition = append(coalition, i)
+		}
+	} else {
+		sharedSlot = true
+	}
+	inCoalition := map[string]bool{}
+	var copies []*circuit.Circuit
+	var coalitionNames []string
+	for _, i := range coalition {
+		inCoalition[buyers[i].name] = true
+		copies = append(copies, buyers[i].c)
+		coalitionNames = append(coalitionNames, buyers[i].name)
+	}
+
+	var runs []CoalitionRun
+	for _, st := range sp.Strategies {
+		merged, err := redteam.Coalition(copies, st)
+		if err != nil {
+			return nil, err
+		}
+		var forged bytes.Buffer
+		if err := benchfmt.Write(&forged, merged.Forged); err != nil {
+			return nil, err
+		}
+		tr, accused, err := trace(base, digest, forged.Bytes(), threshold)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, CoalitionRun{
+			Strategy:      st.String(),
+			Buyers:        coalitionNames,
+			SharedSlot:    sharedSlot,
+			DetectedSites: len(merged.DetectedGates),
+			Threshold:     threshold,
+			Implicated:    tr.Implicated,
+			FullRemoval:   tr.FullRemoval,
+			AccusedHeader: accused,
+		})
+		implicated := map[string]bool{}
+		for _, b := range tr.Implicated {
+			implicated[b] = true
+		}
+		for b := range implicated {
+			if !inCoalition[b] {
+				gate("%s merge implicated innocent buyer %s", st, b)
+			}
+		}
+		if sharedSlot {
+			if tr.FullRemoval {
+				gate("%s merge reported full removal despite a coalition-shared slot", st)
+			}
+			if len(tr.Implicated) == 0 {
+				gate("%s merge implicated nobody despite a coalition-shared slot", st)
+			}
+			// "Every colluder is implicated" is theorem-exact only for the
+			// intersect merge: it strips every detected slot to base form, so
+			// the survivors are exactly the modifications the whole coalition
+			// agrees on and each colluder matches all of them. Fewest-pins
+			// and majority merges may retain one colluder's variant at a
+			// slot where all copies differ, diluting the others' scores.
+			if st == redteam.StrategyIntersect {
+				for _, b := range coalitionNames {
+					if !implicated[b] {
+						gate("%s merge let colluder %s evade tracing (implicated %v)", st, b, tr.Implicated)
+					}
+				}
+			}
+		}
+	}
+	return runs, nil
+}
+
+// findSharedSlot returns the indices of k buyers whose assignments carry the
+// same modification (same variant) at some slot, or nil. Such a slot cancels
+// out of the coalition's structural diff and must survive every merge.
+func findSharedSlot(asgs []core.Assignment, k int) []int {
+	if len(asgs) < k {
+		return nil
+	}
+	for i := range asgs[0] {
+		for j := range asgs[0][i] {
+			groups := map[int][]int{}
+			for b := range asgs {
+				if v := asgs[b][i][j]; v >= 0 {
+					groups[v] = append(groups[v], b)
+				}
+			}
+			var vals []int
+			for v := range groups {
+				vals = append(vals, v)
+			}
+			sort.Ints(vals)
+			for _, v := range vals {
+				if len(groups[v]) >= k {
+					return groups[v][:k]
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func upload(base string, netlist []byte) (string, error) {
+	resp, err := http.Post(base+"/designs", "text/plain", bytes.NewReader(netlist))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("upload: status %d: %s", resp.StatusCode, body)
+	}
+	var info serve.DesignInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		return "", err
+	}
+	return info.Digest, nil
+}
+
+func issue(base, digest, buyer string) ([]byte, string, error) {
+	resp, err := http.Post(fmt.Sprintf("%s/designs/%s/issue?buyer=%s", base, digest, buyer), "text/plain", nil)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", fmt.Errorf("issue %s: status %d: %s", buyer, resp.StatusCode, body)
+	}
+	return body, resp.Header.Get("X-Odcfp-Fingerprint"), nil
+}
+
+func trace(base, digest string, netlist []byte, threshold float64) (serve.TraceResponse, string, error) {
+	var tr serve.TraceResponse
+	url := fmt.Sprintf("%s/designs/%s/trace?scores=1&threshold=%g", base, digest, threshold)
+	resp, err := http.Post(url, "text/plain", bytes.NewReader(netlist))
+	if err != nil {
+		return tr, "", err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return tr, "", fmt.Errorf("trace: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &tr); err != nil {
+		return tr, "", err
+	}
+	return tr, resp.Header.Get("X-Odcfp-Accused"), nil
+}

@@ -37,11 +37,17 @@ type CollusionResult struct {
 	SurvivingSlots int
 }
 
-// gateSignature canonically describes one gate for structural diffing:
-// kind plus sorted fanin descriptors. An inverter fanin is described as
+// Signature canonically describes one gate for structural diffing: kind
+// plus sorted fanin descriptors. An inverter fanin is described as
 // "!<its input>", which makes signatures independent of the (per-copy)
 // names of fingerprint helper inverters — an attacker comparing layouts
-// sees through a single inverter as easily as we do.
+// sees through a single inverter as easily as we do. Exported for the
+// red-team localizer (internal/redteam), which diffs coalition copies with
+// exactly the designer's notion of "same gate".
+func Signature(c *circuit.Circuit, id circuit.NodeID) string {
+	return gateSignature(c, id)
+}
+
 func gateSignature(c *circuit.Circuit, id circuit.NodeID) string {
 	nd := &c.Nodes[id]
 	if nd.IsPI {
@@ -70,12 +76,50 @@ func gateSignature(c *circuit.Circuit, id circuit.NodeID) string {
 // the unfingerprinted form, since the paper's modifications only ever add
 // pins. Copies must share the full name space of copy 0 (they are instances
 // of the same layout, per the attack model).
+//
+// A single copy is the degenerate k=1 "coalition": with nothing to diff
+// against, the attacker learns nothing, so the result is a clean clone with
+// no detected gates — the single-copy analysis of the package comment
+// rather than an error.
 func Collude(copies []*circuit.Circuit) (*CollusionResult, error) {
-	if len(copies) < 2 {
-		return nil, fmt.Errorf("attack: collusion needs at least 2 copies, got %d", len(copies))
+	return ColludePick(copies, func(name string, copies []*circuit.Circuit, ids []circuit.NodeID) int {
+		best, bestPins := 0, len(copies[0].Nodes[ids[0]].Fanin)
+		for i := 1; i < len(copies); i++ {
+			if n := len(copies[i].Nodes[ids[i]].Fanin); n < bestPins {
+				best, bestPins = i, n
+			}
+		}
+		return best
+	})
+}
+
+// PickForm chooses, for one differing gate, which coalition copy's
+// configuration the forged instance adopts: it receives the gate name, the
+// coalition copies and the gate's node ID in each copy (parallel slices)
+// and returns the index of the winning copy. It must be deterministic for
+// reproducible attacks.
+type PickForm func(name string, copies []*circuit.Circuit, ids []circuit.NodeID) int
+
+// ColludePick is Collude with a caller-supplied merge strategy: the
+// red-team coalition engine passes majority-vote or randomized pickers
+// where Collude hardwires fewest-pins. A k=1 coalition degrades to a clone
+// with no detected gates, exactly as in Collude.
+func ColludePick(copies []*circuit.Circuit, pick PickForm) (*CollusionResult, error) {
+	if len(copies) == 0 {
+		return nil, fmt.Errorf("attack: collusion needs at least 1 copy, got 0")
 	}
 	base := copies[0]
 	res := &CollusionResult{}
+	if len(copies) == 1 {
+		// k=1: no reference to diff against; the "coalition" owns exactly
+		// the information a single buyer has.
+		swept, _ := base.Clone().Sweep()
+		if err := swept.Validate(); err != nil {
+			return nil, fmt.Errorf("attack: copy invalid: %w", err)
+		}
+		res.Forged = swept
+		return res, nil
+	}
 	detected := map[string]bool{}
 	foreign := 0
 	for i := range base.Nodes {
@@ -101,20 +145,18 @@ func Collude(copies []*circuit.Circuit) (*CollusionResult, error) {
 	if foreign > len(base.Nodes)/2 {
 		return nil, fmt.Errorf("attack: copies share under half of the layout; not instances of one design")
 	}
-	// Build the forged instance: start from the copy with the fewest pins
-	// per detected gate.
+	// Build the forged instance from the strategy's chosen form per gate.
 	forged := base.Clone()
 	for name := range detected {
-		bestCopy := base
-		bestID := base.MustLookup(name)
-		bestPins := len(base.Nodes[bestID].Fanin)
-		for _, other := range copies[1:] {
-			id := other.MustLookup(name)
-			if n := len(other.Nodes[id].Fanin); n < bestPins {
-				bestCopy, bestID, bestPins = other, id, n
-			}
+		ids := make([]circuit.NodeID, len(copies))
+		for i, cp := range copies {
+			ids[i] = cp.MustLookup(name)
 		}
-		if err := transplantGate(forged, bestCopy, name, bestID); err != nil {
+		w := pick(name, copies, ids)
+		if w < 0 || w >= len(copies) {
+			return nil, fmt.Errorf("attack: strategy picked copy %d of %d for %q", w, len(copies), name)
+		}
+		if err := transplantGate(forged, copies[w], name, ids[w]); err != nil {
 			return nil, err
 		}
 		res.DetectedGates = append(res.DetectedGates, name)
@@ -228,6 +270,12 @@ func (t *Tracer) TraceScores(suspect *circuit.Circuit) ([]Score, error) {
 	if err != nil {
 		return nil, err
 	}
+	return t.scoreObserved(got), nil
+}
+
+// scoreObserved builds the sorted per-buyer score table from an already
+// extracted (tolerant) assignment.
+func (t *Tracer) scoreObserved(got core.Assignment) []Score {
 	scores := make([]Score, 0, len(t.buyers))
 	for _, b := range t.buyers {
 		s := Score{Name: b.Name}
@@ -258,7 +306,7 @@ func (t *Tracer) TraceScores(suspect *circuit.Circuit) ([]Score, error) {
 		}
 		return scores[i].FractionAll() > scores[j].FractionAll()
 	})
-	return scores, nil
+	return scores
 }
 
 // Accuse returns the buyers whose marking-assumption score is at least
@@ -277,6 +325,58 @@ func (t *Tracer) Accuse(suspect *circuit.Circuit, threshold float64) ([]string, 
 		}
 	}
 	return names, nil
+}
+
+// FullRemoval reports whether a scored suspect retains no surviving
+// modification at any untampered slot. TotalPresent is a property of the
+// suspect alone (it counts slots where the suspect carries a catalogued
+// modification, independent of any buyer), so inspecting one score decides
+// for all. A full removal means the coalition found and reset every slot
+// its members disagreed on AND shared no modification — the one outcome
+// the paper's tracing argument concedes ("as long as the collusion
+// attacker does not remove all the fingerprint information ..."). Callers
+// must report it as a distinct verdict rather than as "matches nobody":
+// the evidence channel is empty, not merely inconclusive.
+func FullRemoval(scores []Score) bool {
+	return len(scores) > 0 && scores[0].TotalPresent == 0
+}
+
+// Report is the classified outcome of tracing one suspect copy.
+type Report struct {
+	// Scores is the per-buyer evidence table, best first (see TraceScores).
+	Scores []Score
+	// Accused lists buyers at or above the accusation threshold on the
+	// marking-assumption score. Empty when FullRemoval is set: with no
+	// surviving modification there is no evidence to accuse on.
+	Accused []string
+	// FullRemoval marks a suspect carrying no surviving modification at
+	// all — a fully stripped (or never fingerprinted) copy.
+	FullRemoval bool
+	// Tampered counts slots excluded as tampered (matching no catalogued
+	// form); a high count is itself evidence of a removal attempt.
+	Tampered int
+}
+
+// Trace scores every registered buyer against the suspect and classifies
+// the outcome: threshold accusations under the marking assumption, with
+// full removal reported as its own verdict instead of an empty (or, worse,
+// all-buyer) accusation list.
+func (t *Tracer) Trace(suspect *circuit.Circuit, threshold float64) (*Report, error) {
+	got, tampered, err := core.ExtractTolerant(t.Analysis, suspect)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Scores: t.scoreObserved(got), Tampered: len(tampered)}
+	if FullRemoval(rep.Scores) {
+		rep.FullRemoval = true
+		return rep, nil
+	}
+	for _, s := range rep.Scores {
+		if s.TotalPresent > 0 && s.Fraction() >= threshold {
+			rep.Accused = append(rep.Accused, s.Name)
+		}
+	}
+	return rep, nil
 }
 
 // TraceExact returns buyers perfectly consistent with the suspect on every

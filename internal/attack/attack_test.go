@@ -198,12 +198,102 @@ func TestCollusionTracing(t *testing.T) {
 	}
 }
 
-func TestColludeNeedsTwo(t *testing.T) {
+// TestColludeSingleCopyDegrades: a k=1 "coalition" has nothing to diff, so
+// Collude degrades to the single-copy analysis — a clean clone, no detected
+// gates — instead of erroring out. Zero copies is still an error.
+func TestColludeSingleCopyDegrades(t *testing.T) {
 	a := testDesign(t, 4, 60)
 	tr := NewTracer(a)
 	copies := issueCopies(t, a, tr, 1, 5)
-	if _, err := Collude(copies); err == nil {
-		t.Error("single-copy collusion accepted")
+	res, err := Collude(copies)
+	if err != nil {
+		t.Fatalf("single-copy collusion: %v", err)
+	}
+	if len(res.DetectedGates) != 0 {
+		t.Errorf("k=1 detected gates %v, want none", res.DetectedGates)
+	}
+	// The lone buyer's fingerprint is intact: exact tracing still works.
+	names, err := tr.TraceExact(res.Forged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "buyerA" {
+		t.Errorf("TraceExact on k=1 forgery = %v, want [buyerA]", names)
+	}
+	if _, err := Collude(nil); err == nil {
+		t.Error("zero-copy collusion accepted")
+	}
+}
+
+// TestTraceFullRemoval: two copies whose fingerprints are disjoint single
+// bits disagree at every modified slot, so the fewest-pins coalition strips
+// both — a full removal. The tracer must report that as its own verdict
+// with an empty accusation list, not implicate every registered buyer.
+func TestTraceFullRemoval(t *testing.T) {
+	a := testDesign(t, 7, 120)
+	if a.BitCapacity() < 2 {
+		t.Skip("too few locations")
+	}
+	tr := NewTracer(a)
+	mk := func(hot int) core.Assignment {
+		bits := make([]bool, a.BitCapacity())
+		bits[hot] = true
+		asg, err := a.AssignmentFromBits(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return asg
+	}
+	// Pick two locations with distinct target gates: a shared target would
+	// make the two forms tie on pin count and survive the merge.
+	second := -1
+	for i := 1; i < len(a.Locations); i++ {
+		if a.Locations[i].Targets[0].Gate != a.Locations[0].Targets[0].Gate {
+			second = i
+			break
+		}
+	}
+	if second < 0 {
+		t.Skip("all locations share one target gate")
+	}
+	asgA, asgB := mk(0), mk(second)
+	tr.Register("buyerA", asgA)
+	tr.Register("buyerB", asgB)
+	cpA, err := core.Embed(a, asgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpB, err := core.Embed(a, asgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Collude([]*circuit.Circuit{cpA, cpB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DetectedGates) == 0 {
+		t.Fatal("disjoint fingerprints should differ somewhere")
+	}
+	rep, err := tr.Trace(res.Forged, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FullRemoval {
+		t.Fatalf("full removal not reported: %+v", rep)
+	}
+	if len(rep.Accused) != 0 {
+		t.Errorf("full removal accused %v, want nobody", rep.Accused)
+	}
+	// The untouched-copy path still accuses: tracing buyer A's own copy.
+	rep2, err := tr.Trace(cpA, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.FullRemoval {
+		t.Error("intact copy misreported as full removal")
+	}
+	if len(rep2.Accused) != 1 || rep2.Accused[0] != "buyerA" {
+		t.Errorf("accused %v, want [buyerA]", rep2.Accused)
 	}
 }
 

@@ -57,6 +57,12 @@ type Verdict struct {
 	Counterexample []bool
 	// PO is the name of a differing output for the counterexample.
 	PO string
+	// Conflicts is the SAT effort this check consumed (0 when simulation or
+	// structural collapse settled it without a SAT call). It is populated on
+	// budget-exhaustion errors too, so budgeted callers — the red-team
+	// attacker charging strip-proofs against a total conflict budget — can
+	// account for work that reached no verdict.
+	Conflicts int64
 }
 
 // tseitin encodes circuit c into solver s, mapping every node to a solver
@@ -89,6 +95,25 @@ func tseitin(s *sat.Solver, c *circuit.Circuit, piVars map[string]int) ([]int, e
 		}
 	}
 	return nodeVar, nil
+}
+
+// Encode Tseitin-encodes circuit c into solver s over the shared primary
+// input variables piVars (keyed by PI name; every PI of c must be present)
+// and returns one literal per primary output, in PO order. It is the
+// building block for custom miters beyond plain equivalence — the red-team
+// DIP attack encodes one keyed circuit twice over shared inputs and joins
+// the copies with a key-inequality clause (internal/redteam). Check and
+// Session remain the one-stop equivalence checkers.
+func Encode(s *sat.Solver, c *circuit.Circuit, piVars map[string]int) ([]int, error) {
+	nodeVar, err := tseitin(s, c, piVars)
+	if err != nil {
+		return nil, err
+	}
+	pos := make([]int, len(c.POs))
+	for i := range c.POs {
+		pos[i] = nodeVar[c.POs[i].Driver]
+	}
+	return pos, nil
 }
 
 // encodeGate adds the Tseitin clauses for out = kind(in...).
@@ -296,20 +321,20 @@ func CheckCtx(ctx context.Context, a, b *circuit.Circuit, opts Options) (Verdict
 	}
 	st, err := s.SolveCtx(ctx)
 	if err != nil {
-		return Verdict{}, err
+		return Verdict{Conflicts: s.Conflicts()}, err
 	}
 	switch st {
 	case sat.Unsat:
-		return Verdict{Equivalent: true, Proved: true}, nil
+		return Verdict{Equivalent: true, Proved: true, Conflicts: s.Conflicts()}, nil
 	case sat.Sat:
 		cex := make([]bool, len(a.PIs))
 		for i, pi := range a.PIs {
 			cex[i] = s.Value(lits.lit(piRef[a.Nodes[pi].Name]))
 		}
 		po := findDifferingPO(a, b, cex)
-		return Verdict{Equivalent: false, Proved: true, Counterexample: cex, PO: po}, nil
+		return Verdict{Equivalent: false, Proved: true, Counterexample: cex, PO: po, Conflicts: s.Conflicts()}, nil
 	default:
-		return Verdict{}, fmt.Errorf("%w (%d conflicts)", ErrBudgetExhausted, opts.MaxConflicts)
+		return Verdict{Conflicts: s.Conflicts()}, fmt.Errorf("%w (%d conflicts)", ErrBudgetExhausted, opts.MaxConflicts)
 	}
 }
 
@@ -384,20 +409,20 @@ func checkTseitin(ctx context.Context, a, b *circuit.Circuit, opts Options) (Ver
 	}
 	st, err := s.SolveCtx(ctx)
 	if err != nil {
-		return Verdict{}, err
+		return Verdict{Conflicts: s.Conflicts()}, err
 	}
 	switch st {
 	case sat.Unsat:
-		return Verdict{Equivalent: true, Proved: true}, nil
+		return Verdict{Equivalent: true, Proved: true, Conflicts: s.Conflicts()}, nil
 	case sat.Sat:
 		cex := make([]bool, len(a.PIs))
 		for i, pi := range a.PIs {
 			cex[i] = s.Value(piVars[a.Nodes[pi].Name])
 		}
 		po := findDifferingPO(a, b, cex)
-		return Verdict{Equivalent: false, Proved: true, Counterexample: cex, PO: po}, nil
+		return Verdict{Equivalent: false, Proved: true, Counterexample: cex, PO: po, Conflicts: s.Conflicts()}, nil
 	default:
-		return Verdict{}, fmt.Errorf("%w (%d conflicts)", ErrBudgetExhausted, opts.MaxConflicts)
+		return Verdict{Conflicts: s.Conflicts()}, fmt.Errorf("%w (%d conflicts)", ErrBudgetExhausted, opts.MaxConflicts)
 	}
 }
 

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// This file implements the Harden knob of the red-team loop: when the SAT
+// strip-proof attack (internal/redteam) resolves too many fingerprint bits
+// under a realistic budget, the embedding path inserts opaque-predicate
+// decoy sites in the style of Hoffmann & Paar (constants the attacker must
+// prove constant) and Alaql & Bhunia's attack-resistant obfuscation
+// (structure chosen to be expensive for the attacker's own deduction
+// engine). A decoy is an extra pin on an ordinary gate that is provably —
+// but not cheaply provably — stuck at the gate's identity value:
+//
+//	pin = XNOR(T₁, T₂)   for AND/NAND hosts (always 1)
+//	pin =  XOR(T₁, T₂)   for OR/NOR hosts  (always 0)
+//
+// where T₁ and T₂ are two differently shaped XOR trees over the same set
+// of primary-input taps. By parity associativity/commutativity the two
+// trees compute the same function, so the copy stays combinationally
+// equivalent to the original (Requirement 1 survives hardening). But the
+// trees share no structure, so the structural-hashing front end of the
+// equivalence checker cannot collapse them, and the SAT strip-proof that
+// the pin is removable degenerates into a parity-equivalence proof — the
+// classic CDCL-hostile instance family. Decoy placement and tree shape are
+// seeded per copy, so a coalition's structural diff flags decoys as
+// candidate fingerprint sites and its per-site strip-proofs drain the
+// attacker's conflict budget before the true sites are resolved.
+//
+// Decoys deliberately avoid the catalogued modification slots: extraction
+// pattern-matches each slot's target gate exactly, so a decoy pin there
+// would read as tampering and corrupt legitimate tracing.
+
+// HardenOptions tunes decoy insertion.
+type HardenOptions struct {
+	// Decoys is the number of decoy sites to insert (default 6; capped by
+	// the number of eligible host gates).
+	Decoys int
+	// Taps is the number of primary-input taps per parity tree (default 16,
+	// capped by the circuit's PI count; minimum 2).
+	Taps int
+	// Seed drives host selection and tree shapes. Issue each copy with a
+	// distinct seed: identical decoys across a coalition would cancel out
+	// of the structural diff and protect nothing.
+	Seed int64
+}
+
+func (o HardenOptions) withDefaults() HardenOptions {
+	if o.Decoys == 0 {
+		o.Decoys = 6
+	}
+	if o.Taps == 0 {
+		o.Taps = 16
+	}
+	return o
+}
+
+// Decoy records one inserted decoy site.
+type Decoy struct {
+	// Host is the gate carrying the always-identity extra pin.
+	Host string
+	// Pin is the pin's driver: the XNOR/XOR joining the two parity trees.
+	Pin string
+	// Taps counts the primary inputs each parity tree reads.
+	Taps int
+}
+
+// InsertDecoys inserts opaque-predicate decoy sites into cp, a copy derived
+// from a's circuit (an Embed output). It returns the inserted decoys; fewer
+// than requested when eligible hosts run out. The modified netlist remains
+// combinationally equivalent to the original and extraction-clean: hosts
+// never coincide with catalogued modification slots.
+func InsertDecoys(a *Analysis, cp *circuit.Circuit, opts HardenOptions) ([]Decoy, error) {
+	opts = opts.withDefaults()
+	if opts.Decoys < 0 || opts.Taps < 2 {
+		return nil, fmt.Errorf("core: harden: %d decoys / %d taps out of range", opts.Decoys, opts.Taps)
+	}
+	if len(cp.PIs) < 2 {
+		return nil, nil // nothing to build parity trees from
+	}
+	taps := opts.Taps
+	if taps > len(cp.PIs) {
+		taps = len(cp.PIs)
+	}
+	// Slot target gates are off limits: extraction matches them exactly.
+	reserved := make(map[string]bool)
+	for i := range a.Locations {
+		for j := range a.Locations[i].Targets {
+			reserved[a.Circuit.Nodes[a.Locations[i].Targets[j].Gate].Name] = true
+		}
+	}
+	lib := a.Options.Library
+	var hosts []circuit.NodeID
+	for i := range cp.Nodes {
+		nd := &cp.Nodes[i]
+		if nd.IsPI || !nd.Kind.HasControllingValue() || reserved[nd.Name] {
+			continue
+		}
+		if lib != nil && len(nd.Fanin)+1 > lib.MaxFanin(nd.Kind) {
+			continue // keep the host mappable after the extra pin
+		}
+		hosts = append(hosts, circuit.NodeID(i))
+	}
+	// Node order is insertion order, which can differ across otherwise
+	// equal copies (helper inverters); sort by name for seed-stable picks.
+	sort.Slice(hosts, func(x, y int) bool { return cp.Nodes[hosts[x]].Name < cp.Nodes[hosts[y]].Name })
+	rng := rand.New(rand.NewSource(opts.Seed))
+	rng.Shuffle(len(hosts), func(x, y int) { hosts[x], hosts[y] = hosts[y], hosts[x] })
+	if len(hosts) > opts.Decoys {
+		hosts = hosts[:opts.Decoys]
+	}
+
+	out := make([]Decoy, 0, len(hosts))
+	for _, h := range hosts {
+		pick := make([]circuit.NodeID, len(cp.PIs))
+		copy(pick, cp.PIs)
+		rng.Shuffle(len(pick), func(x, y int) { pick[x], pick[y] = pick[y], pick[x] })
+		pick = pick[:taps]
+		t1, err := buildParityTree(cp, pick, rng)
+		if err != nil {
+			return nil, err
+		}
+		shuffled := make([]circuit.NodeID, len(pick))
+		copy(shuffled, pick)
+		rng.Shuffle(len(shuffled), func(x, y int) { shuffled[x], shuffled[y] = shuffled[y], shuffled[x] })
+		t2, err := buildParityTree(cp, shuffled, rng)
+		if err != nil {
+			return nil, err
+		}
+		// XNOR ≡ 1 is the AND/NAND identity; XOR ≡ 0 the OR/NOR identity.
+		top := logic.Xnor
+		if id, _ := cp.Nodes[h].Kind.IdentityValue(); !id {
+			top = logic.Xor
+		}
+		pin, err := cp.AddGate(cp.FreshName("fp_dcy"), top, t1, t2)
+		if err != nil {
+			return nil, err
+		}
+		if err := cp.AddFanin(h, pin); err != nil {
+			return nil, err
+		}
+		out = append(out, Decoy{Host: cp.Nodes[h].Name, Pin: cp.Nodes[pin].Name, Taps: taps})
+	}
+	if err := cp.Validate(); err != nil {
+		return nil, fmt.Errorf("core: harden: %w", err)
+	}
+	return out, nil
+}
+
+// buildParityTree adds a randomly shaped tree of 2-input XORs over the
+// given leaves and returns its root.
+func buildParityTree(cp *circuit.Circuit, leaves []circuit.NodeID, rng *rand.Rand) (circuit.NodeID, error) {
+	if len(leaves) == 1 {
+		return leaves[0], nil
+	}
+	cut := 1 + rng.Intn(len(leaves)-1)
+	l, err := buildParityTree(cp, leaves[:cut], rng)
+	if err != nil {
+		return circuit.None, err
+	}
+	r, err := buildParityTree(cp, leaves[cut:], rng)
+	if err != nil {
+		return circuit.None, err
+	}
+	return cp.AddGate(cp.FreshName("fp_dcy"), logic.Xor, l, r)
+}
+
+// EmbedHardened is Embed followed by InsertDecoys: it applies the
+// fingerprint assignment and then plants opaque-predicate decoy sites, the
+// embedding path's Harden knob. Callers issue each buyer's copy with a
+// distinct HardenOptions.Seed.
+func EmbedHardened(a *Analysis, asg Assignment, opts HardenOptions) (*circuit.Circuit, []Decoy, error) {
+	cp, err := Embed(a, asg)
+	if err != nil {
+		return nil, nil, err
+	}
+	decoys, err := InsertDecoys(a, cp, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cp, decoys, nil
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/sim"
+)
+
+func hardenTestAnalysis(t testing.TB) *Analysis {
+	t.Helper()
+	spec, err := bench.ByName("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(spec.Build(), DefaultOptions(lib()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Locations) == 0 {
+		t.Fatal("no locations on c432")
+	}
+	return a
+}
+
+// TestHardenPreservesFunction: decoy pins are opaque identities, so the
+// hardened copy computes exactly the fingerprinted (and hence original)
+// function.
+func TestHardenPreservesFunction(t *testing.T) {
+	a := hardenTestAnalysis(t)
+	asg := FullAssignment(a)
+	plain, err := Embed(a, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hardened, decoys, err := EmbedHardened(a, asg, HardenOptions{Decoys: 5, Taps: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoys) == 0 {
+		t.Fatal("no decoys inserted")
+	}
+	vec := sim.Random(len(plain.PIs), 64, 11)
+	mm, err := sim.Compare(plain, hardened, vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm != nil {
+		t.Fatalf("hardened copy differs from plain embed: %+v", mm)
+	}
+}
+
+// TestHardenExtractionClean: decoys avoid the catalogued slots, so the full
+// fingerprint still extracts bit-exactly and nothing reads as tampered.
+func TestHardenExtractionClean(t *testing.T) {
+	a := hardenTestAnalysis(t)
+	asg := FullAssignment(a)
+	hardened, decoys, err := EmbedHardened(a, asg, HardenOptions{Decoys: 8, Taps: 6, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slotGates := map[string]bool{}
+	for i := range a.Locations {
+		for j := range a.Locations[i].Targets {
+			slotGates[a.Circuit.Nodes[a.Locations[i].Targets[j].Gate].Name] = true
+		}
+	}
+	for _, d := range decoys {
+		if slotGates[d.Host] {
+			t.Errorf("decoy host %s is a catalogued slot target", d.Host)
+		}
+	}
+	got, tampered, err := ExtractTolerant(a, hardened)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tampered) != 0 {
+		t.Fatalf("%d slots read as tampered on a hardened copy", len(tampered))
+	}
+	if !reflect.DeepEqual(got, asg) {
+		t.Fatal("hardened copy's fingerprint does not extract bit-exactly")
+	}
+}
+
+// TestHardenDeterministic: the same seed reproduces the same decoy set (the
+// issuer must be able to re-derive what it shipped), and different seeds
+// place decoys differently (or the structural diff would cancel them).
+func TestHardenDeterministic(t *testing.T) {
+	a := hardenTestAnalysis(t)
+	asg := EmptyAssignment(a)
+	opts := HardenOptions{Decoys: 6, Taps: 6, Seed: 21}
+	_, d1, err := EmbedHardened(a, asg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, d2, err := EmbedHardened(a, asg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d1, d2) {
+		t.Errorf("same seed produced different decoys:\n%v\n%v", d1, d2)
+	}
+	_, d3, err := EmbedHardened(a, asg, HardenOptions{Decoys: 6, Taps: 6, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for _, x := range d1 {
+		for _, y := range d3 {
+			if x.Host == y.Host {
+				same++
+			}
+		}
+	}
+	if same == len(d1) {
+		t.Error("different seeds picked identical decoy hosts")
+	}
+}

@@ -203,6 +203,20 @@ func EmbedPayload(a *core.Analysis, code Code, payload []bool) (core.Assignment,
 	return a.AssignmentFromBits(bits)
 }
 
+// EmbedPayloadHardened encodes the payload, embeds it, and plants
+// opaque-predicate decoy sites (core.EmbedHardened) in one step — the
+// coded-fingerprint entry point to the Harden knob. Decoys avoid the
+// catalogued slots, so ExtractPayload still decodes the payload from the
+// hardened copy; what changes is the red-team attacker's economics
+// (internal/redteam). Callers vary opts.Seed per buyer.
+func EmbedPayloadHardened(a *core.Analysis, code Code, payload []bool, opts core.HardenOptions) (*circuit.Circuit, []core.Decoy, error) {
+	asg, err := EmbedPayload(a, code, payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	return core.EmbedHardened(a, asg, opts)
+}
+
 // ObserveTrits extracts the per-location channel symbols from a (possibly
 // tampered) copy: canonical modification present → One, unmodified → Zero,
 // anything else (unknown variant, unexpected structure, missing gate) →

@@ -339,3 +339,46 @@ func TestObserveTritsErasure(t *testing.T) {
 		t.Errorf("tampered copy read as %v", trits[0])
 	}
 }
+
+// TestPayloadThroughHardenedCircuit: decoy insertion must not disturb the
+// coded channel — the payload decodes bit-exactly from a hardened copy.
+func TestPayloadThroughHardenedCircuit(t *testing.T) {
+	lib := cell.Default()
+	spec, err := bench.ByName("c880")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(spec.Build(), core.DefaultOptions(lib))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := NewRepetition(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := code.PayloadBits(a.BitCapacity())
+	if k < 4 {
+		t.Skipf("only %d payload bits available", k)
+	}
+	payload := make([]bool, k)
+	rng := rand.New(rand.NewSource(17))
+	for i := range payload {
+		payload[i] = rng.Intn(2) == 1
+	}
+	cp, decoys, err := EmbedPayloadHardened(a, code, payload, core.HardenOptions{Decoys: 6, Taps: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoys) == 0 {
+		t.Fatal("no decoys inserted")
+	}
+	got, err := ExtractPayload(a, code, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range payload {
+		if got[i] != payload[i] {
+			t.Fatalf("hardened copy: payload bit %d corrupted", i)
+		}
+	}
+}

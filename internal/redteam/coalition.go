@@ -1,0 +1,204 @@
+package redteam
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/attack"
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// Strategy selects how a coalition merges its copies into one forged
+// instance. The strategies span the realistic attacker spectrum: FewestPins
+// is the paper's §III-E adversary, Majority is the natural "vote out the
+// outlier" refinement, and Intersect is the strongest structural attack —
+// keep only the pins every copy agrees on, which provably reconstructs the
+// base form at every detected site.
+type Strategy uint8
+
+const (
+	// StrategyFewestPins adopts each differing gate's fewest-pin form
+	// (attack.Collude): modifications only add pins, so fewer pins is the
+	// attacker's best single-copy guess at the original.
+	StrategyFewestPins Strategy = iota
+	// StrategyMajority adopts each differing gate's most common form across
+	// the coalition, breaking ties toward fewer pins. With k ≥ 3 this
+	// out-votes any modification carried by a minority of the copies.
+	StrategyMajority
+	// StrategyIntersect rewires each differing gate to the pins present in
+	// every copy. Since modifications only add pins, the intersection is
+	// exactly the unfingerprinted form of every detected site — on a
+	// coalition whose fingerprints disagree everywhere, this is a full
+	// removal, the outcome the paper's tracing argument concedes.
+	StrategyIntersect
+)
+
+// String names the strategy in specs and reports.
+func (st Strategy) String() string {
+	switch st {
+	case StrategyFewestPins:
+		return "fewestpins"
+	case StrategyMajority:
+		return "majority"
+	case StrategyIntersect:
+		return "intersect"
+	}
+	return fmt.Sprintf("Strategy(%d)", uint8(st))
+}
+
+// ParseStrategy parses a strategy name as produced by String.
+func ParseStrategy(s string) (Strategy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "fewestpins":
+		return StrategyFewestPins, nil
+	case "majority":
+		return StrategyMajority, nil
+	case "intersect":
+		return StrategyIntersect, nil
+	}
+	return 0, fmt.Errorf("redteam: unknown strategy %q (want fewestpins, majority or intersect)", s)
+}
+
+// Strategies returns all coalition strategies, in spec order.
+func Strategies() []Strategy {
+	return []Strategy{StrategyFewestPins, StrategyMajority, StrategyIntersect}
+}
+
+// Coalition merges the copies under the chosen strategy. k=1 degrades to a
+// clean clone with nothing detected, matching attack.Collude.
+func Coalition(copies []*circuit.Circuit, st Strategy) (*attack.CollusionResult, error) {
+	switch st {
+	case StrategyFewestPins:
+		return attack.Collude(copies)
+	case StrategyMajority:
+		return attack.ColludePick(copies, majorityPick)
+	case StrategyIntersect:
+		return colludeIntersect(copies)
+	}
+	return nil, fmt.Errorf("redteam: unknown strategy %v", st)
+}
+
+// majorityPick votes by canonical signature; ties break toward fewer pins,
+// then the lowest copy index, keeping the merge deterministic.
+func majorityPick(name string, copies []*circuit.Circuit, ids []circuit.NodeID) int {
+	votes := make(map[string]int, len(copies))
+	for i := range copies {
+		votes[attack.Signature(copies[i], ids[i])]++
+	}
+	best := 0
+	bestVotes := votes[attack.Signature(copies[0], ids[0])]
+	bestPins := len(copies[0].Nodes[ids[0]].Fanin)
+	for i := 1; i < len(copies); i++ {
+		v := votes[attack.Signature(copies[i], ids[i])]
+		pins := len(copies[i].Nodes[ids[i]].Fanin)
+		if v > bestVotes || (v == bestVotes && pins < bestPins) {
+			best, bestVotes, bestPins = i, v, pins
+		}
+	}
+	return best
+}
+
+// colludeIntersect keeps, at every differing gate, only the pins whose
+// signal name appears on that gate in all copies. Base-function pins
+// survive (no catalogue entry removes or renames a pin), added literals and
+// decoy pins are dropped (their helper logic carries per-copy fresh names),
+// and a gate reduced to a single pin falls back to its single-input form
+// (NAND/NOR→INV, AND/OR→BUF) so ConvertSingle modifications unconvert
+// cleanly. Matching is deliberately by name, not by the
+// inverter-transparent signature detection uses: a signature mismatch can
+// come from the pin's own driver being modified, and dropping such a pin
+// would change the function.
+func colludeIntersect(copies []*circuit.Circuit) (*attack.CollusionResult, error) {
+	if len(copies) < 2 {
+		return attack.Collude(copies)
+	}
+	base := copies[0]
+	forged := base.Clone()
+	res := &attack.CollusionResult{}
+	foreign := 0
+	for i := range base.Nodes {
+		id0 := circuit.NodeID(i)
+		if base.Nodes[i].IsPI {
+			continue
+		}
+		name := base.Nodes[i].Name
+		ids := make([]circuit.NodeID, len(copies))
+		ids[0] = id0
+		missing := false
+		for c := 1; c < len(copies); c++ {
+			id, ok := copies[c].Lookup(name)
+			if !ok {
+				missing = true
+				break
+			}
+			ids[c] = id
+		}
+		if missing {
+			foreign++
+			continue
+		}
+		sig0 := attack.Signature(base, id0)
+		differs := false
+		for c := 1; c < len(copies); c++ {
+			if attack.Signature(copies[c], ids[c]) != sig0 {
+				differs = true
+				break
+			}
+		}
+		if !differs {
+			continue
+		}
+		res.DetectedGates = append(res.DetectedGates, name)
+		// Multiset-intersect copy0's pins with every other copy's.
+		keep := make([]circuit.NodeID, 0, len(base.Nodes[i].Fanin))
+		counts := make(map[string]int)
+		for _, f := range base.Nodes[i].Fanin {
+			counts[base.Nodes[f].Name]++
+		}
+		for c := 1; c < len(copies); c++ {
+			other := make(map[string]int)
+			for _, f := range copies[c].Nodes[ids[c]].Fanin {
+				other[copies[c].Nodes[f].Name]++
+			}
+			for d, n := range counts {
+				if other[d] < n {
+					counts[d] = other[d]
+				}
+			}
+		}
+		for _, f := range base.Nodes[i].Fanin {
+			if d := base.Nodes[f].Name; counts[d] > 0 {
+				counts[d]--
+				keep = append(keep, f)
+			}
+		}
+		if len(keep) == 0 {
+			// Nothing survives the intersection — only possible on inputs
+			// that are not honest instances of one design; leave copy0's
+			// form rather than fabricate a gate with no pins.
+			continue
+		}
+		kind := base.Nodes[i].Kind
+		if len(keep) == 1 {
+			switch kind {
+			case logic.Nand, logic.Nor:
+				kind = logic.Inv
+			case logic.And, logic.Or:
+				kind = logic.Buf
+			}
+		}
+		if err := forged.RewireGate(forged.MustLookup(name), kind, keep); err != nil {
+			return nil, fmt.Errorf("redteam: intersect at %q: %w", name, err)
+		}
+	}
+	if foreign > len(base.Nodes)/2 {
+		return nil, fmt.Errorf("redteam: copies share under half of the layout; not instances of one design")
+	}
+	swept, _ := forged.Sweep()
+	if err := swept.Validate(); err != nil {
+		return nil, fmt.Errorf("redteam: forged netlist invalid: %w", err)
+	}
+	res.Forged = swept
+	return res, nil
+}

@@ -1,0 +1,34 @@
+package redteam
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseSpec: the campaign-spec reader must never panic; accepted specs
+// must validate and round-trip through their canonical rendering.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("")
+	f.Add(DefaultSpec().String())
+	f.Add("dip: budget=5000 maxdips=8\nsite: total=9000\n")
+	f.Add("coalition: k=2 strategies=intersect+majority\nseed: -3\n")
+	f.Add("# comment only\nharden: decoys=0 taps=2 seed=-1\n")
+	f.Add("dip: budget=99999999999999999999\n")
+	f.Add("seed:")
+	f.Fuzz(func(t *testing.T, src string) {
+		sp, err := ParseSpec(src)
+		if err != nil {
+			return
+		}
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("accepted spec invalid: %v\n%+v", err, sp)
+		}
+		back, err := ParseSpec(sp.String())
+		if err != nil {
+			t.Fatalf("own output rejected: %v\n%s", err, sp.String())
+		}
+		if !reflect.DeepEqual(sp, back) {
+			t.Fatalf("round trip changed the spec:\ngot  %+v\nfrom %+v", back, sp)
+		}
+	})
+}

@@ -1,0 +1,202 @@
+package redteam
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Spec is a complete red-team campaign configuration, the text format
+// consumed by cmd/attackbench. The format is line-oriented: `#` starts a
+// comment, blank lines are skipped, and every other line is a section
+// followed by space-separated key=value pairs:
+//
+//	dip: budget=200000 maxdips=64
+//	site: budget=0 total=0 simwords=4
+//	coalition: k=3 strategies=fewestpins+majority+intersect
+//	harden: decoys=6 taps=16 seed=7
+//	seed: 1
+//
+// Omitted sections and keys keep their DefaultSpec values; repeated keys
+// take the last value. String renders the canonical form, and
+// ParseSpec(s.String()) round-trips every valid Spec.
+type Spec struct {
+	// DIPBudget bounds the DIP loop's SAT conflicts (0: unlimited).
+	DIPBudget int64
+	// MaxDIPs caps DIP iterations.
+	MaxDIPs int
+	// SiteBudget bounds each strip proof's SAT conflicts (0: unlimited).
+	SiteBudget int64
+	// TotalBudget bounds all strip proofs combined (0: unlimited; the
+	// benchmark derives a budget from the unhardened baseline when 0).
+	TotalBudget int64
+	// SimWords sizes the equivalence checker's simulation pre-pass.
+	SimWords int
+	// Seed drives the attacker's processing order.
+	Seed int64
+	// K is the coalition size.
+	K int
+	// Strategies lists the coalition merge strategies to run.
+	Strategies []Strategy
+	// Decoys and Taps configure hardening (core.HardenOptions).
+	Decoys int
+	// Taps is the per-decoy parity-tree width.
+	Taps int
+	// HardenSeed seeds decoy placement; the benchmark offsets it per buyer.
+	HardenSeed int64
+}
+
+// DefaultSpec is the configuration cmd/attackbench runs with no -spec flag.
+func DefaultSpec() Spec {
+	return Spec{
+		DIPBudget:  200000,
+		MaxDIPs:    64,
+		SimWords:   4,
+		Seed:       1,
+		K:          3,
+		Strategies: []Strategy{StrategyFewestPins, StrategyMajority, StrategyIntersect},
+		Decoys:     6,
+		Taps:       16,
+		HardenSeed: 7,
+	}
+}
+
+// AttackOptions converts the spec to per-attack options.
+func (sp Spec) AttackOptions() AttackOptions {
+	return AttackOptions{
+		DIPBudget:   sp.DIPBudget,
+		MaxDIPs:     sp.MaxDIPs,
+		SiteBudget:  sp.SiteBudget,
+		TotalBudget: sp.TotalBudget,
+		SimWords:    sp.SimWords,
+		Seed:        sp.Seed,
+	}
+}
+
+// HardenOptions converts the spec to embedding-side hardening options.
+func (sp Spec) HardenOptions() core.HardenOptions {
+	return core.HardenOptions{Decoys: sp.Decoys, Taps: sp.Taps, Seed: sp.HardenSeed}
+}
+
+// String renders the canonical spec text accepted by ParseSpec.
+func (sp Spec) String() string {
+	names := make([]string, len(sp.Strategies))
+	for i, st := range sp.Strategies {
+		names[i] = st.String()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "dip: budget=%d maxdips=%d\n", sp.DIPBudget, sp.MaxDIPs)
+	fmt.Fprintf(&b, "site: budget=%d total=%d simwords=%d\n", sp.SiteBudget, sp.TotalBudget, sp.SimWords)
+	fmt.Fprintf(&b, "coalition: k=%d strategies=%s\n", sp.K, strings.Join(names, "+"))
+	fmt.Fprintf(&b, "harden: decoys=%d taps=%d seed=%d\n", sp.Decoys, sp.Taps, sp.HardenSeed)
+	fmt.Fprintf(&b, "seed: %d\n", sp.Seed)
+	return b.String()
+}
+
+// Validate bounds-checks the spec.
+func (sp Spec) Validate() error {
+	switch {
+	case sp.DIPBudget < 0 || sp.SiteBudget < 0 || sp.TotalBudget < 0:
+		return fmt.Errorf("redteam: spec: budgets must be ≥ 0")
+	case sp.MaxDIPs < 0:
+		return fmt.Errorf("redteam: spec: maxdips must be ≥ 0")
+	case sp.SimWords < 0:
+		return fmt.Errorf("redteam: spec: simwords must be ≥ 0")
+	case sp.K < 1:
+		return fmt.Errorf("redteam: spec: coalition size k=%d must be ≥ 1", sp.K)
+	case len(sp.Strategies) == 0:
+		return fmt.Errorf("redteam: spec: at least one coalition strategy required")
+	case sp.Decoys < 0:
+		return fmt.Errorf("redteam: spec: decoys must be ≥ 0")
+	case sp.Taps < 0 || sp.Taps == 1:
+		return fmt.Errorf("redteam: spec: taps=%d must be 0 (default) or ≥ 2", sp.Taps)
+	}
+	return nil
+}
+
+// ParseSpec parses the campaign text format, starting from DefaultSpec.
+func ParseSpec(src string) (Spec, error) {
+	sp := DefaultSpec()
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		section, rest, ok := strings.Cut(line, ":")
+		if !ok {
+			return Spec{}, fmt.Errorf("redteam: spec line %d: want \"section: key=value ...\", got %q", ln+1, raw)
+		}
+		section = strings.ToLower(strings.TrimSpace(section))
+		rest = strings.TrimSpace(rest)
+		if section == "seed" {
+			n, err := strconv.ParseInt(rest, 10, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("redteam: spec line %d: seed: %v", ln+1, err)
+			}
+			sp.Seed = n
+			continue
+		}
+		for _, field := range strings.Fields(rest) {
+			key, val, ok := strings.Cut(field, "=")
+			if !ok {
+				return Spec{}, fmt.Errorf("redteam: spec line %d: want key=value, got %q", ln+1, field)
+			}
+			key = strings.ToLower(key)
+			if section == "coalition" && key == "strategies" {
+				sp.Strategies = sp.Strategies[:0]
+				for _, name := range strings.Split(val, "+") {
+					st, err := ParseStrategy(name)
+					if err != nil {
+						return Spec{}, fmt.Errorf("redteam: spec line %d: %v", ln+1, err)
+					}
+					sp.Strategies = append(sp.Strategies, st)
+				}
+				continue
+			}
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("redteam: spec line %d: %s.%s: %v", ln+1, section, key, err)
+			}
+			if err := sp.set(section, key, n); err != nil {
+				return Spec{}, fmt.Errorf("redteam: spec line %d: %v", ln+1, err)
+			}
+		}
+	}
+	if err := sp.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return sp, nil
+}
+
+// set stores one parsed numeric key.
+func (sp *Spec) set(section, key string, n int64) error {
+	switch section + "." + key {
+	case "dip.budget":
+		sp.DIPBudget = n
+	case "dip.maxdips":
+		sp.MaxDIPs = int(n)
+	case "site.budget":
+		sp.SiteBudget = n
+	case "site.total":
+		sp.TotalBudget = n
+	case "site.simwords":
+		sp.SimWords = int(n)
+	case "coalition.k":
+		sp.K = int(n)
+	case "harden.decoys":
+		sp.Decoys = int(n)
+	case "harden.taps":
+		sp.Taps = int(n)
+	case "harden.seed":
+		sp.HardenSeed = n
+	default:
+		return fmt.Errorf("unknown key %s.%s", section, key)
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package redteam
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseSpecDefaults(t *testing.T) {
+	sp, err := ParseSpec("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sp, DefaultSpec()) {
+		t.Fatalf("empty spec != defaults:\n%+v\n%+v", sp, DefaultSpec())
+	}
+}
+
+func TestParseSpecOverrides(t *testing.T) {
+	src := `
+# a campaign
+dip: budget=5000 maxdips=8
+site: budget=100 total=9000 simwords=2
+coalition: k=2 strategies=intersect
+harden: decoys=3 taps=4 seed=99
+seed: 42
+`
+	sp, err := ParseSpec(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Spec{
+		DIPBudget: 5000, MaxDIPs: 8,
+		SiteBudget: 100, TotalBudget: 9000, SimWords: 2,
+		Seed: 42, K: 2,
+		Strategies: []Strategy{StrategyIntersect},
+		Decoys:     3, Taps: 4, HardenSeed: 99,
+	}
+	if !reflect.DeepEqual(sp, want) {
+		t.Fatalf("parsed\n%+v\nwant\n%+v", sp, want)
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	sp, err := ParseSpec("coalition: k=5 strategies=majority+fewestpins\nharden: taps=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSpec(sp.String())
+	if err != nil {
+		t.Fatalf("own output rejected: %v\n%s", err, sp.String())
+	}
+	if !reflect.DeepEqual(sp, back) {
+		t.Fatalf("round trip changed the spec:\n%+v\n%+v", sp, back)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, src := range []string{
+		"dip budget=5",                   // missing colon
+		"dip: budget",                    // missing value
+		"dip: budget=x",                  // not a number
+		"warp: speed=9",                  // unknown section
+		"dip: speed=9",                   // unknown key
+		"coalition: k=0",                 // coalition too small
+		"coalition: strategies=steal",    // unknown strategy
+		"coalition: strategies=",         // empty strategy list
+		"harden: taps=1",                 // degenerate parity tree
+		"site: total=-5",                 // negative budget
+		"seed: many",                     // malformed seed
+		"dip: maxdips=-1",                // negative cap
+		strings.Repeat("k", 10) + ":= 1", // junk
+	} {
+		if _, err := ParseSpec(src); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", src)
+		}
+	}
+}

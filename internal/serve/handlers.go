@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strconv"
 
+	"repro/internal/attack"
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -65,6 +66,12 @@ type TraceResponse struct {
 	// threshold also catches coalitions whose forged copy retained another
 	// colluder's variant at the sites the attack detected.
 	Implicated []string `json:"implicated,omitempty"`
+	// FullRemoval is set (?scores=1 only) when the suspect carries no
+	// surviving modification at any untampered slot: either it was never
+	// fingerprinted from this design, or an attacker stripped every bit —
+	// the one outcome tracing cannot attribute. Operators should treat it
+	// as its own alert class rather than an empty Implicated list.
+	FullRemoval bool `json:"full_removal,omitempty"`
 }
 
 // TraceScore is one buyer's agreement with the suspect copy.
@@ -499,6 +506,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 				return apiErrorf(http.StatusUnprocessableEntity, "trace: %v", err)
 			}
 			resp.Threshold = threshold
+			resp.FullRemoval = attack.FullRemoval(scores)
 			for _, sc := range scores {
 				resp.Scores = append(resp.Scores, TraceScore{
 					Buyer:        sc.Name,
@@ -507,10 +515,23 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 					Fraction:     sc.Fraction(),
 					FractionAll:  sc.FractionAll(),
 				})
-				if sc.TotalPresent > 0 && sc.Fraction() >= threshold {
+				if !resp.FullRemoval && sc.TotalPresent > 0 && sc.Fraction() >= threshold {
 					resp.Implicated = append(resp.Implicated, sc.Name)
 				}
 			}
+		}
+		// The accusation count rides in a header so load balancers and
+		// alerting probes can watch trace outcomes without parsing bodies;
+		// the counters below feed the same signal into /metrics.
+		accused := len(resp.Implicated)
+		if !wantScores && resp.Exact != "" {
+			accused = 1
+		}
+		w.Header().Set("X-Odcfp-Accused", strconv.Itoa(accused))
+		if accused > 0 {
+			mTraceAccusations.Add(int64(accused))
+		} else {
+			mTraceMisses.Inc()
 		}
 		mTraces.Inc()
 		writeJSON(w, http.StatusOK, resp)

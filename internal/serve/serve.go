@@ -64,13 +64,20 @@ import (
 // Request metrics: traffic counters are workload-determined; latency and
 // in-flight depend on wall time and scheduling.
 var (
-	mRequests  = obs.NewCounter("serve", "requests")
-	mErrors    = obs.NewCounter("serve", "request_errors")
-	mUploads   = obs.NewCounter("serve", "uploads")
-	mIssues    = obs.NewCounter("serve", "issues")
-	mTraces    = obs.NewCounter("serve", "traces")
-	mTimeouts  = obs.NewCounter("serve", "request_timeouts", obs.Nondet())
-	hLatencyNS = obs.NewHistogram("serve", "request_ns", obs.Nondet())
+	mRequests = obs.NewCounter("serve", "requests")
+	mErrors   = obs.NewCounter("serve", "request_errors")
+	mUploads  = obs.NewCounter("serve", "uploads")
+	mIssues   = obs.NewCounter("serve", "issues")
+	mTraces   = obs.NewCounter("serve", "traces")
+	// Trace outcomes: accusations counts buyers implicated across all trace
+	// calls (one call can implicate a whole coalition); misses counts trace
+	// calls that implicated nobody — full removals, foreign netlists, or
+	// sub-threshold evidence. A rising miss rate against known-fingerprinted
+	// inventory is the operator's signal that attacks are succeeding.
+	mTraceAccusations = obs.NewCounter("serve", "trace_accusations")
+	mTraceMisses      = obs.NewCounter("serve", "trace_misses")
+	mTimeouts         = obs.NewCounter("serve", "request_timeouts", obs.Nondet())
+	hLatencyNS        = obs.NewHistogram("serve", "request_ns", obs.Nondet())
 	// hAnalyzeUS records the latency of each completed analysis (the
 	// daemon's dominant unit of compute) in microseconds; the exported name
 	// keeps the seconds-oriented spelling, and consumers such as the loadgen

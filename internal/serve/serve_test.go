@@ -343,9 +343,12 @@ func TestServeGracefulShutdown(t *testing.T) {
 }
 
 // TestServeConcurrentIssue: many clients issuing different buyers at once
-// all succeed with distinct fingerprints (run under -race).
+// all succeed with distinct fingerprints (run under -race). Shedding is
+// disabled: on a small machine the default queue depth (4×workers) is
+// below the burst size, and load shedding under pressure is not what this
+// test is about (the chaos suite covers it).
 func TestServeConcurrentIssue(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts := newTestServer(t, Config{MaxQueueDepth: -1})
 	info, _ := uploadDesign(t, ts.URL, benchBytes(t, "c880"))
 
 	const buyers = 8
@@ -464,5 +467,58 @@ func TestServeErrors(t *testing.T) {
 	}
 	if got := post("/designs/"+info.Digest+"/trace", ""); got != http.StatusBadRequest {
 		t.Errorf("trace with empty body = %d, want 400", got)
+	}
+}
+
+// TestTraceOutcomeSignals: every trace response carries the accusation
+// count in X-Odcfp-Accused, scored traces of a stripped/never-issued copy
+// report full_removal instead of an empty implication list, and both
+// outcomes feed the serve.trace_accusations / serve.trace_misses counters.
+func TestTraceOutcomeSignals(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	design := benchBytes(t, "c432")
+	info, _ := uploadDesign(t, ts.URL, design)
+	aliceBody, _ := issueCopy(t, ts.URL, info.Digest, "alice", "")
+
+	accBefore := mTraceAccusations.Value()
+	missBefore := mTraceMisses.Value()
+
+	// A verbatim pirated copy: one accusation, in header and counter.
+	resp, err := http.Post(ts.URL+"/designs/"+info.Digest+"/trace", "text/plain", bytes.NewReader(aliceBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Odcfp-Accused"); got != "1" {
+		t.Errorf("pirated copy: X-Odcfp-Accused = %q, want 1", got)
+	}
+	if d := mTraceAccusations.Value() - accBefore; d != 1 {
+		t.Errorf("trace_accusations rose by %d, want 1", d)
+	}
+
+	// The unfingerprinted master: a scored trace must classify it as a
+	// full removal, implicate nobody, and count a miss.
+	resp, err = http.Post(ts.URL+"/designs/"+info.Digest+"/trace?scores=1", "text/plain", bytes.NewReader(design))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Odcfp-Accused"); got != "0" {
+		t.Errorf("master copy: X-Odcfp-Accused = %q, want 0", got)
+	}
+	var tr TraceResponse
+	if err := json.Unmarshal(body, &tr); err != nil {
+		t.Fatalf("trace response: %v: %s", err, body)
+	}
+	if !tr.FullRemoval {
+		t.Error("master copy not reported as full_removal")
+	}
+	if len(tr.Implicated) != 0 {
+		t.Errorf("full removal implicated %v", tr.Implicated)
+	}
+	if d := mTraceMisses.Value() - missBefore; d != 1 {
+		t.Errorf("trace_misses rose by %d, want 1", d)
 	}
 }
