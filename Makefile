@@ -2,14 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-analyze bench-analyze-smoke bench-attack bench-verify bench-serve bench-serve-cluster serve-smoke cluster-smoke attack-smoke chaos experiments reproduce doccheck fuzz cover ci clean
+.PHONY: all build test vet bench bench-analyze bench-analyze-smoke bench-attack bench-verify bench-serve bench-serve-cluster serve-smoke cluster-smoke partition-smoke chaos-cluster attack-smoke chaos experiments reproduce doccheck fuzz cover ci clean
 
 all: build vet test
 
 # Everything the CI workflow runs: formatting, vet, doc lint, build, the
 # full race-enabled test suite, a short fuzz pass over the three netlist
 # parsers and the red-team spec reader, the fault-injected chaos smoke, the
-# daemon and cluster process-level smokes, and the red-team attack smoke.
+# daemon, cluster and partition process-level smokes, and the red-team
+# attack smoke.
 ci: doccheck
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
@@ -23,6 +24,7 @@ ci: doccheck
 	$(MAKE) chaos
 	$(MAKE) serve-smoke
 	$(MAKE) cluster-smoke
+	$(MAKE) partition-smoke
 	$(MAKE) attack-smoke
 	$(MAKE) bench-analyze-smoke
 
@@ -69,6 +71,23 @@ bench-attack:
 # and full registry convergence on the survivors (scripts/cluster_smoke.sh).
 cluster-smoke:
 	GO=$(GO) scripts/cluster_smoke.sh 400 8 cluster_smoke.json
+
+# Partition smoke: the in-process partition and bit-flip chaos tests under
+# the race detector, then three real odcfpd processes with an armed
+# net.partition fault plan severing one replica — the majority must keep
+# acking, hinted handoff must drain after the heal, and all three replicas
+# must converge without an explicit sync (scripts/partition_smoke.sh). The
+# per-replica metric snapshots land in partition-metrics.json (CI artifact).
+partition-smoke:
+	$(GO) test -race -count=1 -run 'TestChaosClusterPartition|TestChaosClusterScrubBitFlip' ./internal/serve/
+	GO=$(GO) scripts/partition_smoke.sh 300 8 partition_smoke.json
+
+# Full partition chaos run: a longer load, a longer partition window and a
+# tighter failure budget than the CI smoke, for soak-testing the handoff
+# and scrubber paths on dedicated hardware.
+chaos-cluster:
+	$(GO) test -race -count=5 -run 'TestChaosClusterPartition|TestChaosClusterScrubBitFlip' ./internal/serve/
+	GO=$(GO) PART_FOR=8s MAXFAIL=20 scripts/partition_smoke.sh 2000 16 partition_smoke.json
 
 # Cluster benchmark: the BENCH_serve.json `cluster` section. Measures a
 # single-node baseline on mature registries (20k preseeded copies per design,
@@ -139,4 +158,4 @@ fuzz:
 # Seed corpora under internal/*/testdata/fuzz are committed — clean only
 # removes generated run artifacts, never fuzz seeds.
 clean:
-	rm -f BENCH_*.json runreport.json tables.md chaos-metrics.json serve_smoke.json cluster_smoke.json
+	rm -f BENCH_*.json runreport.json tables.md chaos-metrics.json serve_smoke.json cluster_smoke.json partition_smoke.json partition-metrics.json

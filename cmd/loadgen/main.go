@@ -189,6 +189,7 @@ func run(args []string) error {
 	minScale := fs.Float64("min-scale", 0, "multi-endpoint: fail below this aggregate-vs-baseline RPS scale (0 = report only)")
 	preseed := fs.Int("preseed", 0, "mint this many seed copies per design (async batch job) before the timed run")
 	baselineRPS := fs.Float64("baseline-rps", 0, "multi-endpoint: single-node baseline rps for the scale factor (0 = top-level rps in the report)")
+	maxFail := fs.Int("max-fail", 0, "tolerate up to this many failed requests before exiting nonzero (chaos runs that sever links mid-request)")
 	out := fs.String("out", "BENCH_serve.json", "JSON report path")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -212,6 +213,7 @@ func run(args []string) error {
 		N: *n, C: *c, Designs: *designs, Preseed: *preseed,
 		SaveDir: *saveDir, Out: *out,
 		MinScale: *minScale, BaselineRPS: *baselineRPS,
+		MaxFail: *maxFail,
 	})
 }
 
@@ -221,6 +223,8 @@ type genConfig struct {
 	N, C, Designs, Preseed    int
 	SaveDir, Out              string
 	MinScale, BaselineRPS     float64
+	// MaxFail tolerates up to this many failed requests (chaos runs).
+	MaxFail int
 }
 
 // pool routes requests across the configured endpoints: round-robin to
@@ -683,7 +687,7 @@ func generate(p *pool, cfg genConfig) error {
 	}
 	rps := float64(2*buyers) / wall.Seconds()
 	if p.clustered() {
-		return writeClusterReport(p, cfg.Out, &clusterStat{
+		return writeClusterReport(p, cfg, &clusterStat{
 			Endpoints: len(p.bases),
 			Designs:   nDesigns,
 			Preseed:   cfg.Preseed,
@@ -697,7 +701,7 @@ func generate(p *pool, cfg genConfig) error {
 			Issue:     issueLat.stat(),
 			Trace:     traceLat.stat(),
 			PerNode:   p.nodeCounts(),
-		}, cfg.MinScale, cfg.BaselineRPS)
+		})
 	}
 	rep := report{
 		Design:    design,
@@ -728,8 +732,8 @@ func generate(p *pool, cfg genConfig) error {
 	}
 	fmt.Printf("loadgen: %d requests, %d clients, %d failures, %d shed, %.1f req/s, cache hit rate %.4f\n",
 		rep.Requests, c, rep.Failures, rep.Shed, rep.RPS, hitRate(cache))
-	if rep.Failures > 0 {
-		return fmt.Errorf("%d requests failed", rep.Failures)
+	if rep.Failures > cfg.MaxFail {
+		return fmt.Errorf("%d requests failed (max-fail %d)", rep.Failures, cfg.MaxFail)
 	}
 	return nil
 }
@@ -738,8 +742,9 @@ func generate(p *pool, cfg genConfig) error {
 // under "cluster", computing the scale factor against the single-node
 // baseline — baselineRPS when the caller measured one out-of-band, else
 // the top-level rps the report already holds — and fails the run when the
-// scale misses minScale or any request failed outright.
-func writeClusterReport(p *pool, out string, cs *clusterStat, minScale, baselineRPS float64) error {
+// scale misses MinScale or more than MaxFail requests failed outright.
+func writeClusterReport(p *pool, cfg genConfig, cs *clusterStat) error {
+	out, minScale, baselineRPS := cfg.Out, cfg.MinScale, cfg.BaselineRPS
 	rep := report{Generated: time.Now().UTC().Format(time.RFC3339)}
 	if prev, err := os.ReadFile(out); err == nil {
 		json.Unmarshal(prev, &rep)
@@ -765,8 +770,8 @@ func writeClusterReport(p *pool, out string, cs *clusterStat, minScale, baseline
 	for node, cnt := range cs.PerNode {
 		fmt.Printf("loadgen:   %-28s %d requests\n", node, cnt)
 	}
-	if cs.Failures > 0 {
-		return fmt.Errorf("%d requests failed", cs.Failures)
+	if cs.Failures > cfg.MaxFail {
+		return fmt.Errorf("%d requests failed (max-fail %d)", cs.Failures, cfg.MaxFail)
 	}
 	if minScale > 0 && cs.Scale < minScale {
 		return fmt.Errorf("cluster scale %.2fx below required %.2fx", cs.Scale, minScale)

@@ -9,7 +9,8 @@
 //	       [-max-bytes 16777216] [-timeout 60s] [-verify] [-addr-file PATH]
 //	       [-retries 3] [-breaker 3] [-cooldown 30s] [-max-queue N]
 //	       [-batch-chunk 64] [-max-batch 256] [-faults SPEC] [-pprof ADDR]
-//	       [-cluster URL,URL,... -node URL [-rf 2]]
+//	       [-cluster URL,URL,... -node URL [-rf 2] [-hint-retry 500ms]
+//	        [-scrub-interval 1m]]
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: the listener closes,
 // in-flight requests run to completion, then the process exits 0. With
@@ -21,8 +22,13 @@
 // names this node's own URL from that list, and -rf sets the write quorum
 // (an issuance acknowledges only after rf replicas hold its record durably
 // in their WALs). Every replica routes design-scoped requests to the
-// design's leader, so clients may talk to any of them. See OPERATIONS.md
-// for the deployment runbook and DESIGN.md §13 for the protocol.
+// design's leader, so clients may talk to any of them. Two background
+// repair loops keep a wounded cluster converging: hinted handoff redelivers
+// appends a peer missed while unreachable (-hint-retry sets the base
+// redelivery cadence) and the WAL scrubber re-verifies every segment's
+// checksums on disk, quarantining and rebuilding damaged files
+// (-scrub-interval sets the pass cadence). See OPERATIONS.md for the
+// deployment runbook and DESIGN.md §13 for the protocol.
 //
 // -faults arms the internal/fault injection plan (chaos testing only; see
 // that package for the spec syntax, e.g.
@@ -79,6 +85,8 @@ func run(args []string) error {
 	cluster := fs.String("cluster", "", "comma-separated base URLs of every cluster replica (this node included); empty = single-node")
 	node := fs.String("node", "", "this node's advertised base URL (required with -cluster; must appear in it)")
 	rf := fs.Int("rf", 0, "replication factor: replicas that must hold a record durably before it is acknowledged (0 = default 2)")
+	hintRetry := fs.Duration("hint-retry", 0, "base interval between hinted-handoff redelivery attempts to a severed peer (0 = default 500ms)")
+	scrubInterval := fs.Duration("scrub-interval", 0, "how often the WAL scrubber re-verifies every segment (0 = default 1m, <0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -92,9 +100,11 @@ func run(args []string) error {
 			Self:              strings.TrimRight(strings.TrimSpace(*node), "/"),
 			Nodes:             nodes,
 			ReplicationFactor: *rf,
+			HintRetry:         *hintRetry,
+			ScrubInterval:     *scrubInterval,
 		}
-	} else if *node != "" || *rf != 0 {
-		return fmt.Errorf("-node and -rf require -cluster")
+	} else if *node != "" || *rf != 0 || *hintRetry != 0 || *scrubInterval != 0 {
+		return fmt.Errorf("-node, -rf, -hint-retry and -scrub-interval require -cluster")
 	}
 	if *pprofAddr != "" {
 		pln, err := net.Listen("tcp", *pprofAddr)

@@ -16,11 +16,28 @@
 //	every=N    fire only on every Nth hit
 //	after=N    skip the first N hits
 //	count=N    fire at most N times
+//	for=D      stay eligible only for D of wall time after the first
+//	           eligible hit (then the rule heals; wall-clock, so Nondet)
 //	delay=D    stall duration for Stall points (e.g. 5ms)
+//	src=T      network points only: restrict to links whose source node
+//	           id equals or contains T
+//	dst=T      network points only: restrict by destination node id
+//	groups=G   net.partition only: partition groups, "|" between groups,
+//	           "," between member tokens (e.g. groups=a|b,c severs every
+//	           link between {a} and {b,c}); a node matches a token by
+//	           equality or substring, unlisted nodes are unrestricted
 //
 // and the pseudo-point "seed:N" fixing the plan seed. Example:
 //
 //	store.write:p=0.5;store.fsync:delay=5ms,every=3;sat.budget:count=4;seed:42
+//
+// The network class (net.drop, net.delay, net.partition) is keyed by the
+// (src, dst) node pair of one replica-to-replica message: the cluster
+// transport calls Link(src, dst) before every peer exchange, so a plan can
+// sever or degrade specific links. Example — partition node a away from b
+// and c after 25 link messages, for 3 seconds:
+//
+//	net.partition:groups=a|b,c,after=25,for=3s;net.delay:delay=2ms,dst=b
 package fault
 
 import (
@@ -71,6 +88,16 @@ const (
 	// is durable on the coordinator but not yet acknowledged. Chaos tests
 	// widen it to land a node kill inside.
 	ReplWindow Point = "repl.window"
+	// NetDrop makes a replica-to-replica message fail with a transient
+	// *Error before any byte leaves the node, as if the link dropped it.
+	NetDrop Point = "net.drop"
+	// NetDelay stalls a replica-to-replica message by the rule's delay —
+	// a degraded (but live) link.
+	NetDelay Point = "net.delay"
+	// NetPartition severs every link crossing the rule's group boundary:
+	// messages between nodes in different groups fail with a transient
+	// *Error, messages within a group (or to unlisted nodes) pass.
+	NetPartition Point = "net.partition"
 )
 
 // Error is the error injected by an armed point. It is always transient:
@@ -78,10 +105,18 @@ const (
 type Error struct {
 	// Point is the site that fired.
 	Point Point
+	// Src and Dst name the link endpoints for network points; empty
+	// otherwise.
+	Src, Dst string
 }
 
 // Error implements error.
-func (e *Error) Error() string { return "fault: injected failure at " + string(e.Point) }
+func (e *Error) Error() string {
+	if e.Src != "" || e.Dst != "" {
+		return fmt.Sprintf("fault: injected failure at %s (link %s -> %s)", e.Point, e.Src, e.Dst)
+	}
+	return "fault: injected failure at " + string(e.Point)
+}
 
 // Transient marks the error as retryable.
 func (e *Error) Transient() bool { return true }
@@ -98,15 +133,28 @@ type Rule struct {
 	After int64
 	// Count caps the number of fires (0 means unlimited).
 	Count int64
+	// For bounds the rule's active window: once the first eligible hit
+	// arrives (past After), the rule heals For of wall time later. Zero
+	// means no time bound. Wall-clock based, so runs using it are not
+	// bit-reproducible — intended for process-level partition smokes.
+	For time.Duration
 	// Delay is the stall duration applied by Stall points.
 	Delay time.Duration
+	// Src and Dst restrict network points to links whose endpoint node id
+	// equals or contains the token; empty matches any node.
+	Src, Dst string
+	// Groups are net.partition's partition groups: a link whose endpoints
+	// match tokens of two different groups is severed. Nodes matching no
+	// group are unrestricted.
+	Groups [][]string
 }
 
 // ruleState is a Rule plus its mutable per-point counters.
 type ruleState struct {
 	Rule
-	hits  atomic.Int64
-	fires atomic.Int64
+	hits    atomic.Int64
+	fires   atomic.Int64
+	started atomic.Int64 // unix nanos of the first eligible hit (for=)
 }
 
 // Plan is an armed set of rules. Build one with NewPlan or Parse, then arm
@@ -144,7 +192,7 @@ func Parse(spec string) (*Plan, error) {
 			continue
 		}
 		rs := &ruleState{}
-		for _, kv := range strings.Split(params, ",") {
+		for _, kv := range splitParams(params) {
 			kv = strings.TrimSpace(kv)
 			if kv == "" {
 				continue
@@ -166,8 +214,16 @@ func Parse(spec string) (*Plan, error) {
 				rs.After, err = strconv.ParseInt(v, 10, 64)
 			case "count":
 				rs.Count, err = strconv.ParseInt(v, 10, 64)
+			case "for":
+				rs.For, err = time.ParseDuration(v)
 			case "delay":
 				rs.Delay, err = time.ParseDuration(v)
+			case "src":
+				rs.Src = v
+			case "dst":
+				rs.Dst = v
+			case "groups":
+				rs.Groups, err = parseGroups(v)
 			default:
 				err = fmt.Errorf("unknown key %q", k)
 			}
@@ -178,6 +234,43 @@ func Parse(spec string) (*Plan, error) {
 		p.rules[Point(name)] = rs
 	}
 	return p, nil
+}
+
+// splitParams splits a rule's parameter list on commas, re-joining any
+// segment without an "=" onto the value before it — so groups=a|b,c parses
+// as one groups value {a}|{b,c} while after=5 stays a separate param.
+func splitParams(params string) []string {
+	var out []string
+	for _, seg := range strings.Split(params, ",") {
+		if !strings.Contains(seg, "=") && len(out) > 0 {
+			out[len(out)-1] += "," + seg
+			continue
+		}
+		out = append(out, seg)
+	}
+	return out
+}
+
+// parseGroups parses a net.partition group spec: "|" between groups, ","
+// between member tokens.
+func parseGroups(v string) ([][]string, error) {
+	var groups [][]string
+	for _, g := range strings.Split(v, "|") {
+		var members []string
+		for _, m := range strings.Split(g, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				members = append(members, m)
+			}
+		}
+		if len(members) == 0 {
+			return nil, fmt.Errorf("empty partition group in %q", v)
+		}
+		groups = append(groups, members)
+	}
+	if len(groups) < 2 {
+		return nil, fmt.Errorf("partition %q needs at least two groups", v)
+	}
+	return groups, nil
 }
 
 // String renders the plan back to (normalised) spec form, for logs.
@@ -197,8 +290,24 @@ func (p *Plan) String() string {
 		if rs.Count > 0 {
 			kv = append(kv, fmt.Sprintf("count=%d", rs.Count))
 		}
+		if rs.For > 0 {
+			kv = append(kv, fmt.Sprintf("for=%s", rs.For))
+		}
 		if rs.Delay > 0 {
 			kv = append(kv, fmt.Sprintf("delay=%s", rs.Delay))
+		}
+		if rs.Src != "" {
+			kv = append(kv, "src="+rs.Src)
+		}
+		if rs.Dst != "" {
+			kv = append(kv, "dst="+rs.Dst)
+		}
+		if len(rs.Groups) > 0 {
+			gs := make([]string, len(rs.Groups))
+			for i, g := range rs.Groups {
+				gs[i] = strings.Join(g, ",")
+			}
+			kv = append(kv, "groups="+strings.Join(gs, "|"))
 		}
 		parts = append(parts, string(pt)+":"+strings.Join(kv, ","))
 	}
@@ -252,30 +361,99 @@ func decide(pt Point) (*ruleState, bool) {
 	if !ok {
 		return nil, false
 	}
+	return rs, eval(p, pt, rs, 0)
+}
+
+// eval runs one hit of pt through rs's firing policy. extra folds
+// additional identity (the link hash for network points) into the
+// probability draw so distinct links get independent deterministic streams.
+func eval(p *Plan, pt Point, rs *ruleState, extra uint64) bool {
 	mHits.Inc()
 	n := rs.hits.Add(1)
 	if n <= rs.After {
-		return nil, false
+		return false
+	}
+	if rs.For > 0 {
+		// The active window opens at the first eligible hit and closes For
+		// later — the wall-clock heal used by partition smokes.
+		now := time.Now().UnixNano()
+		rs.started.CompareAndSwap(0, now)
+		if now-rs.started.Load() > int64(rs.For) {
+			return false
+		}
 	}
 	if rs.Every > 1 && (n-rs.After)%rs.Every != 0 {
-		return nil, false
+		return false
 	}
 	if rs.P > 0 && rs.P < 1 {
-		u := splitmix64(p.seed ^ pointHash(pt) ^ uint64(n))
+		u := splitmix64(p.seed ^ pointHash(pt) ^ extra ^ uint64(n))
 		if float64(u)/math.MaxUint64 >= rs.P {
-			return nil, false
+			return false
 		}
 	}
 	for {
 		f := rs.fires.Load()
 		if rs.Count > 0 && f >= rs.Count {
-			return nil, false
+			return false
 		}
 		if rs.fires.CompareAndSwap(f, f+1) {
 			mFires.Inc()
-			return rs, true
+			return true
 		}
 	}
+}
+
+// matchNode reports whether a node id matches a token (equality or
+// substring; an empty token matches everything).
+func matchNode(node, token string) bool {
+	return token == "" || node == token || strings.Contains(node, token)
+}
+
+// groupOf returns the index of the first group with a token matching node,
+// or -1 when the node is unlisted.
+func groupOf(groups [][]string, node string) int {
+	for i, g := range groups {
+		for _, token := range g {
+			if matchNode(node, token) {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// linkHash folds a (src, dst) pair into the probability stream.
+func linkHash(src, dst string) uint64 {
+	return pointHash(Point(src)) ^ splitmix64(pointHash(Point(dst)))
+}
+
+// Link evaluates the network fault points for one src→dst replica message.
+// It applies net.delay's stall first (a degraded link still delivers), then
+// returns an injected *Error when net.partition severs the link or net.drop
+// fires for it; nil means the message may proceed. The fast path (no plan
+// armed) is one atomic load.
+func Link(src, dst string) error {
+	p := active.Load()
+	if p == nil {
+		return nil
+	}
+	if rs, ok := p.rules[NetDelay]; ok && matchNode(src, rs.Src) && matchNode(dst, rs.Dst) {
+		if eval(p, NetDelay, rs, linkHash(src, dst)) && rs.Delay > 0 {
+			time.Sleep(rs.Delay)
+		}
+	}
+	if rs, ok := p.rules[NetPartition]; ok {
+		gs, gd := groupOf(rs.Groups, src), groupOf(rs.Groups, dst)
+		if gs >= 0 && gd >= 0 && gs != gd && eval(p, NetPartition, rs, linkHash(src, dst)) {
+			return &Error{Point: NetPartition, Src: src, Dst: dst}
+		}
+	}
+	if rs, ok := p.rules[NetDrop]; ok && matchNode(src, rs.Src) && matchNode(dst, rs.Dst) {
+		if eval(p, NetDrop, rs, linkHash(src, dst)) {
+			return &Error{Point: NetDrop, Src: src, Dst: dst}
+		}
+	}
+	return nil
 }
 
 // Hit reports whether point pt fires on this hit. The fast path (no plan

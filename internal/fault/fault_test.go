@@ -137,6 +137,112 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+// TestLinkPartition: net.partition severs exactly the cross-group links,
+// in both directions, leaving same-group and unlisted nodes untouched.
+func TestLinkPartition(t *testing.T) {
+	arm(t, "net.partition:groups=n1|n2,n3")
+	if err := Link("n1", "n2"); !IsInjected(err) {
+		t.Fatalf("crossing link n1->n2 not severed: %v", err)
+	}
+	if err := Link("n3", "n1"); !IsInjected(err) {
+		t.Fatalf("crossing link n3->n1 not severed: %v", err)
+	}
+	if err := Link("n2", "n3"); err != nil {
+		t.Fatalf("same-group link n2->n3 severed: %v", err)
+	}
+	if err := Link("n1", "n1"); err != nil {
+		t.Fatalf("self link severed: %v", err)
+	}
+	if err := Link("n1", "other"); err != nil {
+		t.Fatalf("link to unlisted node severed: %v", err)
+	}
+	var fe *Error
+	err := Link("n1", "n2")
+	if !errors.As(err, &fe) || fe.Point != NetPartition || fe.Src != "n1" || fe.Dst != "n2" || !fe.Transient() {
+		t.Fatalf("partition error shape wrong: %#v", err)
+	}
+}
+
+// TestLinkPartitionSubstringMatch: group tokens match node ids by
+// substring, so port tokens select full base URLs.
+func TestLinkPartitionSubstringMatch(t *testing.T) {
+	arm(t, "net.partition:groups=18521|18522,18523")
+	if err := Link("http://127.0.0.1:18521", "http://127.0.0.1:18523"); !IsInjected(err) {
+		t.Fatal("substring-matched crossing link not severed")
+	}
+	if err := Link("http://127.0.0.1:18522", "http://127.0.0.1:18523"); err != nil {
+		t.Fatalf("same-group link severed: %v", err)
+	}
+}
+
+// TestLinkDropSrcDst: net.drop restricted by src/dst tokens hits only the
+// matching direction of the matching link.
+func TestLinkDropSrcDst(t *testing.T) {
+	arm(t, "net.drop:src=a,dst=b")
+	if err := Link("a", "b"); !IsInjected(err) {
+		t.Fatal("a->b not dropped")
+	}
+	if err := Link("b", "a"); err != nil {
+		t.Fatalf("b->a dropped despite src/dst filter: %v", err)
+	}
+	if err := Link("a", "c"); err != nil {
+		t.Fatalf("a->c dropped despite dst filter: %v", err)
+	}
+}
+
+// TestLinkDelay: net.delay stalls the message but still delivers it.
+func TestLinkDelay(t *testing.T) {
+	arm(t, "net.delay:delay=20ms")
+	t0 := time.Now()
+	if err := Link("a", "b"); err != nil {
+		t.Fatalf("delayed link errored: %v", err)
+	}
+	if d := time.Since(t0); d < 15*time.Millisecond {
+		t.Fatalf("Link returned after %v, want ≥ 20ms", d)
+	}
+}
+
+// TestLinkAfterForHeals: a partition with after= engages late and with
+// for= heals on its own — the mid-run partition+heal shape the process
+// smoke arms via -faults.
+func TestLinkAfterForHeals(t *testing.T) {
+	arm(t, "net.partition:groups=a|b,after=2,for=50ms")
+	if Link("a", "b") != nil || Link("a", "b") != nil {
+		t.Fatal("partition engaged before after=2")
+	}
+	if !IsInjected(Link("a", "b")) {
+		t.Fatal("partition did not engage after the window opened")
+	}
+	time.Sleep(80 * time.Millisecond)
+	if err := Link("a", "b"); err != nil {
+		t.Fatalf("partition did not heal after for=50ms: %v", err)
+	}
+}
+
+// TestParseGroupsRoundTrip: the groups continuation syntax parses, extra
+// params after it are still recognised, and String() round-trips.
+func TestParseGroupsRoundTrip(t *testing.T) {
+	p, err := Parse("net.partition:groups=a|b,c,after=5,for=3s;seed:7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := p.rules[NetPartition]
+	if len(rs.Groups) != 2 || len(rs.Groups[1]) != 2 || rs.Groups[1][1] != "c" {
+		t.Fatalf("groups parsed wrong: %v", rs.Groups)
+	}
+	if rs.After != 5 || rs.For != 3*time.Second {
+		t.Fatalf("params after groups lost: after=%d for=%s", rs.After, rs.For)
+	}
+	if _, err := Parse(p.String()); err != nil {
+		t.Fatalf("String() %q does not re-parse: %v", p.String(), err)
+	}
+	for _, bad := range []string{"net.partition:groups=a", "net.partition:groups="} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
 // TestConcurrentHits: concurrent evaluation is race-free and respects the
 // fire cap (run under -race).
 func TestConcurrentHits(t *testing.T) {

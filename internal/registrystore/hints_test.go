@@ -1,0 +1,221 @@
+package registrystore
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// openHintedReplicated opens a replicated store with a fast hint-retry
+// cadence so redelivery tests settle quickly.
+func openHintedReplicated(t *testing.T, dir string, ft *fakeTransport, self string, nodes []string, w int) *Replicated {
+	t.Helper()
+	r, err := OpenReplicated(ReplicatedConfig{
+		Dir: dir, Self: self, Nodes: nodes, W: w,
+		Transport: ft, AckTimeout: time.Second,
+		HintRetry: 5 * time.Millisecond, ScrubInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+// TestHintLogRoundTrip: hints merge in memory, survive a close/reopen, and
+// the log compacts back to its header once the queue drains.
+func TestHintLogRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	hl, err := openHintLog(dir, "http://127.0.0.1:9999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := "99887766554433221100ffeeddccbbaa"
+	if err := hl.add(replTestDigest, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := hl.add(replTestDigest, 2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := hl.add(d2, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := hl.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	hl2, err := openHintLog(dir, "http://127.0.0.1:9999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pend := hl2.pending()
+	if len(pend) != 2 || pend[replTestDigest] != (hintRange{Lo: 0, Hi: 5}) || pend[d2] != (hintRange{Lo: 1, Hi: 3}) {
+		t.Fatalf("replayed hints %v", pend)
+	}
+	hl2.clear(replTestDigest)
+	if hl2.size == int64(len(hintMagic)) {
+		t.Fatal("log compacted with hints still pending")
+	}
+	hl2.clear(d2)
+	if hl2.size != int64(len(hintMagic)) {
+		t.Fatal("log did not compact once the queue drained")
+	}
+	if err := hl2.close(); err != nil {
+		t.Fatal(err)
+	}
+	hl3, err := openHintLog(dir, "http://127.0.0.1:9999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hl3.close()
+	if n := hl3.pendingCount(); n != 0 {
+		t.Fatalf("compacted log replayed %d hints", n)
+	}
+}
+
+// TestHintedHandoffDelivers: an append that reaches quorum while one peer
+// is down queues a durable hint for that peer, and the redelivery loop
+// drains it once the peer comes back — without any further client traffic.
+func TestHintedHandoffDelivers(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3"}
+	ft := newFakeTransport(t, "n2", "n3")
+	ft.setDown("n3", true)
+	r := openHintedReplicated(t, t.TempDir(), ft, "n1", nodes, 2)
+
+	recs := []Record{{Buyer: "alice", Value: "101"}, {Buyer: "bob", Value: "202"}}
+	if _, err := r.Append(context.Background(), replTestDigest, nil, recs); err != nil {
+		t.Fatalf("append with quorum available failed: %v", err)
+	}
+	waitFor(t, "hint queued for n3", func() bool { return r.HintsPending()["n3"] == 1 })
+	if st := r.Handoff(); st.HintsQueued == 0 {
+		t.Fatalf("Handoff stats missed the queued hint: %+v", st)
+	}
+
+	ft.setDown("n3", false)
+	waitFor(t, "hint redelivery", func() bool { return ft.peers["n3"].Total(replTestDigest) == 2 })
+	waitFor(t, "hint queue drained", func() bool { return len(r.HintsPending()) == 0 })
+	if st := r.Handoff(); st.HintsDelivered == 0 {
+		t.Fatalf("Handoff stats missed the delivery: %+v", st)
+	}
+}
+
+// TestHintedHandoffSurvivesRestart: hints are durable — a coordinator that
+// crashes with undelivered hints resumes the handoff when it reopens.
+func TestHintedHandoffSurvivesRestart(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3"}
+	dir := t.TempDir()
+	ft := newFakeTransport(t, "n2", "n3")
+	ft.setDown("n3", true)
+	r, err := OpenReplicated(ReplicatedConfig{
+		Dir: dir, Self: "n1", Nodes: nodes, W: 2,
+		Transport: ft, AckTimeout: time.Second,
+		HintRetry: 5 * time.Millisecond, ScrubInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Append(context.Background(), replTestDigest, nil,
+		[]Record{{Buyer: "carol", Value: "303"}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "hint queued", func() bool { return r.HintsPending()["n3"] == 1 })
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The peer recovers while the coordinator is down; the reopened
+	// coordinator owes the delivery and drains the replayed hint.
+	ft.setDown("n3", false)
+	r2 := openHintedReplicated(t, dir, ft, "n1", nodes, 2)
+	waitFor(t, "replayed hint redelivery", func() bool { return ft.peers["n3"].Total(replTestDigest) == 1 })
+	waitFor(t, "replayed queue drained", func() bool { return len(r2.HintsPending()) == 0 })
+}
+
+// TestQuorumErrorReportsEveryPeer: a quorum failure names each failed peer
+// with its own error, not just whichever failed last.
+func TestQuorumErrorReportsEveryPeer(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3"}
+	ft := newFakeTransport(t, "n2", "n3")
+	ft.setDown("n2", true)
+	ft.setDown("n3", true)
+	r := openHintedReplicated(t, t.TempDir(), ft, "n1", nodes, 2)
+
+	_, err := r.Append(context.Background(), replTestDigest, nil,
+		[]Record{{Buyer: "dave", Value: "404"}})
+	if err == nil {
+		t.Fatal("append with every peer down reached quorum")
+	}
+	var qe *quorumError
+	if !errors.As(err, &qe) {
+		t.Fatalf("error %v is not a quorumError", err)
+	}
+	if len(qe.peerErrs) != 2 || qe.peerErrs["n2"] == nil || qe.peerErrs["n3"] == nil {
+		t.Fatalf("peer error map %v, want entries for n2 and n3", qe.peerErrs)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "n2:") || !strings.Contains(msg, "n3:") {
+		t.Fatalf("error message %q does not name both failed peers", msg)
+	}
+	if qe.Unwrap() == nil || !qe.Transient() {
+		t.Fatalf("quorumError lost Unwrap/Transient: %#v", qe)
+	}
+}
+
+// blockingTransport parks every Replicate until its context is cancelled —
+// the worst-case straggler. Fetch answers empty immediately.
+type blockingTransport struct{}
+
+func (blockingTransport) Replicate(ctx context.Context, node, digest string, recs []Record, total uint64) (uint64, error) {
+	<-ctx.Done()
+	return 0, ctx.Err()
+}
+
+func (blockingTransport) Fetch(ctx context.Context, node, digest string) ([]Record, error) {
+	return nil, nil
+}
+
+// TestCloseJoinsStragglers: Close cancels and joins every background
+// goroutine — post-quorum straggler replications, the hint redelivery loop,
+// the scrubber — even while peers hang, and no goroutines leak.
+func TestCloseJoinsStragglers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	nodes := []string{"n1", "n2", "n3"}
+	r, err := OpenReplicated(ReplicatedConfig{
+		Dir: t.TempDir(), Self: "n1", Nodes: nodes, W: 1,
+		Transport: blockingTransport{}, AckTimeout: time.Minute,
+		HintRetry: 5 * time.Millisecond, ScrubInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// W=1 acks immediately; both peer replications are stragglers parked
+	// inside the blocking transport.
+	if _, err := r.Append(context.Background(), replTestDigest, nil,
+		[]Record{{Buyer: "erin", Value: "505"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- r.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not join the straggler goroutines")
+	}
+	// Appends after Close fail their replication legs instead of panicking
+	// a WaitGroup or leaking goroutines.
+	if _, err := r.Append(context.Background(), replTestDigest, nil,
+		[]Record{{Buyer: "frank", Value: "606"}}); err == nil {
+		t.Fatal("append after Close succeeded")
+	}
+	waitFor(t, "goroutines to drain", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before
+	})
+}

@@ -27,6 +27,7 @@ package registrystore
 
 import (
 	"context"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -34,7 +35,8 @@ import (
 )
 
 // Store metrics. Append/load counts are workload-determined; fsync counts
-// depend on group-commit batching under concurrent load and are Nondet.
+// depend on group-commit batching under concurrent load and are Nondet,
+// as is everything downstream of replication and fault timing.
 var (
 	mAppends    = obs.NewCounter("registrystore", "appends")
 	mRecords    = obs.NewCounter("registrystore", "records")
@@ -44,7 +46,47 @@ var (
 	mReplAcks   = obs.NewCounter("registrystore", "repl_acks", obs.Nondet())
 	mReplErrors = obs.NewCounter("registrystore", "repl_errors", obs.Nondet())
 	mCatchups   = obs.NewCounter("registrystore", "repl_catchups", obs.Nondet())
+
+	// Hinted handoff (hints.go): hints queued when a peer replication
+	// fails past quorum, delivered when the redelivery loop drains them.
+	mHintsQueued    = obs.NewCounter("registrystore", "cluster_hints_queued", obs.Nondet())
+	mHintsDelivered = obs.NewCounter("registrystore", "cluster_hints_delivered", obs.Nondet())
+	gHintsPending   = obs.NewGauge("registrystore", "cluster_hints_pending", obs.Nondet())
+
+	// WAL scrubber (scrub.go): segments verified, found corrupt, rebuilt,
+	// and records restored into rebuilt segments; salvages count open-time
+	// mid-file recoveries.
+	mScrubRuns     = obs.NewCounter("registrystore", "scrub_runs", obs.Nondet())
+	mScrubSegments = obs.NewCounter("registrystore", "scrub_segments", obs.Nondet())
+	mScrubCorrupt  = obs.NewCounter("registrystore", "scrub_corrupt_segments", obs.Nondet())
+	mScrubRepaired = obs.NewCounter("registrystore", "scrub_repaired_segments", obs.Nondet())
+	mScrubRestored = obs.NewCounter("registrystore", "scrub_records_restored", obs.Nondet())
+	mScrubSalvages = obs.NewCounter("registrystore", "scrub_open_salvages", obs.Nondet())
 )
+
+// peerErrCounters lazily materialises one registrystore.peer_errors{node}
+// counter per peer, so operators can tell a dead peer (one node's counter
+// climbing) from a flaky fabric (every counter climbing).
+var peerErrCounters struct {
+	mu sync.Mutex
+	m  map[string]*obs.Counter
+}
+
+// peerErrCounter returns (registering on first use) the peer's replication
+// error counter.
+func peerErrCounter(node string) *obs.Counter {
+	peerErrCounters.mu.Lock()
+	defer peerErrCounters.mu.Unlock()
+	if peerErrCounters.m == nil {
+		peerErrCounters.m = make(map[string]*obs.Counter)
+	}
+	c, ok := peerErrCounters.m[node]
+	if !ok {
+		c = obs.NewCounter("registrystore", `peer_errors{node="`+node+`"}`, obs.Nondet())
+		peerErrCounters.m[node] = c
+	}
+	return c
+}
 
 // Record is one acknowledged issuance: the buyer a fingerprinted copy was
 // minted for and the decimal fingerprint value recorded for them. Records

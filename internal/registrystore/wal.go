@@ -71,6 +71,8 @@ type walBatch struct {
 type segment struct {
 	mu      sync.Mutex
 	f       *os.File
+	path    string // segment file path (scrub rebuilds swap it atomically)
+	digest  string
 	size    int64 // durable byte size (frames beyond it are not yet synced)
 	recs    []Record
 	byBuyer map[string]string // committed buyer → value
@@ -231,7 +233,7 @@ func createSegment(path, dir, digest string) (*segment, error) {
 		d.Close()
 	}
 	return &segment{
-		f: f, size: int64(len(hdr)),
+		f: f, path: path, digest: digest, size: int64(len(hdr)),
 		byBuyer: make(map[string]string), pending: make(map[string]string),
 	}, nil
 }
@@ -261,6 +263,8 @@ func openSegment(path, digest string) (*segment, error) {
 	}
 	seg := &segment{
 		f:       f,
+		path:    path,
+		digest:  digest,
 		byBuyer: make(map[string]string),
 		pending: make(map[string]string),
 	}
@@ -275,9 +279,31 @@ func openSegment(path, digest string) (*segment, error) {
 		off = next
 	}
 	if off < int64(len(data)) {
-		// Torn or corrupt tail: everything from off on is garbage. The
-		// records before it are intact (frames are written in order), so
-		// truncating is exactly the crash-recovery contract.
+		// Garbage at off. Distinguish mid-file corruption (CRC-valid frames
+		// survive beyond the bad region — a bit flip in a committed frame)
+		// from the classic torn tail (a partial final frame from a crash).
+		if salvaged := salvageFrames(data, off+1, seg.byBuyer); len(salvaged) > 0 {
+			// Mid-file corruption: quarantine the damaged bytes and rebuild
+			// the segment from everything that still authenticates. Records
+			// inside the corrupt region are gone locally; the replicated
+			// store re-fetches them from the peers (startup Sync / scrubber).
+			mScrubSalvages.Inc()
+			mScrubRestored.Add(int64(len(salvaged)))
+			for _, rec := range salvaged {
+				seg.recs = append(seg.recs, rec)
+				seg.byBuyer[rec.Buyer] = rec.Value
+			}
+			f.Close()
+			nf, size, err := rebuildSegmentFile(path, digest, seg.recs)
+			if err != nil {
+				return nil, err
+			}
+			seg.f, seg.size = nf, size
+			return seg, nil
+		}
+		// Torn tail: everything from off on is garbage. The records before
+		// it are intact (frames are written in order), so truncating is
+		// exactly the crash-recovery contract.
 		mWALTruncs.Inc()
 		if err := f.Truncate(off); err != nil {
 			f.Close()
@@ -290,6 +316,98 @@ func openSegment(path, digest string) (*segment, error) {
 	}
 	seg.size = off
 	return seg, nil
+}
+
+// salvageFrames byte-scans data from off for CRC-valid frames past a
+// corrupt region, skipping buyers already recovered (and conflicting
+// duplicates, which cannot occur in an authentic segment). The sequence
+// check is waived — the rebuild reassigns sequence numbers — but the CRC
+// still authenticates every salvaged record.
+func salvageFrames(data []byte, off int64, have map[string]string) []Record {
+	var out []Record
+	seen := make(map[string]bool)
+	for p := off; p+walFrameOverhead <= int64(len(data)); p++ {
+		rec, next, ok := decodeFrameLoose(data, p)
+		if !ok {
+			continue
+		}
+		if _, dup := have[rec.Buyer]; !dup && !seen[rec.Buyer] {
+			out = append(out, rec)
+			seen[rec.Buyer] = true
+		}
+		p = next - 1 // resume right after the valid frame
+	}
+	return out
+}
+
+// decodeFrameLoose parses a frame at off without the sequence check —
+// the salvage scanner's probe. CRC and length sanity still apply.
+func decodeFrameLoose(data []byte, off int64) (rec Record, next int64, ok bool) {
+	if off+walFrameOverhead > int64(len(data)) {
+		return rec, 0, false
+	}
+	plen := binary.LittleEndian.Uint32(data[off:])
+	crc := binary.LittleEndian.Uint32(data[off+4:])
+	if plen < 12 || plen > walMaxPayload || off+walFrameOverhead+int64(plen) > int64(len(data)) {
+		return rec, 0, false
+	}
+	payload := data[off+walFrameOverhead : off+walFrameOverhead+int64(plen)]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return rec, 0, false
+	}
+	blen := binary.LittleEndian.Uint16(payload[8:])
+	vlen := binary.LittleEndian.Uint16(payload[10:])
+	if int(blen)+int(vlen)+12 != int(plen) {
+		return rec, 0, false
+	}
+	rec.Buyer = string(payload[12 : 12+blen])
+	rec.Value = string(payload[12+int(blen) : 12+int(blen)+int(vlen)])
+	return rec, off + walFrameOverhead + int64(plen), true
+}
+
+// rebuildSegmentFile replaces the segment file at path with a freshly
+// framed copy of recs, quarantining the previous bytes at path+".corrupt".
+// The write is crash-safe: the rebuild lands fully fsynced under a temp
+// name, then two renames swap it in — a crash mid-swap leaves either the
+// corrupt original (rebuilt again next open) or the complete rebuild.
+func rebuildSegmentFile(path, digest string, recs []Record) (*os.File, int64, error) {
+	tmp := path + ".rebuild"
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, 0, fmt.Errorf("registrystore: wal: rebuild %s: %w", path, err)
+	}
+	buf := segmentHeader(digest)
+	for i, rec := range recs {
+		frame, ferr := encodeFrame(uint64(i), rec)
+		if ferr != nil {
+			f.Close()
+			os.Remove(tmp)
+			return nil, 0, ferr
+		}
+		buf = append(buf, frame...)
+	}
+	if _, err := f.Write(buf); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, 0, fmt.Errorf("registrystore: wal: rebuild %s: %w", path, err)
+	}
+	if err := os.Rename(path, path+".corrupt"); err != nil && !os.IsNotExist(err) {
+		f.Close()
+		os.Remove(tmp)
+		return nil, 0, fmt.Errorf("registrystore: wal: quarantining %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("registrystore: wal: rebuild %s: %w", path, err)
+	}
+	if d, derr := os.Open(filepath.Dir(path)); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return f, int64(len(buf)), nil
 }
 
 // decodeFrame parses one frame at off. ok is false on a torn, corrupt or

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/registrystore"
 )
@@ -73,6 +74,12 @@ type ClusterConfig struct {
 	ReplicationFactor int
 	// AckTimeout bounds one peer replication attempt (0 means 5s).
 	AckTimeout time.Duration
+	// HintRetry is the base interval between hinted-handoff redelivery
+	// attempts (0 means 500ms).
+	HintRetry time.Duration
+	// ScrubInterval is how often the WAL scrubber re-verifies every
+	// segment (0 means 1m; negative disables the background loop).
+	ScrubInterval time.Duration
 }
 
 // clusterState is the server's runtime cluster machinery.
@@ -86,6 +93,17 @@ type clusterState struct {
 	breakers map[string]*breaker
 
 	wg sync.WaitGroup // background broadcasts
+}
+
+// linkFault consults the armed fault plan (if any) for the self→node
+// network link: a severed or dropped link fails the exchange before any
+// bytes move, and a delayed one stalls it — how -faults plans partition and
+// degrade specific replica links deterministically (net.partition,
+// net.drop, net.delay). The registrystore replication paths run the same
+// check; this covers the serve-layer peer exchanges (forwarding, design
+// push/fetch, job probes).
+func (cs *clusterState) linkFault(node string) error {
+	return fault.Link(cs.cfg.Self, node)
 }
 
 // breakerFor returns the peer's routing breaker, creating it on first use.
@@ -123,12 +141,14 @@ func (s *Server) openRegistryStore() error {
 		breakers: make(map[string]*breaker),
 	}
 	rs, err := registrystore.OpenReplicated(registrystore.ReplicatedConfig{
-		Dir:        filepath.Join(s.cfg.StoreDir, "wal"),
-		Self:       cc.Self,
-		Nodes:      cc.Nodes,
-		W:          cc.ReplicationFactor,
-		Transport:  &peerTransport{cs: cs},
-		AckTimeout: cc.AckTimeout,
+		Dir:           filepath.Join(s.cfg.StoreDir, "wal"),
+		Self:          cc.Self,
+		Nodes:         cc.Nodes,
+		W:             cc.ReplicationFactor,
+		Transport:     &peerTransport{cs: cs},
+		AckTimeout:    cc.AckTimeout,
+		HintRetry:     cc.HintRetry,
+		ScrubInterval: cc.ScrubInterval,
 	})
 	if err != nil {
 		return err
@@ -256,6 +276,9 @@ func (s *Server) routeToLeader(w http.ResponseWriter, r *http.Request, digest st
 // a transport failure (the node is down) returns false so the caller can
 // fail over to the next replica in the preference order.
 func (s *Server) forward(w http.ResponseWriter, r *http.Request, node string, body []byte) bool {
+	if s.cluster.linkFault(node) != nil {
+		return false
+	}
 	req, err := http.NewRequestWithContext(r.Context(), r.Method, node+r.URL.RequestURI(), bytes.NewReader(body))
 	if err != nil {
 		return false
@@ -351,7 +374,7 @@ func (s *Server) probeJobPeers(w http.ResponseWriter, r *http.Request) bool {
 		return false
 	}
 	for _, node := range cs.cfg.Nodes {
-		if node == cs.cfg.Self {
+		if node == cs.cfg.Self || cs.linkFault(node) != nil {
 			continue
 		}
 		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, node+r.URL.RequestURI(), nil)
@@ -527,6 +550,10 @@ func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
 		"nodes":  cs.ring.Nodes(),
 		"rf":     cs.cfg.ReplicationFactor,
 		"totals": totals,
+		// health is the node's self-repair ledger: hinted-handoff queue
+		// depth and delivery counts plus WAL scrubber activity. A healthy,
+		// fully converged node shows an empty hints_pending map.
+		"health": cs.store.Handoff(),
 	})
 }
 
@@ -585,6 +612,9 @@ func (t *peerTransport) do(req *http.Request, out any) error {
 // fetchDesign pulls one design's meta and bytes from a peer.
 func (cs *clusterState) fetchDesign(ctx context.Context, node, digest string) (DesignMeta, []byte, error) {
 	var meta DesignMeta
+	if err := cs.linkFault(node); err != nil {
+		return meta, nil, err
+	}
 	pctx, cancel := context.WithTimeout(ctx, defaultPeerTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(pctx, http.MethodGet, node+"/cluster/designs/"+digest, nil)
@@ -613,6 +643,9 @@ func (cs *clusterState) fetchDesign(ctx context.Context, node, digest string) (D
 
 // pushDesign delivers one design's bytes to a peer.
 func (cs *clusterState) pushDesign(ctx context.Context, node, digest string, meta DesignMeta, data []byte) error {
+	if err := cs.linkFault(node); err != nil {
+		return err
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
 		node+"/cluster/designs/"+digest, bytes.NewReader(data))
 	if err != nil {

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -8,6 +9,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -41,6 +44,10 @@ func startTestCluster(t *testing.T, n int) (bases []string, servers []*Server, k
 			Cluster: &ClusterConfig{
 				Self: bases[i], Nodes: bases,
 				ReplicationFactor: 2, AckTimeout: 2 * time.Second,
+				// Fast hint redelivery so partition tests settle quickly; the
+				// background scrub loop stays off (tests trigger Scrub
+				// directly for determinism).
+				HintRetry: 20 * time.Millisecond, ScrubInterval: -1,
 			},
 		})
 		if err != nil {
@@ -175,6 +182,206 @@ func TestClusterRouteAndConverge(t *testing.T) {
 					base, clusterTotals(t, base), info.Digest, buyers)
 			}
 			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t testing.TB, what string, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestChaosClusterPartition: the partition-tolerance acceptance test. A
+// 3-node cluster is split mid-load into a majority side (the design's
+// leader plus one follower) and a minority side (the remaining follower):
+// issuance on the majority side must keep acknowledging (W=2 is satisfied
+// without the minority), every miss toward the severed peer must queue a
+// durable hint, and after the partition heals the hinted handoff alone —
+// no client traffic, no manual sync — must converge the minority to the
+// full acknowledged record set with zero losses. Run under -race in CI.
+func TestChaosClusterPartition(t *testing.T) {
+	bases, servers, _ := startTestCluster(t, 3)
+	netlist := benchBytes(t, "c880")
+	info, _ := uploadDesign(t, bases[0], netlist)
+
+	leaderURL := servers[0].cluster.ring.Leader(info.Digest)
+	leaderIdx := -1
+	for i, b := range bases {
+		if b == leaderURL {
+			leaderIdx = i
+		}
+	}
+	if leaderIdx < 0 {
+		t.Fatalf("leader %s not in %v", leaderURL, bases)
+	}
+	majorityIdx := (leaderIdx + 1) % 3
+	minorityIdx := (leaderIdx + 2) % 3
+
+	// Sever the minority node from both majority nodes. Node ids are the
+	// advertised base URLs, so the group tokens are exact.
+	plan := fault.NewPlan(7, map[fault.Point]fault.Rule{
+		fault.NetPartition: {Groups: [][]string{
+			{bases[leaderIdx], bases[majorityIdx]},
+			{bases[minorityIdx]},
+		}},
+	})
+	fault.Enable(plan)
+	t.Cleanup(fault.Disable)
+
+	const buyers = 12
+	acked := make(map[string][]byte)
+	majority := []int{leaderIdx, majorityIdx}
+	for i := 0; i < buyers; i++ {
+		buyer := fmt.Sprintf("pbuyer-%02d", i)
+		var lastErr error
+		for attempt := 0; attempt < 3; attempt++ {
+			body, _, _, err := issueVia(t, bases[majority[(i+attempt)%2]], info.Digest, buyer)
+			if err == nil {
+				acked[buyer] = body
+				lastErr = nil
+				break
+			}
+			lastErr = err
+			time.Sleep(20 * time.Millisecond)
+		}
+		if lastErr != nil {
+			t.Fatalf("issue %s on the majority side failed during the partition: %v", buyer, lastErr)
+		}
+	}
+
+	// The partition really severed the minority: it holds none of the load
+	// issued while cut off, and the coordinator owes it hints.
+	if got := servers[minorityIdx].cluster.store.Total(info.Digest); got != 0 {
+		t.Fatalf("minority node holds %d records across the partition", got)
+	}
+	waitUntil(t, "hints queued for the severed peer", 5*time.Second, func() bool {
+		return servers[leaderIdx].cluster.store.HintsPending()[bases[minorityIdx]] > 0
+	})
+
+	// Heal. Hint redelivery alone must converge the minority — no client
+	// traffic, no ?sync=1.
+	fault.Disable()
+	waitUntil(t, "hinted handoff convergence", 10*time.Second, func() bool {
+		return servers[minorityIdx].cluster.store.Total(info.Digest) == uint64(len(acked))
+	})
+	waitUntil(t, "hint queues drained", 10*time.Second, func() bool {
+		for _, s := range servers {
+			if len(s.cluster.store.HintsPending()) != 0 {
+				return false
+			}
+		}
+		return true
+	})
+	if st := servers[leaderIdx].cluster.store.Handoff(); st.HintsQueued == 0 || st.HintsDelivered == 0 {
+		t.Fatalf("leader handoff stats %+v recorded no hint activity", st)
+	}
+
+	// An explicit anti-entropy pass finds nothing left to repair.
+	resp, err := http.Get(bases[minorityIdx] + "/cluster/status?sync=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Totals map[string]uint64 `json:"totals"`
+		Health struct {
+			HintsPending map[string]int `json:"hints_pending"`
+		} `json:"health"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Totals[info.Digest] != uint64(len(acked)) {
+		t.Fatalf("minority total %d after sync, want %d", st.Totals[info.Digest], len(acked))
+	}
+	if len(st.Health.HintsPending) != 0 {
+		t.Fatalf("minority still owed hints after convergence: %v", st.Health.HintsPending)
+	}
+
+	// Zero acknowledged losses: every acked copy traces from every node.
+	for buyer, body := range acked {
+		for i, base := range bases {
+			tr := traceSuspect(t, base, info.Digest, body, "")
+			if tr.Exact != buyer {
+				t.Errorf("acknowledged %s traced to %q via node %d — issuance lost", buyer, tr.Exact, i)
+			}
+		}
+	}
+}
+
+// TestChaosClusterScrubBitFlip: latent on-disk corruption on a live
+// replica. After the cluster converges, a bit is flipped inside one node's
+// WAL segment; the next scrub pass must quarantine the damaged file,
+// rebuild it byte-identically from the in-memory replay, and leave every
+// acknowledged issuance traceable through the repaired node. Run under
+// -race in CI.
+func TestChaosClusterScrubBitFlip(t *testing.T) {
+	bases, servers, _ := startTestCluster(t, 3)
+	netlist := benchBytes(t, "c880")
+	info, _ := uploadDesign(t, bases[0], netlist)
+
+	const buyers = 8
+	acked := make(map[string][]byte)
+	for i := 0; i < buyers; i++ {
+		buyer := fmt.Sprintf("sbuyer-%02d", i)
+		body, _, _, err := issueVia(t, bases[i%3], info.Digest, buyer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acked[buyer] = body
+	}
+	// Wait for every replica to hold the full set so no straggler append
+	// races the corruption below.
+	for i := range servers {
+		srv := servers[i]
+		waitUntil(t, fmt.Sprintf("node %d convergence", i), 10*time.Second, func() bool {
+			return srv.cluster.store.Total(info.Digest) == buyers
+		})
+	}
+
+	victim := servers[1]
+	seg := filepath.Join(victim.cfg.StoreDir, "wal", info.Digest+".wal")
+	pristine, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	damaged := append([]byte(nil), pristine...)
+	damaged[len(damaged)/2] ^= 0x10
+	if err := os.WriteFile(seg, damaged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := victim.cluster.store.Scrub()
+	if rep.Corrupt != 1 || rep.Repaired != 1 {
+		t.Fatalf("scrub report %+v, want corrupt=1 repaired=1", rep)
+	}
+	rebuilt, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rebuilt, pristine) {
+		t.Fatal("rebuilt segment is not byte-identical to the pre-corruption file")
+	}
+	if _, err := os.Stat(seg + ".corrupt"); err != nil {
+		t.Fatalf("damaged segment not quarantined: %v", err)
+	}
+	if st := victim.cluster.store.Handoff(); st.ScrubCorrupt != 1 || st.ScrubRepaired != 1 {
+		t.Fatalf("victim handoff stats %+v missed the repair", st)
+	}
+	if got := victim.cluster.store.Total(info.Digest); got != buyers {
+		t.Fatalf("victim total %d after repair, want %d", got, buyers)
+	}
+	for buyer, body := range acked {
+		tr := traceSuspect(t, bases[1], info.Digest, body, "")
+		if tr.Exact != buyer {
+			t.Errorf("acknowledged %s traced to %q through the repaired node", buyer, tr.Exact)
 		}
 	}
 }

@@ -45,7 +45,6 @@ BASE_PORT=${BASE_PORT:-18520}
 
 GO=${GO:-go}
 WORK=$(mktemp -d)
-LOG="$WORK/daemon.log"
 PIDS=""
 
 cleanup() {
@@ -59,21 +58,30 @@ $GO build -o "$WORK/odcfpd" ./cmd/odcfpd
 $GO build -o "$WORK/loadgen" ./cmd/loadgen
 
 # start_node PORT STORE [extra flags...] — boots one daemon and waits for it
-# to bind; appends its pid to PIDS.
+# to bind; appends its pid to PIDS. Each daemon logs to its own file, so a
+# startup death fails fast with the dead node's log tail instead of a
+# haystack of interleaved replica output.
 start_node() {
     port=$1; store=$2; shift 2
     addrfile="$WORK/addr.$port"
+    log="$WORK/daemon.$port.log"
     rm -f "$addrfile"
     "$WORK/odcfpd" -addr "127.0.0.1:$port" -store "$store" -addr-file "$addrfile" \
-        -max-batch 8192 -batch-chunk 8192 "$@" >>"$LOG" 2>&1 &
+        -max-batch 8192 -batch-chunk 8192 "$@" >>"$log" 2>&1 &
     pid=$!
     PIDS="$PIDS $pid"
     for _ in $(seq 1 100); do
         [ -s "$addrfile" ] && return 0
-        kill -0 "$pid" 2>/dev/null || { echo "cluster-smoke: daemon on :$port died at startup"; cat "$LOG"; exit 1; }
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "cluster-smoke: daemon on :$port died at startup; log tail:"
+            tail -n 40 "$log"
+            exit 1
+        fi
         sleep 0.1
     done
-    echo "cluster-smoke: daemon on :$port never bound"; cat "$LOG"; exit 1
+    echo "cluster-smoke: daemon on :$port never bound; log tail:"
+    tail -n 40 "$log"
+    exit 1
 }
 
 BASELINE_RPS=0
@@ -86,7 +94,7 @@ if [ "$MIN_SCALE" != "0" ]; then
     [ -n "$BASELINE_RPS" ] || { echo "cluster-smoke: no rps in baseline report"; exit 1; }
     base_pid=${PIDS# }
     kill -TERM "$base_pid"
-    wait "$base_pid" || { echo "cluster-smoke: baseline daemon exited non-zero"; cat "$LOG"; exit 1; }
+    wait "$base_pid" || { echo "cluster-smoke: baseline daemon exited non-zero; log tail:"; tail -n 40 "$WORK/daemon.$BASE_PORT.log"; exit 1; }
     PIDS=""
     echo "cluster-smoke: baseline $BASELINE_RPS req/s"
 fi
@@ -174,7 +182,7 @@ for pid in $PIDS; do
     i=$((i + 1))
     [ "$KILL" = "1" ] && [ "$i" = "$REPLICAS" ] && continue
     kill -TERM "$pid"
-    wait "$pid" || { echo "cluster-smoke: replica $i exited non-zero"; cat "$LOG"; exit 1; }
+    wait "$pid" || { echo "cluster-smoke: replica $i exited non-zero; log tail:"; tail -n 40 "$WORK/daemon.$((BASE_PORT + i)).log"; exit 1; }
 done
 PIDS=""
 

@@ -1,0 +1,222 @@
+#!/bin/sh
+# partition_smoke.sh — process-level partition-tolerance smoke for odcfpd
+# cluster mode (the in-process equivalent is TestChaosClusterPartition in
+# internal/serve/cluster_test.go):
+#
+#   1. start 3 replicas (rf=2) with an armed net.partition fault plan that
+#      severs the last replica (the minority) from the first two (the
+#      majority) for PART_FOR of wall time, starting at the first
+#      replica-to-replica message — the minority misses the design upload
+#      and every append made during the window
+#   2. drive a mixed issue/trace load against the MAJORITY side only; the
+#      majority must keep acknowledging (quorum rf=2 lives entirely on its
+#      side), tolerating at most MAXFAIL transient failures
+#   3. require hinted handoff to have engaged: the majority's
+#      registrystore.cluster_hints_queued counters must be > 0
+#   4. after the window heals, poll /metrics until
+#      registrystore.cluster_hints_pending is 0 on every replica — the
+#      redelivery loop drained every hint
+#   5. poll /cluster/status (no ?sync trigger: convergence must be
+#      hint-driven) until all three replicas report identical per-design
+#      totals, bounded by the records issued — no acknowledged record lost,
+#      none duplicated by hint replay
+#   6. one ?sync=1 sweep as a final cross-check, then SIGTERM every replica
+#      and require a clean (exit 0) drain
+#
+# The run's /metrics and /cluster/status snapshots land in METRICS_OUT
+# (default partition-metrics.json); CI uploads it as an artifact.
+#
+# Usage: scripts/partition_smoke.sh [requests] [clients] [out.json]
+# Env knobs:
+#   DESIGNS     design variants, spread over the leaders   (default 2)
+#   PRESEED     per-design seed copies minted pre-run      (default 0)
+#   PART_FOR    partition window wall time                 (default 3s)
+#   MAXFAIL     loadgen -max-fail budget                   (default N/4)
+#   HINT_RETRY  hinted-handoff base redelivery interval    (default 100ms)
+#   BASE_PORT   first replica port                         (default 18560)
+#   METRICS_OUT metrics artifact path        (default partition-metrics.json)
+set -eu
+
+N=${1:-300}
+C=${2:-8}
+OUT=${3:-partition_smoke.json}
+DESIGNS=${DESIGNS:-2}
+PRESEED=${PRESEED:-0}
+PART_FOR=${PART_FOR:-3s}
+MAXFAIL=${MAXFAIL:-$((N / 4))}
+HINT_RETRY=${HINT_RETRY:-100ms}
+BASE_PORT=${BASE_PORT:-18560}
+METRICS_OUT=${METRICS_OUT:-partition-metrics.json}
+
+GO=${GO:-go}
+WORK=$(mktemp -d)
+PIDS=""
+
+cleanup() {
+    for pid in $PIDS; do kill -9 "$pid" 2>/dev/null || true; done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "partition-smoke: building binaries"
+$GO build -o "$WORK/odcfpd" ./cmd/odcfpd
+$GO build -o "$WORK/loadgen" ./cmd/loadgen
+
+P1=$((BASE_PORT)); P2=$((BASE_PORT + 1)); P3=$((BASE_PORT + 2))
+NODES="http://127.0.0.1:$P1,http://127.0.0.1:$P2,http://127.0.0.1:$P3"
+MAJORITY="127.0.0.1:$P1,127.0.0.1:$P2"
+# Same plan on every replica: the minority (:P3) is cut off from both
+# majority nodes; each process's window heals PART_FOR after its own first
+# link message. Tokens match node URLs by substring, so the host:port pair
+# is enough.
+FAULTS="net.partition:groups=127.0.0.1:$P3|127.0.0.1:$P1,127.0.0.1:$P2,for=$PART_FOR;seed:7"
+
+# start_node PORT STORE — boots one cluster replica with the fault plan
+# armed and waits for it to bind; appends its pid to PIDS. Each node logs
+# to its own file so a startup death points straight at the culprit.
+start_node() {
+    port=$1; store=$2
+    addrfile="$WORK/addr.$port"
+    log="$WORK/daemon.$port.log"
+    rm -f "$addrfile"
+    "$WORK/odcfpd" -addr "127.0.0.1:$port" -store "$store" -addr-file "$addrfile" \
+        -cluster "$NODES" -node "http://127.0.0.1:$port" -rf 2 \
+        -hint-retry "$HINT_RETRY" -scrub-interval 2s \
+        -faults "$FAULTS" >>"$log" 2>&1 &
+    pid=$!
+    PIDS="$PIDS $pid"
+    for _ in $(seq 1 100); do
+        [ -s "$addrfile" ] && return 0
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "partition-smoke: replica on :$port died at startup; log tail:"
+            tail -n 40 "$log"
+            exit 1
+        fi
+        sleep 0.1
+    done
+    echo "partition-smoke: replica on :$port never bound; log tail:"
+    tail -n 40 "$log"
+    exit 1
+}
+
+echo "partition-smoke: starting 3 replicas (rf=2, partition $FAULTS)"
+start_node "$P1" "$WORK/store-0"
+start_node "$P2" "$WORK/store-1"
+start_node "$P3" "$WORK/store-2"
+
+# metric PORT NAME — prints NAME's value from :PORT's /metrics JSON.
+metric() {
+    curl -sf "http://127.0.0.1:$1/metrics" | tr -d ' \n' \
+        | grep -o "\"name\":\"$2\"[^}]*" | grep -o '"value":-*[0-9]*' \
+        | tr -dc '0-9-'
+}
+
+echo "partition-smoke: load on the majority only — $N requests, $C clients, $DESIGNS designs, max-fail $MAXFAIL"
+"$WORK/loadgen" -addr "$MAJORITY" -designs "$DESIGNS" -preseed "$PRESEED" \
+    -n "$N" -c "$C" -max-fail "$MAXFAIL" -out "$OUT"
+
+# 3. Hinted handoff must have engaged: every append the majority acked was
+# also fanned out to the severed minority, failed, and left a durable hint.
+QUEUED=$(( $(metric "$P1" registrystore.cluster_hints_queued) + $(metric "$P2" registrystore.cluster_hints_queued) ))
+if [ "$QUEUED" -le 0 ]; then
+    echo "partition-smoke: no hints queued on the majority — partition never bit"
+    exit 1
+fi
+echo "partition-smoke: $QUEUED hints queued on the majority during the window"
+
+# 4. After the window heals the redelivery loop must drain every queue.
+echo "partition-smoke: awaiting hint drain (window $PART_FOR + redelivery)"
+tries=0
+while :; do
+    pending=0
+    for port in $P1 $P2 $P3; do
+        v=$(metric "$port" registrystore.cluster_hints_pending)
+        pending=$((pending + ${v:-0}))
+    done
+    [ "$pending" = "0" ] && break
+    tries=$((tries + 1))
+    if [ "$tries" -gt 120 ]; then
+        echo "partition-smoke: hints never drained ($pending still pending)"
+        for port in $P1 $P2 $P3; do
+            curl -s "http://127.0.0.1:$port/cluster/status" || true; echo
+        done
+        exit 1
+    fi
+    sleep 0.5
+done
+echo "partition-smoke: hint queues drained"
+
+# 5. Hint-driven convergence: with no ?sync trigger, all three replicas —
+# the healed minority included — must agree on per-design totals, and the
+# sum must account for every acknowledged issuance without duplicates:
+# seeds + issues in [EXPECT - MAXFAIL, EXPECT].
+EXPECT=$((DESIGNS * PRESEED + N / 2))
+FLOOR=$((EXPECT - MAXFAIL))
+echo "partition-smoke: awaiting hint-driven convergence (sum in [$FLOOR, $EXPECT])"
+tries=0
+while :; do
+    agreed=""
+    ok=1
+    for port in $P1 $P2 $P3; do
+        totals=$(curl -sf "http://127.0.0.1:$port/cluster/status" \
+            | tr -d ' \n\t' | grep -o '"totals":{[^}]*}' || true)
+        sum=$(echo "$totals" | grep -o ':[0-9]*' | tr -d ':' | awk '{s+=$1} END{print s+0}')
+        if [ -z "$totals" ] || [ "$sum" -lt "$FLOOR" ] || [ "$sum" -gt "$EXPECT" ]; then ok=0; fi
+        if [ -z "$agreed" ]; then agreed=$totals
+        elif [ "$totals" != "$agreed" ]; then ok=0; fi
+    done
+    [ "$ok" = "1" ] && break
+    tries=$((tries + 1))
+    if [ "$tries" -gt 120 ]; then
+        echo "partition-smoke: replicas never converged without sync (want sum in [$FLOOR, $EXPECT])"
+        for port in $P1 $P2 $P3; do
+            curl -s "http://127.0.0.1:$port/cluster/status" || true; echo
+        done
+        exit 1
+    fi
+    sleep 0.5
+done
+echo "partition-smoke: hint-driven convergence: $agreed"
+
+# 6. A ?sync=1 sweep must not change anything — anti-entropy finds nothing
+# left to repair after the hints drained.
+for port in $P1 $P2 $P3; do
+    totals=$(curl -sf "http://127.0.0.1:$port/cluster/status?sync=1" \
+        | tr -d ' \n\t' | grep -o '"totals":{[^}]*}' || true)
+    if [ "$totals" != "$agreed" ]; then
+        echo "partition-smoke: ?sync=1 on :$port changed totals: $totals != $agreed"
+        exit 1
+    fi
+done
+
+# Metrics artifact: every replica's /metrics and /cluster/status snapshot.
+{
+    printf '{\n  "nodes": [\n'
+    first=1
+    for port in $P1 $P2 $P3; do
+        [ "$first" = "1" ] && first=0 || printf ',\n'
+        printf '    {"node": "http://127.0.0.1:%s",\n     "status": ' "$port"
+        curl -sf "http://127.0.0.1:$port/cluster/status" | tr -d '\n'
+        printf ',\n     "metrics": '
+        curl -sf "http://127.0.0.1:$port/metrics" | tr -d '\n'
+        printf '}'
+    done
+    printf '\n  ]\n}\n'
+} >"$METRICS_OUT"
+echo "partition-smoke: wrote $METRICS_OUT"
+
+echo "partition-smoke: draining replicas with SIGTERM"
+for pid in $PIDS; do kill -TERM "$pid"; done
+i=0
+for pid in $PIDS; do
+    i=$((i + 1))
+    port=$((BASE_PORT + i - 1))
+    wait "$pid" || {
+        echo "partition-smoke: replica on :$port exited non-zero; log tail:"
+        tail -n 40 "$WORK/daemon.$port.log"
+        exit 1
+    }
+done
+PIDS=""
+
+echo "partition-smoke: OK (report: $OUT)"
